@@ -1,0 +1,183 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each benchmark
+// both measures the cost of the experiment and reports the reproduced
+// headline numbers as custom metrics, so `go test -bench=. -benchmem`
+// doubles as a miniature reproduction report:
+//
+//	Figure 2  → BenchmarkFigure2LayoutError      (layout error curves)
+//	Table 1   → BenchmarkTable1Certification     (certification accuracy)
+//	§4.3      → BenchmarkRandomPlacement         (in-view decision accuracy)
+//	Figure 3  → BenchmarkFigure3MeasuredRate,
+//	            BenchmarkFigure3ViewabilityRate  (production comparison)
+//	Table 2   → BenchmarkTable2SiteOS            (site-type × OS slices)
+//	§6.1      → BenchmarkEconomics               (revenue model)
+//	Ablations → BenchmarkAblationFPSThreshold, BenchmarkAblationPixelCount,
+//	            BenchmarkAblationAreaEstimator
+//
+// Full paper-scale runs (500 certification reps, larger campaign sizes)
+// live in cmd/qtag-cert and cmd/qtag-sim.
+package qtag_test
+
+import (
+	"fmt"
+	"testing"
+
+	qtagapi "qtag"
+	"qtag/internal/beacon"
+	"qtag/internal/browser"
+	"qtag/internal/campaign"
+	"qtag/internal/cert"
+	"qtag/internal/layouteval"
+	"qtag/internal/qtag"
+)
+
+// BenchmarkFigure2LayoutError regenerates the Figure 2 grid: three
+// layouts × the 9–60 pixel sweep × three sliding scenarios.
+func BenchmarkFigure2LayoutError(b *testing.B) {
+	var points []layouteval.Point
+	for i := 0; i < b.N; i++ {
+		points = qtagapi.LayoutSweep(qtagapi.LayoutSweepConfig{Steps: 200}, nil)
+	}
+	for _, l := range qtag.Layouts() {
+		xs, ys := layouteval.Curve(points, l)
+		for i, n := range xs {
+			if n == 25 {
+				b.ReportMetric(ys[i], fmt.Sprintf("err25px-%v", l))
+			}
+		}
+	}
+}
+
+// BenchmarkTable1Certification runs the certification matrix (7 tests ×
+// 2 formats × 6 browser–OS pairs) at a reduced repetition count and
+// reports the reproduced accuracy (paper: 0.934).
+func BenchmarkTable1Certification(b *testing.B) {
+	var rep *qtagapi.CertificationReport
+	for i := 0; i < b.N; i++ {
+		rep = qtagapi.RunCertification(qtagapi.CertificationConfig{
+			Seed: uint64(i) + 1, AutomatedReps: 10, ManualReps: 2,
+		})
+	}
+	b.ReportMetric(rep.Accuracy(), "accuracy")
+	b.ReportMetric(float64(rep.FailuresOutsideRacyTests()), "failures-outside-4/5")
+}
+
+// BenchmarkRandomPlacement runs the §4.3 random-placement accuracy check
+// (paper: 10,000/10,000 correct).
+func BenchmarkRandomPlacement(b *testing.B) {
+	var res cert.PlacementResult
+	for i := 0; i < b.N; i++ {
+		res = qtagapi.RunRandomPlacements(250, uint64(i)+1)
+	}
+	b.ReportMetric(res.Accuracy(), "accuracy")
+}
+
+func runFigure3Sim(b *testing.B) *campaign.Result {
+	b.Helper()
+	var res *campaign.Result
+	for i := 0; i < b.N; i++ {
+		res = qtagapi.RunProductionSim(qtagapi.SimConfig{
+			Seed: uint64(i) + 1, Campaigns: 20, ImpressionsPerCampaign: 60, BothCampaigns: 20,
+		})
+	}
+	return res
+}
+
+// BenchmarkFigure3MeasuredRate reproduces Figure 3(a): measured rate per
+// solution (paper: Q-Tag 93 %, commercial 74 %).
+func BenchmarkFigure3MeasuredRate(b *testing.B) {
+	res := runFigure3Sim(b)
+	fig := qtagapi.Figure3(res)
+	b.ReportMetric(fig[beacon.SourceQTag].MeanMeasured, "qtag-measured")
+	b.ReportMetric(fig[beacon.SourceCommercial].MeanMeasured, "commercial-measured")
+}
+
+// BenchmarkFigure3ViewabilityRate reproduces Figure 3(b): viewability
+// rate per solution (paper: ≈50 % both).
+func BenchmarkFigure3ViewabilityRate(b *testing.B) {
+	res := runFigure3Sim(b)
+	fig := qtagapi.Figure3(res)
+	b.ReportMetric(fig[beacon.SourceQTag].MeanViewability, "qtag-viewability")
+	b.ReportMetric(fig[beacon.SourceCommercial].MeanViewability, "commercial-viewability")
+}
+
+// BenchmarkTable2SiteOS reproduces Table 2: measured rate sliced by site
+// type × OS (paper: Q-Tag 90.6/97.0/94.4/94.6 vs commercial
+// 53.4/83.8/86.7/91.1).
+func BenchmarkTable2SiteOS(b *testing.B) {
+	res := runFigure3Sim(b)
+	for _, cell := range qtagapi.Table2(res) {
+		key := cell.SiteType + "-" + string(cell.OS[0])
+		b.ReportMetric(cell.QTag, "qtag-"+key)
+		b.ReportMetric(cell.Commercial, "comm-"+key)
+	}
+}
+
+// BenchmarkEconomics evaluates the §6.1 revenue model (paper: $9.5k/day,
+// ≈$3.5M/year mid-size; ×10 large).
+func BenchmarkEconomics(b *testing.B) {
+	var daily float64
+	for i := 0; i < b.N; i++ {
+		daily = qtagapi.RevenueUplift(qtagapi.PaperMidSizeDSP()).DailyUSD
+	}
+	b.ReportMetric(daily, "daily-usd")
+	b.ReportMetric(qtagapi.RevenueUplift(qtagapi.PaperLargeDSP()).AnnualUSD/1e6, "large-annual-musd")
+}
+
+// BenchmarkAblationFPSThreshold replays one certification scenario at the
+// paper's alternative thresholds (20/30/40/50 fps — §3 reports no major
+// difference).
+func BenchmarkAblationFPSThreshold(b *testing.B) {
+	for _, thr := range []float64{20, 30, 40, 50} {
+		thr := thr
+		b.Run(fmt.Sprintf("fps=%.0f", thr), func(b *testing.B) {
+			prof := browser.CertificationProfiles()[1]
+			passes := 0
+			for i := 0; i < b.N; i++ {
+				runner := &cert.Runner{Automated: false, TagConfig: qtag.Config{FPSThreshold: thr}}
+				res := runner.Run(cert.TestPageScrolled, cert.FormatBanner, prof)
+				if res.Pass {
+					passes++
+				}
+			}
+			b.ReportMetric(float64(passes)/float64(b.N), "pass-rate")
+		})
+	}
+}
+
+// BenchmarkAblationPixelCount measures the accuracy/cost trade-off behind
+// the paper's 25-pixel recommendation.
+func BenchmarkAblationPixelCount(b *testing.B) {
+	for _, n := range []int{9, 17, 25, 41, 60} {
+		n := n
+		b.Run(fmt.Sprintf("pixels=%d", n), func(b *testing.B) {
+			var err float64
+			cfg := layouteval.Config{Steps: 200}
+			for i := 0; i < b.N; i++ {
+				err = (layouteval.MeanError(cfg, qtag.LayoutX, n, layouteval.Vertical) +
+					layouteval.MeanError(cfg, qtag.LayoutX, n, layouteval.Horizontal) +
+					layouteval.MeanError(cfg, qtag.LayoutX, n, layouteval.Diagonal)) / 3
+			}
+			b.ReportMetric(err, "mean-error")
+		})
+	}
+}
+
+// BenchmarkAblationAreaEstimator compares the production rectangle-
+// inference estimator against the Voronoi and uniform ablations
+// (DESIGN.md A3).
+func BenchmarkAblationAreaEstimator(b *testing.B) {
+	for _, m := range []qtag.Method{qtag.MethodRectInference, qtag.MethodVoronoi, qtag.MethodUniform} {
+		m := m
+		b.Run(m.String(), func(b *testing.B) {
+			var err float64
+			cfg := layouteval.Config{Steps: 200, Method: m}
+			for i := 0; i < b.N; i++ {
+				err = (layouteval.MeanError(cfg, qtag.LayoutX, 25, layouteval.Vertical) +
+					layouteval.MeanError(cfg, qtag.LayoutX, 25, layouteval.Horizontal) +
+					layouteval.MeanError(cfg, qtag.LayoutX, 25, layouteval.Diagonal)) / 3
+			}
+			b.ReportMetric(err, "mean-error")
+		})
+	}
+}

@@ -1,0 +1,98 @@
+// Command qtag-cert replicates the ABC/JICWEBS certification suite
+// (§4.2, Table 1) and the §4.3 extra analyses, printing the accuracy
+// report. With the default repetition counts (500 automated / 10 manual)
+// it executes the paper's full 36 120-run matrix.
+//
+// Usage:
+//
+//	qtag-cert [-reps 500] [-manual-reps 10] [-seed 2019]
+//	          [-placements 10000] [-skip-extras]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"qtag/internal/browser"
+	"qtag/internal/cert"
+	"qtag/internal/report"
+)
+
+func main() {
+	reps := flag.Int("reps", 500, "automated repetitions per scenario (paper: 500)")
+	manualReps := flag.Int("manual-reps", 10, "manual repetitions for test 6 (paper: 10)")
+	seed := flag.Uint64("seed", 2019, "seed for the automation-race draws")
+	placements := flag.Int("placements", 10000, "random placements for the §4.3 accuracy check")
+	skipExtras := flag.Bool("skip-extras", false, "run only the Table 1 matrix")
+	cells := flag.Bool("cells", false, "print the per-cell matrix and failure analysis")
+	flag.Parse()
+
+	fmt.Printf("certification matrix: 7 tests × 2 formats × 6 browser–OS, %d/%d reps (seed %d)\n\n",
+		*reps, *manualReps, *seed)
+	rep := cert.RunSuite(cert.SuiteConfig{
+		Seed:          *seed,
+		AutomatedReps: *reps,
+		ManualReps:    *manualReps,
+	})
+
+	rows := make([][]string, 0, 7)
+	for _, t := range cert.AllTests() {
+		r := rep.PerTest[t]
+		mode := "automated"
+		if t.Manual() {
+			mode = "manual"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("(%d)", int(t)),
+			t.Description(),
+			mode,
+			fmt.Sprintf("%d/%d", r.Hits, r.Total),
+			report.Percent(r.Value()),
+		})
+	}
+	fmt.Print(report.Table([]string{"Test", "Description", "Mode", "Correct", "Rate"}, rows))
+	fmt.Printf("\noverall accuracy: %s over %d runs (paper: 93.4%% over 36k)\n",
+		report.Percent(rep.Accuracy()), rep.Total.Total)
+	fmt.Printf("failures outside tests 4/5: %d (paper: 0 — all failures are automation races)\n",
+		rep.FailuresOutsideRacyTests())
+	fmt.Printf("automation-race suppressed runs: %d\n", rep.FlakedRuns)
+
+	if *cells {
+		fmt.Println("\nper-cell matrix (correct/runs):")
+		fmt.Print(rep.CellTable())
+		fmt.Println()
+		fmt.Print(rep.FailureAnalysis())
+	}
+
+	if *skipExtras {
+		return
+	}
+
+	fmt.Println("\n§4.3 extra analyses")
+	pl := cert.RunRandomPlacements(*placements, *seed)
+	fmt.Printf("  in-view accuracy: %s (paper: 10000/10000)\n", pl)
+
+	for _, prof := range []browser.Profile{
+		browser.AndroidWebViewProfile(true),
+		browser.IOSWebViewProfile(false),
+	} {
+		for _, r := range cert.RunMobileInApp(prof) {
+			fmt.Printf("  mobile in-app %s %v: measured=%v in-view=%v\n",
+				r.Profile, r.AdSize, r.Measured, r.InView)
+		}
+	}
+
+	for _, r := range cert.RunAdblockCheck(browser.CertificationProfiles()[1], true, *seed) {
+		fmt.Printf("  adblock %s: %d/%d blocked, %d tag deployments, %d events\n",
+			r.AdType, r.Blocked, r.Attempts, r.TagsDeployed, r.EventsEmitted)
+	}
+	for _, r := range cert.RunAdblockCheck(browser.BraveProfile(), false, *seed+1) {
+		fmt.Printf("  brave   %s: %d/%d blocked, %d tag deployments, %d events\n",
+			r.AdType, r.Blocked, r.Attempts, r.TagsDeployed, r.EventsEmitted)
+	}
+	for _, prof := range browser.PrivacyProfiles() {
+		r := cert.RunPrivacyBrowserCheck(prof)
+		fmt.Printf("  privacy %s: cookies-blocked=%v qtag-measured=%v in-view=%v\n",
+			r.Profile, r.CookiesBlocked, r.QTagMeasured, r.QTagInView)
+	}
+}

@@ -1,0 +1,42 @@
+// Command qtag-econ evaluates the §6.1 revenue model: the value of a
+// higher measured rate under viewable-impression pricing.
+//
+// Usage:
+//
+//	qtag-econ [-ads 100000000] [-cpm 1.0] [-qtag 0.93] [-commercial 0.74]
+//	          [-viewability 0.50]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"qtag/internal/economics"
+)
+
+func main() {
+	ads := flag.Float64("ads", 100e6, "ads served per day")
+	cpm := flag.Float64("cpm", 1.0, "average CPM in USD")
+	qtagRate := flag.Float64("qtag", 0.93, "Q-Tag measured rate")
+	commRate := flag.Float64("commercial", 0.74, "commercial solution measured rate")
+	view := flag.Float64("viewability", 0.50, "viewability rate of measured ads")
+	flag.Parse()
+
+	p := economics.Params{
+		AdsPerDay:              *ads,
+		CPM:                    *cpm,
+		MeasuredRateQTag:       *qtagRate,
+		MeasuredRateCommercial: *commRate,
+		ViewabilityRate:        *view,
+	}
+	u := economics.Compute(p)
+	fmt.Printf("DSP serving %.0fM ads/day at $%.2f CPM\n", *ads/1e6, *cpm)
+	fmt.Printf("measured rate: Q-Tag %.1f%% vs commercial %.1f%% (+%.1f pp)\n",
+		*qtagRate*100, *commRate*100, (*qtagRate-*commRate)*100)
+	fmt.Printf("viewability rate: %.1f%%\n\n", *view*100)
+	fmt.Printf("uplift: %s\n", u)
+
+	fmt.Println("\npaper reference points:")
+	fmt.Printf("  mid-size (100M/day): %s\n", economics.Compute(economics.PaperMidSize()))
+	fmt.Printf("  large    (1B/day):   %s\n", economics.Compute(economics.PaperLargeSize()))
+}

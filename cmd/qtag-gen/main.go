@@ -1,0 +1,59 @@
+// Command qtag-gen emits the deployable JavaScript Q-Tag for a given
+// configuration — the artifact a DSP embeds in its creatives alongside
+// the ad markup. The emitted tag implements exactly the algorithm of the
+// Go library (same layouts, same fps threshold, same rectangle-inference
+// area estimator, same state machine).
+//
+// Usage:
+//
+//	qtag-gen [-endpoint https://monitor.example/v1/events]
+//	         [-layout X|dice|+] [-pixels 25] [-fps 20] [-sample 100ms]
+//	         [-w 300] [-h 250]
+//
+// Embed the output as:
+//
+//	<script data-impression="imp-123" data-campaign="camp-7"
+//	        data-format="display" src="qtag.js"></script>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qtag/internal/geom"
+	"qtag/internal/qtag"
+)
+
+func main() {
+	endpoint := flag.String("endpoint", "https://monitor.example/v1/events", "collection server ingest URL")
+	layout := flag.String("layout", "X", "pixel layout: X, dice or +")
+	pixels := flag.Int("pixels", 25, "number of monitoring pixels")
+	fps := flag.Float64("fps", 20, "visibility fps threshold")
+	sample := flag.Duration("sample", 100*time.Millisecond, "sampling interval")
+	w := flag.Float64("w", 300, "creative width")
+	h := flag.Float64("h", 250, "creative height")
+	flag.Parse()
+
+	var l qtag.Layout
+	switch *layout {
+	case "X", "x":
+		l = qtag.LayoutX
+	case "dice":
+		l = qtag.LayoutDice
+	case "+", "plus":
+		l = qtag.LayoutPlus
+	default:
+		fmt.Fprintf(os.Stderr, "unknown layout %q (want X, dice or +)\n", *layout)
+		os.Exit(2)
+	}
+
+	cfg := qtag.Config{
+		Layout:         l,
+		PixelCount:     *pixels,
+		FPSThreshold:   *fps,
+		SampleInterval: *sample,
+	}
+	fmt.Print(qtag.GenerateJS(cfg, *endpoint, geom.Size{W: *w, H: *h}))
+}

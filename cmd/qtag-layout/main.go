@@ -1,0 +1,85 @@
+// Command qtag-layout reproduces Figure 2 (§4.1): the theoretical error
+// of the X, dice and + monitoring-pixel layouts in measuring an ad's
+// viewable area, for pixel counts from 9 to 60 under the three sliding
+// scenarios.
+//
+// Usage:
+//
+//	qtag-layout [-steps 200] [-w 300] [-h 250] [-per-scenario]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"qtag/internal/geom"
+	"qtag/internal/layouteval"
+	"qtag/internal/qtag"
+	"qtag/internal/report"
+)
+
+func main() {
+	steps := flag.Int("steps", 200, "slide positions per scenario")
+	w := flag.Float64("w", 300, "creative width")
+	h := flag.Float64("h", 250, "creative height")
+	perScenario := flag.Bool("per-scenario", false, "print each scenario separately instead of the average")
+	plot := flag.Bool("plot", false, "render the averaged curves as an ASCII chart")
+	flag.Parse()
+
+	cfg := layouteval.Config{Size: geom.Size{W: *w, H: *h}, Steps: *steps}
+	points := layouteval.Sweep(cfg, nil)
+
+	fmt.Printf("Figure 2 — mean viewable-area error, %gx%g creative, %d slide steps\n\n", *w, *h, *steps)
+	if *perScenario {
+		for _, sc := range layouteval.Scenarios() {
+			fmt.Printf("scenario: %v\n", sc)
+			printCurves(points, sc)
+			fmt.Println()
+		}
+		return
+	}
+	fmt.Println("average over the three scenarios:")
+	printCurves(points)
+
+	if *plot {
+		var series []report.SeriesData
+		for _, l := range qtag.Layouts() {
+			xs, ys := layouteval.Curve(points, l)
+			series = append(series, report.SeriesData{Name: l.String(), Xs: xs, Ys: ys})
+		}
+		fmt.Println()
+		fmt.Print(report.Plot("mean error vs pixel count", series, 56, 14))
+	}
+
+	// The paper's trade-off point.
+	for _, l := range qtag.Layouts() {
+		xs, ys := layouteval.Curve(points, l)
+		for i, n := range xs {
+			if n == 25 {
+				fmt.Printf("\n%-5v at 25 pixels: %.4f", l, ys[i])
+			}
+		}
+	}
+	fmt.Println("\n\n(25 pixels in the X layout is the paper's recommended trade-off)")
+}
+
+func printCurves(points []layouteval.Point, scenarios ...layouteval.Scenario) {
+	headers := []string{"pixels", "X", "dice", "+"}
+	var xs []int
+	curves := map[qtag.Layout][]float64{}
+	for _, l := range qtag.Layouts() {
+		x, y := layouteval.Curve(points, l, scenarios...)
+		xs = x
+		curves[l] = y
+	}
+	rows := make([][]string, 0, len(xs))
+	for i, n := range xs {
+		rows = append(rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprintf("%.4f", curves[qtag.LayoutX][i]),
+			fmt.Sprintf("%.4f", curves[qtag.LayoutDice][i]),
+			fmt.Sprintf("%.4f", curves[qtag.LayoutPlus][i]),
+		})
+	}
+	fmt.Print(report.Table(headers, rows))
+}

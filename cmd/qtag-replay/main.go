@@ -1,0 +1,77 @@
+// Command qtag-replay reads a beacon journal (JSONL, as written by
+// qtag-server -journal) and either prints the aggregated stats or
+// re-submits every event to a live collection server. Ingestion is
+// idempotent end to end, so replaying into a server that already holds
+// part of the journal is safe.
+//
+// Usage:
+//
+//	qtag-replay -journal beacons.jsonl                # print stats
+//	qtag-replay -journal beacons.jsonl -server URL    # re-submit over HTTP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"qtag/internal/analytics"
+	"qtag/internal/beacon"
+	"qtag/internal/report"
+)
+
+func main() {
+	journalPath := flag.String("journal", "", "journal file to read (required)")
+	serverURL := flag.String("server", "", "collection server to re-submit events to")
+	flag.Parse()
+	if *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: qtag-replay -journal beacons.jsonl [-server URL]")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*journalPath)
+	if err != nil {
+		log.Fatalf("open journal: %v", err)
+	}
+	defer f.Close()
+
+	store := beacon.NewStore()
+	var sink beacon.Sink = store
+	if *serverURL != "" {
+		sink = beacon.Tee(store, &beacon.HTTPSink{BaseURL: *serverURL, Retries: 2})
+	}
+	st, err := beacon.ReplayJournal(f, sink)
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	fmt.Printf("replayed %d events (%d skipped) from %s\n\n", st.Replayed, st.Skipped, *journalPath)
+	if *serverURL != "" {
+		fmt.Printf("re-submitted to %s\n\n", *serverURL)
+	}
+
+	ids := store.CampaignIDs()
+	rows := make([][]string, 0, len(ids))
+	for _, id := range ids {
+		served := store.Served(id)
+		ql := store.Loaded(id, beacon.SourceQTag)
+		qi := store.InView(id, beacon.SourceQTag)
+		m, v := 0.0, 0.0
+		if served > 0 {
+			m = float64(ql) / float64(served)
+		}
+		if ql > 0 {
+			v = float64(qi) / float64(ql)
+		}
+		rows = append(rows, []string{id, fmt.Sprint(served), report.Percent(m), report.Percent(v)})
+	}
+	fmt.Print(report.Table([]string{"Campaign", "Served", "Q-Tag measured", "Q-Tag viewability"}, rows))
+
+	if slices := analytics.BreakdownBy(store, analytics.ByOS); len(slices) > 0 {
+		fmt.Println("\nby OS:")
+		for _, s := range slices {
+			fmt.Printf("  %-10s served=%6d qtag=%s commercial=%s\n",
+				s.Key, s.Served, report.Percent(s.QTag), report.Percent(s.Commercial))
+		}
+	}
+}

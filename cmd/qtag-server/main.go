@@ -1,0 +1,124 @@
+// Command qtag-server runs the Q-Tag beacon collection server — the
+// "monitoring server" of the paper's §3 — as a standalone HTTP service.
+//
+// Endpoints:
+//
+//	POST /v1/events               ingest one event or a JSON array
+//	GET  /v1/stats                global measured/viewability rates
+//	GET  /v1/campaigns/{id}/stats per-campaign rates
+//	GET  /healthz                 liveness
+//
+// Usage:
+//
+//	qtag-server [-addr :8640] [-log-every 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qtag/internal/analytics"
+	"qtag/internal/beacon"
+)
+
+func main() {
+	addr := flag.String("addr", ":8640", "listen address")
+	logEvery := flag.Duration("log-every", 30*time.Second, "interval between stats log lines (0 disables)")
+	journalPath := flag.String("journal", "", "JSONL journal file for durability (replayed on startup)")
+	statsKey := flag.String("stats-key", "", "operator bearer token protecting the stats endpoints (empty = open)")
+	ingestRate := flag.Float64("ingest-rate", 0, "per-client ingestion rate limit in req/s (0 = unlimited)")
+	ingestBurst := flag.Float64("ingest-burst", 50, "per-client ingestion burst")
+	flag.Parse()
+
+	store := beacon.NewStore()
+	var journal *beacon.Journal
+	if *journalPath != "" {
+		// Replay an existing journal, then append to it. Idempotent
+		// ingestion makes restarts safe.
+		if f, err := os.Open(*journalPath); err == nil {
+			st, rerr := beacon.ReplayJournal(f, store)
+			f.Close()
+			if rerr != nil {
+				log.Fatalf("replay journal: %v", rerr)
+			}
+			log.Printf("replayed %d events from %s (%d skipped)", st.Replayed, *journalPath, st.Skipped)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("open journal: %v", err)
+		}
+		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("append journal: %v", err)
+		}
+		journal = beacon.NewJournal(f)
+		defer journal.Close()
+	}
+	var sink beacon.Sink = store
+	if journal != nil {
+		sink = beacon.Tee(store, journal)
+	}
+	// Stamp receive time onto beacons that arrive without one (browsers
+	// with broken clocks, legacy pixels).
+	sink = &beacon.StampSink{Next: sink, Now: time.Now}
+	server := beacon.NewServerWithSink(store, sink)
+	server.Mount("GET /v1/breakdown", analytics.Handler(store))
+	server.Mount("GET /v1/timeseries", analytics.Handler(store))
+	var handler http.Handler = server
+	if *ingestRate > 0 {
+		handler = beacon.NewRateLimiter(handler, *ingestRate, *ingestBurst)
+	}
+	if *statsKey != "" {
+		handler = beacon.AuthStats(handler, *statsKey)
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	if *logEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*logEvery)
+			defer ticker.Stop()
+			for range ticker.C {
+				if journal != nil {
+					if err := journal.Flush(); err != nil {
+						log.Printf("journal flush: %v", err)
+					}
+				}
+				log.Printf("events=%d accepted=%d rejected=%d campaigns=%d",
+					store.Len(), server.Accepted(), server.Rejected(), len(store.CampaignIDs()))
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("qtag-server listening on %s", *addr)
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+	log.Printf("final: events=%d accepted=%d rejected=%d", store.Len(), server.Accepted(), server.Rejected())
+}

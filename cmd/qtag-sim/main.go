@@ -1,0 +1,114 @@
+// Command qtag-sim runs the production-deployment simulation (§5–6) and
+// prints the paper's Figure 3 comparison, Table 2 slices and §6.1
+// economics computed from the *measured* rates of the run.
+//
+// Usage:
+//
+//	qtag-sim [-campaigns 99] [-impressions 120] [-both 4] [-both-factor 3.9]
+//	         [-seed 2019] [-server http://host:8640] [-breakdown]
+//
+// With -server, every beacon of the simulation is additionally delivered
+// to a live qtag-server over HTTP.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"qtag/internal/analytics"
+	"qtag/internal/beacon"
+	"qtag/internal/campaign"
+	"qtag/internal/economics"
+	"qtag/internal/report"
+)
+
+func main() {
+	campaigns := flag.Int("campaigns", 99, "number of campaigns (paper: 99)")
+	impressions := flag.Int("impressions", 120, "mean impressions per campaign")
+	both := flag.Int("both", 4, "campaigns instrumented with both tags (paper: 4)")
+	bothFactor := flag.Float64("both-factor", 3.9, "size multiplier for both-tag campaigns")
+	seed := flag.Uint64("seed", 2019, "simulation seed")
+	serverURL := flag.String("server", "", "optional collection-server URL to mirror beacons to")
+	breakdown := flag.Bool("breakdown", false, "print the per-campaign table")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "campaigns simulated concurrently")
+	flag.Parse()
+
+	cfg := campaign.Config{
+		Seed:                   *seed,
+		Campaigns:              *campaigns,
+		ImpressionsPerCampaign: *impressions,
+		BothCampaigns:          *both,
+		BothImpressionsFactor:  *bothFactor,
+		Parallelism:            *parallel,
+	}
+	if *serverURL != "" {
+		cfg.ExtraSink = &beacon.HTTPSink{BaseURL: *serverURL, Retries: 2}
+		log.Printf("mirroring beacons to %s", *serverURL)
+	}
+
+	res := campaign.New(cfg).Run()
+
+	var served int
+	for _, c := range res.Campaigns {
+		served += c.Served
+	}
+	fmt.Printf("simulated %d campaigns, %d impressions (seed %d)\n\n", len(res.Campaigns), served, *seed)
+
+	fig := analytics.Figure3(res)
+	q := fig[beacon.SourceQTag]
+	c := fig[beacon.SourceCommercial]
+
+	fmt.Println("Figure 3(a) — measured rate (mean ± std across campaigns)")
+	fmt.Println("  " + report.Bar("Q-Tag", q.MeanMeasured, 1, 40) + fmt.Sprintf(" ±%.1f", q.StdMeasured*100))
+	fmt.Println("  " + report.Bar("Commercial", c.MeanMeasured, 1, 40) + fmt.Sprintf(" ±%.1f", c.StdMeasured*100))
+	fmt.Println()
+	fmt.Println("Figure 3(b) — viewability rate (mean ± std across campaigns)")
+	fmt.Println("  " + report.Bar("Q-Tag", q.MeanViewability, 1, 40) + fmt.Sprintf(" ±%.1f", q.StdViewability*100))
+	fmt.Println("  " + report.Bar("Commercial", c.MeanViewability, 1, 40) + fmt.Sprintf(" ±%.1f", c.StdViewability*100))
+	fmt.Println()
+
+	fmt.Println("Table 2 — measured rate by site type and OS (mobile impressions, both-tag campaigns)")
+	rows := make([][]string, 0, 4)
+	for _, cell := range analytics.Table2ForResult(res) {
+		rows = append(rows, []string{
+			cell.SiteType, cell.OS,
+			report.Percent(cell.QTag), report.Percent(cell.Commercial),
+			fmt.Sprint(cell.Served),
+		})
+	}
+	fmt.Print(report.Table([]string{"Site type", "OS", "Q-Tag", "Commercial", "n"}, rows))
+	fmt.Println()
+
+	fmt.Println("§6.1 — economics at the measured rates of this run")
+	params := economics.PaperMidSize()
+	params.MeasuredRateQTag = q.MeanMeasured
+	params.MeasuredRateCommercial = c.MeanMeasured
+	params.ViewabilityRate = q.MeanViewability
+	fmt.Printf("  mid-size DSP (100M ads/day): %s\n", economics.Compute(params))
+	params.AdsPerDay = 1e9
+	fmt.Printf("  large DSP    (1B ads/day):  %s\n", economics.Compute(params))
+
+	if *breakdown {
+		fmt.Println("\nPer-campaign breakdown")
+		rows = rows[:0]
+		for _, r := range analytics.Breakdown(res) {
+			comm := "-"
+			if r.Both {
+				comm = report.Percent(r.CommMeasured)
+			}
+			rows = append(rows, []string{
+				r.ID, fmt.Sprint(r.Served),
+				report.Percent(r.QTagMeasured), report.Percent(r.QTagViewability), comm,
+			})
+		}
+		fmt.Print(report.Table([]string{"Campaign", "Served", "Q-Tag meas.", "Q-Tag view.", "Comm. meas."}, rows))
+	}
+
+	if q.MeanMeasured <= c.MeanMeasured {
+		fmt.Fprintln(os.Stderr, "WARNING: expected Q-Tag to out-measure the commercial baseline")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+// Command qtag-stress runs the randomized lab stress harness: random
+// adversarial browsing scenarios with a differential check of Q-Tag's
+// verdict against a tolerance-bracketed ground-truth oracle.
+//
+// Usage:
+//
+//	qtag-stress [-n 1000] [-seed 2019] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qtag/internal/stress"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "number of random scenarios")
+	seed := flag.Uint64("seed", 2019, "scenario seed")
+	verbose := flag.Bool("v", false, "print mismatching scenarios")
+	flag.Parse()
+
+	batch := stress.RunBatch(*n, *seed)
+	fmt.Println(batch)
+	if *verbose {
+		for _, m := range batch.Mismatches {
+			fmt.Printf("  tag=%v strict=%v nominal=%v lenient=%v adY=%.0f video=%v steps=%d\n",
+				m.TagInView, m.OracleStrict, m.OracleNom, m.OracleLen,
+				m.Scenario.AdY, m.Scenario.Video, len(m.Scenario.Steps))
+		}
+	}
+	if batch.Mismatch > 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: the tag contradicted a robust ground truth")
+		os.Exit(1)
+	}
+	fmt.Println("PASS: no mismatches on robust scenarios")
+}

@@ -1,0 +1,38 @@
+// Adblock & privacy behaviour (§4.3): shows that content blockers stop
+// the whole delivery chain (neither the ad nor Q-Tag deploys), that
+// Brave's built-in shields behave the same, and that privacy-enhanced
+// browsers which merely block third-party cookies leave Q-Tag fully
+// functional — it is plain script and needs no cookies.
+//
+// Run with: go run ./examples/adblock
+package main
+
+import (
+	"fmt"
+
+	"qtag/internal/browser"
+	"qtag/internal/cert"
+)
+
+func main() {
+	fmt.Println("Adblock Plus-style extension on Chrome:")
+	for _, r := range cert.RunAdblockCheck(browser.CertificationProfiles()[1], true, 1) {
+		fmt.Printf("  %-14s %d/%d deliveries blocked, %d tags deployed, %d beacons\n",
+			r.AdType, r.Blocked, r.Attempts, r.TagsDeployed, r.EventsEmitted)
+	}
+
+	fmt.Println("\nBrave (built-in shields):")
+	for _, r := range cert.RunAdblockCheck(browser.BraveProfile(), false, 2) {
+		fmt.Printf("  %-14s %d/%d deliveries blocked, %d tags deployed, %d beacons\n",
+			r.AdType, r.Blocked, r.Attempts, r.TagsDeployed, r.EventsEmitted)
+	}
+
+	fmt.Println("\nprivacy-enhanced browsers (third-party cookies blocked by default):")
+	for _, prof := range browser.PrivacyProfiles() {
+		r := cert.RunPrivacyBrowserCheck(prof)
+		fmt.Printf("  %-18s delivered=%v qtag-measured=%v in-view=%v\n",
+			r.Profile, r.DeliveredNormally, r.QTagMeasured, r.QTagInView)
+	}
+	fmt.Println("\nconclusion: blockers suppress Q-Tag together with the ad (no phantom")
+	fmt.Println("measurements); cookie blocking alone does not affect it at all.")
+}

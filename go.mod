@@ -1,0 +1,3 @@
+module qtag
+
+go 1.22

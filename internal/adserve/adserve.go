@@ -1,0 +1,293 @@
+// Package adserve implements the programmatic delivery chain that puts an
+// ad (and its measurement tags) onto a page: ad slots, a real-time-auction
+// ad exchange, and the delivery step that builds the nested cross-domain
+// iframe sandwich the paper calls out as the common case DSPs face (§3,
+// §4.2 footnote 2).
+//
+// Delivery of one impression:
+//
+//  1. the publisher page exposes an ad slot (an element);
+//  2. the slot's request goes to an Exchange, which runs a second-price
+//     auction across its bidders (DSPs);
+//  3. the winning bid's creative is injected as
+//     publisher page → exchange iframe → DSP iframe → creative,
+//     each boundary cross-origin;
+//  4. the DSP logs a server-side "served" event (always reliable — it
+//     does not depend on anything running in the browser);
+//  5. each measurement tag attached to the bid is deployed inside the
+//     creative iframe. Tag deployment may fail (no usable API, script
+//     load failure) without affecting delivery.
+//
+// Ad blockers and Brave shields cut the chain at step 2: the request to
+// the third-party exchange never leaves the browser, so neither the ad
+// nor any tag is deployed (§4.3).
+package adserve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"qtag/internal/adtag"
+	"qtag/internal/beacon"
+	"qtag/internal/browser"
+	"qtag/internal/dom"
+	"qtag/internal/geom"
+	"qtag/internal/simclock"
+)
+
+// Delivery errors.
+var (
+	// ErrAdBlocked reports that a content blocker prevented the ad
+	// request from reaching the exchange.
+	ErrAdBlocked = errors.New("adserve: ad request blocked by content blocker")
+	// ErrNoBid reports that no bidder returned a bid for the request.
+	ErrNoBid = errors.New("adserve: auction produced no bid")
+)
+
+// Creative is an ad creative to render.
+type Creative struct {
+	// ID identifies the creative.
+	ID string
+	// Size is the creative's pixel dimensions.
+	Size geom.Size
+	// Video reports video content (selects the video viewability
+	// criteria).
+	Video bool
+}
+
+// SlotRequest is one ad opportunity sent to the exchange.
+type SlotRequest struct {
+	// Page is the publisher page containing the slot.
+	Page *browser.Page
+	// Slot is the container element the ad renders into.
+	Slot *dom.Element
+	// Meta carries targeting/reporting attributes (country, exchange name
+	// is filled by the exchange, OS and site type by the caller).
+	Meta beacon.Meta
+}
+
+// Bid is a bidder's answer to a slot request.
+type Bid struct {
+	// PriceCPM is the bid price per thousand impressions.
+	PriceCPM float64
+	// Creative is what the bidder wants to render.
+	Creative Creative
+	// Origin is the bidder's iframe origin.
+	Origin dom.Origin
+	// Impression identifies the impression for measurement.
+	Impression adtag.Impression
+	// Tags are the measurement tags to deploy with the creative.
+	Tags []adtag.Tag
+}
+
+// Bidder is a buy-side participant in the exchange's auctions.
+type Bidder interface {
+	// Name identifies the bidder.
+	Name() string
+	// Bid returns the bidder's bid for a request, or ok=false to pass.
+	Bid(req *SlotRequest) (bid Bid, ok bool)
+}
+
+// WinNotifier is implemented by bidders that track spend: the exchange
+// calls NotifyWin with the second-price clearing CPM when the bidder wins
+// an auction.
+type WinNotifier interface {
+	NotifyWin(imp adtag.Impression, clearingCPM float64)
+}
+
+// Exchange connects sell-side slot requests with buy-side bidders through
+// second-price auctions.
+type Exchange struct {
+	name    string
+	origin  dom.Origin
+	bidders []Bidder
+}
+
+// NewExchange creates an exchange with the given name; its iframes use
+// origin https://<name>.example.
+func NewExchange(name string) *Exchange {
+	return &Exchange{name: name, origin: dom.Origin("https://" + name + ".example")}
+}
+
+// Name returns the exchange's name.
+func (x *Exchange) Name() string { return x.name }
+
+// Origin returns the origin of the exchange's delivery iframes.
+func (x *Exchange) Origin() dom.Origin { return x.origin }
+
+// Register adds a bidder to the exchange's auctions.
+func (x *Exchange) Register(b Bidder) { x.bidders = append(x.bidders, b) }
+
+// AuctionOutcome describes a completed auction.
+type AuctionOutcome struct {
+	// Winner is the winning bidder's name.
+	Winner string
+	// Bid is the winning bid.
+	Bid Bid
+	// ClearingPriceCPM is the second-price amount the winner pays (the
+	// runner-up's price, or the winner's own bid when unopposed).
+	ClearingPriceCPM float64
+	// Participants is the number of bidders that returned bids.
+	Participants int
+}
+
+// RunAuction collects bids and resolves a second-price auction. Ties are
+// broken by bidder registration order (deterministic).
+func (x *Exchange) RunAuction(req *SlotRequest) (AuctionOutcome, error) {
+	req.Meta.Exchange = x.name
+	type entry struct {
+		bidder Bidder
+		bid    Bid
+		ord    int
+	}
+	var entries []entry
+	for i, b := range x.bidders {
+		if bid, ok := b.Bid(req); ok {
+			if bid.PriceCPM <= 0 {
+				continue
+			}
+			bid.Impression.Meta = mergeMeta(req.Meta, bid.Impression.Meta)
+			entries = append(entries, entry{bidder: b, bid: bid, ord: i})
+		}
+	}
+	if len(entries) == 0 {
+		return AuctionOutcome{}, ErrNoBid
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].bid.PriceCPM != entries[j].bid.PriceCPM {
+			return entries[i].bid.PriceCPM > entries[j].bid.PriceCPM
+		}
+		return entries[i].ord < entries[j].ord
+	})
+	out := AuctionOutcome{
+		Winner:       entries[0].bidder.Name(),
+		Bid:          entries[0].bid,
+		Participants: len(entries),
+	}
+	if len(entries) > 1 {
+		out.ClearingPriceCPM = entries[1].bid.PriceCPM
+	} else {
+		out.ClearingPriceCPM = entries[0].bid.PriceCPM
+	}
+	if wn, ok := entries[0].bidder.(WinNotifier); ok {
+		wn.NotifyWin(out.Bid.Impression, out.ClearingPriceCPM)
+	}
+	return out, nil
+}
+
+func mergeMeta(base, override beacon.Meta) beacon.Meta {
+	if override.OS != "" {
+		base.OS = override.OS
+	}
+	if override.SiteType != "" {
+		base.SiteType = override.SiteType
+	}
+	if override.AdSize != "" {
+		base.AdSize = override.AdSize
+	}
+	if override.Format != "" {
+		base.Format = override.Format
+	}
+	if override.Country != "" {
+		base.Country = override.Country
+	}
+	if override.Exchange != "" {
+		base.Exchange = override.Exchange
+	}
+	return base
+}
+
+// Deliverer performs the browser-side delivery step.
+type Deliverer struct {
+	// Exchange runs the auctions.
+	Exchange *Exchange
+	// ServerSink receives the server-side served events (the DSP's own
+	// logs; reliable by construction).
+	ServerSink beacon.Sink
+	// TagSink receives the beacons emitted by measurement tags (may be
+	// lossy or remote).
+	TagSink beacon.Sink
+	// TagLoadFails optionally simulates tag script fetch failures: when
+	// it returns true the tag is never executed for this impression.
+	// Mobile networks and short-lived webviews make this the dominant
+	// reason even Q-Tag misses ~3–9 % of impressions (Table 2).
+	TagLoadFails func(adtag.Tag) bool
+}
+
+// Delivery is the result of delivering one impression.
+type Delivery struct {
+	// Outcome is the auction result.
+	Outcome AuctionOutcome
+	// CreativeElement is the rendered creative inside the iframe chain.
+	CreativeElement *dom.Element
+	// Runtimes holds the tag runtimes that deployed successfully.
+	Runtimes []*adtag.Runtime
+	// TagErrors records tags that could not deploy, keyed by tag name
+	// ("load-failed" entries never executed; others returned an error).
+	TagErrors map[string]error
+}
+
+// ErrTagLoadFailed marks tags whose script never loaded.
+var ErrTagLoadFailed = errors.New("adserve: tag script failed to load")
+
+// Deliver runs the full chain for one slot request. On success the
+// creative is attached to the page inside exchange→DSP iframes, the
+// served event is logged, and all loadable tags are deployed.
+func (d *Deliverer) Deliver(req *SlotRequest) (*Delivery, error) {
+	if req.Page.Tab().Window().Browser().BlocksAds() {
+		// The request to the third-party exchange never leaves the
+		// browser: no auction, no served log, no tags.
+		return nil, ErrAdBlocked
+	}
+	outcome, err := d.Exchange.RunAuction(req)
+	if err != nil {
+		return nil, err
+	}
+	bid := outcome.Bid
+
+	// Build the double cross-domain iframe sandwich inside the slot.
+	slotRect := req.Slot.Rect()
+	size := bid.Creative.Size
+	outer := req.Slot.AttachIframe(d.Exchange.Origin(),
+		geom.Rect{X: slotRect.X, Y: slotRect.Y, W: size.W, H: size.H})
+	inner := outer.Root().AttachIframe(bid.Origin,
+		geom.Rect{X: 0, Y: 0, W: size.W, H: size.H})
+	creative := inner.Root().AppendChild("creative", geom.Rect{X: 0, Y: 0, W: size.W, H: size.H})
+	req.Page.Tab().Window().Browser().InvalidateLayout()
+
+	// Server-side impression log.
+	clock := req.Page.Tab().Window().Browser().Clock()
+	served := beacon.Event{
+		ImpressionID: bid.Impression.ID,
+		CampaignID:   bid.Impression.CampaignID,
+		Type:         beacon.EventServed,
+		At:           simclock.Epoch.Add(clock.Now()),
+		Meta:         bid.Impression.Meta,
+	}
+	if err := d.ServerSink.Submit(served); err != nil {
+		return nil, fmt.Errorf("adserve: served log: %w", err)
+	}
+
+	del := &Delivery{Outcome: outcome, CreativeElement: creative, TagErrors: map[string]error{}}
+	for _, tag := range bid.Tags {
+		if d.TagLoadFails != nil && d.TagLoadFails(tag) {
+			del.TagErrors[tag.Name()] = ErrTagLoadFailed
+			continue
+		}
+		rt := adtag.NewRuntime(req.Page, creative, d.TagSink, bid.Impression)
+		if err := tag.Deploy(rt); err != nil {
+			del.TagErrors[tag.Name()] = err
+			continue
+		}
+		del.Runtimes = append(del.Runtimes, rt)
+	}
+	return del, nil
+}
+
+// Close tears down all tag runtimes of a delivery (end of session).
+func (del *Delivery) Close() {
+	for _, rt := range del.Runtimes {
+		rt.Close()
+	}
+}

@@ -1,0 +1,69 @@
+package analytics
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"qtag/internal/beacon"
+)
+
+// Handler exposes the analytics queries over HTTP, for mounting next to
+// the beacon collection API (see cmd/qtag-server):
+//
+//	GET /v1/breakdown?dim={exchange|country|os|site-type|ad-size}
+//	GET /v1/timeseries?width=1h
+//
+// Responses are JSON arrays of SliceRates / Bucket.
+func Handler(store *beacon.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/breakdown", func(w http.ResponseWriter, r *http.Request) {
+		dim, ok := parseDimension(r.URL.Query().Get("dim"))
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown dim; want exchange|country|os|site-type|ad-size")
+			return
+		}
+		writeJSON(w, BreakdownBy(store, dim))
+	})
+	mux.HandleFunc("GET /v1/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		width := time.Hour
+		if raw := r.URL.Query().Get("width"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil || d <= 0 {
+				httpError(w, http.StatusBadRequest, "bad width: want a positive Go duration like 1h")
+				return
+			}
+			width = d
+		}
+		writeJSON(w, TimeSeries(store, width))
+	})
+	return mux
+}
+
+func parseDimension(s string) (Dimension, bool) {
+	switch s {
+	case "exchange":
+		return ByExchange, true
+	case "country":
+		return ByCountry, true
+	case "os":
+		return ByOS, true
+	case "site-type":
+		return BySiteType, true
+	case "ad-size":
+		return ByAdSize, true
+	default:
+		return 0, false
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,121 @@
+package analytics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qtag/internal/beacon"
+	"qtag/internal/campaign"
+)
+
+func analyticsServer(t *testing.T) (*httptest.Server, *beacon.Store) {
+	t.Helper()
+	res := campaign.New(campaign.Config{
+		Seed: 41, Campaigns: 4, ImpressionsPerCampaign: 50, BothCampaigns: 2,
+	}).Run()
+	base := beacon.NewServer(res.Store)
+	base.Mount("GET /v1/breakdown", Handler(res.Store))
+	base.Mount("GET /v1/timeseries", Handler(res.Store))
+	return httptest.NewServer(base), res.Store
+}
+
+func TestHTTPBreakdown(t *testing.T) {
+	srv, _ := analyticsServer(t)
+	defer srv.Close()
+	for _, dim := range []string{"exchange", "country", "os", "site-type", "ad-size"} {
+		resp, err := http.Get(srv.URL + "/v1/breakdown?dim=" + dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var slices []SliceRates
+		if err := json.NewDecoder(resp.Body).Decode(&slices); err != nil {
+			t.Fatalf("%s: decode: %v", dim, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status = %d", dim, resp.StatusCode)
+		}
+		if len(slices) == 0 {
+			t.Errorf("%s: no slices", dim)
+		}
+		for _, s := range slices {
+			if s.Key == "" || s.Served == 0 {
+				t.Errorf("%s: empty slice %+v", dim, s)
+			}
+		}
+	}
+	// Unknown dimension 400s.
+	resp, err := http.Get(srv.URL + "/v1/breakdown?dim=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus dim status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPTimeSeries(t *testing.T) {
+	srv, _ := analyticsServer(t)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/timeseries?width=1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buckets []Bucket
+	if err := json.NewDecoder(resp.Body).Decode(&buckets); err != nil {
+		t.Fatal(err)
+	}
+	// All simulated sessions start at the simclock epoch, so there is at
+	// least one bucket, anchored near it.
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	if buckets[0].Served == 0 {
+		t.Error("first bucket unpopulated")
+	}
+	if buckets[0].Start.After(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("bucket start implausible: %v", buckets[0].Start)
+	}
+
+	for _, bad := range []string{"width=0s", "width=-1h", "width=nonsense"} {
+		resp, err := http.Get(srv.URL + "/v1/timeseries?" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPCoexistsWithCollectionAPI(t *testing.T) {
+	srv, store := analyticsServer(t)
+	defer srv.Close()
+	// The built-in endpoints still work after mounting.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats beacon.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Served != store.Served("") {
+		t.Errorf("stats served = %d, store %d", stats.Served, store.Served(""))
+	}
+}

@@ -1,0 +1,178 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"qtag/internal/beacon"
+	"qtag/internal/campaign"
+)
+
+var base = time.Date(2019, 12, 9, 12, 0, 0, 0, time.UTC)
+
+func submit(t *testing.T, s *beacon.Store, e beacon.Event) {
+	t.Helper()
+	if err := s.Submit(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cleanImpression(t *testing.T, s *beacon.Store, imp string) {
+	t.Helper()
+	submit(t, s, beacon.Event{ImpressionID: imp, CampaignID: "c", Type: beacon.EventServed,
+		At: base, Meta: beacon.Meta{Format: "display"}})
+	submit(t, s, beacon.Event{ImpressionID: imp, CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventLoaded, At: base.Add(50 * time.Millisecond)})
+	submit(t, s, beacon.Event{ImpressionID: imp, CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventInView, At: base.Add(1100 * time.Millisecond)})
+	submit(t, s, beacon.Event{ImpressionID: imp, CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventOutOfView, At: base.Add(3 * time.Second)})
+}
+
+func TestCleanStreamAuditsClean(t *testing.T) {
+	s := beacon.NewStore()
+	for _, imp := range []string{"a", "b", "c"} {
+		cleanImpression(t, s, imp)
+	}
+	rep := Run(s, Options{})
+	if !rep.Clean() {
+		t.Fatalf("clean stream flagged: %v", rep.Findings)
+	}
+	if rep.Impressions != 3 || rep.CleanImpressions != 3 {
+		t.Errorf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "all clean") {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestOrphanMeasurement(t *testing.T) {
+	s := beacon.NewStore()
+	submit(t, s, beacon.Event{ImpressionID: "ghost", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventLoaded, At: base})
+	rep := Run(s, Options{})
+	if rep.ByKind[OrphanMeasurement] != 1 {
+		t.Errorf("findings = %v", rep.Findings)
+	}
+}
+
+func TestInViewWithoutLoaded(t *testing.T) {
+	s := beacon.NewStore()
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Type: beacon.EventServed, At: base})
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Source: beacon.SourceCommercial,
+		Type: beacon.EventInView, At: base.Add(2 * time.Second)})
+	rep := Run(s, Options{})
+	if rep.ByKind[InViewWithoutLoaded] != 1 {
+		t.Errorf("findings = %v", rep.Findings)
+	}
+	if rep.Findings[0].Source != beacon.SourceCommercial {
+		t.Error("finding should carry the offending source")
+	}
+}
+
+func TestOutOfViewWithoutInView(t *testing.T) {
+	s := beacon.NewStore()
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Type: beacon.EventServed, At: base})
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventLoaded, At: base})
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventOutOfView, At: base.Add(time.Second)})
+	rep := Run(s, Options{})
+	if rep.ByKind[OutOfViewWithoutInView] != 1 {
+		t.Errorf("findings = %v", rep.Findings)
+	}
+}
+
+func TestImpossibleDwellCatchesSpoofedBeacons(t *testing.T) {
+	s := beacon.NewStore()
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Type: beacon.EventServed,
+		At: base, Meta: beacon.Meta{Format: "display"}})
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventLoaded, At: base})
+	// In-view only 200ms after loaded: impossible for a 1s dwell.
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventInView, At: base.Add(200 * time.Millisecond)})
+	rep := Run(s, Options{})
+	if rep.ByKind[ImpossibleDwell] != 1 {
+		t.Errorf("findings = %v", rep.Findings)
+	}
+}
+
+func TestVideoDwellUsed(t *testing.T) {
+	s := beacon.NewStore()
+	submit(t, s, beacon.Event{ImpressionID: "v", CampaignID: "c", Type: beacon.EventServed,
+		At: base, Meta: beacon.Meta{Format: "video"}})
+	submit(t, s, beacon.Event{ImpressionID: "v", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventLoaded, At: base})
+	// 1.3s would satisfy display but not the 2s video dwell.
+	submit(t, s, beacon.Event{ImpressionID: "v", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventInView, At: base.Add(1300 * time.Millisecond)})
+	rep := Run(s, Options{})
+	if rep.ByKind[ImpossibleDwell] != 1 {
+		t.Errorf("video dwell not enforced: %v", rep.Findings)
+	}
+}
+
+func TestOrderViolations(t *testing.T) {
+	s := beacon.NewStore()
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Type: beacon.EventServed, At: base})
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventLoaded, At: base.Add(5 * time.Second)})
+	submit(t, s, beacon.Event{ImpressionID: "i", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventInView, At: base.Add(2 * time.Second)}) // before loaded
+	rep := Run(s, Options{})
+	if rep.ByKind[OrderViolation] != 1 {
+		t.Errorf("findings = %v", rep.Findings)
+	}
+
+	s2 := beacon.NewStore()
+	submit(t, s2, beacon.Event{ImpressionID: "j", CampaignID: "c", Type: beacon.EventServed, At: base})
+	submit(t, s2, beacon.Event{ImpressionID: "j", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventLoaded, At: base})
+	submit(t, s2, beacon.Event{ImpressionID: "j", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventInView, At: base.Add(1200 * time.Millisecond)})
+	submit(t, s2, beacon.Event{ImpressionID: "j", CampaignID: "c", Source: beacon.SourceQTag,
+		Type: beacon.EventOutOfView, At: base.Add(600 * time.Millisecond)}) // before in-view
+	rep2 := Run(s2, Options{})
+	if rep2.ByKind[OrderViolation] != 1 {
+		t.Errorf("findings = %v", rep2.Findings)
+	}
+}
+
+// TestProductionSimulationAuditsClean is the transparency claim end to
+// end: everything this repository's full pipeline produces must survive
+// its own auditor.
+func TestProductionSimulationAuditsClean(t *testing.T) {
+	res := campaign.New(campaign.Config{
+		Seed: 17, Campaigns: 10, ImpressionsPerCampaign: 60, BothCampaigns: 4,
+	}).Run()
+	rep := Run(res.Store, Options{})
+	if !rep.Clean() {
+		max := 5
+		if len(rep.Findings) < max {
+			max = len(rep.Findings)
+		}
+		t.Fatalf("production pipeline flagged: %s; first findings: %v",
+			rep, rep.Findings[:max])
+	}
+	if rep.Impressions == 0 {
+		t.Fatal("audit saw no impressions")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []FindingKind{OrphanMeasurement, InViewWithoutLoaded, OutOfViewWithoutInView, ImpossibleDwell, OrderViolation}
+	for _, k := range kinds {
+		if strings.Contains(k.String(), "FindingKind") {
+			t.Errorf("kind %d missing name", int(k))
+		}
+	}
+	if FindingKind(42).String() != "FindingKind(42)" {
+		t.Error("unknown kind string wrong")
+	}
+	f := Finding{Kind: ImpossibleDwell, CampaignID: "c", ImpressionID: "i", Source: beacon.SourceQTag, Detail: "d"}
+	if !strings.Contains(f.String(), "impossible-dwell") {
+		t.Errorf("finding String = %q", f.String())
+	}
+}

@@ -1,0 +1,421 @@
+package beacon
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ev(imp, camp string, src Source, typ EventType) Event {
+	return Event{ImpressionID: imp, CampaignID: camp, Source: src, Type: typ}
+}
+
+func TestEventValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Event
+		err  error
+	}{
+		{"valid served", ev("i1", "c1", "", EventServed), nil},
+		{"valid loaded", ev("i1", "c1", SourceQTag, EventLoaded), nil},
+		{"valid in-view", ev("i1", "c1", SourceCommercial, EventInView), nil},
+		{"valid out-of-view", ev("i1", "c1", SourceQTag, EventOutOfView), nil},
+		{"missing impression", ev("", "c1", SourceQTag, EventLoaded), ErrNoImpression},
+		{"missing campaign", ev("i1", "", SourceQTag, EventLoaded), ErrNoCampaign},
+		{"served with source", ev("i1", "c1", SourceQTag, EventServed), ErrBadSource},
+		{"loaded without source", ev("i1", "c1", "", EventLoaded), ErrBadSource},
+		{"unknown type", ev("i1", "c1", SourceQTag, "bogus"), ErrBadType},
+	}
+	for _, c := range cases {
+		err := c.e.Validate()
+		if c.err == nil && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if c.err != nil && !errors.Is(err, c.err) {
+			t.Errorf("%s: error = %v, want %v", c.name, err, c.err)
+		}
+	}
+}
+
+func TestEventKeyAndString(t *testing.T) {
+	a := ev("i1", "c1", SourceQTag, EventInView)
+	b := a
+	b.Seq = 1
+	if a.Key() == b.Key() {
+		t.Error("seq must differentiate keys")
+	}
+	if !strings.Contains(a.String(), "in-view") {
+		t.Errorf("String = %q", a.String())
+	}
+	served := ev("i1", "c1", "", EventServed)
+	if !strings.Contains(served.String(), "dsp") {
+		t.Errorf("served String = %q", served.String())
+	}
+}
+
+func TestStoreIdempotency(t *testing.T) {
+	s := NewStore()
+	e := ev("i1", "c1", SourceQTag, EventInView)
+	for i := 0; i < 5; i++ {
+		if err := s.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after duplicate submits", s.Len())
+	}
+	if s.InView("c1", SourceQTag) != 1 {
+		t.Errorf("InView = %d", s.InView("c1", SourceQTag))
+	}
+}
+
+func TestStoreRejectsInvalid(t *testing.T) {
+	s := NewStore()
+	if err := s.Submit(Event{}); err == nil {
+		t.Error("expected validation error")
+	}
+	if s.Len() != 0 {
+		t.Error("invalid event stored")
+	}
+}
+
+func TestStoreAggregation(t *testing.T) {
+	s := NewStore()
+	// Campaign c1: 3 served, qtag measures 2, 1 in-view; commercial measures 1, 1 in-view.
+	for _, imp := range []string{"a", "b", "c"} {
+		mustSubmit(t, s, ev(imp, "c1", "", EventServed))
+	}
+	mustSubmit(t, s, ev("a", "c1", SourceQTag, EventLoaded))
+	mustSubmit(t, s, ev("b", "c1", SourceQTag, EventLoaded))
+	mustSubmit(t, s, ev("a", "c1", SourceQTag, EventInView))
+	mustSubmit(t, s, ev("a", "c1", SourceQTag, EventOutOfView))
+	mustSubmit(t, s, ev("a", "c1", SourceCommercial, EventLoaded))
+	mustSubmit(t, s, ev("a", "c1", SourceCommercial, EventInView))
+	// Campaign c2: 1 served, nothing measured.
+	mustSubmit(t, s, ev("z", "c2", "", EventServed))
+
+	if got := s.Served("c1"); got != 3 {
+		t.Errorf("Served(c1) = %d", got)
+	}
+	if got := s.Served(""); got != 4 {
+		t.Errorf("Served(all) = %d", got)
+	}
+	if got := s.Loaded("c1", SourceQTag); got != 2 {
+		t.Errorf("Loaded(c1,qtag) = %d", got)
+	}
+	if got := s.Loaded("c1", SourceCommercial); got != 1 {
+		t.Errorf("Loaded(c1,commercial) = %d", got)
+	}
+	if got := s.InView("c1", SourceQTag); got != 1 {
+		t.Errorf("InView(c1,qtag) = %d", got)
+	}
+	if got := s.InView("c2", SourceQTag); got != 0 {
+		t.Errorf("InView(c2) = %d", got)
+	}
+	ids := s.CampaignIDs()
+	if len(ids) != 2 || ids[0] != "c1" || ids[1] != "c2" {
+		t.Errorf("CampaignIDs = %v", ids)
+	}
+	if got := s.Count(nil); got != 10 {
+		t.Errorf("Count(nil) = %d", got)
+	}
+	counters := s.Counters()
+	if counters[CounterKey{CampaignID: "c1", Type: EventServed}] != 3 {
+		t.Errorf("counters = %v", counters)
+	}
+}
+
+func TestStoreEventsSorted(t *testing.T) {
+	s := NewStore()
+	mustSubmit(t, s, ev("b", "c1", "", EventServed))
+	mustSubmit(t, s, ev("a", "c2", "", EventServed))
+	mustSubmit(t, s, ev("a", "c1", "", EventServed))
+	events := s.Events()
+	if len(events) != 3 {
+		t.Fatalf("Events len = %d", len(events))
+	}
+	if events[0].ImpressionID != "a" || events[0].CampaignID != "c1" {
+		t.Errorf("sort order wrong: %v", events)
+	}
+	if events[2].CampaignID != "c2" {
+		t.Errorf("sort order wrong: %v", events)
+	}
+}
+
+func mustSubmit(t *testing.T, s Sink, e Event) {
+	t.Helper()
+	if err := s.Submit(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerIngestSingleAndBatch(t *testing.T) {
+	store := NewStore()
+	srv := httptest.NewServer(NewServer(store))
+	defer srv.Close()
+
+	// Single event.
+	body, _ := json.Marshal(ev("i1", "c1", "", EventServed))
+	resp, err := http.Post(srv.URL+"/v1/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("single ingest status = %d", resp.StatusCode)
+	}
+
+	// Batch.
+	batch, _ := json.Marshal([]Event{
+		ev("i1", "c1", SourceQTag, EventLoaded),
+		ev("i1", "c1", SourceQTag, EventInView),
+	})
+	resp, err = http.Post(srv.URL+"/v1/events", "application/json", bytes.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir ingestResponse
+	json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if ir.Accepted != 2 || ir.Rejected != 0 {
+		t.Errorf("batch response = %+v", ir)
+	}
+	if store.Len() != 3 {
+		t.Errorf("store has %d events", store.Len())
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	srv := httptest.NewServer(NewServer(NewStore()))
+	defer srv.Close()
+	for _, body := range []string{"", "not json", `{"type":"bogus"}`, `[{"type":"bogus"}]`} {
+		resp, err := http.Post(srv.URL+"/v1/events", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 400 {
+			t.Errorf("body %q: status = %d, want 4xx", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerStatsEndpoints(t *testing.T) {
+	store := NewStore()
+	server := NewServer(store)
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	sink := &HTTPSink{BaseURL: srv.URL}
+	for _, imp := range []string{"a", "b", "c", "d"} {
+		mustSubmit(t, sink, ev(imp, "camp-1", "", EventServed))
+	}
+	mustSubmit(t, sink, ev("a", "camp-1", SourceQTag, EventLoaded))
+	mustSubmit(t, sink, ev("b", "camp-1", SourceQTag, EventLoaded))
+	mustSubmit(t, sink, ev("c", "camp-1", SourceQTag, EventLoaded))
+	mustSubmit(t, sink, ev("a", "camp-1", SourceQTag, EventInView))
+
+	stats, err := sink.FetchStats("camp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Served != 4 {
+		t.Errorf("served = %d", stats.Served)
+	}
+	q := stats.Sources["qtag"]
+	if q.Loaded != 3 || q.InView != 1 {
+		t.Errorf("qtag stats = %+v", q)
+	}
+	if q.MeasuredRate != 0.75 {
+		t.Errorf("measured rate = %v", q.MeasuredRate)
+	}
+	if q.ViewabilityRate < 0.33 || q.ViewabilityRate > 0.34 {
+		t.Errorf("viewability rate = %v", q.ViewabilityRate)
+	}
+
+	global, err := sink.FetchStats("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Served != 4 {
+		t.Errorf("global served = %d", global.Served)
+	}
+
+	if _, err := sink.FetchStats("no-such-campaign"); err == nil {
+		t.Error("unknown campaign should 404")
+	}
+	if server.Accepted() != 8 {
+		t.Errorf("Accepted = %d", server.Accepted())
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv := httptest.NewServer(NewServer(NewStore()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPSinkRetries(t *testing.T) {
+	store := NewStore()
+	var failures int
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failures < 2 {
+			failures++
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		NewServer(store).ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+	sink := &HTTPSink{BaseURL: flaky.URL, Retries: 3}
+	if err := sink.Submit(ev("i1", "c1", "", EventServed)); err != nil {
+		t.Fatalf("retry path failed: %v", err)
+	}
+	if store.Len() != 1 {
+		t.Error("event not stored after retries")
+	}
+	// 4xx does not retry.
+	sink2 := &HTTPSink{BaseURL: flaky.URL, Retries: 3}
+	err := sink2.Submit(Event{ImpressionID: "x", CampaignID: "c", Type: "bogus"})
+	if err == nil {
+		t.Error("invalid event should fail")
+	}
+}
+
+func TestHTTPSinkConnectionRefused(t *testing.T) {
+	sink := &HTTPSink{BaseURL: "http://127.0.0.1:1", Retries: 1}
+	if err := sink.Submit(ev("i", "c", "", EventServed)); err == nil {
+		t.Error("expected connection error")
+	}
+	if _, err := sink.FetchStats(""); err == nil {
+		t.Error("expected stats fetch error")
+	}
+	if err := sink.SubmitBatch(nil); err != nil {
+		t.Errorf("empty batch should be a no-op, got %v", err)
+	}
+}
+
+func TestLossySink(t *testing.T) {
+	store := NewStore()
+	drops := 0
+	lossy := &LossySink{Next: store, Drop: func(e Event) bool {
+		drops++
+		return drops%2 == 1 // drop every other event
+	}}
+	for i := 0; i < 10; i++ {
+		mustSubmit(t, lossy, ev(strings.Repeat("x", i+1), "c", "", EventServed))
+	}
+	if store.Len() != 5 {
+		t.Errorf("store has %d events, want 5", store.Len())
+	}
+}
+
+func TestStampSink(t *testing.T) {
+	store := NewStore()
+	now := time.Date(2019, 12, 9, 12, 0, 0, 0, time.UTC)
+	stamp := &StampSink{Next: store, Now: func() time.Time { return now }}
+	mustSubmit(t, stamp, ev("i1", "c1", "", EventServed))
+	pre := ev("i2", "c1", "", EventServed)
+	pre.At = now.Add(-time.Hour)
+	mustSubmit(t, stamp, pre)
+	events := store.Events()
+	if !events[0].At.Equal(now) {
+		t.Errorf("unstamped event got %v", events[0].At)
+	}
+	if !events[1].At.Equal(now.Add(-time.Hour)) {
+		t.Error("pre-stamped event must not be overwritten")
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	var got Event
+	s := SinkFunc(func(e Event) error { got = e; return nil })
+	mustSubmit(t, s, ev("i", "c", "", EventServed))
+	if got.ImpressionID != "i" {
+		t.Error("SinkFunc did not pass event through")
+	}
+}
+
+func TestConcurrentSubmit(t *testing.T) {
+	s := NewStore()
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 500; i++ {
+				s.Submit(Event{
+					ImpressionID: strings.Repeat("g", g+1) + string(rune('0'+i%10)),
+					CampaignID:   "c",
+					Type:         EventServed,
+					Seq:          i,
+				})
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s.Len() == 0 {
+		t.Error("no events stored")
+	}
+	_ = s.Events()
+	_ = s.Counters()
+}
+
+// TestServerConcurrentHTTPSoak hammers the collection server from many
+// goroutines over a real socket and verifies exact counters afterwards —
+// idempotency plus the sharded store must absorb concurrent duplicates.
+func TestServerConcurrentHTTPSoak(t *testing.T) {
+	store := NewStore()
+	srv := httptest.NewServer(NewServer(store))
+	defer srv.Close()
+
+	const workers = 8
+	const perWorker = 50
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		go func(g int) {
+			sink := &HTTPSink{BaseURL: srv.URL, Retries: 1}
+			for i := 0; i < perWorker; i++ {
+				imp := fmt.Sprintf("imp-%d", i) // same ids across workers: duplicates
+				batch := []Event{
+					{ImpressionID: imp, CampaignID: "soak", Type: EventServed},
+					{ImpressionID: imp, CampaignID: "soak", Source: SourceQTag, Type: EventLoaded},
+				}
+				if err := sink.SubmitBatch(batch); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < workers; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every duplicate absorbed: exactly perWorker distinct impressions.
+	if got := store.Served("soak"); got != perWorker {
+		t.Errorf("served = %d, want %d", got, perWorker)
+	}
+	if got := store.Loaded("soak", SourceQTag); got != perWorker {
+		t.Errorf("loaded = %d, want %d", got, perWorker)
+	}
+	if store.Len() != 2*perWorker {
+		t.Errorf("store len = %d, want %d", store.Len(), 2*perWorker)
+	}
+}

@@ -1,0 +1,126 @@
+package beacon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HTTPSink delivers events to a collection Server over HTTP. It implements
+// Sink, so an ad tag is indifferent to whether its beacons land in an
+// in-process Store (fast simulation path) or cross a real socket
+// (integration tests, examples, production).
+type HTTPSink struct {
+	// BaseURL is the collection server root, e.g. "http://127.0.0.1:8640".
+	BaseURL string
+	// Client is the HTTP client to use; http.DefaultClient when nil.
+	Client *http.Client
+	// Retries is the number of re-submissions attempted after a transport
+	// failure. Ingestion is idempotent, so retries are always safe.
+	Retries int
+}
+
+// Submit implements Sink by POSTing the event to /v1/events.
+func (h *HTTPSink) Submit(e Event) error {
+	return h.SubmitBatch([]Event{e})
+}
+
+// SubmitBatch posts several events in a single request.
+func (h *HTTPSink) SubmitBatch(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	body, err := json.Marshal(events)
+	if err != nil {
+		return fmt.Errorf("beacon: encode events: %w", err)
+	}
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := h.BaseURL + "/v1/events"
+	var lastErr error
+	for attempt := 0; attempt <= h.Retries; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		status := resp.StatusCode
+		respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if status == http.StatusAccepted {
+			return nil
+		}
+		lastErr = fmt.Errorf("beacon: server returned %d: %s", status, bytes.TrimSpace(respBody))
+		if status >= 400 && status < 500 {
+			// Client errors will not heal on retry.
+			return lastErr
+		}
+	}
+	return fmt.Errorf("beacon: submit failed after %d attempts: %w", h.Retries+1, lastErr)
+}
+
+// FetchStats retrieves aggregate stats from the server; campaignID may be
+// empty for global stats.
+func (h *HTTPSink) FetchStats(campaignID string) (StatsResponse, error) {
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := h.BaseURL + "/v1/stats"
+	if campaignID != "" {
+		url = h.BaseURL + "/v1/campaigns/" + campaignID + "/stats"
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return StatsResponse{}, fmt.Errorf("beacon: fetch stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return StatsResponse{}, fmt.Errorf("beacon: stats returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return StatsResponse{}, fmt.Errorf("beacon: decode stats: %w", err)
+	}
+	return out, nil
+}
+
+// LossySink wraps a Sink and drops each event with a fixed probability,
+// modelling beacon loss on flaky mobile networks. The drop decision
+// function is injected so campaign simulations can drive it from their
+// deterministic RNG.
+type LossySink struct {
+	// Next is the underlying sink.
+	Next Sink
+	// Drop reports whether to discard the given event.
+	Drop func(Event) bool
+}
+
+// Submit implements Sink.
+func (l *LossySink) Submit(e Event) error {
+	if l.Drop != nil && l.Drop(e) {
+		return nil // lost in transit; the tag never learns
+	}
+	return l.Next.Submit(e)
+}
+
+// StampSink wraps a Sink and fills in the At timestamp from a clock
+// function when the event carries none.
+type StampSink struct {
+	Next Sink
+	Now  func() time.Time
+}
+
+// Submit implements Sink.
+func (s *StampSink) Submit(e Event) error {
+	if e.At.IsZero() && s.Now != nil {
+		e.At = s.Now()
+	}
+	return s.Next.Submit(e)
+}

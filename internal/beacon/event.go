@@ -1,0 +1,139 @@
+// Package beacon implements the monitoring side of Q-Tag: the event wire
+// format ad tags emit, an idempotent in-memory event store with
+// aggregation counters, an HTTP collection server (the "monitoring
+// server" of §3), and a client transport for tags.
+//
+// Event flow for one impression:
+//
+//	DSP ad server  ──served──▶ store
+//	measurement tag ──loaded──▶ store          (tag executed: impression is *measured*)
+//	measurement tag ──in-view──▶ store          (viewability criteria met)
+//	measurement tag ──out-of-view──▶ store      (visibility lost afterwards)
+//
+// An impression with a served event but no loaded event from a solution is
+// *not measured* by that solution; one with loaded but no in-view is
+// measured-not-viewed. These definitions implement the paper's measured
+// rate and viewability rate metrics (§6).
+package beacon
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// EventType enumerates the beacon event kinds.
+type EventType string
+
+// Event kinds.
+const (
+	// EventServed is logged server-side by the DSP when the ad is
+	// delivered. It has no Source.
+	EventServed EventType = "served"
+	// EventLoaded is the tag's check-in: the measurement code executed.
+	EventLoaded EventType = "loaded"
+	// EventInView reports that the viewability standard criteria were met.
+	EventInView EventType = "in-view"
+	// EventOutOfView reports that visibility was lost after an in-view.
+	EventOutOfView EventType = "out-of-view"
+)
+
+// Source identifies which measurement solution emitted an event.
+type Source string
+
+// Measurement solutions compared in the paper.
+const (
+	// SourceQTag is this paper's solution.
+	SourceQTag Source = "qtag"
+	// SourceCommercial is the anonymous commercial verifier baseline.
+	SourceCommercial Source = "commercial"
+)
+
+// Meta carries the impression attributes used for slicing (Table 2 slices
+// by OS and site type).
+type Meta struct {
+	OS       string `json:"os,omitempty"`
+	SiteType string `json:"site_type,omitempty"`
+	AdSize   string `json:"ad_size,omitempty"`
+	Format   string `json:"format,omitempty"`
+	Country  string `json:"country,omitempty"`
+	Exchange string `json:"exchange,omitempty"`
+}
+
+// Event is one beacon message.
+type Event struct {
+	// ImpressionID uniquely identifies the ad impression.
+	ImpressionID string `json:"impression_id"`
+	// CampaignID identifies the ad campaign the impression belongs to.
+	CampaignID string `json:"campaign_id"`
+	// Source is the emitting measurement solution; empty for served
+	// events, required otherwise.
+	Source Source `json:"source,omitempty"`
+	// Type is the event kind.
+	Type EventType `json:"type"`
+	// At is the event timestamp.
+	At time.Time `json:"at"`
+	// Seq distinguishes repeated in-view/out-of-view cycles within one
+	// impression; 0 for the first cycle.
+	Seq int `json:"seq,omitempty"`
+	// Meta carries slicing attributes.
+	Meta Meta `json:"meta,omitempty"`
+}
+
+// Validation errors.
+var (
+	ErrNoImpression = errors.New("beacon: event missing impression id")
+	ErrNoCampaign   = errors.New("beacon: event missing campaign id")
+	ErrBadType      = errors.New("beacon: unknown event type")
+	ErrBadSource    = errors.New("beacon: event source invalid for type")
+)
+
+// Validate checks structural invariants of the event.
+func (e Event) Validate() error {
+	if e.ImpressionID == "" {
+		return ErrNoImpression
+	}
+	if e.CampaignID == "" {
+		return ErrNoCampaign
+	}
+	switch e.Type {
+	case EventServed:
+		if e.Source != "" {
+			return fmt.Errorf("%w: served events carry no source", ErrBadSource)
+		}
+	case EventLoaded, EventInView, EventOutOfView:
+		if e.Source == "" {
+			return fmt.Errorf("%w: %s events require a source", ErrBadSource, e.Type)
+		}
+	default:
+		return fmt.Errorf("%w: %q", ErrBadType, e.Type)
+	}
+	return nil
+}
+
+// Key returns the idempotency key: re-submitting an event with the same
+// key is a no-op at the store.
+func (e Event) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d", e.CampaignID, e.ImpressionID, e.Source, e.Type, e.Seq)
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	src := string(e.Source)
+	if src == "" {
+		src = "dsp"
+	}
+	return fmt.Sprintf("%s %s imp=%s camp=%s", src, e.Type, e.ImpressionID, e.CampaignID)
+}
+
+// Sink consumes beacon events. Implementations include *Store (direct,
+// in-process) and *HTTPSink (over the wire to a collection Server).
+type Sink interface {
+	Submit(Event) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event) error
+
+// Submit implements Sink.
+func (f SinkFunc) Submit(e Event) error { return f(e) }

@@ -1,0 +1,131 @@
+package beacon
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Journal persists events as JSON Lines to an io.Writer — the durability
+// layer under the in-memory Store. A collection server typically fans
+// events into both via Tee; after a restart, ReplayJournal rebuilds the
+// store (idempotent ingestion makes replays safe even with overlapping
+// journals).
+//
+// Journal implements Sink and is safe for concurrent use.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf *bufio.Writer
+	n   int
+}
+
+// NewJournal wraps the writer. The caller owns the writer's lifecycle
+// (e.g. closing the underlying file) but must call Flush/Close on the
+// journal first.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, buf: bufio.NewWriter(w)}
+}
+
+// Submit implements Sink: it appends the event as one JSON line.
+func (j *Journal) Submit(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("beacon: journal encode: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.buf.Write(line); err != nil {
+		return fmt.Errorf("beacon: journal write: %w", err)
+	}
+	if err := j.buf.WriteByte('\n'); err != nil {
+		return fmt.Errorf("beacon: journal write: %w", err)
+	}
+	j.n++
+	return nil
+}
+
+// Len returns the number of events written.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.buf.Flush()
+}
+
+// Close flushes and, when the underlying writer is an io.Closer, closes
+// it.
+func (j *Journal) Close() error {
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	if c, ok := j.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// ReplayStats summarises a journal replay.
+type ReplayStats struct {
+	// Replayed counts events successfully submitted to the sink.
+	Replayed int
+	// Skipped counts undecodable or invalid lines (e.g. a torn final
+	// write after a crash); replay continues past them.
+	Skipped int
+}
+
+// ReplayJournal streams a JSONL journal into a sink. Corrupt lines are
+// skipped and counted rather than aborting the replay — a torn tail
+// write must not make the whole journal unreadable.
+func ReplayJournal(r io.Reader, sink Sink) (ReplayStats, error) {
+	var st ReplayStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			st.Skipped++
+			continue
+		}
+		if err := sink.Submit(e); err != nil {
+			st.Skipped++
+			continue
+		}
+		st.Replayed++
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("beacon: journal read: %w", err)
+	}
+	return st, nil
+}
+
+// Tee returns a Sink fanning every event to all sinks in order. The
+// first error aborts the fan-out and is returned; earlier sinks have
+// already ingested the event, which is safe because ingestion is
+// idempotent everywhere in this package.
+func Tee(sinks ...Sink) Sink {
+	return SinkFunc(func(e Event) error {
+		for _, s := range sinks {
+			if err := s.Submit(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

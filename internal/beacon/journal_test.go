@@ -1,0 +1,188 @@
+package beacon
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	events := []Event{
+		ev("a", "c1", "", EventServed),
+		ev("a", "c1", SourceQTag, EventLoaded),
+		ev("a", "c1", SourceQTag, EventInView),
+	}
+	for _, e := range events {
+		mustSubmit(t, j, e)
+	}
+	if j.Len() != 3 {
+		t.Errorf("Len = %d", j.Len())
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Errorf("journal lines = %d", got)
+	}
+
+	store := NewStore()
+	st, err := ReplayJournal(&buf, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != 3 || st.Skipped != 0 {
+		t.Errorf("replay stats = %+v", st)
+	}
+	if store.Served("c1") != 1 || store.InView("c1", SourceQTag) != 1 {
+		t.Error("replayed store contents wrong")
+	}
+}
+
+func TestJournalRejectsInvalid(t *testing.T) {
+	j := NewJournal(&bytes.Buffer{})
+	if err := j.Submit(Event{}); err == nil {
+		t.Error("invalid event must not be journalled")
+	}
+	if j.Len() != 0 {
+		t.Error("invalid event counted")
+	}
+}
+
+func TestReplayTolerantOfCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	mustSubmit(t, j, ev("a", "c1", "", EventServed))
+	mustSubmit(t, j, ev("b", "c1", "", EventServed))
+	j.Flush()
+	// Simulate a torn tail write plus garbage in the middle.
+	content := buf.String()
+	lines := strings.SplitAfter(content, "\n")
+	corrupted := lines[0] + "NOT JSON AT ALL\n" + `{"type":"bogus"}` + "\n" + lines[1][:len(lines[1])/2]
+	store := NewStore()
+	st, err := ReplayJournal(strings.NewReader(corrupted), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != 1 {
+		t.Errorf("replayed = %d, want 1", st.Replayed)
+	}
+	if st.Skipped != 3 { // garbage line, invalid event, torn tail
+		t.Errorf("skipped = %d, want 3", st.Skipped)
+	}
+	if store.Served("c1") != 1 {
+		t.Error("surviving event not replayed")
+	}
+}
+
+func TestReplayEmptyAndBlankLines(t *testing.T) {
+	store := NewStore()
+	st, err := ReplayJournal(strings.NewReader("\n\n  \n"), store)
+	if err != nil || st.Replayed != 0 || st.Skipped != 0 {
+		t.Errorf("blank journal: %+v, %v", st, err)
+	}
+}
+
+func TestJournalFileAndRestartFlow(t *testing.T) {
+	// Full durability flow: journal to a file, "crash", replay into a
+	// fresh store, append more, replay everything (idempotently).
+	path := filepath.Join(t.TempDir(), "beacons.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal(f)
+	store := NewStore()
+	sink := Tee(store, j)
+	mustSubmit(t, sink, ev("a", "c1", "", EventServed))
+	mustSubmit(t, sink, ev("a", "c1", SourceQTag, EventLoaded))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: rebuild the store from disk.
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	restored := NewStore()
+	st, err := ReplayJournal(f2, restored)
+	if err != nil || st.Replayed != 2 {
+		t.Fatalf("replay: %+v, %v", st, err)
+	}
+	if restored.Served("c1") != 1 || restored.Loaded("c1", SourceQTag) != 1 {
+		t.Error("restored store wrong")
+	}
+	// Replaying again is harmless.
+	f3, _ := os.Open(path)
+	defer f3.Close()
+	ReplayJournal(f3, restored)
+	if restored.Len() != 2 {
+		t.Errorf("idempotent replay broke: %d events", restored.Len())
+	}
+}
+
+func TestTeeErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	bad := SinkFunc(func(Event) error { return boom })
+	store := NewStore()
+	sink := Tee(store, bad)
+	if err := sink.Submit(ev("a", "c", "", EventServed)); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	// The earlier sink already ingested — that is documented and safe.
+	if store.Len() != 1 {
+		t.Error("first sink should have ingested")
+	}
+}
+
+func TestPixelFallbackEndpoint(t *testing.T) {
+	store := NewStore()
+	server := NewServer(store)
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	payload := `{"impression_id":"i1","campaign_id":"c1","source":"qtag","type":"in-view"}`
+	resp, err := http.Get(srv.URL + "/v1/events?e=" + url.QueryEscape(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/gif" {
+		t.Errorf("content type = %q", ct)
+	}
+	if store.InView("c1", SourceQTag) != 1 {
+		t.Error("pixel event not ingested")
+	}
+
+	// Garbage still yields the GIF (the <img> can't handle errors) but
+	// counts as rejected.
+	resp2, err := http.Get(srv.URL + "/v1/events?e=garbage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("garbage status = %d", resp2.StatusCode)
+	}
+	if server.Rejected() != 1 {
+		t.Errorf("rejected = %d", server.Rejected())
+	}
+	// No parameter at all: just the pixel.
+	resp3, _ := http.Get(srv.URL + "/v1/events")
+	resp3.Body.Close()
+	if store.Len() != 1 {
+		t.Errorf("store grew unexpectedly: %d", store.Len())
+	}
+}

@@ -1,0 +1,220 @@
+package beacon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// Server is the HTTP collection endpoint tags send beacons to — the
+// "monitoring server" of §3. It exposes:
+//
+//	POST /v1/events              ingest one event or a JSON array of events
+//	GET  /v1/stats               global measured/viewability rates per source
+//	GET  /v1/campaigns/{id}/stats  per-campaign rates
+//	GET  /healthz                liveness probe
+//
+// Ingestion is idempotent (see Store.Submit), so tags may retry beacons
+// freely.
+type Server struct {
+	store    *Store
+	sink     Sink
+	mux      *http.ServeMux
+	accepted atomic.Int64
+	rejected atomic.Int64
+}
+
+// maxBodyBytes bounds request bodies; a batch of beacons is small, and an
+// unbounded read would let a client exhaust memory.
+const maxBodyBytes = 4 << 20
+
+// NewServer wraps a store with the HTTP collection API.
+func NewServer(store *Store) *Server { return NewServerWithSink(store, store) }
+
+// NewServerWithSink separates ingestion from aggregation: incoming events
+// go to sink (typically Tee(store, journal)) while stats endpoints read
+// from store. The sink must (directly or indirectly) feed the store or
+// the stats will stay empty.
+func NewServerWithSink(store *Store, sink Sink) *Server {
+	s := &Server{store: store, sink: sink, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/events", s.handlePixelEvent)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/stats", s.handleCampaignStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","events":%d}`, s.store.Len())
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Mount attaches an additional handler under the server's mux — used to
+// co-host the analytics query API (internal/analytics.Handler) with the
+// collection endpoints. The pattern follows net/http ServeMux syntax and
+// must not collide with the built-in routes.
+func (s *Server) Mount(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// Accepted returns the number of events ingested since startup.
+func (s *Server) Accepted() int64 { return s.accepted.Load() }
+
+// Rejected returns the number of events refused by validation.
+func (s *Server) Rejected() int64 { return s.rejected.Load() }
+
+// ingestResponse is the POST /v1/events reply body.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	events, err := decodeEvents(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := ingestResponse{}
+	for _, e := range events {
+		if err := s.sink.Submit(e); err != nil {
+			resp.Rejected++
+			resp.Error = err.Error()
+			continue
+		}
+		resp.Accepted++
+	}
+	s.accepted.Add(int64(resp.Accepted))
+	s.rejected.Add(int64(resp.Rejected))
+	status := http.StatusAccepted
+	if resp.Rejected > 0 && resp.Accepted == 0 {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+// handlePixelEvent ingests a single event passed as the "e" query
+// parameter — the legacy image-pixel fallback path used by the generated
+// JavaScript tag in browsers without navigator.sendBeacon. It answers
+// with a 1×1 GIF regardless of validation outcome (the requesting <img>
+// cannot do anything with an error anyway), but still counts rejects.
+func (s *Server) handlePixelEvent(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("e")
+	if raw != "" {
+		var e Event
+		if err := json.Unmarshal([]byte(raw), &e); err == nil && s.sink.Submit(e) == nil {
+			s.accepted.Add(1)
+		} else {
+			s.rejected.Add(1)
+		}
+	}
+	w.Header().Set("Content-Type", "image/gif")
+	w.Header().Set("Cache-Control", "no-store")
+	_, _ = w.Write(transparentGIF)
+}
+
+// transparentGIF is the canonical 1×1 transparent tracking pixel.
+var transparentGIF = []byte{
+	0x47, 0x49, 0x46, 0x38, 0x39, 0x61, 0x01, 0x00, 0x01, 0x00, 0x80, 0x00,
+	0x00, 0x00, 0x00, 0x00, 0xff, 0xff, 0xff, 0x21, 0xf9, 0x04, 0x01, 0x00,
+	0x00, 0x00, 0x00, 0x2c, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00,
+	0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3b,
+}
+
+// decodeEvents accepts either a single JSON event object or a JSON array
+// of events.
+func decodeEvents(body []byte) ([]Event, error) {
+	trimmed := strings.TrimSpace(string(body))
+	if trimmed == "" {
+		return nil, errors.New("empty body")
+	}
+	if trimmed[0] == '[' {
+		var events []Event
+		if err := json.Unmarshal(body, &events); err != nil {
+			return nil, fmt.Errorf("decode event array: %w", err)
+		}
+		return events, nil
+	}
+	var e Event
+	if err := json.Unmarshal(body, &e); err != nil {
+		return nil, fmt.Errorf("decode event: %w", err)
+	}
+	return []Event{e}, nil
+}
+
+// SourceStats is the per-solution block of a stats reply.
+type SourceStats struct {
+	Loaded          int     `json:"loaded"`
+	InView          int     `json:"in_view"`
+	MeasuredRate    float64 `json:"measured_rate"`
+	ViewabilityRate float64 `json:"viewability_rate"`
+}
+
+// StatsResponse is the GET stats reply body.
+type StatsResponse struct {
+	CampaignID string                 `json:"campaign_id,omitempty"`
+	Served     int                    `json:"served"`
+	Sources    map[string]SourceStats `json:"sources"`
+}
+
+func (s *Server) statsFor(campaignID string) StatsResponse {
+	resp := StatsResponse{
+		CampaignID: campaignID,
+		Served:     s.store.Served(campaignID),
+		Sources:    make(map[string]SourceStats),
+	}
+	for _, src := range []Source{SourceQTag, SourceCommercial} {
+		loaded := s.store.Loaded(campaignID, src)
+		inView := s.store.InView(campaignID, src)
+		st := SourceStats{Loaded: loaded, InView: inView}
+		if resp.Served > 0 {
+			st.MeasuredRate = float64(loaded) / float64(resp.Served)
+		}
+		if loaded > 0 {
+			st.ViewabilityRate = float64(inView) / float64(loaded)
+		}
+		resp.Sources[string(src)] = st
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsFor(""))
+}
+
+func (s *Server) handleCampaignStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing campaign id")
+		return
+	}
+	resp := s.statsFor(id)
+	if resp.Served == 0 && resp.Sources[string(SourceQTag)].Loaded == 0 &&
+		resp.Sources[string(SourceCommercial)].Loaded == 0 {
+		httpError(w, http.StatusNotFound, "unknown campaign "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,187 @@
+package beacon
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterKey is the aggregation dimension tuple maintained incrementally
+// by the store. Slicing queries (per campaign, per OS × site type) reduce
+// over these keys, so they never scan raw events.
+type CounterKey struct {
+	CampaignID string
+	Source     Source
+	Type       EventType
+	OS         string
+	SiteType   string
+	Exchange   string
+	Country    string
+}
+
+// Store is an idempotent, thread-safe, in-memory event store with
+// incremental aggregation counters. It is the reference implementation of
+// the DSP's "distributed monitoring infrastructure" (§5) collapsed to a
+// single process; the HTTP Server exposes it over the wire.
+type Store struct {
+	mu       sync.RWMutex
+	shards   [storeShards]map[string]Event
+	counters map[CounterKey]int
+}
+
+const storeShards = 16
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{counters: make(map[CounterKey]int)}
+	for i := range s.shards {
+		s.shards[i] = make(map[string]Event)
+	}
+	return s
+}
+
+func shardFor(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % storeShards)
+}
+
+// Submit validates and stores the event. Duplicate submissions (same
+// idempotency key) are silently absorbed: at-least-once delivery from tags
+// never inflates counters. Submit implements Sink.
+func (s *Store) Submit(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	key := e.Key()
+	shard := shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.shards[shard][key]; dup {
+		return nil
+	}
+	s.shards[shard][key] = e
+	s.counters[CounterKey{
+		CampaignID: e.CampaignID,
+		Source:     e.Source,
+		Type:       e.Type,
+		OS:         e.Meta.OS,
+		SiteType:   e.Meta.SiteType,
+		Exchange:   e.Meta.Exchange,
+		Country:    e.Meta.Country,
+	}]++
+	return nil
+}
+
+// Len returns the number of distinct stored events.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i])
+	}
+	return n
+}
+
+// Events returns all stored events sorted by (campaign, impression,
+// source, type, seq) for deterministic inspection. It copies; the result
+// is safe to retain.
+func (s *Store) Events() []Event {
+	s.mu.RLock()
+	out := make([]Event, 0, 64)
+	for i := range s.shards {
+		for _, e := range s.shards[i] {
+			out = append(out, e)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.CampaignID != b.CampaignID {
+			return a.CampaignID < b.CampaignID
+		}
+		if a.ImpressionID != b.ImpressionID {
+			return a.ImpressionID < b.ImpressionID
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// Count sums counters matching the predicate. A nil predicate matches
+// everything.
+func (s *Store) Count(match func(CounterKey) bool) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for k, c := range s.counters {
+		if match == nil || match(k) {
+			n += c
+		}
+	}
+	return n
+}
+
+// Counters returns a copy of the aggregation counters.
+func (s *Store) Counters() map[CounterKey]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[CounterKey]int, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// CampaignIDs returns the distinct campaign ids present, sorted.
+func (s *Store) CampaignIDs() []string {
+	s.mu.RLock()
+	seen := make(map[string]bool)
+	for k := range s.counters {
+		seen[k.CampaignID] = true
+	}
+	s.mu.RUnlock()
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Served returns the number of served impressions for a campaign ("" for
+// all campaigns).
+func (s *Store) Served(campaignID string) int {
+	return s.Count(func(k CounterKey) bool {
+		return k.Type == EventServed && (campaignID == "" || k.CampaignID == campaignID)
+	})
+}
+
+// Loaded returns the number of impressions a solution checked in on
+// (measured) for a campaign ("" for all).
+func (s *Store) Loaded(campaignID string, src Source) int {
+	return s.Count(func(k CounterKey) bool {
+		return k.Type == EventLoaded && k.Source == src &&
+			(campaignID == "" || k.CampaignID == campaignID)
+	})
+}
+
+// InView returns the number of first-cycle in-view impressions for a
+// solution and campaign ("" for all). Repeated cycles (Seq > 0) are not
+// double counted because Submit dedupes on (impression, source, type,
+// seq) and qtag/commercial tags report the criteria being met once.
+func (s *Store) InView(campaignID string, src Source) int {
+	return s.Count(func(k CounterKey) bool {
+		return k.Type == EventInView && k.Source == src &&
+			(campaignID == "" || k.CampaignID == campaignID)
+	})
+}

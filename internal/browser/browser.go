@@ -1,0 +1,200 @@
+// Package browser simulates the browsing environments Q-Tag runs in.
+//
+// It models the pieces of a browser that matter to viewability
+// measurement: windows positioned on a screen, tabs of which one is
+// active, pages with a scrollable viewport over a DOM (package dom), and —
+// crucially — a compositor that paints content at the device refresh rate
+// *only while that content is actually renderable*. Content that is
+// scrolled out of the viewport, in a background tab, in an off-screen or
+// occluded window, or display:none receives no paint callbacks (or a
+// heavily throttled trickle, per the profile's HiddenFPS), which is the
+// physical signal Q-Tag's refresh-rate technique measures (§3 of the
+// paper).
+//
+// The whole simulation runs on a virtual clock (package simclock); a
+// multi-second browsing session executes in microseconds of real time and
+// is fully deterministic.
+package browser
+
+import (
+	"fmt"
+	"time"
+
+	"qtag/internal/geom"
+	"qtag/internal/simclock"
+)
+
+// Browser is one simulated browser instance on a device.
+type Browser struct {
+	clock   *simclock.Clock
+	profile Profile
+	screen  geom.Size
+	windows []*Window
+
+	cpuLoad     float64 // 0 (idle) .. <1 (saturated)
+	frameTicker *simclock.Timer
+	frameSeq    uint64 // monotonically increasing frame counter
+
+	// layoutEpoch is bumped by every mutation that can change whether any
+	// point is renderable (scroll, resize, move, tab switch, occlusion,
+	// visibility toggles). Paint observers cache their renderability per
+	// epoch, which keeps frame ticks cheap.
+	layoutEpoch uint64
+
+	// adBlockExtension models an installed content blocker (Adblock
+	// Plus); Brave-style built-in blocking lives on the Profile.
+	adBlockExtension bool
+}
+
+// SetAdBlockExtension installs or removes an Adblock-Plus-style extension
+// (§4.3). Extensions block third-party ad connections before any delivery
+// happens.
+func (b *Browser) SetAdBlockExtension(enabled bool) { b.adBlockExtension = enabled }
+
+// BlocksAds reports whether ad delivery is blocked, either by an installed
+// extension or by the profile's built-in blocker (Brave).
+func (b *Browser) BlocksAds() bool {
+	return b.adBlockExtension || b.profile.BuiltinAdBlock
+}
+
+// Options configures a new Browser.
+type Options struct {
+	// Profile is the browsing environment; required.
+	Profile Profile
+	// Screen is the physical screen size in CSS pixels. Defaults to
+	// 1920×1080 for desktop profiles and 412×869 for mobile ones.
+	Screen geom.Size
+}
+
+// New creates a browser on the given virtual clock and starts its
+// compositor frame loop.
+func New(clock *simclock.Clock, opts Options) *Browser {
+	screen := opts.Screen
+	if screen.W == 0 || screen.H == 0 {
+		if opts.Profile.Device == Mobile {
+			screen = geom.Size{W: 412, H: 869}
+		} else {
+			screen = geom.Size{W: 1920, H: 1080}
+		}
+	}
+	b := &Browser{clock: clock, profile: opts.Profile, screen: screen}
+	b.armFrameLoop()
+	return b
+}
+
+// Clock returns the virtual clock driving this browser.
+func (b *Browser) Clock() *simclock.Clock { return b.clock }
+
+// Profile returns the browsing environment description.
+func (b *Browser) Profile() Profile { return b.profile }
+
+// Screen returns the screen size.
+func (b *Browser) Screen() geom.Size { return b.screen }
+
+// EffectiveRefreshRate returns the compositor rate after CPU-load
+// degradation: rate × (1 − load).
+func (b *Browser) EffectiveRefreshRate() float64 {
+	return b.profile.RefreshRate * (1 - b.cpuLoad)
+}
+
+// SetCPULoad sets the CPU saturation in [0, 0.95]; the paper's threshold
+// discussion (§3) hinges on loaded devices refreshing below 60 fps. The
+// frame loop is re-armed at the degraded rate.
+func (b *Browser) SetCPULoad(load float64) {
+	b.cpuLoad = geom.Clamp(load, 0, 0.95)
+	b.armFrameLoop()
+	b.InvalidateLayout()
+}
+
+// CPULoad returns the current CPU saturation.
+func (b *Browser) CPULoad() float64 { return b.cpuLoad }
+
+// Close stops the compositor loop. The browser must not be used after
+// Close.
+func (b *Browser) Close() {
+	if b.frameTicker != nil {
+		b.frameTicker.Stop()
+		b.frameTicker = nil
+	}
+}
+
+func (b *Browser) armFrameLoop() {
+	if b.frameTicker != nil {
+		b.frameTicker.Stop()
+	}
+	rate := b.EffectiveRefreshRate()
+	if rate <= 0 {
+		b.frameTicker = nil
+		return
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	b.frameTicker = b.clock.Every(interval, b.frame)
+}
+
+// frame is one compositor tick: every paint observer on every page gets a
+// callback if its target is renderable right now, or a throttled trickle
+// callback if the profile has HiddenFPS > 0.
+func (b *Browser) frame() {
+	b.frameSeq++
+	now := b.clock.Now()
+	var hiddenEvery uint64
+	if b.profile.HiddenFPS > 0 {
+		ratio := b.EffectiveRefreshRate() / b.profile.HiddenFPS
+		if ratio < 1 {
+			ratio = 1
+		}
+		hiddenEvery = uint64(ratio)
+	}
+	for _, w := range b.windows {
+		for _, tab := range w.tabs {
+			pg := tab.page
+			if pg == nil {
+				continue
+			}
+			for _, obs := range pg.observers {
+				if obs.cancelled {
+					continue
+				}
+				if obs.epoch != b.layoutEpoch {
+					obs.renderable = pg.pointRenderable(obs)
+					obs.epoch = b.layoutEpoch
+				}
+				if obs.renderable {
+					obs.fn(now)
+				} else if hiddenEvery > 0 && b.frameSeq%hiddenEvery == 0 {
+					obs.fn(now)
+				}
+			}
+		}
+	}
+}
+
+// InvalidateLayout forces renderability to be recomputed on the next
+// frame. Browser-level mutators call it automatically; call it manually
+// after mutating DOM geometry directly (dom.Element.SetRect etc.).
+func (b *Browser) InvalidateLayout() { b.layoutEpoch++ }
+
+// OpenWindow creates a window at the given screen position and viewport
+// size, with one empty tab, and returns it. The first window opened is
+// focused.
+func (b *Browser) OpenWindow(pos geom.Point, size geom.Size) *Window {
+	w := &Window{browser: b, pos: pos, size: size, onScreenOverride: true}
+	w.focused = len(b.windows) == 0
+	tab := &Tab{window: w}
+	w.tabs = []*Tab{tab}
+	w.active = 0
+	b.windows = append(b.windows, w)
+	b.InvalidateLayout()
+	return w
+}
+
+// Windows returns the open windows in creation order.
+func (b *Browser) Windows() []*Window { return b.windows }
+
+// String implements fmt.Stringer.
+func (b *Browser) String() string {
+	return fmt.Sprintf("Browser(%s, %d windows, %.0ffps)", b.profile.Name, len(b.windows), b.EffectiveRefreshRate())
+}

@@ -1,0 +1,183 @@
+package browser
+
+import (
+	"time"
+
+	"qtag/internal/dom"
+	"qtag/internal/geom"
+)
+
+// Page is a document loaded in a tab, together with its viewport scroll
+// state and its registered paint observers.
+type Page struct {
+	tab       *Tab
+	doc       *dom.Document
+	observers []*PaintObserver
+}
+
+// Tab returns the tab displaying this page.
+func (p *Page) Tab() *Tab { return p.tab }
+
+// Document returns the page's top-level document.
+func (p *Page) Document() *dom.Document { return p.doc }
+
+// Viewport returns the viewport size (the window's content size).
+func (p *Page) Viewport() geom.Size { return p.tab.window.size }
+
+// Scroll returns the current scroll offset of the top document.
+func (p *Page) Scroll() geom.Point { return p.doc.Scroll() }
+
+// ScrollTo scrolls the top document, clamping to the scrollable range
+// (certification test 5 scrolls the ad out of the viewport).
+func (p *Page) ScrollTo(offset geom.Point) {
+	p.doc.SetScroll(offset)
+	p.clampScroll()
+	p.tab.window.browser.InvalidateLayout()
+}
+
+func (p *Page) clampScroll() {
+	content := p.doc.Size()
+	vp := p.Viewport()
+	maxX := content.W - vp.W
+	if maxX < 0 {
+		maxX = 0
+	}
+	maxY := content.H - vp.H
+	if maxY < 0 {
+		maxY = 0
+	}
+	s := p.doc.Scroll()
+	p.doc.SetScroll(geom.Point{X: geom.Clamp(s.X, 0, maxX), Y: geom.Clamp(s.Y, 0, maxY)})
+}
+
+// ViewportRectInContent returns the viewport window expressed in
+// top-document content coordinates.
+func (p *Page) ViewportRectInContent() geom.Rect {
+	s := p.doc.Scroll()
+	vp := p.Viewport()
+	return geom.Rect{X: s.X, Y: s.Y, W: vp.W, H: vp.H}
+}
+
+// rendering reports whether the page renders at all: its tab is active and
+// its window is neither obscured nor fully off-screen.
+func (p *Page) rendering() bool {
+	if !p.tab.Active() {
+		return false
+	}
+	w := p.tab.window
+	if w.obscured {
+		return false
+	}
+	return !w.OnScreenRegion().Empty()
+}
+
+// TrueVisibleFraction returns the exact fraction of the element's area
+// currently exposed to the user, accounting for frame clipping, page
+// scroll, the viewport, window screen position, window occlusion and tab
+// state. This is compositor ground truth (used by the oracle and by
+// intersection-observer-capable verifier tags); it is not subject to SOP.
+func (p *Page) TrueVisibleFraction(el *dom.Element) float64 {
+	if el.EffectivelyHidden() || !p.rendering() {
+		return 0
+	}
+	area := el.Rect().Area()
+	if area == 0 {
+		return 0
+	}
+	visible := el.AbsoluteVisibleRect() // clipped by ancestor frames, content coords
+	if visible.Empty() {
+		return 0
+	}
+	// Content → viewport coordinates.
+	s := p.doc.Scroll()
+	visible = visible.Translate(-s.X, -s.Y)
+	vp := p.Viewport()
+	visible = visible.Intersect(geom.Rect{W: vp.W, H: vp.H})
+	if visible.Empty() {
+		return 0
+	}
+	// Clip by the on-screen part of the window.
+	visible = visible.Intersect(p.tab.window.OnScreenRegion())
+	return visible.Area() / area
+}
+
+// PointVisible reports whether a specific point of an element (given in
+// the element's own document content coordinates) is currently exposed.
+func (p *Page) PointVisible(el *dom.Element, pt geom.Point) bool {
+	if el.EffectivelyHidden() || !p.rendering() {
+		return false
+	}
+	// The point must survive clipping by each ancestor frame viewport.
+	if !pointVisibleThroughFrames(el, pt) {
+		return false
+	}
+	abs := el.AbsolutePoint(pt)
+	s := p.doc.Scroll()
+	vpPt := geom.Point{X: abs.X - s.X, Y: abs.Y - s.Y}
+	vp := p.Viewport()
+	if !(geom.Rect{W: vp.W, H: vp.H}).Contains(vpPt) {
+		return false
+	}
+	return p.tab.window.OnScreenRegion().Contains(vpPt)
+}
+
+// pointVisibleThroughFrames walks the frame chain checking the point
+// against each intermediate frame viewport.
+func pointVisibleThroughFrames(el *dom.Element, pt geom.Point) bool {
+	x, y := pt.X, pt.Y
+	for d := el.Document(); d.HostFrame() != nil; d = d.HostFrame().Document() {
+		host := d.HostFrame()
+		sc := d.Scroll()
+		clip := geom.Rect{X: sc.X, Y: sc.Y, W: host.Rect().W, H: host.Rect().H}
+		if !clip.Contains(geom.Point{X: x, Y: y}) {
+			return false
+		}
+		x += host.Rect().X - sc.X
+		y += host.Rect().Y - sc.Y
+	}
+	return true
+}
+
+// PaintFunc is a per-frame paint callback; t is the virtual time of the
+// compositor tick.
+type PaintFunc func(t time.Duration)
+
+// PaintObserver is a registration created by ObservePaint. The compositor
+// invokes its callback on every frame in which the observed point is
+// renderable (plus a HiddenFPS trickle when it is not).
+type PaintObserver struct {
+	page      *Page
+	el        *dom.Element
+	pt        geom.Point // in el's document content coordinates
+	fn        PaintFunc
+	cancelled bool
+
+	// renderability cache, validated against Browser.layoutEpoch
+	epoch      uint64
+	renderable bool
+}
+
+// Cancel detaches the observer; its callback will not be invoked again.
+func (o *PaintObserver) Cancel() { o.cancelled = true }
+
+// Element returns the observed element.
+func (o *PaintObserver) Element() *dom.Element { return o.el }
+
+// ObservePaint registers a paint callback for a point of an element (point
+// given in the element's document content coordinates, typically the
+// center of a 1×1 monitoring pixel). This is the simulated equivalent of
+// animating an element and observing its paint/refresh rate, the core
+// mechanism of the paper's §3.
+func (p *Page) ObservePaint(el *dom.Element, pt geom.Point, fn PaintFunc) *PaintObserver {
+	obs := &PaintObserver{page: p, el: el, pt: pt, fn: fn}
+	// Force recomputation on the first frame regardless of current epoch.
+	obs.epoch = p.tab.window.browser.layoutEpoch - 1
+	p.observers = append(p.observers, obs)
+	return obs
+}
+
+// pointRenderable evaluates whether an observer's point is renderable
+// right now. Called lazily by the frame loop when the layout epoch moves.
+func (p *Page) pointRenderable(o *PaintObserver) bool {
+	return p.PointVisible(o.el, o.pt)
+}

@@ -1,0 +1,200 @@
+package browser
+
+import "fmt"
+
+// DeviceType distinguishes desktop machines from mobile devices.
+type DeviceType int
+
+const (
+	// Desktop is a desktop or laptop computer.
+	Desktop DeviceType = iota
+	// Mobile is a phone or tablet.
+	Mobile
+)
+
+// String implements fmt.Stringer.
+func (d DeviceType) String() string {
+	if d == Mobile {
+		return "mobile"
+	}
+	return "desktop"
+}
+
+// SiteType distinguishes ads shown in a regular browser from ads shown
+// inside an app's embedded webview, matching the paper's Table 2 split.
+type SiteType int
+
+const (
+	// SiteBrowser is a full web browser.
+	SiteBrowser SiteType = iota
+	// SiteApp is an in-app webview.
+	SiteApp
+)
+
+// String implements fmt.Stringer.
+func (s SiteType) String() string {
+	if s == SiteApp {
+		return "app"
+	}
+	return "browser"
+}
+
+// OS is the operating-system family.
+type OS string
+
+// Operating systems appearing in the paper's evaluation.
+const (
+	Windows OS = "Windows"
+	MacOS   OS = "macOS"
+	Android OS = "Android"
+	IOS     OS = "iOS"
+)
+
+// Profile describes a browsing environment: the browser build, the host
+// OS, the device class, and the capability flags that determine which
+// measurement techniques can work there.
+//
+// The capability flags are the crux of the reproduction: Q-Tag needs only
+// script execution plus frame callbacks (SupportsFrameCallbacks), while
+// geometry-based verifiers additionally need either a same-origin path to
+// the top window or a cross-origin visibility API
+// (SupportsIntersectionObserver), which 2019-era in-app webviews often
+// lacked.
+type Profile struct {
+	// Name is a short human-readable identifier, e.g. "Chrome75-Win10".
+	Name string
+	// Browser is the browser family ("Chrome", "Firefox", ...).
+	Browser string
+	// Version is the browser major version.
+	Version int
+	// OS and OSVersion identify the host platform.
+	OS        OS
+	OSVersion string
+	// Device is the device class.
+	Device DeviceType
+	// Site is whether pages render in a browser or an in-app webview.
+	Site SiteType
+
+	// RefreshRate is the device refresh rate in frames per second for
+	// content in the viewport (the paper cites 60+ fps).
+	RefreshRate float64
+	// HiddenFPS is the throttled callback rate for content that is not
+	// being rendered (below the fold, background tab, occluded window);
+	// "close to 0" per the paper. Zero means fully suspended.
+	HiddenFPS float64
+
+	// SupportsFrameCallbacks reports requestAnimationFrame-style paint
+	// callbacks, the only browser facility Q-Tag requires.
+	SupportsFrameCallbacks bool
+	// SupportsIntersectionObserver reports a cross-origin-capable
+	// visibility API usable by geometry-based verifiers.
+	SupportsIntersectionObserver bool
+	// BlocksThirdPartyCookies reports default third-party-cookie blocking
+	// (the §4.3 privacy-browser configurations). It never affects script
+	// execution.
+	BlocksThirdPartyCookies bool
+	// BuiltinAdBlock reports a built-in content blocker (Brave) that
+	// prevents ad delivery entirely.
+	BuiltinAdBlock bool
+}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s %d on %s %s (%s/%s)", p.Browser, p.Version, p.OS, p.OSVersion, p.Device, p.Site)
+}
+
+func desktop(name, family string, version int, os OS, osVersion string) Profile {
+	return Profile{
+		Name: name, Browser: family, Version: version, OS: os, OSVersion: osVersion,
+		Device: Desktop, Site: SiteBrowser,
+		RefreshRate: 60, HiddenFPS: 0,
+		SupportsFrameCallbacks:       true,
+		SupportsIntersectionObserver: family != "IE", // IE11 never shipped it
+	}
+}
+
+// CertificationProfiles returns the six browser–OS combinations used in
+// the §4.2 certification replication: Firefox 67 / Chrome 75 / IE 11 on
+// Windows 10 and Safari 12 / Firefox 68 / Chrome 76 on macOS 10.14.
+func CertificationProfiles() []Profile {
+	return []Profile{
+		desktop("Firefox67-Win10", "Firefox", 67, Windows, "10"),
+		desktop("Chrome75-Win10", "Chrome", 75, Windows, "10"),
+		desktop("IE11-Win10", "IE", 11, Windows, "10"),
+		desktop("Safari12-macOS10.14", "Safari", 12, MacOS, "10.14"),
+		desktop("Firefox68-macOS10.14", "Firefox", 68, MacOS, "10.14"),
+		desktop("Chrome76-macOS10.14", "Chrome", 76, MacOS, "10.14"),
+	}
+}
+
+// PrivacyProfiles returns the §4.3 privacy-enhanced configurations:
+// Chrome 77, Safari 13 and Firefox 69 with third-party cookies blocked by
+// default.
+func PrivacyProfiles() []Profile {
+	mk := func(name, family string, version int, os OS, osv string) Profile {
+		p := desktop(name, family, version, os, osv)
+		p.BlocksThirdPartyCookies = true
+		return p
+	}
+	return []Profile{
+		mk("Chrome77-privacy", "Chrome", 77, Windows, "10"),
+		mk("Safari13-privacy", "Safari", 13, MacOS, "10.15"),
+		mk("Firefox69-privacy", "Firefox", 69, Windows, "10"),
+	}
+}
+
+// BraveProfile returns a Brave configuration whose built-in shields block
+// ad delivery (§4.3).
+func BraveProfile() Profile {
+	p := desktop("Brave", "Brave", 1, Windows, "10")
+	p.BuiltinAdBlock = true
+	return p
+}
+
+// AndroidWebViewProfile returns an in-app Android webview. The oldWebView
+// flag models 2019-era system webviews without IntersectionObserver — the
+// population responsible for the commercial solution's 53.4 % measured
+// rate in Table 2.
+func AndroidWebViewProfile(oldWebView bool) Profile {
+	return Profile{
+		Name: "AndroidWebView", Browser: "WebView", Version: 66, OS: Android, OSVersion: "9",
+		Device: Mobile, Site: SiteApp,
+		RefreshRate: 60, HiddenFPS: 0,
+		SupportsFrameCallbacks:       true,
+		SupportsIntersectionObserver: !oldWebView,
+	}
+}
+
+// IOSWebViewProfile returns an in-app iOS WKWebView; modern is false for
+// legacy UIWebView-era containers lacking visibility APIs.
+func IOSWebViewProfile(modern bool) Profile {
+	return Profile{
+		Name: "iOSWKWebView", Browser: "WKWebView", Version: 12, OS: IOS, OSVersion: "12",
+		Device: Mobile, Site: SiteApp,
+		RefreshRate: 60, HiddenFPS: 0,
+		SupportsFrameCallbacks:       true,
+		SupportsIntersectionObserver: modern,
+	}
+}
+
+// AndroidChromeProfile returns Chrome on Android (mobile browser traffic).
+func AndroidChromeProfile() Profile {
+	return Profile{
+		Name: "Chrome-Android", Browser: "Chrome", Version: 76, OS: Android, OSVersion: "9",
+		Device: Mobile, Site: SiteBrowser,
+		RefreshRate: 60, HiddenFPS: 0,
+		SupportsFrameCallbacks:       true,
+		SupportsIntersectionObserver: true,
+	}
+}
+
+// IOSSafariProfile returns Safari on iOS (mobile browser traffic).
+func IOSSafariProfile() Profile {
+	return Profile{
+		Name: "Safari-iOS", Browser: "Safari", Version: 12, OS: IOS, OSVersion: "12",
+		Device: Mobile, Site: SiteBrowser,
+		RefreshRate: 60, HiddenFPS: 0,
+		SupportsFrameCallbacks:       true,
+		SupportsIntersectionObserver: true,
+	}
+}

@@ -1,0 +1,86 @@
+package campaign
+
+import (
+	"time"
+
+	"qtag/internal/browser"
+	"qtag/internal/geom"
+	"qtag/internal/simrand"
+)
+
+// sessionParams describes one user's browsing behaviour on the page
+// carrying the ad. The constants are calibrated (see TestGroundTruth*)
+// so that roughly half of all impressions meet the viewability standard,
+// matching the ≈50 % viewability rate both solutions report in
+// Figure 3(b).
+type sessionParams struct {
+	// duration is the total time the user stays on the page.
+	duration time.Duration
+	// bounce: the user never scrolls (reads only above the fold).
+	bounce bool
+	// stepEvery is the pause between scroll steps.
+	stepEvery time.Duration
+	// stepPx is the mean scroll amount per step.
+	stepPx float64
+	// tabSwitchAt, when positive, is when the user switches to another
+	// tab for the rest of the session.
+	tabSwitchAt time.Duration
+}
+
+// behavior holds the campaign-level audience parameters the per-user
+// draws center on. Engagement scales session length; audiences differ
+// across campaigns, which is what spreads the per-campaign viewability
+// rates (the Figure 3 error bars).
+type behavior struct {
+	engagement float64
+}
+
+// drawBehavior samples a campaign's audience profile.
+func drawBehavior(rng *simrand.RNG) behavior {
+	return behavior{engagement: geom.Clamp(rng.LogNormal(0, 0.35), 0.5, 2.0)}
+}
+
+// drawSession samples one user's session.
+func drawSession(rng *simrand.RNG, b behavior) sessionParams {
+	dur := 1500*time.Millisecond +
+		time.Duration(rng.Exponential(3800*b.engagement))*time.Millisecond
+	if dur > 11*time.Second {
+		dur = 11 * time.Second
+	}
+	p := sessionParams{
+		duration:  dur,
+		bounce:    rng.Bool(0.12),
+		stepEvery: time.Duration(rng.Range(550, 900)) * time.Millisecond,
+		stepPx:    rng.Range(280, 420),
+	}
+	if rng.Bool(0.06) {
+		p.tabSwitchAt = time.Duration(rng.Range(0.3, 0.9) * float64(dur))
+	}
+	return p
+}
+
+// runSession schedules the user's behaviour on the page's clock and
+// advances virtual time to the end of the session.
+func runSession(page *browser.Page, p sessionParams, rng *simrand.RNG) {
+	clock := page.Tab().Window().Browser().Clock()
+	if !p.bounce {
+		var ticker interface{ Stop() }
+		ticker = clock.Every(p.stepEvery, func() {
+			cur := page.Scroll()
+			step := rng.Normal(p.stepPx, p.stepPx/3)
+			if step < 0 {
+				step = 0
+			}
+			page.ScrollTo(geom.Point{X: cur.X, Y: cur.Y + step})
+			_ = ticker
+		})
+		clock.AfterFunc(p.duration, ticker.Stop)
+	}
+	if p.tabSwitchAt > 0 {
+		clock.AfterFunc(p.tabSwitchAt, func() {
+			w := page.Tab().Window()
+			w.ActivateTab(w.NewTab())
+		})
+	}
+	clock.Advance(p.duration)
+}

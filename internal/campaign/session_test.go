@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+
+	"qtag/internal/browser"
+	"qtag/internal/dom"
+	"qtag/internal/geom"
+	"qtag/internal/simclock"
+	"qtag/internal/simrand"
+)
+
+func TestDrawBehaviorBounds(t *testing.T) {
+	rng := simrand.New(1)
+	for i := 0; i < 2000; i++ {
+		b := drawBehavior(rng)
+		if b.engagement < 0.5 || b.engagement > 2.0 {
+			t.Fatalf("engagement out of bounds: %v", b.engagement)
+		}
+	}
+}
+
+func TestDrawSessionBounds(t *testing.T) {
+	rng := simrand.New(2)
+	bounces, switches := 0, 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		p := drawSession(rng, behavior{engagement: 1})
+		if p.duration < 1500*time.Millisecond || p.duration > 11*time.Second {
+			t.Fatalf("duration out of bounds: %v", p.duration)
+		}
+		if p.stepEvery < 550*time.Millisecond || p.stepEvery > 900*time.Millisecond {
+			t.Fatalf("step interval out of bounds: %v", p.stepEvery)
+		}
+		if p.stepPx < 280 || p.stepPx > 420 {
+			t.Fatalf("step size out of bounds: %v", p.stepPx)
+		}
+		if p.bounce {
+			bounces++
+		}
+		if p.tabSwitchAt > 0 {
+			switches++
+			if p.tabSwitchAt >= p.duration {
+				t.Fatalf("tab switch after session end: %v of %v", p.tabSwitchAt, p.duration)
+			}
+		}
+	}
+	if br := float64(bounces) / n; br < 0.08 || br > 0.17 {
+		t.Errorf("bounce rate = %.3f, want ≈0.12", br)
+	}
+	if sr := float64(switches) / n; sr < 0.03 || sr > 0.10 {
+		t.Errorf("tab-switch rate = %.3f, want ≈0.06", sr)
+	}
+}
+
+func TestEngagementLengthensSessions(t *testing.T) {
+	rng := simrand.New(3)
+	var lowSum, highSum time.Duration
+	const n = 3000
+	for i := 0; i < n; i++ {
+		lowSum += drawSession(rng, behavior{engagement: 0.5}).duration
+		highSum += drawSession(rng, behavior{engagement: 2.0}).duration
+	}
+	if highSum <= lowSum {
+		t.Errorf("high engagement should lengthen sessions: %v vs %v", highSum/n, lowSum/n)
+	}
+}
+
+func TestRunSessionScrollsAndEnds(t *testing.T) {
+	clock := simclock.New()
+	b := browser.New(clock, browser.Options{Profile: browser.AndroidChromeProfile()})
+	defer b.Close()
+	w := b.OpenWindow(geom.Point{}, geom.Size{W: 412, H: 800})
+	doc := dom.NewDocument("https://p.example", geom.Size{W: 412, H: 3200})
+	page := w.ActiveTab().Navigate(doc)
+
+	rng := simrand.New(4)
+	p := sessionParams{duration: 5 * time.Second, stepEvery: 700 * time.Millisecond, stepPx: 300}
+	runSession(page, p, rng)
+	if clock.Now() != 5*time.Second {
+		t.Errorf("session did not advance the clock: %v", clock.Now())
+	}
+	if page.Scroll().Y <= 0 {
+		t.Error("non-bouncing session should have scrolled")
+	}
+	// Scrolling stops with the session.
+	endScroll := page.Scroll().Y
+	clock.Advance(3 * time.Second)
+	if page.Scroll().Y != endScroll {
+		t.Error("scroll ticker leaked past the session end")
+	}
+}
+
+func TestRunSessionBounceNeverScrolls(t *testing.T) {
+	clock := simclock.New()
+	b := browser.New(clock, browser.Options{Profile: browser.AndroidChromeProfile()})
+	defer b.Close()
+	w := b.OpenWindow(geom.Point{}, geom.Size{W: 412, H: 800})
+	doc := dom.NewDocument("https://p.example", geom.Size{W: 412, H: 3200})
+	page := w.ActiveTab().Navigate(doc)
+	runSession(page, sessionParams{duration: 4 * time.Second, bounce: true,
+		stepEvery: 700 * time.Millisecond, stepPx: 300}, simrand.New(5))
+	if page.Scroll().Y != 0 {
+		t.Errorf("bouncer scrolled to %v", page.Scroll().Y)
+	}
+}
+
+func TestRunSessionTabSwitch(t *testing.T) {
+	clock := simclock.New()
+	b := browser.New(clock, browser.Options{Profile: browser.AndroidChromeProfile()})
+	defer b.Close()
+	w := b.OpenWindow(geom.Point{}, geom.Size{W: 412, H: 800})
+	doc := dom.NewDocument("https://p.example", geom.Size{W: 412, H: 3200})
+	page := w.ActiveTab().Navigate(doc)
+	runSession(page, sessionParams{duration: 4 * time.Second, bounce: true,
+		stepEvery: 700 * time.Millisecond, stepPx: 300,
+		tabSwitchAt: 2 * time.Second}, simrand.New(6))
+	if page.Tab().Active() {
+		t.Error("session should have switched away from the ad's tab")
+	}
+}

@@ -1,0 +1,418 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qtag/internal/adserve"
+	"qtag/internal/adtag"
+	"qtag/internal/beacon"
+	"qtag/internal/browser"
+	"qtag/internal/commercial"
+	"qtag/internal/dom"
+	"qtag/internal/dsp"
+	"qtag/internal/geom"
+	"qtag/internal/qtag"
+	"qtag/internal/simclock"
+	"qtag/internal/simrand"
+	"qtag/internal/viewability"
+)
+
+// Exchanges are the ad exchanges of the paper's production dataset (§5).
+var Exchanges = []string{
+	"appnexus", "axonix", "doubleclick", "mopub", "openx", "rubicon", "smaato", "smart",
+}
+
+// Sectors are advertiser verticals (§5 names the first three).
+var Sectors = []string{
+	"Food & Drink", "Personal Finance", "Style & Fashion",
+	"Travel", "Automotive", "Technology", "Retail", "Entertainment",
+}
+
+// Countries are the campaign target geographies of §5.
+var Countries = []string{"US", "MX", "CO", "ES", "UK", "DE", "FR"}
+
+// AdSizes are the creative sizes used across the §5 campaigns.
+var AdSizes = []geom.Size{{W: 300, H: 250}, {W: 320, H: 50}}
+
+// Spec is one simulated campaign's configuration.
+type Spec struct {
+	ID          string
+	Name        string
+	Sector      string
+	Country     string
+	Size        geom.Size
+	Impressions int
+	// Both instruments the campaign with the commercial verifier in
+	// addition to Q-Tag (the paper's 4-campaign comparison subset).
+	Both bool
+	// Mix is the campaign's traffic mix over environment classes.
+	Mix TrafficMix
+	// Audience is the campaign's user-behaviour profile.
+	Audience behavior
+}
+
+// Config sizes a production simulation.
+type Config struct {
+	// Seed drives all randomness; same seed, same results.
+	Seed uint64
+	// Campaigns is the number of campaigns (paper: 99).
+	Campaigns int
+	// ImpressionsPerCampaign is the mean campaign size. The paper's
+	// dataset averages ≈121k; simulations scale this down (tests use
+	// ~60–150, cmd/qtag-sim as much as you can wait for).
+	ImpressionsPerCampaign int
+	// BothCampaigns is how many campaigns also carry the commercial tag
+	// (paper: 4).
+	BothCampaigns int
+	// BothImpressionsFactor scales the both-tag campaigns' size (the
+	// paper's comparison campaigns average ≈3.9× the rest).
+	BothImpressionsFactor float64
+	// MixSigma is the per-campaign traffic-mix jitter.
+	MixSigma float64
+	// EnvModels overrides the capability models (defaults calibrated to
+	// Table 2).
+	EnvModels map[EnvClass]EnvModel
+	// ExtraSink, when set, additionally receives every beacon (e.g. an
+	// HTTP sink towards a live collection server). The internal store is
+	// always populated.
+	ExtraSink beacon.Sink
+	// RecordImpressions retains a per-impression record in the Result —
+	// the training data for the viewability-prediction extension and a
+	// debugging aid. Off by default to keep big runs lean.
+	RecordImpressions bool
+	// Parallelism is the number of campaigns simulated concurrently
+	// (default 1). Each campaign is an independent virtual world with a
+	// pre-forked RNG, so results are bit-identical at any parallelism.
+	Parallelism int
+	// SpreadOver distributes impression start times uniformly across a
+	// monitoring window (the paper monitors campaigns for one week).
+	// Zero keeps every impression at the virtual epoch; set it to make
+	// the analytics time series meaningful.
+	SpreadOver time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Campaigns == 0 {
+		c.Campaigns = 99
+	}
+	if c.ImpressionsPerCampaign == 0 {
+		c.ImpressionsPerCampaign = 100
+	}
+	if c.BothCampaigns == 0 {
+		c.BothCampaigns = 4
+	}
+	if c.BothImpressionsFactor == 0 {
+		c.BothImpressionsFactor = 1
+	}
+	if c.MixSigma == 0 {
+		c.MixSigma = 0.25
+	}
+	if c.EnvModels == nil {
+		c.EnvModels = DefaultEnvModels()
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
+	return c
+}
+
+// CampaignResult aggregates one campaign's outcome.
+type CampaignResult struct {
+	Spec             Spec
+	Served           int
+	QTagLoaded       int
+	QTagInView       int
+	CommercialLoaded int
+	CommercialInView int
+	// TruthViewed counts impressions whose ground-truth exposure met the
+	// standard (known to the simulator, not to any tag).
+	TruthViewed int
+}
+
+// MeasuredRate returns loaded/served for a solution.
+func (c CampaignResult) MeasuredRate(src beacon.Source) float64 {
+	if c.Served == 0 {
+		return 0
+	}
+	switch src {
+	case beacon.SourceCommercial:
+		return float64(c.CommercialLoaded) / float64(c.Served)
+	default:
+		return float64(c.QTagLoaded) / float64(c.Served)
+	}
+}
+
+// ViewabilityRate returns in-view/loaded for a solution.
+func (c CampaignResult) ViewabilityRate(src beacon.Source) float64 {
+	switch src {
+	case beacon.SourceCommercial:
+		if c.CommercialLoaded == 0 {
+			return 0
+		}
+		return float64(c.CommercialInView) / float64(c.CommercialLoaded)
+	default:
+		if c.QTagLoaded == 0 {
+			return 0
+		}
+		return float64(c.QTagInView) / float64(c.QTagLoaded)
+	}
+}
+
+// TruthViewabilityRate returns the ground-truth viewed fraction.
+func (c CampaignResult) TruthViewabilityRate() float64 {
+	if c.Served == 0 {
+		return 0
+	}
+	return float64(c.TruthViewed) / float64(c.Served)
+}
+
+// ImpressionRecord is one impression's ground truth (only collected with
+// Config.RecordImpressions).
+type ImpressionRecord struct {
+	CampaignID string
+	Env        EnvClass
+	Mobile     bool
+	// DepthFraction is the ad slot's position as a fraction of the page
+	// height below the initial viewport (0 = above the fold).
+	DepthFraction float64
+	// Viewed is the oracle's ground truth.
+	Viewed bool
+	// QTagMeasured reports whether Q-Tag checked in on this impression.
+	QTagMeasured bool
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	Config    Config
+	Campaigns []CampaignResult
+	// Store holds every beacon of the run, for slicing (Table 2).
+	Store *beacon.Store
+	// Impressions holds per-impression records when
+	// Config.RecordImpressions is set.
+	Impressions []ImpressionRecord
+}
+
+// Simulator runs the production-deployment simulation.
+type Simulator struct {
+	cfg   Config
+	rng   *simrand.RNG
+	store *beacon.Store
+	sink  beacon.Sink
+}
+
+// New creates a simulator.
+func New(cfg Config) *Simulator {
+	cfg = cfg.withDefaults()
+	store := beacon.NewStore()
+	var sink beacon.Sink = store
+	if cfg.ExtraSink != nil {
+		extra := cfg.ExtraSink
+		sink = beacon.SinkFunc(func(e beacon.Event) error {
+			if err := store.Submit(e); err != nil {
+				return err
+			}
+			return extra.Submit(e)
+		})
+	}
+	return &Simulator{cfg: cfg, rng: simrand.New(cfg.Seed), store: store, sink: sink}
+}
+
+// GenerateSpecs produces the campaign roster deterministically from the
+// seed. The first BothCampaigns carry both tags.
+func (s *Simulator) GenerateSpecs() []Spec {
+	rng := s.rng.Fork("specs")
+	specs := make([]Spec, 0, s.cfg.Campaigns)
+	base := DefaultTrafficMix()
+	for i := 0; i < s.cfg.Campaigns; i++ {
+		both := i < s.cfg.BothCampaigns
+		imps := float64(s.cfg.ImpressionsPerCampaign) * rng.LogNormal(0, 0.3)
+		if both {
+			imps *= s.cfg.BothImpressionsFactor
+		}
+		n := int(imps)
+		if n < 10 {
+			n = 10
+		}
+		specs = append(specs, Spec{
+			ID:          fmt.Sprintf("camp-%03d", i+1),
+			Name:        fmt.Sprintf("%s %03d", Sectors[i%len(Sectors)], i+1),
+			Sector:      Sectors[i%len(Sectors)],
+			Country:     Countries[i%len(Countries)],
+			Size:        AdSizes[i%len(AdSizes)],
+			Impressions: n,
+			Both:        both,
+			Mix:         base.Perturb(rng, s.cfg.MixSigma),
+			Audience:    drawBehavior(rng),
+		})
+	}
+	return specs
+}
+
+// Run executes the whole simulation and returns per-campaign aggregates.
+// Campaigns run Parallelism at a time; determinism is preserved because
+// every campaign's RNG is forked from the root stream up front, in
+// campaign order, and per-campaign outputs are merged back in order.
+func (s *Simulator) Run() *Result {
+	specs := s.GenerateSpecs()
+	res := &Result{Config: s.cfg, Store: s.store, Campaigns: make([]CampaignResult, len(specs))}
+
+	// Pre-fork one RNG per campaign in deterministic order.
+	rngs := make([]*simrand.RNG, len(specs))
+	for i, spec := range specs {
+		rngs[i] = s.rng.Fork("campaign-" + spec.ID)
+	}
+
+	workers := s.cfg.Parallelism
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		records := make([][]ImpressionRecord, len(specs))
+		for i, spec := range specs {
+			res.Campaigns[i], records[i] = s.runCampaign(spec, rngs[i])
+		}
+		for _, recs := range records {
+			res.Impressions = append(res.Impressions, recs...)
+		}
+		return res
+	}
+
+	records := make([][]ImpressionRecord, len(specs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res.Campaigns[i], records[i] = s.runCampaign(specs[i], rngs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, recs := range records {
+		res.Impressions = append(res.Impressions, recs...)
+	}
+	return res
+}
+
+// runCampaign delivers and measures every impression of one campaign.
+// It is safe to call concurrently for distinct campaigns: the only shared
+// state it touches is the thread-safe beacon sink.
+func (s *Simulator) runCampaign(spec Spec, rng *simrand.RNG) (CampaignResult, []ImpressionRecord) {
+	tags := []adtag.Tag{qtag.New(qtag.Config{})}
+	if spec.Both {
+		tags = append(tags, commercial.New(commercial.Config{}))
+	}
+	platform := dsp.New("sonata")
+	platform.AddCampaign(&dsp.Campaign{
+		ID: spec.ID, Name: spec.Name, Sector: spec.Sector, Country: spec.Country,
+		Creative: adserve.Creative{ID: "cr-" + spec.ID, Size: spec.Size},
+		BidCPM:   1,
+		Tags:     tags,
+	})
+
+	out := CampaignResult{Spec: spec}
+	var records []ImpressionRecord
+	for i := 0; i < spec.Impressions; i++ {
+		if rec, ok := s.runImpression(spec, platform, rng, &out); ok && s.cfg.RecordImpressions {
+			records = append(records, rec)
+		}
+	}
+	// Aggregate the beacon counts for this campaign from the store.
+	out.Served = s.store.Served(spec.ID)
+	out.QTagLoaded = s.store.Loaded(spec.ID, beacon.SourceQTag)
+	out.QTagInView = s.store.InView(spec.ID, beacon.SourceQTag)
+	out.CommercialLoaded = s.store.Loaded(spec.ID, beacon.SourceCommercial)
+	out.CommercialInView = s.store.InView(spec.ID, beacon.SourceCommercial)
+	return out, records
+}
+
+const sessionPageOrigin = dom.Origin("https://publisher.example")
+
+// runImpression simulates one served ad: environment draw, delivery
+// through an exchange, the user's session, and ground-truth tracking.
+func (s *Simulator) runImpression(spec Spec, platform *dsp.DSP, rng *simrand.RNG, out *CampaignResult) (ImpressionRecord, bool) {
+	envClass := spec.Mix.Draw(rng)
+	model := s.cfg.EnvModels[envClass]
+	prof := model.Profile(rng)
+
+	clock := simclock.New()
+	if s.cfg.SpreadOver > 0 {
+		// Place this impression somewhere in the monitoring window; the
+		// empty clock advances in O(1).
+		clock.Advance(time.Duration(rng.Float64() * float64(s.cfg.SpreadOver)))
+	}
+	b := browser.New(clock, browser.Options{Profile: prof})
+	defer b.Close()
+
+	vp := geom.Size{W: 1280, H: 720}
+	if prof.Device == browser.Mobile {
+		vp = geom.Size{W: 412, H: 800}
+	}
+	pageH := 3200.0
+	w := b.OpenWindow(geom.Point{}, vp)
+	doc := dom.NewDocument(sessionPageOrigin, geom.Size{W: vp.W, H: pageH})
+	page := w.ActiveTab().Navigate(doc)
+
+	adY := rng.Range(60, pageH-spec.Size.H-60)
+	adX := geom.Clamp((vp.W-spec.Size.W)/2, 0, vp.W)
+	slot := doc.Root().AppendChild("ad-slot", geom.Rect{X: adX, Y: adY, W: spec.Size.W, H: spec.Size.H})
+
+	exchange := adserve.NewExchange(Exchanges[rng.Intn(len(Exchanges))])
+	exchange.Register(platform)
+	deliverer := &adserve.Deliverer{
+		Exchange:   exchange,
+		ServerSink: s.sink,
+		TagSink:    s.sink,
+		TagLoadFails: func(adtag.Tag) bool {
+			return !rng.Bool(model.TagLoadSuccess)
+		},
+	}
+	req := &adserve.SlotRequest{
+		Page: page, Slot: slot,
+		Meta: beacon.Meta{
+			OS:       string(prof.OS),
+			SiteType: prof.Site.String(),
+			Country:  spec.Country,
+		},
+	}
+	del, err := deliverer.Deliver(req)
+	if err != nil {
+		return ImpressionRecord{}, false // no bid / blocked: not served
+	}
+	defer del.Close()
+
+	// Ground-truth oracle sampled from compositor truth.
+	criteria := viewability.CriteriaForSize(spec.Size, false)
+	oracle := viewability.NewOracle(criteria)
+	sampler := clock.Every(50*time.Millisecond, func() {
+		oracle.Observe(clock.Now(), page.TrueVisibleFraction(del.CreativeElement))
+	})
+
+	runSession(page, drawSession(rng, spec.Audience), rng)
+	sampler.Stop()
+	viewed := oracle.FinishAt(clock.Now())
+	if viewed {
+		out.TruthViewed++
+	}
+	depth := (adY - vp.H) / pageH
+	if depth < 0 {
+		depth = 0
+	}
+	_, qtagFailed := del.TagErrors["qtag"]
+	return ImpressionRecord{
+		CampaignID:    spec.ID,
+		Env:           envClass,
+		Mobile:        prof.Device == browser.Mobile,
+		DepthFraction: depth,
+		Viewed:        viewed,
+		QTagMeasured:  !qtagFailed,
+	}, true
+}

@@ -1,0 +1,88 @@
+package cert
+
+import (
+	"testing"
+
+	"qtag/internal/browser"
+)
+
+// TestRandomPlacementAccuracy is the §4.3 in-view accuracy analysis,
+// scaled down for the unit suite (the full 10,000-placement run lives in
+// the benchmark and cmd/qtag-cert). The paper reports a perfect score.
+func TestRandomPlacementAccuracy(t *testing.T) {
+	res := RunRandomPlacements(400, 11)
+	if res.Total != 400 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	if res.Correct != res.Total {
+		t.Errorf("placement accuracy %s; want all correct", res)
+	}
+	// The sweep must actually cover both classes.
+	if res.InViewGT == 0 || res.OutViewGT == 0 {
+		t.Errorf("degenerate ground-truth split: %s", res)
+	}
+}
+
+func TestMobileInApp(t *testing.T) {
+	for _, prof := range []browser.Profile{
+		browser.AndroidWebViewProfile(true),
+		browser.IOSWebViewProfile(false),
+	} {
+		results := RunMobileInApp(prof)
+		if len(results) != 2 {
+			t.Fatalf("want 2 creative sizes, got %d", len(results))
+		}
+		for _, r := range results {
+			if !r.Measured {
+				t.Errorf("%s %v: Q-Tag should deploy in app webviews", r.Profile, r.AdSize)
+			}
+			if !r.InView {
+				t.Errorf("%s %v: in-view ad should be reported viewable", r.Profile, r.AdSize)
+			}
+		}
+	}
+}
+
+func TestAdblockSuppression(t *testing.T) {
+	results := RunAdblockCheck(browser.CertificationProfiles()[1], true, 3)
+	if len(results) != 3 {
+		t.Fatalf("want 3 ad types, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Blocked != r.Attempts {
+			t.Errorf("%s: %d/%d blocked; adblock must block everything", r.AdType, r.Blocked, r.Attempts)
+		}
+		if r.TagsDeployed != 0 || r.EventsEmitted != 0 {
+			t.Errorf("%s: tags=%d events=%d; nothing may deploy", r.AdType, r.TagsDeployed, r.EventsEmitted)
+		}
+	}
+}
+
+func TestBraveSuppression(t *testing.T) {
+	results := RunAdblockCheck(browser.BraveProfile(), false, 5)
+	for _, r := range results {
+		if r.Blocked != r.Attempts || r.EventsEmitted != 0 {
+			t.Errorf("Brave %s: blocked %d/%d events %d", r.AdType, r.Blocked, r.Attempts, r.EventsEmitted)
+		}
+	}
+}
+
+func TestPrivacyBrowsers(t *testing.T) {
+	for _, prof := range browser.PrivacyProfiles() {
+		res := RunPrivacyBrowserCheck(prof)
+		if !res.CookiesBlocked {
+			t.Errorf("%s should block third-party cookies", prof.Name)
+		}
+		if !res.DeliveredNormally || !res.QTagMeasured || !res.QTagInView {
+			t.Errorf("%s: Q-Tag must operate normally: %+v", prof.Name, res)
+		}
+	}
+}
+
+func BenchmarkCertificationScenario(b *testing.B) {
+	runner := &Runner{Automated: false}
+	prof := browser.CertificationProfiles()[1]
+	for i := 0; i < b.N; i++ {
+		runner.Run(TestPageScrolled, FormatBanner, prof)
+	}
+}

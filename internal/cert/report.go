@@ -1,0 +1,87 @@
+package cert
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qtag/internal/report"
+)
+
+// CellTable renders the full certification matrix as a text table: one
+// row per (test, format), one column per browser–OS profile — the shape
+// of ABC's published certification reports.
+func (r *SuiteReport) CellTable() string {
+	// Collect the profile columns in stable order.
+	profileSet := map[string]bool{}
+	for key := range r.Cells {
+		profileSet[key.Profile] = true
+	}
+	profiles := make([]string, 0, len(profileSet))
+	for p := range profileSet {
+		profiles = append(profiles, p)
+	}
+	sort.Strings(profiles)
+
+	headers := append([]string{"Test", "Format"}, profiles...)
+	var rows [][]string
+	for _, test := range AllTests() {
+		for _, format := range []Format{FormatBanner, FormatVideo} {
+			row := []string{fmt.Sprintf("(%d)", int(test)), format.String()}
+			present := false
+			for _, prof := range profiles {
+				cell, ok := r.Cells[CellKey{Test: test, Format: format, Profile: prof}]
+				if !ok || cell.Total == 0 {
+					row = append(row, "-")
+					continue
+				}
+				present = true
+				row = append(row, fmt.Sprintf("%d/%d", cell.Hits, cell.Total))
+			}
+			if present {
+				rows = append(rows, row)
+			}
+		}
+	}
+	return report.Table(headers, rows)
+}
+
+// FailureAnalysis summarises where and how runs failed, mirroring the
+// paper's §4.2 discussion ("the reported 6.6% wrong results occur in
+// tests type (4) and (5) … we are not able to register any event").
+func (r *SuiteReport) FailureAnalysis() string {
+	var sb strings.Builder
+	totalFailures := r.Total.Total - r.Total.Hits
+	fmt.Fprintf(&sb, "failures: %d of %d runs (%.1f%%)\n",
+		totalFailures, r.Total.Total, 100*float64(totalFailures)/float64(max(1, r.Total.Total)))
+	if totalFailures == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  automation-race suppressed sessions: %d\n", r.FlakedRuns)
+	fmt.Fprintf(&sb, "  failures outside racy tests (4/5):   %d\n", r.FailuresOutsideRacyTests())
+	for _, t := range AllTests() {
+		rate, ok := r.PerTest[t]
+		if !ok {
+			continue
+		}
+		if fails := rate.Total - rate.Hits; fails > 0 {
+			fmt.Fprintf(&sb, "  test (%d): %d failures over %d runs — %s\n",
+				int(t), fails, rate.Total, failureMode(t))
+		}
+	}
+	return sb.String()
+}
+
+func failureMode(t TestType) string {
+	if t == TestWindowOffScreen || t == TestPageScrolled {
+		return "no events registered (WebDriver command race; manual reruns pass)"
+	}
+	return "unexpected — investigate the measurement solution"
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package cert
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qtag/internal/browser"
+	"qtag/internal/simrand"
+	"qtag/internal/stats"
+)
+
+// SuiteConfig sizes the certification matrix run.
+type SuiteConfig struct {
+	// Seed drives the automation-race randomness.
+	Seed uint64
+	// AutomatedReps is the repetition count for automatable tests (the
+	// paper uses 500).
+	AutomatedReps int
+	// ManualReps is the repetition count for test 6 (the paper uses 10).
+	ManualReps int
+	// FlakeProbability overrides the automation race probability; 0
+	// selects webdriver's calibrated default.
+	FlakeProbability float64
+	// Profiles overrides the browser–OS matrix (defaults to the six
+	// certification profiles).
+	Profiles []browser.Profile
+}
+
+func (c SuiteConfig) withDefaults() SuiteConfig {
+	if c.AutomatedReps == 0 {
+		c.AutomatedReps = 500
+	}
+	if c.ManualReps == 0 {
+		c.ManualReps = 10
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = browser.CertificationProfiles()
+	}
+	return c
+}
+
+// CellKey identifies one cell of the certification matrix.
+type CellKey struct {
+	Test    TestType
+	Format  Format
+	Profile string
+}
+
+// SuiteReport aggregates a certification matrix run.
+type SuiteReport struct {
+	// Cells holds pass counts per matrix cell.
+	Cells map[CellKey]*stats.Rate
+	// PerTest holds pass counts per test type across all cells.
+	PerTest map[TestType]*stats.Rate
+	// Total is the overall pass rate (the paper reports 93.4 %).
+	Total stats.Rate
+	// FlakedRuns counts runs suppressed by the automation race.
+	FlakedRuns int
+}
+
+// RunSuite executes the full certification matrix.
+func RunSuite(cfg SuiteConfig) *SuiteReport {
+	cfg = cfg.withDefaults()
+	rng := simrand.New(cfg.Seed)
+	rep := &SuiteReport{
+		Cells:   make(map[CellKey]*stats.Rate),
+		PerTest: make(map[TestType]*stats.Rate),
+	}
+	for _, test := range AllTests() {
+		for _, format := range []Format{FormatBanner, FormatVideo} {
+			for _, prof := range cfg.Profiles {
+				runner := &Runner{
+					Automated:        !test.Manual(),
+					FlakeProbability: cfg.FlakeProbability,
+					RNG:              rng.Fork(fmt.Sprintf("%d-%d-%s", test, format, prof.Name)),
+				}
+				reps := cfg.AutomatedReps
+				if test.Manual() {
+					reps = cfg.ManualReps
+				}
+				key := CellKey{Test: test, Format: format, Profile: prof.Name}
+				cell := &stats.Rate{}
+				rep.Cells[key] = cell
+				for i := 0; i < reps; i++ {
+					res := runner.Run(test, format, prof)
+					cell.Observe(res.Pass)
+					perTest := rep.PerTest[test]
+					if perTest == nil {
+						perTest = &stats.Rate{}
+						rep.PerTest[test] = perTest
+					}
+					perTest.Observe(res.Pass)
+					rep.Total.Observe(res.Pass)
+					if res.Outcome.Flaked {
+						rep.FlakedRuns++
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// Accuracy returns the overall fraction of correct runs.
+func (r *SuiteReport) Accuracy() float64 { return r.Total.Value() }
+
+// FailuresOutsideRacyTests returns the number of failed runs in test
+// types other than 4 and 5 — the paper observed zero.
+func (r *SuiteReport) FailuresOutsideRacyTests() int {
+	n := 0
+	for t, rate := range r.PerTest {
+		if t == TestWindowOffScreen || t == TestPageScrolled {
+			continue
+		}
+		n += rate.Total - rate.Hits
+	}
+	return n
+}
+
+// String renders the report as the Table 1 result summary.
+func (r *SuiteReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "certification runs: %d, accuracy: %.1f%%, flaked: %d\n",
+		r.Total.Total, r.Total.Value()*100, r.FlakedRuns)
+	tests := make([]TestType, 0, len(r.PerTest))
+	for t := range r.PerTest {
+		tests = append(tests, t)
+	}
+	sort.Slice(tests, func(i, j int) bool { return tests[i] < tests[j] })
+	for _, t := range tests {
+		rate := r.PerTest[t]
+		fmt.Fprintf(&sb, "  test %d: %s\n", int(t), rate)
+	}
+	return sb.String()
+}

@@ -1,0 +1,157 @@
+// Package commercial implements the baseline the paper compares against:
+// a geometry-API-based viewability verifier of the kind ad-tech
+// verification vendors shipped in 2019 (§5–6; the vendor itself is
+// anonymised under NDA).
+//
+// Unlike Q-Tag, the commercial tag needs to know *where the creative is
+// relative to the top viewport*. It has two ways to learn that:
+//
+//  1. an IntersectionObserver-style API, which works across origins but
+//     only exists in environments that ship it (notably absent from
+//     2019-era in-app webviews, especially on Android), or
+//  2. polling getBoundingClientRect against the top window, which the
+//     Same-Origin Policy only permits when every frame up to the top is
+//     same-origin — almost never true for delivered ads.
+//
+// When neither path is available the tag cannot measure the impression at
+// all. That capability gap — not measurement inaccuracy — is the
+// mechanism behind the paper's Figure 3(a) and Table 2: the commercial
+// solution measures only 74 % of impressions overall and 53.4 % in
+// Android apps, versus Q-Tag's 93 %.
+package commercial
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"qtag/internal/adtag"
+	"qtag/internal/beacon"
+	"qtag/internal/viewability"
+)
+
+// ErrCannotMeasure is returned by Deploy when the environment offers
+// neither an IntersectionObserver-style API nor same-origin geometry
+// access, leaving the tag no way to determine viewability.
+var ErrCannotMeasure = errors.New("commercial: no usable visibility API in this environment")
+
+// DefaultPollInterval is how often the tag samples the creative's
+// exposure.
+const DefaultPollInterval = 100 * time.Millisecond
+
+// Config tunes the commercial tag.
+type Config struct {
+	// PollInterval is the sampling period (default 100 ms).
+	PollInterval time.Duration
+	// Criteria overrides the viewability criteria; when nil they derive
+	// from the impression's ad format.
+	Criteria *viewability.Criteria
+}
+
+// Tag is the commercial verifier baseline. It implements adtag.Tag.
+type Tag struct {
+	cfg Config
+}
+
+// New returns a commercial tag with the given configuration.
+func New(cfg Config) *Tag {
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = DefaultPollInterval
+	}
+	return &Tag{cfg: cfg}
+}
+
+// Name implements adtag.Tag.
+func (t *Tag) Name() string { return string(beacon.SourceCommercial) }
+
+// Deploy implements adtag.Tag. It probes the environment's visibility
+// APIs; if one works it sends the loaded beacon and starts polling,
+// otherwise it returns ErrCannotMeasure and the impression stays
+// unmeasured by this solution.
+func (t *Tag) Deploy(rt *adtag.Runtime) error {
+	var measure func() (float64, error)
+	switch {
+	case rt.Profile().SupportsIntersectionObserver:
+		measure = func() (float64, error) { return rt.IntersectionRatio() }
+	default:
+		// Geometry polling: only possible when the frame chain is
+		// same-origin with the top window.
+		if _, err := rt.BoundingRectInTop(); err != nil {
+			return fmt.Errorf("%w: %v", ErrCannotMeasure, err)
+		}
+		measure = func() (float64, error) { return t.geometryFraction(rt) }
+	}
+
+	criteria := t.criteria(rt)
+	if err := rt.SendBeacon(beacon.SourceCommercial, beacon.EventLoaded, 0); err != nil {
+		return fmt.Errorf("commercial: loaded beacon: %w", err)
+	}
+	d := &poller{rt: rt, criteria: criteria, measure: measure, interval: t.cfg.PollInterval}
+	d.ticker = rt.Every(t.cfg.PollInterval, d.poll)
+	return nil
+}
+
+// geometryFraction computes exposure by intersecting the creative's
+// bounding rect with the top viewport — the classic pre-IntersectionObserver
+// technique. The Page Visibility API covers background tabs, but the
+// method is blind to occluded or off-screen windows.
+func (t *Tag) geometryFraction(rt *adtag.Runtime) (float64, error) {
+	if rt.PageHidden() {
+		return 0, nil
+	}
+	rect, err := rt.BoundingRectInTop()
+	if err != nil {
+		return 0, err
+	}
+	viewport, err := rt.ViewportInfo()
+	if err != nil {
+		return 0, err
+	}
+	return rect.VisibleFraction(viewport), nil
+}
+
+func (t *Tag) criteria(rt *adtag.Runtime) viewability.Criteria {
+	if t.cfg.Criteria != nil {
+		return *t.cfg.Criteria
+	}
+	return viewability.StandardCriteria(rt.Impression().Format)
+}
+
+// poller is the per-impression measurement loop.
+type poller struct {
+	rt       *adtag.Runtime
+	criteria viewability.Criteria
+	measure  func() (float64, error)
+	interval time.Duration
+
+	inRun      bool
+	runStart   time.Duration
+	inViewSent bool
+	outSent    bool
+	ticker     interface{ Stop() }
+}
+
+func (p *poller) poll() {
+	frac, err := p.measure()
+	if err != nil {
+		frac = 0
+	}
+	now := p.rt.Now()
+	if frac >= p.criteria.AreaFraction {
+		if !p.inRun {
+			p.inRun = true
+			p.runStart = now
+		}
+		if !p.inViewSent && now-p.runStart >= p.criteria.Dwell {
+			p.inViewSent = true
+			_ = p.rt.SendBeacon(beacon.SourceCommercial, beacon.EventInView, 0)
+		}
+		return
+	}
+	p.inRun = false
+	if p.inViewSent && !p.outSent {
+		p.outSent = true
+		_ = p.rt.SendBeacon(beacon.SourceCommercial, beacon.EventOutOfView, 0)
+		p.ticker.Stop()
+	}
+}

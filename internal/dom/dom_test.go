@@ -1,0 +1,336 @@
+package dom
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"qtag/internal/geom"
+)
+
+const (
+	pub      = Origin("https://publisher.example")
+	exchange = Origin("https://exchange.example")
+	dsp      = Origin("https://dsp.example")
+)
+
+func pageSize() geom.Size { return geom.Size{W: 1280, H: 4000} }
+
+func TestNewDocument(t *testing.T) {
+	d := NewDocument(pub, pageSize())
+	if d.Origin() != pub {
+		t.Errorf("Origin = %q", d.Origin())
+	}
+	if !d.IsTop() || d.Top() != d || d.Depth() != 0 {
+		t.Error("fresh document should be its own top")
+	}
+	if d.Root() == nil || d.Root().Tag() != "body" {
+		t.Error("root should be a body element")
+	}
+	if got := d.Root().Rect(); got != (geom.Rect{W: 1280, H: 4000}) {
+		t.Errorf("root rect = %v", got)
+	}
+}
+
+func TestAppendChild(t *testing.T) {
+	d := NewDocument(pub, pageSize())
+	r := geom.Rect{X: 10, Y: 20, W: 300, H: 250}
+	div := d.Root().AppendChild("div", r)
+	if div.Rect() != r || div.Tag() != "div" {
+		t.Error("child rect/tag wrong")
+	}
+	if div.Parent() != d.Root() || div.Document() != d {
+		t.Error("child linkage wrong")
+	}
+	if len(d.Root().Children()) != 1 {
+		t.Error("children slice wrong")
+	}
+	if div.ID() == d.Root().ID() {
+		t.Error("ids must be unique")
+	}
+}
+
+// buildDoubleIframe reproduces the paper's canonical delivery structure: a
+// publisher page containing an exchange iframe containing a DSP iframe
+// containing the creative.
+func buildDoubleIframe(t *testing.T, adPos geom.Point) (top *Document, creative *Element) {
+	t.Helper()
+	top = NewDocument(pub, pageSize())
+	outer := top.Root().AttachIframe(exchange, geom.Rect{X: adPos.X, Y: adPos.Y, W: 300, H: 250})
+	inner := outer.Root().AttachIframe(dsp, geom.Rect{X: 0, Y: 0, W: 300, H: 250})
+	creative = inner.Root().AppendChild("creative", geom.Rect{X: 0, Y: 0, W: 300, H: 250})
+	return top, creative
+}
+
+func TestAttachIframe(t *testing.T) {
+	top, creative := buildDoubleIframe(t, geom.Point{X: 100, Y: 600})
+	inner := creative.Document()
+	if inner.IsTop() {
+		t.Error("creative doc should not be top")
+	}
+	if inner.Top() != top {
+		t.Error("Top() should find the publisher document")
+	}
+	if inner.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", inner.Depth())
+	}
+	if inner.Origin() != dsp {
+		t.Errorf("inner origin = %q", inner.Origin())
+	}
+	if inner.HostFrame() == nil || inner.HostFrame().ContentDocument() != inner {
+		t.Error("host frame linkage broken")
+	}
+	if got := inner.Size(); got != (geom.Size{W: 300, H: 250}) {
+		t.Errorf("iframe content size = %v", got)
+	}
+}
+
+func TestFrameChain(t *testing.T) {
+	top, creative := buildDoubleIframe(t, geom.Point{X: 0, Y: 0})
+	chain := creative.FrameChain()
+	if len(chain) != 2 {
+		t.Fatalf("chain length = %d", len(chain))
+	}
+	if chain[0].Document() != top {
+		t.Error("outermost frame should live in the top document")
+	}
+	if chain[1].Document().Origin() != exchange {
+		t.Error("second frame should live in the exchange document")
+	}
+	if len(top.Root().FrameChain()) != 0 {
+		t.Error("top elements have empty chains")
+	}
+}
+
+func TestAbsoluteRect(t *testing.T) {
+	_, creative := buildDoubleIframe(t, geom.Point{X: 100, Y: 600})
+	got := creative.AbsoluteRect()
+	want := geom.Rect{X: 100, Y: 600, W: 300, H: 250}
+	if got != want {
+		t.Errorf("AbsoluteRect = %v, want %v", got, want)
+	}
+}
+
+func TestAbsoluteRectWithInnerOffset(t *testing.T) {
+	top := NewDocument(pub, pageSize())
+	outer := top.Root().AttachIframe(exchange, geom.Rect{X: 50, Y: 100, W: 400, H: 300})
+	el := outer.Root().AppendChild("pixel", geom.Rect{X: 10, Y: 20, W: 1, H: 1})
+	got := el.AbsoluteRect()
+	want := geom.Rect{X: 60, Y: 120, W: 1, H: 1}
+	if got != want {
+		t.Errorf("AbsoluteRect = %v, want %v", got, want)
+	}
+}
+
+func TestAbsoluteRectAppliesIntermediateScroll(t *testing.T) {
+	top := NewDocument(pub, pageSize())
+	frame := top.Root().AttachIframe(exchange, geom.Rect{X: 0, Y: 0, W: 300, H: 250})
+	frame.SetScroll(geom.Point{X: 0, Y: 40})
+	el := frame.Root().AppendChild("div", geom.Rect{X: 0, Y: 100, W: 10, H: 10})
+	got := el.AbsoluteRect()
+	want := geom.Rect{X: 0, Y: 60, W: 10, H: 10}
+	if got != want {
+		t.Errorf("AbsoluteRect with scrolled frame = %v, want %v", got, want)
+	}
+}
+
+func TestAbsoluteVisibleRectClipsToFrame(t *testing.T) {
+	top := NewDocument(pub, pageSize())
+	frame := top.Root().AttachIframe(exchange, geom.Rect{X: 100, Y: 100, W: 200, H: 200})
+	// Element hangs 50px past the right edge of its frame.
+	el := frame.Root().AppendChild("div", geom.Rect{X: 150, Y: 0, W: 100, H: 100})
+	got := el.AbsoluteVisibleRect()
+	want := geom.Rect{X: 250, Y: 100, W: 50, H: 100}
+	if got != want {
+		t.Errorf("clipped rect = %v, want %v", got, want)
+	}
+	// An element fully outside the frame viewport is invisible.
+	out := frame.Root().AppendChild("div", geom.Rect{X: 300, Y: 0, W: 50, H: 50})
+	if !out.AbsoluteVisibleRect().Empty() {
+		t.Error("out-of-frame element should have empty visible rect")
+	}
+}
+
+func TestAbsolutePoint(t *testing.T) {
+	_, creative := buildDoubleIframe(t, geom.Point{X: 100, Y: 600})
+	p := creative.AbsolutePoint(geom.Point{X: 150, Y: 125})
+	if p != (geom.Point{X: 250, Y: 725}) {
+		t.Errorf("AbsolutePoint = %v", p)
+	}
+}
+
+func TestSameOriginPolicyDeniesCrossOrigin(t *testing.T) {
+	_, creative := buildDoubleIframe(t, geom.Point{X: 100, Y: 600})
+	_, err := creative.BoundingRectInTop()
+	if !errors.Is(err, ErrCrossOrigin) {
+		t.Fatalf("expected ErrCrossOrigin, got %v", err)
+	}
+	if creative.Document().SameOriginWithTop() {
+		t.Error("double cross-domain iframe must not be same-origin with top")
+	}
+}
+
+func TestSameOriginAllowsFriendlyIframe(t *testing.T) {
+	top := NewDocument(pub, pageSize())
+	friendly := top.Root().AttachIframe(pub, geom.Rect{X: 10, Y: 10, W: 300, H: 250})
+	el := friendly.Root().AppendChild("creative", geom.Rect{X: 0, Y: 0, W: 300, H: 250})
+	r, err := el.BoundingRectInTop()
+	if err != nil {
+		t.Fatalf("friendly iframe should be allowed: %v", err)
+	}
+	if r != (geom.Rect{X: 10, Y: 10, W: 300, H: 250}) {
+		t.Errorf("rect = %v", r)
+	}
+}
+
+func TestSameOriginMixedChainDenied(t *testing.T) {
+	// pub → pub (friendly) → dsp: the innermost is cross-origin with top.
+	top := NewDocument(pub, pageSize())
+	friendly := top.Root().AttachIframe(pub, geom.Rect{X: 0, Y: 0, W: 400, H: 400})
+	inner := friendly.Root().AttachIframe(dsp, geom.Rect{X: 0, Y: 0, W: 300, H: 250})
+	el := inner.Root().AppendChild("creative", geom.Rect{W: 300, H: 250})
+	if _, err := el.BoundingRectInTop(); !errors.Is(err, ErrCrossOrigin) {
+		t.Errorf("expected denial, got %v", err)
+	}
+	// And the reverse sandwich: dsp content inside dsp iframe inside pub top
+	// is still denied because the top is pub.
+	top2 := NewDocument(pub, pageSize())
+	d1 := top2.Root().AttachIframe(dsp, geom.Rect{W: 300, H: 250})
+	d2 := d1.Root().AttachIframe(dsp, geom.Rect{W: 300, H: 250})
+	el2 := d2.Root().AppendChild("creative", geom.Rect{W: 300, H: 250})
+	if _, err := el2.BoundingRectInTop(); !errors.Is(err, ErrCrossOrigin) {
+		t.Errorf("expected denial for dsp-in-dsp-in-pub, got %v", err)
+	}
+}
+
+func TestTopDocumentGeometryAllowed(t *testing.T) {
+	top := NewDocument(pub, pageSize())
+	el := top.Root().AppendChild("div", geom.Rect{X: 5, Y: 6, W: 7, H: 8})
+	r, err := el.BoundingRectInTop()
+	if err != nil || r != (geom.Rect{X: 5, Y: 6, W: 7, H: 8}) {
+		t.Errorf("top-level element rect = %v, err = %v", r, err)
+	}
+}
+
+func TestScrollClamping(t *testing.T) {
+	d := NewDocument(pub, pageSize())
+	d.SetScroll(geom.Point{X: -10, Y: -20})
+	if d.Scroll() != (geom.Point{}) {
+		t.Errorf("negative scroll should clamp to origin, got %v", d.Scroll())
+	}
+	d.SetScroll(geom.Point{X: 3, Y: 700})
+	if d.Scroll() != (geom.Point{X: 3, Y: 700}) {
+		t.Errorf("scroll = %v", d.Scroll())
+	}
+}
+
+func TestHiddenPropagation(t *testing.T) {
+	top, creative := buildDoubleIframe(t, geom.Point{})
+	if creative.EffectivelyHidden() {
+		t.Error("nothing hidden yet")
+	}
+	// Hiding the outer iframe element hides everything inside it.
+	outerFrame := creative.FrameChain()[0]
+	outerFrame.SetHidden(true)
+	if !creative.EffectivelyHidden() {
+		t.Error("creative inside hidden frame should be effectively hidden")
+	}
+	outerFrame.SetHidden(false)
+	creative.SetHidden(true)
+	if !creative.Hidden() || !creative.EffectivelyHidden() {
+		t.Error("own hidden flag should count")
+	}
+	_ = top
+}
+
+func TestWalk(t *testing.T) {
+	top, creative := buildDoubleIframe(t, geom.Point{})
+	var tags []string
+	top.Root().Walk(func(e *Element) bool {
+		tags = append(tags, e.Tag())
+		return true
+	})
+	// body(top) → iframe → body(exchange) → iframe → body(dsp) → creative
+	want := []string{"body", "iframe", "body", "iframe", "body", "creative"}
+	if len(tags) != len(want) {
+		t.Fatalf("walk visited %v", tags)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("walk order = %v, want %v", tags, want)
+		}
+	}
+	// Early termination.
+	count := 0
+	top.Root().Walk(func(e *Element) bool {
+		count++
+		return e != creative.FrameChain()[0] // stop at the first iframe
+	})
+	if count != 2 {
+		t.Errorf("early-stop walk visited %d nodes, want 2", count)
+	}
+}
+
+func TestElementString(t *testing.T) {
+	d := NewDocument(pub, pageSize())
+	el := d.Root().AppendChild("div", geom.Rect{X: 1, Y: 2, W: 3, H: 4})
+	s := el.String()
+	if s == "" || s[0] != '<' {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSetRectMovesAbsolute(t *testing.T) {
+	top := NewDocument(pub, pageSize())
+	frame := top.Root().AttachIframe(exchange, geom.Rect{X: 100, Y: 100, W: 300, H: 250})
+	el := frame.Root().AppendChild("div", geom.Rect{X: 0, Y: 0, W: 10, H: 10})
+	before := el.AbsoluteRect()
+	frame.HostFrame().SetRect(geom.Rect{X: 200, Y: 100, W: 300, H: 250})
+	after := el.AbsoluteRect()
+	if after.X-before.X != 100 {
+		t.Errorf("moving the frame should move content: before %v after %v", before, after)
+	}
+}
+
+// Property: AbsolutePoint agrees with AbsoluteRect's origin for random
+// nested frame offsets and scrolls.
+func TestAbsolutePointMatchesRectProperty(t *testing.T) {
+	f := func(ox, oy, ix, iy, sx, sy uint16) bool {
+		top := NewDocument(pub, geom.Size{W: 2000, H: 4000})
+		outer := top.Root().AttachIframe(exchange, geom.Rect{
+			X: float64(ox % 1500), Y: float64(oy % 3000), W: 400, H: 300,
+		})
+		outer.SetScroll(geom.Point{X: float64(sx % 50), Y: float64(sy % 50)})
+		inner := outer.Root().AttachIframe(dsp, geom.Rect{
+			X: float64(ix % 100), Y: float64(iy % 100), W: 300, H: 250,
+		})
+		el := inner.Root().AppendChild("div", geom.Rect{X: 7, Y: 11, W: 20, H: 10})
+		r := el.AbsoluteRect()
+		p := el.AbsolutePoint(geom.Point{X: 7, Y: 11})
+		return r.Min() == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AbsoluteVisibleRect is always contained in AbsoluteRect and
+// never larger.
+func TestVisibleRectContainedProperty(t *testing.T) {
+	f := func(ex, ey uint16) bool {
+		top := NewDocument(pub, geom.Size{W: 1000, H: 1000})
+		frame := top.Root().AttachIframe(dsp, geom.Rect{X: 100, Y: 100, W: 200, H: 200})
+		el := frame.Root().AppendChild("div", geom.Rect{
+			X: float64(ex%400) - 100, Y: float64(ey%400) - 100, W: 80, H: 60,
+		})
+		vis := el.AbsoluteVisibleRect()
+		if vis.Empty() {
+			return true
+		}
+		abs := el.AbsoluteRect()
+		return abs.ContainsRect(vis) && vis.Area() <= abs.Area()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package dsp implements the buy-side platform that runs ad campaigns —
+// the role Sonata (TAPTAP Digital's DSP) plays in the paper's §5
+// deployment. It holds campaign configurations, answers exchange auctions
+// with bids, assigns impression identities, and attaches the measurement
+// tags (Q-Tag and/or the commercial verifier) each campaign is
+// instrumented with.
+package dsp
+
+import (
+	"fmt"
+
+	"qtag/internal/adserve"
+	"qtag/internal/adtag"
+	"qtag/internal/beacon"
+	"qtag/internal/dom"
+	"qtag/internal/viewability"
+)
+
+// Campaign is one advertiser campaign configured in the DSP.
+type Campaign struct {
+	// ID identifies the campaign in all beacons and reports.
+	ID string
+	// Name is the human-readable campaign name.
+	Name string
+	// Sector is the advertiser's vertical (Food & Drink, Personal
+	// Finance, ... — §5 lists the diversity of the production dataset).
+	Sector string
+	// Country is the campaign's geographic target; a bid is only placed
+	// for requests whose country matches (empty matches everything).
+	Country string
+	// Creative is the ad to deliver.
+	Creative adserve.Creative
+	// BidCPM is the campaign's bid price per thousand impressions.
+	BidCPM float64
+	// Tags are the measurement tags the DSP deploys with the creative.
+	Tags []adtag.Tag
+	// MaxImpressions caps delivery (0 = unlimited).
+	MaxImpressions int
+	// BudgetUSD caps total spend (0 = unlimited); the DSP stops bidding
+	// for a campaign whose spend at auction clearing prices reaches it.
+	BudgetUSD float64
+
+	served int
+	spend  float64
+}
+
+// Served returns the number of impressions the DSP has assigned to this
+// campaign so far.
+func (c *Campaign) Served() int { return c.served }
+
+// SpendUSD returns the campaign's accumulated spend at auction clearing
+// prices.
+func (c *Campaign) SpendUSD() float64 { return c.spend }
+
+// DSP is a demand-side platform participating in exchange auctions. It
+// implements adserve.Bidder.
+type DSP struct {
+	name      string
+	origin    dom.Origin
+	campaigns []*Campaign
+	rr        int // round-robin cursor over eligible campaigns
+	nextImp   int
+}
+
+// New creates a DSP; its delivery iframes use origin
+// https://<name>.example.
+func New(name string) *DSP {
+	return &DSP{name: name, origin: dom.Origin("https://" + name + ".example")}
+}
+
+// Name implements adserve.Bidder.
+func (d *DSP) Name() string { return d.name }
+
+// Origin returns the DSP's iframe origin.
+func (d *DSP) Origin() dom.Origin { return d.origin }
+
+// AddCampaign registers a campaign. It panics on duplicate campaign ids —
+// that would corrupt all downstream aggregation.
+func (d *DSP) AddCampaign(c *Campaign) {
+	for _, existing := range d.campaigns {
+		if existing.ID == c.ID {
+			panic(fmt.Sprintf("dsp: duplicate campaign id %q", c.ID))
+		}
+	}
+	d.campaigns = append(d.campaigns, c)
+}
+
+// Campaigns returns the registered campaigns in registration order.
+func (d *DSP) Campaigns() []*Campaign { return d.campaigns }
+
+// Campaign returns the campaign with the given id, or nil.
+func (d *DSP) Campaign(id string) *Campaign {
+	for _, c := range d.campaigns {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// Bid implements adserve.Bidder: it selects the next eligible campaign
+// (country targeting + pacing cap) round-robin and returns its bid with a
+// fresh impression identity and the campaign's measurement tags attached.
+func (d *DSP) Bid(req *adserve.SlotRequest) (adserve.Bid, bool) {
+	n := len(d.campaigns)
+	if n == 0 {
+		return adserve.Bid{}, false
+	}
+	for probe := 0; probe < n; probe++ {
+		c := d.campaigns[(d.rr+probe)%n]
+		if !c.eligible(req) {
+			continue
+		}
+		d.rr = (d.rr + probe + 1) % n
+		c.served++
+		d.nextImp++
+		format := viewability.ClassifySize(c.Creative.Size, c.Creative.Video)
+		imp := adtag.Impression{
+			ID:         fmt.Sprintf("%s-%s-%08d", d.name, c.ID, d.nextImp),
+			CampaignID: c.ID,
+			Format:     format,
+			Meta: beacon.Meta{
+				AdSize:  c.Creative.Size.String(),
+				Format:  format.String(),
+				Country: c.Country,
+			},
+		}
+		return adserve.Bid{
+			PriceCPM:   c.BidCPM,
+			Creative:   c.Creative,
+			Origin:     d.origin,
+			Impression: imp,
+			Tags:       c.Tags,
+		}, true
+	}
+	return adserve.Bid{}, false
+}
+
+// NotifyWin implements adserve.WinNotifier: it books the clearing price
+// against the winning campaign's budget.
+func (d *DSP) NotifyWin(imp adtag.Impression, clearingCPM float64) {
+	if c := d.Campaign(imp.CampaignID); c != nil {
+		c.spend += clearingCPM / 1000
+	}
+}
+
+func (c *Campaign) eligible(req *adserve.SlotRequest) bool {
+	if c.MaxImpressions > 0 && c.served >= c.MaxImpressions {
+		return false
+	}
+	if c.BudgetUSD > 0 && c.spend >= c.BudgetUSD {
+		return false
+	}
+	if c.Country != "" && req.Meta.Country != "" && c.Country != req.Meta.Country {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package dsp
+
+import (
+	"strings"
+	"testing"
+
+	"qtag/internal/adserve"
+	"qtag/internal/adtag"
+	"qtag/internal/beacon"
+	"qtag/internal/geom"
+	"qtag/internal/qtag"
+)
+
+func banner() adserve.Creative {
+	return adserve.Creative{ID: "cr-1", Size: geom.Size{W: 300, H: 250}}
+}
+
+func TestAddCampaignDuplicatePanics(t *testing.T) {
+	d := New("sonata")
+	d.AddCampaign(&Campaign{ID: "c1", Creative: banner(), BidCPM: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate id")
+		}
+	}()
+	d.AddCampaign(&Campaign{ID: "c1", Creative: banner(), BidCPM: 1})
+}
+
+func TestBidRoundRobin(t *testing.T) {
+	d := New("sonata")
+	for _, id := range []string{"c1", "c2", "c3"} {
+		d.AddCampaign(&Campaign{ID: id, Creative: banner(), BidCPM: 1})
+	}
+	var order []string
+	for i := 0; i < 6; i++ {
+		bid, ok := d.Bid(&adserve.SlotRequest{})
+		if !ok {
+			t.Fatal("bid expected")
+		}
+		order = append(order, bid.Impression.CampaignID)
+	}
+	want := "c1 c2 c3 c1 c2 c3"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("rotation = %q, want %q", got, want)
+	}
+	if d.Campaign("c1").Served() != 2 {
+		t.Errorf("c1 served = %d", d.Campaign("c1").Served())
+	}
+}
+
+func TestBidCountryTargeting(t *testing.T) {
+	d := New("sonata")
+	d.AddCampaign(&Campaign{ID: "us", Country: "US", Creative: banner(), BidCPM: 1})
+	d.AddCampaign(&Campaign{ID: "mx", Country: "MX", Creative: banner(), BidCPM: 1})
+	for i := 0; i < 3; i++ {
+		bid, ok := d.Bid(&adserve.SlotRequest{Meta: beacon.Meta{Country: "MX"}})
+		if !ok || bid.Impression.CampaignID != "mx" {
+			t.Fatalf("request %d matched %v", i, bid.Impression.CampaignID)
+		}
+	}
+	// No campaign matches an untargeted country.
+	if _, ok := d.Bid(&adserve.SlotRequest{Meta: beacon.Meta{Country: "JP"}}); ok {
+		t.Error("JP request should not match")
+	}
+}
+
+func TestBidPacingCap(t *testing.T) {
+	d := New("sonata")
+	d.AddCampaign(&Campaign{ID: "capped", Creative: banner(), BidCPM: 1, MaxImpressions: 2})
+	for i := 0; i < 2; i++ {
+		if _, ok := d.Bid(&adserve.SlotRequest{}); !ok {
+			t.Fatal("bid expected under cap")
+		}
+	}
+	if _, ok := d.Bid(&adserve.SlotRequest{}); ok {
+		t.Error("bid beyond the pacing cap")
+	}
+}
+
+func TestBidImpressionIdentity(t *testing.T) {
+	d := New("sonata")
+	d.AddCampaign(&Campaign{
+		ID: "c9", Country: "ES",
+		Creative: adserve.Creative{ID: "v", Size: geom.Size{W: 640, H: 360}, Video: true},
+		BidCPM:   2,
+		Tags:     []adtag.Tag{qtag.New(qtag.Config{})},
+	})
+	bid, ok := d.Bid(&adserve.SlotRequest{Meta: beacon.Meta{Country: "ES"}})
+	if !ok {
+		t.Fatal("bid expected")
+	}
+	if bid.Impression.CampaignID != "c9" || bid.Impression.ID == "" {
+		t.Errorf("impression identity = %+v", bid.Impression)
+	}
+	if bid.Impression.Format.String() != "video" {
+		t.Errorf("format = %v", bid.Impression.Format)
+	}
+	if bid.Impression.Meta.AdSize != "640x360" || bid.Impression.Meta.Country != "ES" {
+		t.Errorf("meta = %+v", bid.Impression.Meta)
+	}
+	if len(bid.Tags) != 1 || bid.Tags[0].Name() != "qtag" {
+		t.Error("tags not attached")
+	}
+	// Unique ids across bids.
+	bid2, _ := d.Bid(&adserve.SlotRequest{Meta: beacon.Meta{Country: "ES"}})
+	if bid.Impression.ID == bid2.Impression.ID {
+		t.Error("impression ids must be unique")
+	}
+}
+
+func TestEmptyDSPPasses(t *testing.T) {
+	d := New("sonata")
+	if _, ok := d.Bid(&adserve.SlotRequest{}); ok {
+		t.Error("empty DSP must pass")
+	}
+	if d.Name() != "sonata" || d.Origin() == "" {
+		t.Error("accessors wrong")
+	}
+	if d.Campaign("missing") != nil || len(d.Campaigns()) != 0 {
+		t.Error("campaign lookups wrong")
+	}
+}
+
+func TestBudgetPacing(t *testing.T) {
+	d := New("sonata")
+	// $0.002 budget at $1 CPM clearing = 2 impressions.
+	d.AddCampaign(&Campaign{ID: "budgeted", Creative: banner(), BidCPM: 1, BudgetUSD: 0.002})
+	for i := 0; i < 2; i++ {
+		bid, ok := d.Bid(&adserve.SlotRequest{})
+		if !ok {
+			t.Fatalf("bid %d expected under budget", i)
+		}
+		d.NotifyWin(bid.Impression, 1.0) // cleared at $1 CPM
+	}
+	if got := d.Campaign("budgeted").SpendUSD(); got != 0.002 {
+		t.Errorf("spend = %v", got)
+	}
+	if _, ok := d.Bid(&adserve.SlotRequest{}); ok {
+		t.Error("bid beyond exhausted budget")
+	}
+}
+
+func TestNotifyWinUnknownCampaign(t *testing.T) {
+	d := New("sonata")
+	d.NotifyWin(adtag.Impression{CampaignID: "ghost"}, 5) // must not panic
+}
+
+func TestExchangeNotifiesWinner(t *testing.T) {
+	d := New("sonata")
+	d.AddCampaign(&Campaign{ID: "c", Creative: banner(), BidCPM: 2})
+	x := adserve.NewExchange("openx")
+	x.Register(d)
+	out, err := x.RunAuction(&adserve.SlotRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sole bidder pays its own bid; spend books automatically.
+	if out.ClearingPriceCPM != 2 {
+		t.Fatalf("clearing = %v", out.ClearingPriceCPM)
+	}
+	if got := d.Campaign("c").SpendUSD(); got != 0.002 {
+		t.Errorf("auto-booked spend = %v", got)
+	}
+}

@@ -1,0 +1,87 @@
+// Package economics implements the paper's §6.1 revenue model: under
+// viewable-impression pricing, impressions whose viewability cannot be
+// measured are not monetised, so a higher measured rate converts directly
+// into revenue.
+//
+// The paper's ballpark: a DSP switching from the commercial solution
+// (74 % measured) to Q-Tag (93 % measured) measures 19 pp more ads; at a
+// ≈50 % viewability rate roughly half of those become billable viewed
+// impressions, i.e. 9.5 pp of all traffic. At 100 M ads/day and a $1 CPM
+// that is $9.5k/day ≈ $3.5M/year (×10 for a 1 B ads/day DSP).
+package economics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes a DSP's traffic and the two measurement solutions
+// being compared.
+type Params struct {
+	// AdsPerDay is the DSP's daily served impressions.
+	AdsPerDay float64
+	// CPM is the average price per thousand viewed impressions in USD.
+	CPM float64
+	// MeasuredRateQTag is Q-Tag's measured rate.
+	MeasuredRateQTag float64
+	// MeasuredRateCommercial is the baseline's measured rate.
+	MeasuredRateCommercial float64
+	// ViewabilityRate is the fraction of measured impressions that meet
+	// the standard.
+	ViewabilityRate float64
+}
+
+// PaperMidSize returns the §6.1 mid-size DSP scenario (100 M ads/day).
+func PaperMidSize() Params {
+	return Params{
+		AdsPerDay: 100e6, CPM: 1,
+		MeasuredRateQTag: 0.93, MeasuredRateCommercial: 0.74,
+		ViewabilityRate: 0.50,
+	}
+}
+
+// PaperLargeSize returns the §6.1 large DSP scenario (1 B ads/day).
+func PaperLargeSize() Params {
+	p := PaperMidSize()
+	p.AdsPerDay = 1e9
+	return p
+}
+
+// Uplift is the computed revenue difference from adopting Q-Tag.
+type Uplift struct {
+	// ExtraMeasuredPerDay is the additional impressions measured per day.
+	ExtraMeasuredPerDay float64
+	// ExtraViewedPerDay is the additional *billable viewed* impressions
+	// per day.
+	ExtraViewedPerDay float64
+	// DailyUSD and AnnualUSD are the revenue gains.
+	DailyUSD  float64
+	AnnualUSD float64
+}
+
+// String implements fmt.Stringer.
+func (u Uplift) String() string {
+	return fmt.Sprintf("+%.1fM measured/day → +%.1fM viewed/day → $%.1fk/day ≈ $%.2fM/year",
+		u.ExtraMeasuredPerDay/1e6, u.ExtraViewedPerDay/1e6, u.DailyUSD/1e3, u.AnnualUSD/1e6)
+}
+
+// Compute evaluates the uplift model. It panics on invalid rates.
+func Compute(p Params) Uplift {
+	for _, r := range []float64{p.MeasuredRateQTag, p.MeasuredRateCommercial, p.ViewabilityRate} {
+		if r < 0 || r > 1 || math.IsNaN(r) {
+			panic(fmt.Sprintf("economics: rate %v out of [0,1]", r))
+		}
+	}
+	if p.AdsPerDay < 0 || p.CPM < 0 {
+		panic("economics: negative volume or price")
+	}
+	extraMeasured := (p.MeasuredRateQTag - p.MeasuredRateCommercial) * p.AdsPerDay
+	extraViewed := extraMeasured * p.ViewabilityRate
+	daily := extraViewed / 1000 * p.CPM
+	return Uplift{
+		ExtraMeasuredPerDay: extraMeasured,
+		ExtraViewedPerDay:   extraViewed,
+		DailyUSD:            daily,
+		AnnualUSD:           daily * 365,
+	}
+}

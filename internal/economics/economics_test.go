@@ -1,0 +1,94 @@
+package economics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEconomicsPaperNumbers reproduces the §6.1 ballpark: $9.5k/day and
+// ≈$3.5M/year for a mid-size DSP, ×10 for a large one.
+func TestEconomicsPaperNumbers(t *testing.T) {
+	mid := Compute(PaperMidSize())
+	if math.Abs(mid.DailyUSD-9500) > 1 {
+		t.Errorf("mid daily = $%.0f, want $9500", mid.DailyUSD)
+	}
+	if mid.AnnualUSD < 3.4e6 || mid.AnnualUSD > 3.6e6 {
+		t.Errorf("mid annual = $%.0f, want ≈$3.5M", mid.AnnualUSD)
+	}
+	if math.Abs(mid.ExtraMeasuredPerDay-19e6) > 1 {
+		t.Errorf("extra measured = %v, want 19M", mid.ExtraMeasuredPerDay)
+	}
+	if math.Abs(mid.ExtraViewedPerDay-9.5e6) > 1 {
+		t.Errorf("extra viewed = %v, want 9.5M", mid.ExtraViewedPerDay)
+	}
+
+	large := Compute(PaperLargeSize())
+	if math.Abs(large.DailyUSD-95000) > 1 {
+		t.Errorf("large daily = $%.0f, want $95000", large.DailyUSD)
+	}
+	if large.AnnualUSD < 34e6 || large.AnnualUSD > 36e6 {
+		t.Errorf("large annual = $%.0f, want ≈$35M", large.AnnualUSD)
+	}
+}
+
+func TestComputeScalesLinearly(t *testing.T) {
+	p := PaperMidSize()
+	base := Compute(p)
+	p.CPM = 2
+	if got := Compute(p).DailyUSD; math.Abs(got-2*base.DailyUSD) > 1e-6 {
+		t.Error("revenue must scale linearly with CPM")
+	}
+	p.CPM = 1
+	p.AdsPerDay *= 3
+	if got := Compute(p).DailyUSD; math.Abs(got-3*base.DailyUSD) > 1e-6 {
+		t.Error("revenue must scale linearly with volume")
+	}
+}
+
+func TestComputeZeroGap(t *testing.T) {
+	p := PaperMidSize()
+	p.MeasuredRateCommercial = p.MeasuredRateQTag
+	u := Compute(p)
+	if u.DailyUSD != 0 || u.AnnualUSD != 0 || u.ExtraMeasuredPerDay != 0 {
+		t.Errorf("no gap should mean no uplift: %+v", u)
+	}
+}
+
+func TestComputeNegativeGap(t *testing.T) {
+	// A worse solution yields a negative uplift, not a panic.
+	p := PaperMidSize()
+	p.MeasuredRateQTag = 0.5
+	p.MeasuredRateCommercial = 0.9
+	if u := Compute(p); u.DailyUSD >= 0 {
+		t.Errorf("expected negative uplift, got %v", u.DailyUSD)
+	}
+}
+
+func TestComputePanicsOnBadRates(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.MeasuredRateQTag = 1.5 },
+		func(p *Params) { p.ViewabilityRate = -0.1 },
+		func(p *Params) { p.AdsPerDay = -1 },
+		func(p *Params) { p.ViewabilityRate = math.NaN() },
+	}
+	for i, mutate := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			p := PaperMidSize()
+			mutate(&p)
+			Compute(p)
+		}()
+	}
+}
+
+func TestUpliftString(t *testing.T) {
+	s := Compute(PaperMidSize()).String()
+	if !strings.Contains(s, "$9.5k/day") || !strings.Contains(s, "3.47M/year") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,163 @@
+// Package geom provides the small amount of 2-D geometry the Q-Tag
+// simulator needs: axis-aligned rectangles, points, intersections and
+// visible-area fractions.
+//
+// All coordinates are float64 CSS-like pixels. The coordinate system has
+// the origin at the top-left corner with y growing downwards, matching the
+// web platform. Rectangles are half-open conceptually, but because all
+// computations are over continuous areas the distinction never matters.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in (CSS-)pixel space.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by the vector q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by the negation of q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f,%.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle identified by its top-left corner and
+// its size. A Rect with non-positive width or height is empty.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// RectFromCorners builds the rectangle spanned by two opposite corners in
+// any order.
+func RectFromCorners(a, b Point) Rect {
+	x0, x1 := math.Min(a.X, b.X), math.Max(a.X, b.X)
+	y0, y1 := math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)
+	return Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+}
+
+// Empty reports whether the rectangle has no area.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Area returns the rectangle's area; empty rectangles have area 0.
+func (r Rect) Area() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.W * r.H
+}
+
+// MaxX returns the x coordinate of the right edge.
+func (r Rect) MaxX() float64 { return r.X + r.W }
+
+// MaxY returns the y coordinate of the bottom edge.
+func (r Rect) MaxY() float64 { return r.Y + r.H }
+
+// Min returns the top-left corner.
+func (r Rect) Min() Point { return Point{r.X, r.Y} }
+
+// Max returns the bottom-right corner.
+func (r Rect) Max() Point { return Point{r.MaxX(), r.MaxY()} }
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() Point { return Point{r.X + r.W/2, r.Y + r.H/2} }
+
+// Translate returns r moved by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{X: r.X + dx, Y: r.Y + dy, W: r.W, H: r.H}
+}
+
+// Contains reports whether the point lies inside r (edges inclusive).
+func (r Rect) Contains(p Point) bool {
+	if r.Empty() {
+		return false
+	}
+	return p.X >= r.X && p.X <= r.MaxX() && p.Y >= r.Y && p.Y <= r.MaxY()
+}
+
+// ContainsRect reports whether s lies fully within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return s.X >= r.X && s.Y >= r.Y && s.MaxX() <= r.MaxX() && s.MaxY() <= r.MaxY()
+}
+
+// Intersect returns the overlap of the two rectangles. The result is the
+// zero Rect (empty) when they do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	x0 := math.Max(r.X, s.X)
+	y0 := math.Max(r.Y, s.Y)
+	x1 := math.Min(r.MaxX(), s.MaxX())
+	y1 := math.Min(r.MaxY(), s.MaxY())
+	if x1 <= x0 || y1 <= y0 {
+		return Rect{}
+	}
+	return Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+}
+
+// Intersects reports whether the rectangles share any area.
+func (r Rect) Intersects(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// Union returns the smallest rectangle containing both inputs. Empty inputs
+// are ignored; the union of two empty rectangles is the zero Rect.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return RectFromCorners(
+		Point{math.Min(r.X, s.X), math.Min(r.Y, s.Y)},
+		Point{math.Max(r.MaxX(), s.MaxX()), math.Max(r.MaxY(), s.MaxY())},
+	)
+}
+
+// VisibleFraction returns the fraction of r's area that lies within clip,
+// in [0, 1]. An empty r yields 0.
+func (r Rect) VisibleFraction(clip Rect) float64 {
+	a := r.Area()
+	if a == 0 {
+		return 0
+	}
+	return r.Intersect(clip).Area() / a
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.2f,%.2f %.2fx%.2f]", r.X, r.Y, r.W, r.H)
+}
+
+// Size is a width/height pair.
+type Size struct {
+	W, H float64
+}
+
+// Rect places the size at the given origin.
+func (s Size) Rect(origin Point) Rect { return Rect{X: origin.X, Y: origin.Y, W: s.W, H: s.H} }
+
+// String implements fmt.Stringer, rendering the conventional ad-size form
+// such as "300x250".
+func (s Size) String() string {
+	if s.W == math.Trunc(s.W) && s.H == math.Trunc(s.H) {
+		return fmt.Sprintf("%dx%d", int(s.W), int(s.H))
+	}
+	return fmt.Sprintf("%.2fx%.2f", s.W, s.H)
+}
+
+// Clamp returns v limited to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,246 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointAddSub(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Add(q).Sub(q); got != p {
+		t.Errorf("Add then Sub not identity: %v", got)
+	}
+}
+
+func TestRectFromCorners(t *testing.T) {
+	r := RectFromCorners(Point{5, 7}, Point{1, 2})
+	want := Rect{X: 1, Y: 2, W: 4, H: 5}
+	if r != want {
+		t.Errorf("RectFromCorners = %v, want %v", r, want)
+	}
+}
+
+func TestEmptyAndArea(t *testing.T) {
+	cases := []struct {
+		r     Rect
+		empty bool
+		area  float64
+	}{
+		{Rect{}, true, 0},
+		{Rect{W: 10, H: 0}, true, 0},
+		{Rect{W: 0, H: 10}, true, 0},
+		{Rect{W: -5, H: 10}, true, 0},
+		{Rect{X: 1, Y: 1, W: 2, H: 3}, false, 6},
+	}
+	for _, c := range cases {
+		if got := c.r.Empty(); got != c.empty {
+			t.Errorf("%v.Empty() = %v, want %v", c.r, got, c.empty)
+		}
+		if got := c.r.Area(); !approx(got, c.area) {
+			t.Errorf("%v.Area() = %v, want %v", c.r, got, c.area)
+		}
+	}
+}
+
+func TestEdgesAndCenter(t *testing.T) {
+	r := Rect{X: 10, Y: 20, W: 30, H: 40}
+	if !approx(r.MaxX(), 40) || !approx(r.MaxY(), 60) {
+		t.Errorf("MaxX/MaxY = %v/%v", r.MaxX(), r.MaxY())
+	}
+	if r.Min() != (Point{10, 20}) || r.Max() != (Point{40, 60}) {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+	if r.Center() != (Point{25, 40}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	r := Rect{X: 1, Y: 2, W: 3, H: 4}
+	got := r.Translate(10, -20)
+	want := Rect{X: 11, Y: -18, W: 3, H: 4}
+	if got != want {
+		t.Errorf("Translate = %v, want %v", got, want)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Rect{X: 0, Y: 0, W: 10, H: 10}
+	for _, p := range []Point{{0, 0}, {10, 10}, {5, 5}, {0, 10}} {
+		if !r.Contains(p) {
+			t.Errorf("expected %v to contain %v", r, p)
+		}
+	}
+	for _, p := range []Point{{-0.1, 5}, {10.1, 5}, {5, -1}, {5, 11}} {
+		if r.Contains(p) {
+			t.Errorf("expected %v not to contain %v", r, p)
+		}
+	}
+	if (Rect{}).Contains(Point{0, 0}) {
+		t.Error("empty rect should contain nothing")
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := Rect{X: 0, Y: 0, W: 100, H: 100}
+	if !outer.ContainsRect(Rect{X: 10, Y: 10, W: 20, H: 20}) {
+		t.Error("inner rect should be contained")
+	}
+	if !outer.ContainsRect(outer) {
+		t.Error("rect should contain itself")
+	}
+	if outer.ContainsRect(Rect{X: 90, Y: 90, W: 20, H: 20}) {
+		t.Error("overflowing rect should not be contained")
+	}
+	if outer.ContainsRect(Rect{}) {
+		t.Error("empty rect is never contained")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Rect{X: 0, Y: 0, W: 10, H: 10}
+	b := Rect{X: 5, Y: 5, W: 10, H: 10}
+	got := a.Intersect(b)
+	want := Rect{X: 5, Y: 5, W: 5, H: 5}
+	if got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersects(b) {
+		t.Error("expected overlap")
+	}
+	// Touching edges do not count as overlap (zero area).
+	c := Rect{X: 10, Y: 0, W: 5, H: 5}
+	if !a.Intersect(c).Empty() || a.Intersects(c) {
+		t.Error("edge-touching rects must not intersect")
+	}
+	d := Rect{X: 50, Y: 50, W: 1, H: 1}
+	if !a.Intersect(d).Empty() {
+		t.Error("disjoint rects must produce empty intersection")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Rect{X: 0, Y: 0, W: 2, H: 2}
+	b := Rect{X: 5, Y: 5, W: 1, H: 1}
+	got := a.Union(b)
+	want := Rect{X: 0, Y: 0, W: 6, H: 6}
+	if got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if a.Union(Rect{}) != a || (Rect{}).Union(a) != a {
+		t.Error("union with empty should be identity")
+	}
+}
+
+func TestVisibleFraction(t *testing.T) {
+	ad := Rect{X: 0, Y: 0, W: 100, H: 100}
+	viewport := Rect{X: 0, Y: 50, W: 1000, H: 1000}
+	if got := ad.VisibleFraction(viewport); !approx(got, 0.5) {
+		t.Errorf("VisibleFraction = %v, want 0.5", got)
+	}
+	if got := ad.VisibleFraction(Rect{}); got != 0 {
+		t.Errorf("fraction vs empty clip = %v", got)
+	}
+	if got := (Rect{}).VisibleFraction(viewport); got != 0 {
+		t.Errorf("fraction of empty rect = %v", got)
+	}
+	if got := ad.VisibleFraction(ad); !approx(got, 1) {
+		t.Errorf("full visibility = %v", got)
+	}
+}
+
+func TestSize(t *testing.T) {
+	s := Size{W: 300, H: 250}
+	if s.String() != "300x250" {
+		t.Errorf("String = %q", s.String())
+	}
+	r := s.Rect(Point{10, 20})
+	if r != (Rect{X: 10, Y: 20, W: 300, H: 250}) {
+		t.Errorf("Rect = %v", r)
+	}
+	frac := Size{W: 1.5, H: 2}
+	if frac.String() != "1.50x2.00" {
+		t.Errorf("fractional String = %q", frac.String())
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if (Point{1, 2}).String() != "(1.00,2.00)" {
+		t.Errorf("Point.String = %q", Point{1, 2}.String())
+	}
+	if (Rect{1, 2, 3, 4}).String() != "[1.00,2.00 3.00x4.00]" {
+		t.Errorf("Rect.String = %q", Rect{1, 2, 3, 4}.String())
+	}
+}
+
+// Property: intersection is commutative and its area never exceeds either input.
+func TestIntersectProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 1000) }
+		a := Rect{norm(ax), norm(ay), norm(aw), norm(ah)}
+		b := Rect{norm(bx), norm(by), norm(bw), norm(bh)}
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if ab != ba {
+			return false
+		}
+		if ab.Area() > a.Area()+1e-9 || ab.Area() > b.Area()+1e-9 {
+			return false
+		}
+		if !ab.Empty() && (!a.ContainsRect(ab) || !b.ContainsRect(ab)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: VisibleFraction is always within [0,1] and monotone in the clip.
+func TestVisibleFractionProperties(t *testing.T) {
+	f := func(x, y, w, h, cx, cy, cw, ch float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 500) }
+		r := Rect{norm(x), norm(y), norm(w) + 1, norm(h) + 1}
+		clip := Rect{norm(cx), norm(cy), norm(cw), norm(ch)}
+		frac := r.VisibleFraction(clip)
+		if frac < 0 || frac > 1+1e-9 {
+			return false
+		}
+		// A strictly larger clip can only increase the fraction.
+		bigger := Rect{clip.X - 10, clip.Y - 10, clip.W + 20, clip.H + 20}
+		return r.VisibleFraction(bigger) >= frac-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union contains both inputs.
+func TestUnionProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 100) }
+		a := Rect{norm(ax), norm(ay), 5, 5}
+		b := Rect{norm(bx), norm(by), 7, 3}
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package layouteval reproduces the paper's §4.1 layout validation
+// (Figure 2): the theoretical error in measuring an ad's viewable area
+// for the X, dice and + monitoring-pixel layouts, across pixel counts
+// from 9 to 60, under three sliding scenarios (diagonal, vertical,
+// horizontal).
+//
+// The evaluation is purely geometric: for each slide position the ad is
+// clipped by the viewport rectangle, each monitoring pixel is visible iff
+// it falls inside the clip, and the layout's area estimate is compared to
+// the true visible fraction. No browser machinery is involved — this is
+// the same "theoretical error" the paper computes.
+package layouteval
+
+import (
+	"fmt"
+	"math"
+
+	"qtag/internal/geom"
+	"qtag/internal/qtag"
+)
+
+// Scenario is a Figure 2 sliding scenario.
+type Scenario int
+
+// The three scenarios of §4.1.
+const (
+	// Diagonal slides the ad into the viewport corner-first: the visible
+	// region is a corner rectangle growing along both axes.
+	Diagonal Scenario = iota
+	// Vertical slides the ad in from the top edge.
+	Vertical
+	// Horizontal slides the ad in from the left edge.
+	Horizontal
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case Vertical:
+		return "vertical"
+	case Horizontal:
+		return "horizontal"
+	default:
+		return "diagonal"
+	}
+}
+
+// Scenarios returns the three scenarios in Figure 2 order.
+func Scenarios() []Scenario { return []Scenario{Diagonal, Vertical, Horizontal} }
+
+// DefaultPixelCounts is the Figure 2 sweep range: 9 to 60 monitoring
+// pixels.
+func DefaultPixelCounts() []int {
+	return []int{9, 13, 17, 21, 25, 29, 33, 37, 41, 45, 50, 55, 60}
+}
+
+// Config parameterises a sweep.
+type Config struct {
+	// Size is the creative size (defaults to 300×250).
+	Size geom.Size
+	// Steps is the number of slide positions per scenario (defaults to
+	// 200).
+	Steps int
+	// Method selects the area estimator (defaults to rectangle
+	// inference, Q-Tag's production estimator).
+	Method qtag.Method
+}
+
+func (c Config) withDefaults() Config {
+	if c.Size.W == 0 || c.Size.H == 0 {
+		c.Size = geom.Size{W: 300, H: 250}
+	}
+	if c.Steps == 0 {
+		c.Steps = 200
+	}
+	return c
+}
+
+// Point is one point of a Figure 2 curve.
+type Point struct {
+	Layout    qtag.Layout
+	Pixels    int
+	Scenario  Scenario
+	MeanError float64 // mean |estimated − true| visible fraction
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("%v/%d px/%v: %.4f", p.Layout, p.Pixels, p.Scenario, p.MeanError)
+}
+
+// MeanError computes the mean absolute area-estimation error for one
+// layout / pixel-count / scenario combination.
+func MeanError(cfg Config, layout qtag.Layout, pixels int, sc Scenario) float64 {
+	cfg = cfg.withDefaults()
+	est := qtag.NewAreaEstimator(qtag.Points(layout, pixels, cfg.Size), cfg.Size, cfg.Method)
+	w, h := cfg.Size.W, cfg.Size.H
+	var sum float64
+	for i := 0; i <= cfg.Steps; i++ {
+		f := float64(i) / float64(cfg.Steps)
+		var clip geom.Rect
+		var truth float64
+		switch sc {
+		case Vertical:
+			clip = geom.Rect{X: -1, Y: -1, W: w + 2, H: 1 + f*h}
+			truth = f
+		case Horizontal:
+			clip = geom.Rect{X: -1, Y: -1, W: 1 + f*w, H: h + 2}
+			truth = f
+		default:
+			clip = geom.Rect{X: -1, Y: -1, W: 1 + f*w, H: 1 + f*h}
+			truth = f * f
+		}
+		sum += math.Abs(est.EstimateClip(clip) - truth)
+	}
+	return sum / float64(cfg.Steps+1)
+}
+
+// Sweep computes the full Figure 2 grid: every layout × pixel count ×
+// scenario.
+func Sweep(cfg Config, pixelCounts []int) []Point {
+	cfg = cfg.withDefaults()
+	if len(pixelCounts) == 0 {
+		pixelCounts = DefaultPixelCounts()
+	}
+	var out []Point
+	for _, layout := range qtag.Layouts() {
+		for _, n := range pixelCounts {
+			for _, sc := range Scenarios() {
+				out = append(out, Point{
+					Layout: layout, Pixels: n, Scenario: sc,
+					MeanError: MeanError(cfg, layout, n, sc),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Curve extracts the (pixels → mean error) series of one layout averaged
+// over the given scenarios (all three when none specified), matching how
+// Figure 2 plots per-layout curves.
+func Curve(points []Point, layout qtag.Layout, scenarios ...Scenario) (xs []int, ys []float64) {
+	if len(scenarios) == 0 {
+		scenarios = Scenarios()
+	}
+	want := map[Scenario]bool{}
+	for _, s := range scenarios {
+		want[s] = true
+	}
+	acc := map[int][]float64{}
+	order := []int{}
+	for _, p := range points {
+		if p.Layout != layout || !want[p.Scenario] {
+			continue
+		}
+		if _, seen := acc[p.Pixels]; !seen {
+			order = append(order, p.Pixels)
+		}
+		acc[p.Pixels] = append(acc[p.Pixels], p.MeanError)
+	}
+	for _, n := range order {
+		var sum float64
+		for _, e := range acc[n] {
+			sum += e
+		}
+		xs = append(xs, n)
+		ys = append(ys, sum/float64(len(acc[n])))
+	}
+	return xs, ys
+}

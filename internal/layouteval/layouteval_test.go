@@ -1,0 +1,126 @@
+package layouteval
+
+import (
+	"math"
+	"testing"
+
+	"qtag/internal/geom"
+	"qtag/internal/qtag"
+)
+
+func TestScenarioStrings(t *testing.T) {
+	if Diagonal.String() != "diagonal" || Vertical.String() != "vertical" || Horizontal.String() != "horizontal" {
+		t.Error("scenario names wrong")
+	}
+	if len(Scenarios()) != 3 {
+		t.Error("Scenarios wrong")
+	}
+}
+
+func TestDefaultPixelCounts(t *testing.T) {
+	counts := DefaultPixelCounts()
+	if counts[0] != 9 || counts[len(counts)-1] != 60 {
+		t.Errorf("sweep range = %v, want 9..60 (Figure 2)", counts)
+	}
+	has25 := false
+	for i := 1; i < len(counts); i++ {
+		if counts[i] <= counts[i-1] {
+			t.Fatal("counts must increase")
+		}
+		if counts[i] == 25 {
+			has25 = true
+		}
+	}
+	if !has25 {
+		t.Error("the paper's 25-pixel point must be in the sweep")
+	}
+}
+
+func TestSweepCoversGrid(t *testing.T) {
+	pts := Sweep(Config{Steps: 50}, []int{9, 25})
+	if len(pts) != 3*2*3 { // layouts × counts × scenarios
+		t.Fatalf("sweep points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.MeanError < 0 || p.MeanError > 1 {
+			t.Errorf("error out of range: %v", p)
+		}
+		if p.String() == "" {
+			t.Error("point String empty")
+		}
+	}
+}
+
+// TestFigure2Claims verifies the §4.1 findings over the full sweep:
+// dice worst everywhere; X ≈ + on axis-aligned slides; X best on the
+// diagonal; error drops steeply 9→21 then flattens.
+func TestFigure2Claims(t *testing.T) {
+	cfg := Config{Steps: 120}
+	at := func(l qtag.Layout, n int, sc Scenario) float64 {
+		return MeanError(cfg, l, n, sc)
+	}
+	const n = 25
+	for _, sc := range []Scenario{Vertical, Horizontal} {
+		x, plus, dice := at(qtag.LayoutX, n, sc), at(qtag.LayoutPlus, n, sc), at(qtag.LayoutDice, n, sc)
+		if dice <= x || dice <= plus {
+			t.Errorf("%v: dice %.4f should be worst (X %.4f, + %.4f)", sc, dice, x, plus)
+		}
+		if math.Abs(x-plus) > 0.035 {
+			t.Errorf("%v: X %.4f and + %.4f should be comparable", sc, x, plus)
+		}
+	}
+	xd, plusd, diced := at(qtag.LayoutX, n, Diagonal), at(qtag.LayoutPlus, n, Diagonal), at(qtag.LayoutDice, n, Diagonal)
+	if xd >= plusd || xd >= diced {
+		t.Errorf("diagonal: X %.4f should be best (+ %.4f, dice %.4f)", xd, plusd, diced)
+	}
+
+	// Error-vs-count trend for the X layout averaged over scenarios.
+	avg := func(n int) float64 {
+		return (at(qtag.LayoutX, n, Vertical) + at(qtag.LayoutX, n, Horizontal) + at(qtag.LayoutX, n, Diagonal)) / 3
+	}
+	e9, e21, e25, e60 := avg(9), avg(21), avg(25), avg(60)
+	if e21 >= e9 || e60 >= e25 {
+		t.Errorf("error must decrease with pixels: 9→%.4f 21→%.4f 25→%.4f 60→%.4f", e9, e21, e25, e60)
+	}
+	if (e9 - e25) <= (e25 - e60) {
+		t.Errorf("curve must flatten: early drop %.4f vs late drop %.4f", e9-e25, e25-e60)
+	}
+}
+
+func TestCurveExtraction(t *testing.T) {
+	pts := Sweep(Config{Steps: 40}, []int{9, 25, 60})
+	xs, ys := Curve(pts, qtag.LayoutX)
+	if len(xs) != 3 || len(ys) != 3 {
+		t.Fatalf("curve lengths = %d/%d", len(xs), len(ys))
+	}
+	if xs[0] != 9 || xs[2] != 60 {
+		t.Errorf("curve xs = %v", xs)
+	}
+	if ys[2] >= ys[0] {
+		t.Errorf("error should shrink along the curve: %v", ys)
+	}
+	// Single-scenario extraction differs from the average.
+	_, diag := Curve(pts, qtag.LayoutPlus, Diagonal)
+	_, vert := Curve(pts, qtag.LayoutPlus, Vertical)
+	if diag[0] == vert[0] {
+		t.Error("scenario filter appears inert")
+	}
+}
+
+func TestBannerSizeSweep(t *testing.T) {
+	// The 320×50 banner from the §5 campaigns must also behave: error
+	// decreases with pixels.
+	banner := geom.Size{W: 320, H: 50}
+	e9 := MeanError(Config{Size: banner, Steps: 80}, qtag.LayoutX, 9, Vertical)
+	e25 := MeanError(Config{Size: banner, Steps: 80}, qtag.LayoutX, 25, Vertical)
+	if e25 >= e9 {
+		t.Errorf("banner errors: 9px %.4f vs 25px %.4f", e9, e25)
+	}
+}
+
+func BenchmarkFigure2Cell(b *testing.B) {
+	cfg := Config{Steps: 200}
+	for i := 0; i < b.N; i++ {
+		MeanError(cfg, qtag.LayoutX, 25, Diagonal)
+	}
+}

@@ -1,0 +1,211 @@
+// Package predict implements the viewability *prediction* baseline the
+// paper cites as related work (§7, Wang et al. [36]: predicting
+// viewability from scroll depth for a given user and page) — an
+// extension, not part of the paper's own contribution.
+//
+// Measurement (Q-Tag) answers "was this impression viewed"; prediction
+// answers "will an ad placed at this depth be viewed", which is what a
+// bidder wants *before* buying the impression. The model here is a small
+// logistic regression over placement depth and device class, trained by
+// gradient descent on ground-truth-labelled impressions from the
+// production simulator (campaign.Config.RecordImpressions), and evaluated
+// with accuracy, AUC and Brier score.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qtag/internal/campaign"
+)
+
+// Sample is one labelled impression.
+type Sample struct {
+	// DepthFraction is the ad's placement depth below the initial
+	// viewport as a fraction of page height (0 = above the fold).
+	DepthFraction float64
+	// Mobile is the device class.
+	Mobile bool
+	// Viewed is the ground-truth label.
+	Viewed bool
+}
+
+// SamplesFromResult converts a simulation's impression records into
+// training samples. The simulation must have been run with
+// RecordImpressions set.
+func SamplesFromResult(res *campaign.Result) []Sample {
+	out := make([]Sample, 0, len(res.Impressions))
+	for _, r := range res.Impressions {
+		out = append(out, Sample{
+			DepthFraction: r.DepthFraction,
+			Mobile:        r.Mobile,
+			Viewed:        r.Viewed,
+		})
+	}
+	return out
+}
+
+// Model is a logistic regression P(viewed) = σ(b + wDepth·depth +
+// wMobile·mobile).
+type Model struct {
+	Bias    float64
+	WDepth  float64
+	WMobile float64
+}
+
+// Predict returns the estimated probability that an ad at the given
+// depth on the given device class meets the viewability standard.
+func (m *Model) Predict(depth float64, mobile bool) float64 {
+	z := m.Bias + m.WDepth*depth
+	if mobile {
+		z += m.WMobile
+	}
+	return sigmoid(z)
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// String implements fmt.Stringer.
+func (m *Model) String() string {
+	return fmt.Sprintf("logit(p) = %.3f + %.3f·depth + %.3f·mobile", m.Bias, m.WDepth, m.WMobile)
+}
+
+// TrainConfig tunes the gradient-descent fit.
+type TrainConfig struct {
+	// Epochs is the number of full passes (default 200).
+	Epochs int
+	// LearningRate is the SGD step size (default 0.5).
+	LearningRate float64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.5
+	}
+	return c
+}
+
+// Train fits a logistic model by batch gradient descent on the log loss.
+// It panics on an empty training set.
+func Train(samples []Sample, cfg TrainConfig) *Model {
+	if len(samples) == 0 {
+		panic("predict: Train with no samples")
+	}
+	cfg = cfg.withDefaults()
+	m := &Model{}
+	n := float64(len(samples))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var gb, gd, gm float64
+		for _, s := range samples {
+			p := m.Predict(s.DepthFraction, s.Mobile)
+			y := 0.0
+			if s.Viewed {
+				y = 1
+			}
+			err := p - y
+			gb += err
+			gd += err * s.DepthFraction
+			if s.Mobile {
+				gm += err
+			}
+		}
+		m.Bias -= cfg.LearningRate * gb / n
+		m.WDepth -= cfg.LearningRate * gd / n
+		m.WMobile -= cfg.LearningRate * gm / n
+	}
+	return m
+}
+
+// Metrics summarises a model's quality on a labelled set.
+type Metrics struct {
+	// Accuracy is the fraction of correct ≥0.5-threshold decisions.
+	Accuracy float64
+	// AUC is the area under the ROC curve (0.5 = chance, 1 = perfect).
+	AUC float64
+	// Brier is the mean squared probability error (lower is better).
+	Brier float64
+	// BaseRate is the positive-label fraction, for reference.
+	BaseRate float64
+}
+
+// String implements fmt.Stringer.
+func (m Metrics) String() string {
+	return fmt.Sprintf("acc=%.3f auc=%.3f brier=%.3f base=%.3f", m.Accuracy, m.AUC, m.Brier, m.BaseRate)
+}
+
+// Evaluate scores the model on a labelled set. It panics on an empty set.
+func Evaluate(m *Model, samples []Sample) Metrics {
+	if len(samples) == 0 {
+		panic("predict: Evaluate with no samples")
+	}
+	preds := make([]scored, 0, len(samples))
+	var correct int
+	var brier float64
+	var positives int
+	for _, s := range samples {
+		p := m.Predict(s.DepthFraction, s.Mobile)
+		preds = append(preds, scored{p: p, y: s.Viewed})
+		y := 0.0
+		if s.Viewed {
+			y = 1
+			positives++
+		}
+		if (p >= 0.5) == s.Viewed {
+			correct++
+		}
+		brier += (p - y) * (p - y)
+	}
+	n := float64(len(samples))
+	out := Metrics{
+		Accuracy: float64(correct) / n,
+		Brier:    brier / n,
+		BaseRate: float64(positives) / n,
+	}
+	out.AUC = auc(preds)
+	return out
+}
+
+// scored pairs a prediction with its label for ranking.
+type scored struct {
+	p float64
+	y bool
+}
+
+// auc computes the area under the ROC curve via the rank statistic
+// (probability a random positive scores above a random negative, ties
+// counting half).
+func auc(preds []scored) float64 {
+	sort.Slice(preds, func(i, j int) bool { return preds[i].p < preds[j].p })
+	var pos, neg int
+	for _, s := range preds {
+		if s.y {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	// Average rank of positives (1-based, ties averaged).
+	var rankSum float64
+	i := 0
+	for i < len(preds) {
+		j := i
+		for j < len(preds) && preds[j].p == preds[i].p {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // average of ranks i+1..j
+		for k := i; k < j; k++ {
+			if preds[k].y {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	return (rankSum - float64(pos)*float64(pos+1)/2) / (float64(pos) * float64(neg))
+}

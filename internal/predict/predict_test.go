@@ -1,0 +1,156 @@
+package predict
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qtag/internal/campaign"
+	"qtag/internal/simrand"
+)
+
+// synthetic builds a separable dataset: shallow ads viewed, deep ads not,
+// with label noise.
+func synthetic(n int, seed uint64) []Sample {
+	rng := simrand.New(seed)
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		depth := rng.Float64()
+		pViewed := 0.9 - 0.8*depth // linear in depth
+		out = append(out, Sample{
+			DepthFraction: depth,
+			Mobile:        rng.Bool(0.7),
+			Viewed:        rng.Bool(pViewed),
+		})
+	}
+	return out
+}
+
+func TestTrainLearnsDepthEffect(t *testing.T) {
+	samples := synthetic(4000, 1)
+	m := Train(samples, TrainConfig{})
+	if m.WDepth >= 0 {
+		t.Errorf("depth weight should be negative (deeper = less viewed): %v", m)
+	}
+	// Predictions must be ordered by depth.
+	if m.Predict(0.1, false) <= m.Predict(0.9, false) {
+		t.Error("shallow placement must predict higher viewability")
+	}
+	metrics := Evaluate(m, synthetic(2000, 2))
+	if metrics.AUC < 0.65 {
+		t.Errorf("AUC = %.3f, expected clearly better than chance", metrics.AUC)
+	}
+	if metrics.Accuracy <= metrics.BaseRate-0.05 {
+		t.Errorf("accuracy %.3f should not be far below base rate %.3f", metrics.Accuracy, metrics.BaseRate)
+	}
+	if metrics.Brier >= 0.25 {
+		t.Errorf("Brier = %.3f, should beat the uninformed 0.25", metrics.Brier)
+	}
+	if m.String() == "" || metrics.String() == "" {
+		t.Error("stringers empty")
+	}
+}
+
+func TestTrainOnSimulatorData(t *testing.T) {
+	res := campaign.New(campaign.Config{
+		Seed: 5, Campaigns: 10, ImpressionsPerCampaign: 120, BothCampaigns: 0,
+		RecordImpressions: true,
+	}).Run()
+	samples := SamplesFromResult(res)
+	if len(samples) < 800 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	// Split train/test deterministically.
+	split := len(samples) * 3 / 4
+	m := Train(samples[:split], TrainConfig{})
+	metrics := Evaluate(m, samples[split:])
+	if m.WDepth >= 0 {
+		t.Errorf("simulated sessions scroll from the top, so depth must hurt: %v", m)
+	}
+	if metrics.AUC < 0.60 {
+		t.Errorf("AUC on simulator data = %.3f, want meaningfully above chance", metrics.AUC)
+	}
+}
+
+func TestRecordsHaveSaneFields(t *testing.T) {
+	res := campaign.New(campaign.Config{
+		Seed: 6, Campaigns: 3, ImpressionsPerCampaign: 40, BothCampaigns: 0,
+		RecordImpressions: true,
+	}).Run()
+	if len(res.Impressions) == 0 {
+		t.Fatal("no records collected")
+	}
+	viewed := 0
+	for _, r := range res.Impressions {
+		if r.DepthFraction < 0 || r.DepthFraction > 1 {
+			t.Fatalf("depth out of range: %+v", r)
+		}
+		if r.CampaignID == "" {
+			t.Fatal("missing campaign id")
+		}
+		if r.Viewed {
+			viewed++
+		}
+	}
+	if viewed == 0 || viewed == len(res.Impressions) {
+		t.Errorf("degenerate labels: %d/%d viewed", viewed, len(res.Impressions))
+	}
+	// Records are off by default.
+	res2 := campaign.New(campaign.Config{Seed: 6, Campaigns: 1, ImpressionsPerCampaign: 10, BothCampaigns: 0}).Run()
+	if len(res2.Impressions) != 0 {
+		t.Error("records collected without opt-in")
+	}
+}
+
+func TestAUCProperties(t *testing.T) {
+	// Perfect separation → AUC 1.
+	var perfect []Sample
+	for i := 0; i < 50; i++ {
+		perfect = append(perfect, Sample{DepthFraction: 0.1, Viewed: true})
+		perfect = append(perfect, Sample{DepthFraction: 0.9, Viewed: false})
+	}
+	m := &Model{Bias: 2, WDepth: -5}
+	if got := Evaluate(m, perfect).AUC; math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect AUC = %v", got)
+	}
+	// Constant scores → AUC 0.5 (all ties).
+	flat := &Model{}
+	if got := Evaluate(flat, perfect).AUC; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("tied AUC = %v", got)
+	}
+	// Single-class sets degrade gracefully to 0.5.
+	onlyPos := []Sample{{Viewed: true}, {DepthFraction: 0.5, Viewed: true}}
+	if got := Evaluate(m, onlyPos).AUC; got != 0.5 {
+		t.Errorf("single-class AUC = %v", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { Train(nil, TrainConfig{}) },
+		func() { Evaluate(&Model{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestModelStringFormat(t *testing.T) {
+	m := &Model{Bias: 1.5, WDepth: -3.25, WMobile: 0.125}
+	if !strings.Contains(m.String(), "-3.250") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	samples := synthetic(1000, 1)
+	for i := 0; i < b.N; i++ {
+		Train(samples, TrainConfig{Epochs: 50})
+	}
+}

@@ -1,0 +1,302 @@
+package qtag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qtag/internal/geom"
+)
+
+// Method selects how the area estimator converts the set of visible
+// monitoring pixels into an estimated visible fraction ("we compute the
+// area associated with the visible monitoring pixels", §3).
+type Method int
+
+const (
+	// MethodRectInference exploits the structure of the problem: the
+	// visible part of a creative is always its intersection with an
+	// axis-aligned rectangle (the viewport, possibly further clipped by
+	// the screen), so the estimator infers that rectangle's edges from
+	// the visible/invisible pixel pattern. An invisible pixel constrains
+	// an edge only when its invisibility cannot be explained by the other
+	// axis. This is the default estimator and the one that reproduces
+	// Figure 2: X and + perform equally under axis-aligned sliding (each
+	// axis is resolved by the pixels aligned with it) while + collapses
+	// under diagonal sliding (no pixels in the visible corner) and dice
+	// is coarse everywhere (few distinct coordinate levels).
+	MethodRectInference Method = iota
+	// MethodVoronoi attributes each creative point to its nearest pixel
+	// and sums the cells of visible pixels. Ablation (DESIGN.md A3).
+	MethodVoronoi
+	// MethodUniform counts visible pixels / total pixels. Ablation.
+	MethodUniform
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodVoronoi:
+		return "voronoi"
+	case MethodUniform:
+		return "uniform"
+	default:
+		return "rect-inference"
+	}
+}
+
+// voronoiGrid is the rasterization resolution used to compute Voronoi
+// cell areas for MethodVoronoi.
+const voronoiGrid = 96
+
+// AreaEstimator converts visibility bits of a pixel set into an estimated
+// visible fraction of the creative. It is pure geometry — no browser
+// state — so both the live tag and the §4.1 theoretical-layout evaluation
+// share it.
+type AreaEstimator struct {
+	points  []geom.Point
+	size    geom.Size
+	method  Method
+	weights []float64 // per-pixel area fractions (voronoi/uniform)
+}
+
+// NewAreaEstimator precomputes an estimator for pixels at the given
+// positions inside a creative of the given size.
+func NewAreaEstimator(points []geom.Point, size geom.Size, method Method) *AreaEstimator {
+	if len(points) == 0 {
+		panic("qtag: AreaEstimator needs at least one pixel")
+	}
+	e := &AreaEstimator{points: points, size: size, method: method}
+	switch method {
+	case MethodRectInference:
+		// No precomputation beyond the points themselves.
+	case MethodUniform:
+		e.weights = make([]float64, len(points))
+		for i := range e.weights {
+			e.weights[i] = 1 / float64(len(points))
+		}
+	case MethodVoronoi:
+		e.weights = make([]float64, len(points))
+		e.computeVoronoiWeights()
+	default:
+		panic(fmt.Sprintf("qtag: unknown estimator method %d", method))
+	}
+	return e
+}
+
+// computeVoronoiWeights rasterizes the creative into a grid and attributes
+// each grid cell to the nearest pixel (distance normalised per axis so
+// wide banners partition sensibly).
+func (e *AreaEstimator) computeVoronoiWeights() {
+	size := e.size
+	cellW := size.W / voronoiGrid
+	cellH := size.H / voronoiGrid
+	cellFrac := 1.0 / (voronoiGrid * voronoiGrid)
+	distSq := func(p geom.Point, x, y float64) float64 {
+		dx := (p.X - x) / size.W
+		dy := (p.Y - y) / size.H
+		return dx*dx + dy*dy
+	}
+	for gy := 0; gy < voronoiGrid; gy++ {
+		cy := (float64(gy) + 0.5) * cellH
+		for gx := 0; gx < voronoiGrid; gx++ {
+			cx := (float64(gx) + 0.5) * cellW
+			best := 0
+			bestD := distSq(e.points[0], cx, cy)
+			for i := 1; i < len(e.points); i++ {
+				if d := distSq(e.points[i], cx, cy); d < bestD {
+					bestD = d
+					best = i
+				}
+			}
+			e.weights[best] += cellFrac
+		}
+	}
+}
+
+// NumPixels returns the number of monitoring pixels.
+func (e *AreaEstimator) NumPixels() int { return len(e.points) }
+
+// Points returns the pixel positions (not a copy; do not mutate).
+func (e *AreaEstimator) Points() []geom.Point { return e.points }
+
+// Estimate returns the estimated visible fraction of the creative given
+// per-pixel visibility bits. It panics when the bit vector length does not
+// match the pixel count.
+func (e *AreaEstimator) Estimate(visible []bool) float64 {
+	if len(visible) != len(e.points) {
+		panic(fmt.Sprintf("qtag: Estimate got %d bits for %d pixels", len(visible), len(e.points)))
+	}
+	switch e.method {
+	case MethodRectInference:
+		return e.rectInfer(visible)
+	default:
+		var frac float64
+		for i, v := range visible {
+			if v {
+				frac += e.weights[i]
+			}
+		}
+		return math.Min(frac, 1)
+	}
+}
+
+// EstimateClip returns the estimated visible fraction if the creative were
+// clipped by the given rectangle (both in creative-local coordinates):
+// pixel i is visible iff it lies inside clip. This is the theoretical
+// (§4.1) evaluation path, bypassing the refresh-rate machinery.
+func (e *AreaEstimator) EstimateClip(clip geom.Rect) float64 {
+	visible := make([]bool, len(e.points))
+	for i, p := range e.points {
+		visible[i] = clip.Contains(p)
+	}
+	return e.Estimate(visible)
+}
+
+// rectInfer implements MethodRectInference.
+//
+// Model: visible region = creative ∩ V for an unknown axis-aligned
+// rectangle V. The bounding box B of the visible pixels lies inside V.
+// For each of B's four edges we look for invisible pixels beyond the edge
+// whose *other* coordinate falls inside B's span on the perpendicular
+// axis — such a pixel's invisibility can only be explained by this edge
+// of V, so V's edge lies between B's edge and that pixel. We place the
+// estimated edge half a coordinate-level beyond B (capped by the
+// constraint); with no constraining pixel at all the edge extends to the
+// creative boundary, reflecting the prior that viewport edges usually lie
+// outside the ad.
+func (e *AreaEstimator) rectInfer(visible []bool) float64 {
+	adArea := e.size.W * e.size.H
+	if adArea <= 0 {
+		return 0
+	}
+	// Bounding box of visible pixels.
+	first := true
+	var minX, maxX, minY, maxY float64
+	for i, v := range visible {
+		if !v {
+			continue
+		}
+		p := e.points[i]
+		if first {
+			minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+			first = false
+			continue
+		}
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if first {
+		return 0 // nothing visible
+	}
+
+	xHi := e.inferEdge(visible, maxX, minY, maxY, +1, false)
+	xLo := e.inferEdge(visible, minX, minY, maxY, -1, false)
+	yHi := e.inferEdge(visible, maxY, minX, maxX, +1, true)
+	yLo := e.inferEdge(visible, minY, minX, maxX, -1, true)
+
+	w := geom.Clamp(xHi, 0, e.size.W) - geom.Clamp(xLo, 0, e.size.W)
+	h := geom.Clamp(yHi, 0, e.size.H) - geom.Clamp(yLo, 0, e.size.H)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return math.Min(w*h/adArea, 1)
+}
+
+// inferEdge estimates one edge of the clip rectangle.
+//
+//   - edge: the bounding-box coordinate on this axis (max for dir=+1,
+//     min for dir=-1);
+//   - perpLo/perpHi: the bounding box span on the perpendicular axis;
+//   - dir: +1 for the high edge, −1 for the low edge;
+//   - yAxis: true when inferring a y edge.
+//
+// The returned coordinate is edge + dir·expansion.
+func (e *AreaEstimator) inferEdge(visible []bool, edge, perpLo, perpHi float64, dir float64, yAxis bool) float64 {
+	adMax := e.size.W
+	if yAxis {
+		adMax = e.size.H
+	}
+	const eps = 1e-9
+
+	// Nearest invisible pixel beyond the edge whose perpendicular
+	// coordinate lies within the bounding box span: its invisibility must
+	// be due to this edge.
+	constraint := math.Inf(1)
+	for i, v := range visible {
+		if v {
+			continue
+		}
+		p := e.points[i]
+		coord, perp := p.X, p.Y
+		if yAxis {
+			coord, perp = p.Y, p.X
+		}
+		if perp < perpLo-eps || perp > perpHi+eps {
+			continue
+		}
+		if d := dir * (coord - edge); d > eps {
+			constraint = math.Min(constraint, d)
+		}
+	}
+	if math.IsInf(constraint, 1) {
+		// Unconstrained: the clip edge is beyond every pixel on this
+		// side; extend to the creative boundary.
+		if dir > 0 {
+			return adMax
+		}
+		return 0
+	}
+
+	// Constrained: expand by half the distance to the next coordinate
+	// level of the layout (the natural resolution of this axis), capped
+	// at half the distance to the constraining pixel.
+	next := e.nextLevel(edge, dir, yAxis)
+	expansion := constraint / 2
+	if next > 0 {
+		expansion = math.Min(expansion, next/2)
+	}
+	return edge + dir*expansion
+}
+
+// nextLevel returns the distance from coord to the nearest distinct pixel
+// coordinate level strictly beyond it in direction dir along the chosen
+// axis, or 0 when none exists.
+func (e *AreaEstimator) nextLevel(coord, dir float64, yAxis bool) float64 {
+	const eps = 1e-9
+	best := math.Inf(1)
+	for _, p := range e.points {
+		c := p.X
+		if yAxis {
+			c = p.Y
+		}
+		if d := dir * (c - coord); d > eps {
+			best = math.Min(best, d)
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+// levels returns the sorted distinct coordinate levels of the layout
+// along one axis; exposed for diagnostics and tests.
+func (e *AreaEstimator) levels(yAxis bool) []float64 {
+	set := make(map[float64]bool, len(e.points))
+	for _, p := range e.points {
+		c := p.X
+		if yAxis {
+			c = p.Y
+		}
+		set[math.Round(c*1e9)/1e9] = true
+	}
+	out := make([]float64, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Float64s(out)
+	return out
+}

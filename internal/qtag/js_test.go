@@ -1,0 +1,125 @@
+package qtag
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"qtag/internal/geom"
+	"qtag/internal/viewability"
+)
+
+func genDefault() string {
+	return GenerateJS(Config{}, "https://monitor.example/v1/events", geom.Size{W: 300, H: 250})
+}
+
+func TestGenerateJSStructure(t *testing.T) {
+	js := genDefault()
+	required := []string{
+		"'use strict'",
+		`ENDPOINT = "https://monitor.example/v1/events"`,
+		"requestAnimationFrame",
+		"navigator.sendBeacon",
+		"sendBeacon('loaded')",
+		"sendBeacon('in-view')",
+		"sendBeacon('out-of-view')",
+		"FPS_THRESHOLD = 20",
+		"SAMPLE_MS = 100",
+		"AD_W = 300, AD_H = 250",
+		"CRITERIA_OVERRIDE = null",
+		"inferEdge",   // the rectangle-inference estimator travelled with it
+		"data-format", // per-format criteria selection (§3: "our tag can identify the type of ad")
+	}
+	for _, want := range required {
+		if !strings.Contains(js, want) {
+			t.Errorf("generated tag missing %q", want)
+		}
+	}
+	// Balanced braces/parens — a cheap syntactic sanity check.
+	if strings.Count(js, "{") != strings.Count(js, "}") {
+		t.Error("unbalanced braces")
+	}
+	if strings.Count(js, "(") != strings.Count(js, ")") {
+		t.Error("unbalanced parentheses")
+	}
+}
+
+// TestGenerateJSBakesLayout checks that the emitted pixel coordinates are
+// exactly the Go layout's — the lockstep guarantee the doc comment
+// promises.
+func TestGenerateJSBakesLayout(t *testing.T) {
+	js := genDefault()
+	points := Points(LayoutX, 25, geom.Size{W: 300, H: 250})
+	if len(points) != 25 {
+		t.Fatal("layout size wrong")
+	}
+	for _, p := range points {
+		pair := fmt.Sprintf("[%.2f,%.2f]", p.X, p.Y)
+		if !strings.Contains(js, pair) {
+			t.Errorf("coordinate %s not baked into the tag", pair)
+		}
+	}
+	// Count the pairs: exactly 25.
+	if got := strings.Count(js, "],["); got != 24 {
+		t.Errorf("expected 25 coordinate pairs, separators = %d", got)
+	}
+}
+
+func TestGenerateJSVideoCriteria(t *testing.T) {
+	js := genDefault()
+	if !strings.Contains(js, "{ area: 0.5, dwellMs: 2000 }") {
+		t.Error("video criteria missing")
+	}
+	if !strings.Contains(js, "{ area: 0.3, dwellMs: 1000 }") {
+		t.Error("large-display criteria missing")
+	}
+	if !strings.Contains(js, "{ area: 0.5, dwellMs: 1000 }") {
+		t.Error("display criteria missing")
+	}
+}
+
+func TestGenerateJSCriteriaOverride(t *testing.T) {
+	crit := viewability.Criteria{AreaFraction: 0.75, Dwell: 1500 * time.Millisecond}
+	js := GenerateJS(Config{Criteria: &crit}, "https://m.example", geom.Size{W: 300, H: 250})
+	if !strings.Contains(js, "CRITERIA_OVERRIDE = {area:0.7500,dwellMs:1500}") {
+		t.Error("criteria override not baked")
+	}
+}
+
+func TestGenerateJSCustomConfig(t *testing.T) {
+	js := GenerateJS(Config{
+		Layout: LayoutPlus, PixelCount: 9, FPSThreshold: 30,
+		SampleInterval: 250 * time.Millisecond,
+	}, "https://m.example", geom.Size{W: 320, H: 50})
+	if !strings.Contains(js, "FPS_THRESHOLD = 30") {
+		t.Error("threshold not baked")
+	}
+	if !strings.Contains(js, "SAMPLE_MS = 250") {
+		t.Error("sample interval not baked")
+	}
+	if !strings.Contains(js, "AD_W = 320, AD_H = 50") {
+		t.Error("creative size not baked")
+	}
+	if got := strings.Count(js, "],["); got != 8 {
+		t.Errorf("expected 9 coordinate pairs, separators = %d", got)
+	}
+	if !strings.Contains(js, "layout=+ pixels=9") {
+		t.Error("header metadata wrong")
+	}
+}
+
+func TestGenerateJSNoTemplatePlaceholders(t *testing.T) {
+	js := genDefault()
+	for _, bad := range []string{"%s", "%d", "%g", "%q", "%!", "(MISSING)"} {
+		if strings.Contains(js, bad) {
+			t.Errorf("unexpanded placeholder %q in output", bad)
+		}
+	}
+}
+
+func BenchmarkGenerateJS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenerateJS(Config{}, "https://m.example/v1/events", geom.Size{W: 300, H: 250})
+	}
+}

@@ -1,0 +1,166 @@
+// Package qtag implements the paper's primary contribution: the Q-Tag
+// viewability measurement technique (§3).
+//
+// Q-Tag deploys monitoring pixels inside the ad's iframe in a chosen
+// layout (the paper's default is 25 pixels in an "X layout"), observes the
+// refresh/paint rate of each pixel, classifies pixels refreshing at ≥ 20
+// fps as visible, estimates the exposed area of the creative from the
+// visible pixel set, and runs the IAB/MRC viewability state machine on the
+// estimate. When the standard's criteria are met it beacons an in-view
+// event to the monitoring server; if visibility is later lost it beacons
+// out-of-view.
+package qtag
+
+import (
+	"fmt"
+
+	"qtag/internal/geom"
+)
+
+// Layout enumerates the monitoring-pixel arrangements compared in §4.1 /
+// Figure 2.
+type Layout int
+
+const (
+	// LayoutX places pixels along both diagonals plus the center and the
+	// four side midpoints (Figure 2.A). The paper's recommended layout.
+	LayoutX Layout = iota
+	// LayoutDice clusters pixels at the five positions of a dice "5" face
+	// (Figure 2.B). The worst performer.
+	LayoutDice
+	// LayoutPlus places pixels along the vertical and horizontal center
+	// lines (Figure 2.C).
+	LayoutPlus
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case LayoutX:
+		return "X"
+	case LayoutDice:
+		return "dice"
+	case LayoutPlus:
+		return "+"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Layouts returns all layouts in Figure 2 order.
+func Layouts() []Layout { return []Layout{LayoutX, LayoutDice, LayoutPlus} }
+
+// Points returns the positions of n monitoring pixels arranged in the
+// given layout within a w×h creative, in creative-local coordinates. It
+// panics for n < 5 (every layout needs its anchors) or non-positive
+// dimensions.
+//
+// For the paper's canonical 25-pixel X layout the arrangement is exactly
+// §3's: ten pixels per diagonal (excluding the center), the center pixel,
+// and one pixel at each side midpoint.
+func Points(l Layout, n int, size geom.Size) []geom.Point {
+	if n < 5 {
+		panic(fmt.Sprintf("qtag: layout needs at least 5 pixels, got %d", n))
+	}
+	if size.W <= 0 || size.H <= 0 {
+		panic(fmt.Sprintf("qtag: invalid creative size %v", size))
+	}
+	switch l {
+	case LayoutDice:
+		return dicePoints(n, size)
+	case LayoutPlus:
+		return plusPoints(n, size)
+	default:
+		return xPoints(n, size)
+	}
+}
+
+// xPoints: center + 4 side midpoints + the remaining n−5 pixels split
+// across the two diagonals.
+func xPoints(n int, size geom.Size) []geom.Point {
+	w, h := size.W, size.H
+	pts := []geom.Point{
+		{X: w / 2, Y: h / 2}, // center
+		{X: w / 2, Y: 0},     // top midpoint
+		{X: w / 2, Y: h},     // bottom midpoint
+		{X: 0, Y: h / 2},     // left midpoint
+		{X: w, Y: h / 2},     // right midpoint
+	}
+	rest := n - 5
+	main := (rest + 1) / 2 // main diagonal gets the odd pixel
+	anti := rest - main
+	// Main diagonal (0,0)→(w,h), parameter t in (0,1); skip t=0.5 (center).
+	for _, t := range diagParams(main) {
+		pts = append(pts, geom.Point{X: t * w, Y: t * h})
+	}
+	// Anti-diagonal (w,0)→(0,h).
+	for _, t := range diagParams(anti) {
+		pts = append(pts, geom.Point{X: w - t*w, Y: t * h})
+	}
+	return pts
+}
+
+// diagParams returns k parameters evenly spaced in (0,1) avoiding 0.5
+// exactly (the center pixel is placed separately). For even k the
+// standard spacing i/(k+1) never hits 0.5 when k is even... it does when
+// k is odd, in which case the colliding parameter is nudged.
+func diagParams(k int) []float64 {
+	out := make([]float64, 0, k)
+	for i := 1; i <= k; i++ {
+		t := float64(i) / float64(k+1)
+		if t == 0.5 {
+			t += 0.5 / float64(k+1) / 2
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// dicePoints: the n pixels are distributed round-robin over the five
+// anchors of a dice "5" face (the four quarter points and the center),
+// with members of each cluster packed tightly (3-pixel pitch) around the
+// anchor. Clustering is what makes the layout coarse: the whole cluster
+// becomes visible or invisible almost simultaneously.
+func dicePoints(n int, size geom.Size) []geom.Point {
+	w, h := size.W, size.H
+	anchors := []geom.Point{
+		{X: w / 4, Y: h / 4},
+		{X: 3 * w / 4, Y: h / 4},
+		{X: w / 2, Y: h / 2},
+		{X: w / 4, Y: 3 * h / 4},
+		{X: 3 * w / 4, Y: 3 * h / 4},
+	}
+	// Tight spiral offsets around the anchor, a few pixels apart.
+	offsets := []geom.Point{
+		{X: 0, Y: 0}, {X: 3, Y: 0}, {X: -3, Y: 0}, {X: 0, Y: 3}, {X: 0, Y: -3},
+		{X: 3, Y: 3}, {X: -3, Y: -3}, {X: 3, Y: -3}, {X: -3, Y: 3},
+		{X: 6, Y: 0}, {X: -6, Y: 0}, {X: 0, Y: 6}, {X: 0, Y: -6},
+	}
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		a := anchors[i%len(anchors)]
+		o := offsets[(i/len(anchors))%len(offsets)]
+		pts = append(pts, geom.Point{
+			X: geom.Clamp(a.X+o.X, 0, w),
+			Y: geom.Clamp(a.Y+o.Y, 0, h),
+		})
+	}
+	return pts
+}
+
+// plusPoints: center + the remaining n−1 pixels split between the
+// vertical and horizontal center lines.
+func plusPoints(n int, size geom.Size) []geom.Point {
+	w, h := size.W, size.H
+	pts := []geom.Point{{X: w / 2, Y: h / 2}}
+	rest := n - 1
+	vert := (rest + 1) / 2
+	horiz := rest - vert
+	for _, t := range diagParams(vert) {
+		pts = append(pts, geom.Point{X: w / 2, Y: t * h})
+	}
+	for _, t := range diagParams(horiz) {
+		pts = append(pts, geom.Point{X: t * w, Y: h / 2})
+	}
+	return pts
+}

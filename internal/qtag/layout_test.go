@@ -1,0 +1,347 @@
+package qtag
+
+import (
+	"math"
+	"testing"
+
+	"qtag/internal/geom"
+)
+
+var ad300x250 = geom.Size{W: 300, H: 250}
+
+func TestPointsCount(t *testing.T) {
+	for _, l := range Layouts() {
+		for _, n := range []int{5, 9, 13, 21, 25, 40, 60} {
+			pts := Points(l, n, ad300x250)
+			if len(pts) != n {
+				t.Errorf("%v layout with n=%d produced %d points", l, n, len(pts))
+			}
+			for i, p := range pts {
+				if p.X < 0 || p.X > ad300x250.W || p.Y < 0 || p.Y > ad300x250.H {
+					t.Errorf("%v n=%d point %d out of bounds: %v", l, n, i, p)
+				}
+			}
+		}
+	}
+}
+
+func TestPointsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Points(LayoutX, 4, ad300x250) },
+		func() { Points(LayoutX, 25, geom.Size{W: 0, H: 250}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestCanonicalXLayout verifies the paper's exact 25-pixel arrangement:
+// center, four side midpoints, ten pixels per diagonal excluding the
+// center (§3 / Figure 2.A).
+func TestCanonicalXLayout(t *testing.T) {
+	pts := Points(LayoutX, 25, ad300x250)
+	if len(pts) != 25 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	has := func(x, y float64) bool {
+		for _, p := range pts {
+			if math.Abs(p.X-x) < 1e-9 && math.Abs(p.Y-y) < 1e-9 {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(150, 125) {
+		t.Error("missing center pixel")
+	}
+	for _, m := range [][2]float64{{150, 0}, {150, 250}, {0, 125}, {300, 125}} {
+		if !has(m[0], m[1]) {
+			t.Errorf("missing side midpoint (%v,%v)", m[0], m[1])
+		}
+	}
+	// Count pixels on each diagonal (excluding center and midpoints).
+	onMain, onAnti := 0, 0
+	for _, p := range pts {
+		if math.Abs(p.X-150) < 1e-9 && math.Abs(p.Y-125) < 1e-9 {
+			continue // center
+		}
+		if math.Abs(p.X/300-p.Y/250) < 1e-9 {
+			onMain++
+		}
+		if math.Abs(p.X/300-(1-p.Y/250)) < 1e-9 {
+			onAnti++
+		}
+	}
+	if onMain != 10 || onAnti != 10 {
+		t.Errorf("diagonal pixel counts = %d/%d, want 10/10", onMain, onAnti)
+	}
+}
+
+func TestPlusLayoutOnCenterLines(t *testing.T) {
+	pts := Points(LayoutPlus, 25, ad300x250)
+	for _, p := range pts {
+		onV := math.Abs(p.X-150) < 1e-9
+		onH := math.Abs(p.Y-125) < 1e-9
+		if !onV && !onH {
+			t.Errorf("plus-layout pixel off the center lines: %v", p)
+		}
+	}
+}
+
+func TestDiceLayoutClusters(t *testing.T) {
+	pts := Points(LayoutDice, 25, ad300x250)
+	anchors := []geom.Point{{X: 75, Y: 62.5}, {X: 225, Y: 62.5}, {X: 150, Y: 125}, {X: 75, Y: 187.5}, {X: 225, Y: 187.5}}
+	for i, p := range pts {
+		near := false
+		for _, a := range anchors {
+			if math.Hypot(p.X-a.X, p.Y-a.Y) < 15 {
+				near = true
+				break
+			}
+		}
+		if !near {
+			t.Errorf("dice pixel %d = %v not near any anchor", i, p)
+		}
+	}
+}
+
+func TestNoDuplicatePoints(t *testing.T) {
+	for _, l := range Layouts() {
+		for _, n := range []int{9, 25, 41} {
+			pts := Points(l, n, ad300x250)
+			seen := map[[2]float64]bool{}
+			for _, p := range pts {
+				k := [2]float64{math.Round(p.X * 1e6), math.Round(p.Y * 1e6)}
+				if seen[k] {
+					t.Errorf("%v n=%d duplicate point %v", l, n, p)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if LayoutX.String() != "X" || LayoutDice.String() != "dice" || LayoutPlus.String() != "+" {
+		t.Error("layout names wrong")
+	}
+	if Layout(42).String() != "Layout(42)" {
+		t.Error("unknown layout name wrong")
+	}
+}
+
+func TestEstimatorFullVisibilityAllMethods(t *testing.T) {
+	full := geom.Rect{X: -1, Y: -1, W: 302, H: 252}
+	for _, method := range []Method{MethodRectInference, MethodVoronoi, MethodUniform} {
+		for _, l := range Layouts() {
+			est := NewAreaEstimator(Points(l, 25, ad300x250), ad300x250, method)
+			if est.NumPixels() != 25 {
+				t.Fatalf("NumPixels = %d", est.NumPixels())
+			}
+			if got := est.EstimateClip(full); math.Abs(got-1) > 1e-9 {
+				t.Errorf("%v/%v full-visibility estimate = %v, want 1", l, method, got)
+			}
+			if got := est.EstimateClip(geom.Rect{}); got != 0 {
+				t.Errorf("%v/%v empty estimate = %v, want 0", l, method, got)
+			}
+		}
+	}
+}
+
+func TestEstimatorFullAndEmpty(t *testing.T) {
+	est := NewAreaEstimator(Points(LayoutX, 25, ad300x250), ad300x250, MethodRectInference)
+	full := geom.Rect{X: -1, Y: -1, W: 302, H: 252}
+	if got := est.EstimateClip(full); math.Abs(got-1) > 1e-9 {
+		t.Errorf("full visibility estimate = %v", got)
+	}
+	if got := est.EstimateClip(geom.Rect{}); got != 0 {
+		t.Errorf("empty estimate = %v", got)
+	}
+}
+
+func TestEstimatorHalfVertical(t *testing.T) {
+	for _, l := range []Layout{LayoutX, LayoutPlus} {
+		est := NewAreaEstimator(Points(l, 25, ad300x250), ad300x250, MethodRectInference)
+		// Top 52% strip visible: past the center-line pixels, so the
+		// estimate must be near but not wildly off 0.52.
+		clip := geom.Rect{X: -1, Y: -1, W: 302, H: 1 + 0.52*250}
+		got := est.EstimateClip(clip)
+		if math.Abs(got-0.52) > 0.10 {
+			t.Errorf("%v half-vertical estimate = %v, want ~0.52", l, got)
+		}
+	}
+}
+
+func TestEstimateMismatchedBitsPanics(t *testing.T) {
+	est := NewAreaEstimator(Points(LayoutX, 25, ad300x250), ad300x250, MethodRectInference)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	est.Estimate(make([]bool, 5))
+}
+
+func TestEstimatorEmptyPointsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewAreaEstimator(nil, ad300x250, MethodRectInference)
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodRectInference.String() != "rect-inference" ||
+		MethodVoronoi.String() != "voronoi" || MethodUniform.String() != "uniform" {
+		t.Error("method names wrong")
+	}
+}
+
+// TestRectInferenceBeatsAblations confirms the design choice (DESIGN.md
+// A3): rectangle inference dominates both ablation estimators for the X
+// layout averaged over the three sliding scenarios.
+func TestRectInferenceBeatsAblations(t *testing.T) {
+	avgFor := func(m Method) float64 {
+		var sum float64
+		for _, dir := range []string{"vertical", "horizontal", "diagonal"} {
+			est := NewAreaEstimator(Points(LayoutX, 25, ad300x250), ad300x250, m)
+			const steps = 100
+			for i := 0; i <= steps; i++ {
+				f := float64(i) / steps
+				var clip geom.Rect
+				var truth float64
+				switch dir {
+				case "vertical":
+					clip = geom.Rect{X: -1, Y: -1, W: 302, H: 1 + f*250}
+					truth = f
+				case "horizontal":
+					clip = geom.Rect{X: -1, Y: -1, W: 1 + f*300, H: 252}
+					truth = f
+				default:
+					clip = geom.Rect{X: -1, Y: -1, W: 1 + f*300, H: 1 + f*250}
+					truth = f * f
+				}
+				sum += math.Abs(est.EstimateClip(clip) - truth)
+			}
+		}
+		return sum / (3 * 101)
+	}
+	rect := avgFor(MethodRectInference)
+	voronoi := avgFor(MethodVoronoi)
+	uniform := avgFor(MethodUniform)
+	if rect >= voronoi || rect >= uniform {
+		t.Errorf("rect-inference (%.4f) should beat voronoi (%.4f) and uniform (%.4f)", rect, voronoi, uniform)
+	}
+}
+
+// meanSlideError computes the mean absolute error of the layout's area
+// estimate across a sliding sweep; dir selects the Figure 2 scenario.
+func meanSlideError(l Layout, n int, dir string) float64 {
+	est := NewAreaEstimator(Points(l, n, ad300x250), ad300x250, MethodRectInference)
+	const steps = 200
+	var sum float64
+	for i := 0; i <= steps; i++ {
+		f := float64(i) / steps
+		var clip geom.Rect
+		var truth float64
+		switch dir {
+		case "vertical": // ad enters from the top: top f of the ad visible
+			clip = geom.Rect{X: -1, Y: -1, W: 302, H: 1 + f*250}
+			truth = f
+		case "horizontal":
+			clip = geom.Rect{X: -1, Y: -1, W: 1 + f*300, H: 252}
+			truth = f
+		default: // diagonal: corner rectangle
+			clip = geom.Rect{X: -1, Y: -1, W: 1 + f*300, H: 1 + f*250}
+			truth = f * f
+		}
+		sum += math.Abs(est.EstimateClip(clip) - truth)
+	}
+	return sum / (steps + 1)
+}
+
+// TestFigure2LayoutOrdering checks the paper's §4.1 findings: the dice
+// layout is worst, X and + are comparable on axis-aligned sliding, and X
+// beats + on diagonal sliding.
+func TestFigure2LayoutOrdering(t *testing.T) {
+	const n = 25
+	for _, dir := range []string{"vertical", "horizontal"} {
+		x := meanSlideError(LayoutX, n, dir)
+		plus := meanSlideError(LayoutPlus, n, dir)
+		dice := meanSlideError(LayoutDice, n, dir)
+		if dice <= x || dice <= plus {
+			t.Errorf("%s: dice (%.4f) should be worse than X (%.4f) and + (%.4f)", dir, dice, x, plus)
+		}
+		if math.Abs(x-plus) > 0.035 {
+			t.Errorf("%s: X (%.4f) and + (%.4f) should be comparable", dir, x, plus)
+		}
+	}
+	xd := meanSlideError(LayoutX, n, "diagonal")
+	plusd := meanSlideError(LayoutPlus, n, "diagonal")
+	diced := meanSlideError(LayoutDice, n, "diagonal")
+	if xd >= plusd {
+		t.Errorf("diagonal: X (%.4f) should beat + (%.4f)", xd, plusd)
+	}
+	if diced <= xd {
+		t.Errorf("diagonal: dice (%.4f) should be worse than X (%.4f)", diced, xd)
+	}
+}
+
+// TestFigure2ErrorDecreasesWithPixels checks the error-vs-pixel-count
+// trend: error at 21+ pixels is clearly below error at 9, and the curve
+// flattens (going 25→60 buys much less than 9→25).
+func TestFigure2ErrorDecreasesWithPixels(t *testing.T) {
+	avg := func(n int) float64 {
+		return (meanSlideError(LayoutX, n, "vertical") +
+			meanSlideError(LayoutX, n, "horizontal") +
+			meanSlideError(LayoutX, n, "diagonal")) / 3
+	}
+	e9, e21, e25, e60 := avg(9), avg(21), avg(25), avg(60)
+	if e21 >= e9 {
+		t.Errorf("error should drop 9→21 pixels: %.4f vs %.4f", e9, e21)
+	}
+	if e60 >= e25 {
+		t.Errorf("error should not rise 25→60 pixels: %.4f vs %.4f", e25, e60)
+	}
+	drop1 := e9 - e25
+	drop2 := e25 - e60
+	if drop2 > drop1 {
+		t.Errorf("curve should flatten: 9→25 drop %.4f, 25→60 drop %.4f", drop1, drop2)
+	}
+}
+
+func TestWideBannerLayout(t *testing.T) {
+	// 320×50 banners must still produce sane estimates.
+	size := geom.Size{W: 320, H: 50}
+	est := NewAreaEstimator(Points(LayoutX, 25, size), size, MethodRectInference)
+	got := est.EstimateClip(geom.Rect{X: -1, Y: -1, W: 162, H: 52}) // left half
+	if math.Abs(got-0.5) > 0.1 {
+		t.Errorf("wide banner half estimate = %v", got)
+	}
+}
+
+func BenchmarkVoronoiPrecompute(b *testing.B) {
+	pts := Points(LayoutX, 25, ad300x250)
+	for i := 0; i < b.N; i++ {
+		NewAreaEstimator(pts, ad300x250, MethodVoronoi)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	est := NewAreaEstimator(Points(LayoutX, 25, ad300x250), ad300x250, MethodRectInference)
+	bits := make([]bool, 25)
+	for i := range bits {
+		bits[i] = i%2 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Estimate(bits)
+	}
+}

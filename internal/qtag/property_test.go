@@ -1,0 +1,126 @@
+package qtag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qtag/internal/geom"
+)
+
+// TestEstimateBoundedForAllPatterns: for every method and arbitrary
+// visibility bit patterns, the estimate stays in [0, 1].
+func TestEstimateBoundedForAllPatterns(t *testing.T) {
+	for _, m := range []Method{MethodRectInference, MethodVoronoi, MethodUniform} {
+		est := NewAreaEstimator(Points(LayoutX, 25, ad300x250), ad300x250, m)
+		f := func(bits uint32) bool {
+			visible := make([]bool, 25)
+			for i := range visible {
+				visible[i] = bits&(1<<uint(i)) != 0
+			}
+			v := est.Estimate(visible)
+			return v >= 0 && v <= 1 && !math.IsNaN(v)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+// TestEstimateAllOrNothing: all-visible estimates 1, none-visible 0, for
+// every layout and method.
+func TestEstimateAllOrNothing(t *testing.T) {
+	for _, m := range []Method{MethodRectInference, MethodVoronoi, MethodUniform} {
+		for _, l := range Layouts() {
+			est := NewAreaEstimator(Points(l, 25, ad300x250), ad300x250, m)
+			all := make([]bool, 25)
+			for i := range all {
+				all[i] = true
+			}
+			if v := est.Estimate(all); math.Abs(v-1) > 1e-9 {
+				t.Errorf("%v/%v all-visible = %v", l, m, v)
+			}
+			if v := est.Estimate(make([]bool, 25)); v != 0 {
+				t.Errorf("%v/%v none-visible = %v", l, m, v)
+			}
+		}
+	}
+}
+
+// TestEstimateClipMonotone: growing the clip rectangle never decreases
+// the rect-inference estimate (more visible pixels, fewer constraints).
+func TestEstimateClipMonotone(t *testing.T) {
+	est := NewAreaEstimator(Points(LayoutX, 25, ad300x250), ad300x250, MethodRectInference)
+	f := func(a, b, c, d uint16) bool {
+		// Random inner clip anchored at the origin side.
+		w1 := float64(a%300) + 1
+		h1 := float64(b%250) + 1
+		dw := float64(c % 100)
+		dh := float64(d % 100)
+		inner := geom.Rect{X: -1, Y: -1, W: w1, H: h1}
+		outer := geom.Rect{X: -1, Y: -1, W: w1 + dw, H: h1 + dh}
+		return est.EstimateClip(outer) >= est.EstimateClip(inner)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEstimateClipAccuracyBound: for axis-aligned corner clips the
+// rect-inference error is bounded by the layout's level resolution.
+func TestEstimateClipAccuracyBound(t *testing.T) {
+	est := NewAreaEstimator(Points(LayoutX, 25, ad300x250), ad300x250, MethodRectInference)
+	f := func(a uint16) bool {
+		f1 := float64(a%1000) / 1000
+		clip := geom.Rect{X: -1, Y: -1, W: 302, H: 1 + f1*250}
+		got := est.EstimateClip(clip)
+		// Vertical-cut error bound: half the coarsest level gap (~H/11).
+		return math.Abs(got-f1) <= 250.0/11/2/250+0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPointsPropertyRandomSizes: layouts produce exactly n in-bounds,
+// distinct points for arbitrary creative sizes.
+func TestPointsPropertyRandomSizes(t *testing.T) {
+	f := func(wRaw, hRaw uint16, nRaw uint8, lRaw uint8) bool {
+		w := float64(wRaw%2000) + 10
+		h := float64(hRaw%2000) + 10
+		n := int(nRaw%56) + 5 // 5..60
+		l := Layouts()[int(lRaw)%3]
+		pts := Points(l, n, geom.Size{W: w, H: h})
+		if len(pts) != n {
+			return false
+		}
+		for _, p := range pts {
+			if p.X < 0 || p.X > w || p.Y < 0 || p.Y > h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEstimatorSymmetry: the X layout is symmetric, so mirrored clips
+// yield (nearly) identical estimates.
+func TestEstimatorSymmetry(t *testing.T) {
+	est := NewAreaEstimator(Points(LayoutX, 25, ad300x250), ad300x250, MethodRectInference)
+	f := func(a uint16) bool {
+		frac := float64(a%900)/1000 + 0.05
+		top := geom.Rect{X: -1, Y: -1, W: 302, H: 1 + frac*250}
+		bottom := geom.Rect{X: -1, Y: 250 - frac*250, W: 302, H: frac*250 + 1}
+		left := geom.Rect{X: -1, Y: -1, W: 1 + frac*300, H: 252}
+		right := geom.Rect{X: 300 - frac*300, Y: -1, W: frac*300 + 1, H: 252}
+		const tol = 0.02
+		return math.Abs(est.EstimateClip(top)-est.EstimateClip(bottom)) < tol &&
+			math.Abs(est.EstimateClip(left)-est.EstimateClip(right)) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

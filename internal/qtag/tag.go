@@ -1,0 +1,221 @@
+package qtag
+
+import (
+	"fmt"
+	"time"
+
+	"qtag/internal/adtag"
+	"qtag/internal/beacon"
+	"qtag/internal/browser"
+	"qtag/internal/dom"
+	"qtag/internal/geom"
+	"qtag/internal/viewability"
+)
+
+// DefaultPixelCount is the paper's recommended pixel count (§4.1: "25
+// pixels seem to be a good trade-off").
+const DefaultPixelCount = 25
+
+// DefaultFPSThreshold is the paper's conservative visibility threshold:
+// pixels refreshing at ≥ 20 fps are considered visible (§3).
+const DefaultFPSThreshold = 20.0
+
+// DefaultSampleInterval is how often the tag evaluates pixel refresh rates
+// and the viewability condition.
+const DefaultSampleInterval = 100 * time.Millisecond
+
+// Config tunes a Q-Tag instance. The zero value selects the paper's
+// defaults (25-pixel X layout, 20 fps threshold, rectangle-inference
+// area estimation).
+type Config struct {
+	// Layout is the monitoring-pixel arrangement.
+	Layout Layout
+	// PixelCount is the number of monitoring pixels (default 25).
+	PixelCount int
+	// FPSThreshold is the refresh rate at or above which a pixel is
+	// classified visible (default 20).
+	FPSThreshold float64
+	// SampleInterval is the evaluation period (default 100 ms).
+	SampleInterval time.Duration
+	// Method selects the area estimator (default rectangle inference).
+	Method Method
+	// Criteria overrides the viewability criteria; when nil they derive
+	// from the impression's ad format per the IAB/MRC standard.
+	Criteria *viewability.Criteria
+}
+
+func (c Config) withDefaults() Config {
+	if c.PixelCount == 0 {
+		c.PixelCount = DefaultPixelCount
+	}
+	if c.FPSThreshold == 0 {
+		c.FPSThreshold = DefaultFPSThreshold
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = DefaultSampleInterval
+	}
+	return c
+}
+
+// Tag is the Q-Tag measurement solution. It implements adtag.Tag.
+type Tag struct {
+	cfg Config
+}
+
+// New returns a Q-Tag with the given configuration.
+func New(cfg Config) *Tag { return &Tag{cfg: cfg.withDefaults()} }
+
+// Name implements adtag.Tag.
+func (t *Tag) Name() string { return string(beacon.SourceQTag) }
+
+// Deploy implements adtag.Tag: it plants the monitoring pixels, starts
+// observing their paint rates, and runs the viewability state machine
+// until the criteria are met (in-view beacon) and subsequently lost
+// (out-of-view beacon).
+//
+// Deploy sends the loaded beacon — the signal that lets the monitoring
+// server count this impression as *measured* — only after the pixel
+// observers attach successfully. In an environment without frame
+// callbacks the tag cannot measure, returns an error, and the impression
+// stays unmeasured.
+func (t *Tag) Deploy(rt *adtag.Runtime) error {
+	size := rt.CreativeSize()
+	points := Points(t.cfg.Layout, t.cfg.PixelCount, size)
+	est := NewAreaEstimator(points, size, t.cfg.Method)
+
+	d := &deployment{
+		cfg:      t.cfg,
+		rt:       rt,
+		size:     size,
+		est:      est,
+		criteria: t.criteria(rt),
+	}
+	// Attach a paint observer to every monitoring pixel before declaring
+	// the impression measured.
+	if err := d.plant(points); err != nil {
+		return err
+	}
+	if err := rt.SendBeacon(beacon.SourceQTag, beacon.EventLoaded, 0); err != nil {
+		return fmt.Errorf("qtag: loaded beacon: %w", err)
+	}
+	d.ticker = rt.Every(t.cfg.SampleInterval, d.sample)
+	return nil
+}
+
+func (t *Tag) criteria(rt *adtag.Runtime) viewability.Criteria {
+	if t.cfg.Criteria != nil {
+		return *t.cfg.Criteria
+	}
+	return viewability.StandardCriteria(rt.Impression().Format)
+}
+
+// deployment is the per-impression state machine.
+type deployment struct {
+	cfg      Config
+	rt       *adtag.Runtime
+	size     geom.Size
+	est      *AreaEstimator
+	criteria viewability.Criteria
+
+	counts    []int  // paints per pixel since the last sample
+	visible   []bool // per-pixel visibility classification (scratch)
+	pixels    []*dom.Element
+	observers []*browser.PaintObserver
+
+	inRun      bool
+	runStart   time.Duration
+	inViewSent bool
+	outSent    bool
+	ticker     interface{ Stop() }
+}
+
+// plant creates the monitoring pixels for the given layout points and
+// attaches their paint observers.
+func (d *deployment) plant(points []geom.Point) error {
+	d.counts = make([]int, len(points))
+	d.visible = make([]bool, len(points))
+	d.pixels = d.pixels[:0]
+	d.observers = d.observers[:0]
+	for i, p := range points {
+		px := d.rt.CreatePixel(p)
+		d.pixels = append(d.pixels, px)
+		i := i
+		obs, err := d.rt.ObservePixelPaints(px, func(time.Duration) { d.counts[i]++ })
+		if err != nil {
+			return fmt.Errorf("qtag: deploy pixel %d: %w", i, err)
+		}
+		d.observers = append(d.observers, obs)
+	}
+	return nil
+}
+
+// replant handles responsive creatives: when the creative box changes
+// size the old pixel grid measures stale geometry (a shrunken creative
+// would clip its own pixels and read as out of view), so the tag retires
+// the old pixels and lays out a fresh grid for the new box. The dwell
+// run restarts — visibility across the relayout cannot be certified.
+func (d *deployment) replant(size geom.Size) {
+	for _, obs := range d.observers {
+		obs.Cancel()
+	}
+	for _, px := range d.pixels {
+		px.SetHidden(true)
+	}
+	d.size = size
+	points := Points(d.cfg.Layout, d.cfg.PixelCount, size)
+	d.est = NewAreaEstimator(points, size, d.cfg.Method)
+	// plant cannot fail here: frame-callback support was proven at deploy.
+	_ = d.plant(points)
+	d.inRun = false
+}
+
+// sample runs once per SampleInterval: estimate per-pixel fps from paint
+// counts, classify visibility against the fps threshold, estimate the
+// visible area, and advance the viewability state machine.
+func (d *deployment) sample() {
+	if cur := d.rt.CreativeSize(); cur != d.size {
+		d.replant(cur)
+		return // counts from the old grid are meaningless this round
+	}
+	secs := d.cfg.SampleInterval.Seconds()
+	for i, c := range d.counts {
+		fps := float64(c) / secs
+		d.visible[i] = fps >= d.cfg.FPSThreshold
+		d.counts[i] = 0
+	}
+	frac := d.est.Estimate(d.visible)
+	now := d.rt.Now()
+
+	if frac >= d.criteria.AreaFraction {
+		if !d.inRun {
+			d.inRun = true
+			// The condition held throughout the sample window that just
+			// closed (that is what the fps counts certify), so the run
+			// starts at the window's opening boundary.
+			d.runStart = now - d.cfg.SampleInterval
+		}
+		if !d.inViewSent && now-d.runStart >= d.criteria.Dwell {
+			d.inViewSent = true
+			_ = d.rt.SendBeacon(beacon.SourceQTag, beacon.EventInView, 0)
+		}
+		return
+	}
+
+	d.inRun = false
+	if d.inViewSent && !d.outSent {
+		d.outSent = true
+		_ = d.rt.SendBeacon(beacon.SourceQTag, beacon.EventOutOfView, 0)
+		// Measurement complete: in-view and out-of-view both recorded.
+		d.ticker.Stop()
+	}
+}
+
+// EstimateVisibleFraction is a convenience for tests and the §4.1
+// evaluation: the estimated visible fraction for a creative of the given
+// size clipped to clip, using cfg's layout parameters.
+func EstimateVisibleFraction(cfg Config, size geom.Size, clip geom.Rect) float64 {
+	cfg = cfg.withDefaults()
+	points := Points(cfg.Layout, cfg.PixelCount, size)
+	est := NewAreaEstimator(points, size, cfg.Method)
+	return est.EstimateClip(clip)
+}

@@ -1,0 +1,214 @@
+// Package simclock implements the discrete-event virtual clock that drives
+// every time-dependent component of the Q-Tag simulator.
+//
+// Nothing in the simulator sleeps: frame schedulers, viewability dwell
+// timers and user-behaviour scripts all register callbacks on a *Clock, and
+// experiments advance virtual time explicitly. This keeps multi-million-
+// impression campaign simulations fast and — together with package
+// simrand — bit-for-bit reproducible.
+//
+// Callbacks fire in timestamp order; callbacks scheduled for the same
+// instant fire in registration order (FIFO), which gives deterministic
+// interleaving of, for example, a frame paint and a dwell-timer expiry.
+package simclock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Epoch is the wall-clock instant corresponding to virtual time zero. It
+// only matters when virtual timestamps are exported in wire formats.
+var Epoch = time.Date(2019, time.December, 9, 0, 0, 0, 0, time.UTC)
+
+// Clock is a virtual clock. The zero value is ready to use and starts at
+// virtual time 0. Clock is not safe for concurrent use; the simulator is
+// single-threaded by design (see package doc).
+type Clock struct {
+	now    time.Duration
+	queue  timerQueue
+	nextID uint64
+	seq    uint64
+}
+
+// New returns a clock positioned at virtual time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time as an offset from the epoch.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// WallTime returns the current virtual time as an absolute instant,
+// anchored at Epoch.
+func (c *Clock) WallTime() time.Time { return Epoch.Add(c.now) }
+
+// Timer is a handle to a scheduled callback. Stop cancels it.
+type Timer struct {
+	id       uint64
+	at       time.Duration
+	seq      uint64
+	interval time.Duration // 0 for one-shot timers
+	fn       func()
+	stopped  bool
+	index    int // heap index, -1 when not queued
+}
+
+// Stop cancels the timer. It is safe to call multiple times and from
+// within the timer's own callback.
+func (t *Timer) Stop() { t.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+// AfterFunc schedules fn to run once, d from now. A non-positive d runs on
+// the next Advance/Step at the current instant.
+func (c *Clock) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return c.schedule(c.now+d, 0, fn)
+}
+
+// At schedules fn to run at the given absolute virtual time. Times in the
+// past are coerced to "now".
+func (c *Clock) At(at time.Duration, fn func()) *Timer {
+	if at < c.now {
+		at = c.now
+	}
+	return c.schedule(at, 0, fn)
+}
+
+// Every schedules fn to run periodically with the given interval, first
+// firing one interval from now. The interval must be positive.
+func (c *Clock) Every(interval time.Duration, fn func()) *Timer {
+	if interval <= 0 {
+		panic("simclock: Every with non-positive interval")
+	}
+	return c.schedule(c.now+interval, interval, fn)
+}
+
+func (c *Clock) schedule(at, interval time.Duration, fn func()) *Timer {
+	c.nextID++
+	c.seq++
+	t := &Timer{id: c.nextID, at: at, seq: c.seq, interval: interval, fn: fn, index: -1}
+	heap.Push(&c.queue, t)
+	return t
+}
+
+// Advance moves virtual time forward by d, firing every due callback in
+// order. Callbacks may schedule further callbacks; those within the window
+// also fire. Advance panics on negative d.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("simclock: Advance with negative duration")
+	}
+	c.AdvanceTo(c.now + d)
+}
+
+// AdvanceTo moves virtual time forward to the absolute instant t (no-op if
+// t is in the past), firing every due callback in order.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	for {
+		next, ok := c.peek()
+		if !ok || next.at > t {
+			break
+		}
+		c.popAndFire(next)
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Step fires the single next pending callback, advancing the clock to its
+// deadline. It returns false when no callbacks are pending.
+func (c *Clock) Step() bool {
+	next, ok := c.peek()
+	if !ok {
+		return false
+	}
+	c.popAndFire(next)
+	return true
+}
+
+// Pending returns the number of scheduled (non-stopped) callbacks.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, t := range c.queue {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// NextDeadline returns the virtual time of the next pending callback; ok is
+// false when nothing is scheduled.
+func (c *Clock) NextDeadline() (at time.Duration, ok bool) {
+	next, ok := c.peek()
+	if !ok {
+		return 0, false
+	}
+	return next.at, true
+}
+
+// peek returns the earliest live timer, discarding stopped ones.
+func (c *Clock) peek() (*Timer, bool) {
+	for c.queue.Len() > 0 {
+		t := c.queue[0]
+		if t.stopped {
+			heap.Pop(&c.queue)
+			continue
+		}
+		return t, true
+	}
+	return nil, false
+}
+
+func (c *Clock) popAndFire(t *Timer) {
+	heap.Pop(&c.queue)
+	if t.at > c.now {
+		c.now = t.at
+	}
+	if t.interval > 0 {
+		// Re-arm before firing so the callback can Stop the ticker.
+		t.at += t.interval
+		c.seq++
+		t.seq = c.seq
+		heap.Push(&c.queue, t)
+	}
+	t.fn()
+}
+
+// timerQueue is a min-heap ordered by (deadline, registration sequence).
+type timerQueue []*Timer
+
+func (q timerQueue) Len() int { return len(q) }
+
+func (q timerQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q timerQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *timerQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *timerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}

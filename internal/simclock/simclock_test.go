@@ -1,0 +1,244 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Errorf("zero clock Now = %v", c.Now())
+	}
+	fired := false
+	c.AfterFunc(time.Second, func() { fired = true })
+	c.Advance(time.Second)
+	if !fired {
+		t.Error("timer did not fire")
+	}
+}
+
+func TestAdvanceFiresInOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	c.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	c.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	c.Advance(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("fire order = %v", order)
+	}
+	if c.Now() != 5*time.Second {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	c := New()
+	var order []string
+	c.AfterFunc(time.Second, func() { order = append(order, "a") })
+	c.AfterFunc(time.Second, func() { order = append(order, "b") })
+	c.AfterFunc(time.Second, func() { order = append(order, "c") })
+	c.Advance(time.Second)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("same-instant order = %v", order)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	c := New()
+	var events []time.Duration
+	c.AfterFunc(time.Second, func() {
+		events = append(events, c.Now())
+		c.AfterFunc(time.Second, func() {
+			events = append(events, c.Now())
+		})
+	})
+	c.Advance(3 * time.Second)
+	if len(events) != 2 || events[0] != time.Second || events[1] != 2*time.Second {
+		t.Errorf("nested events = %v", events)
+	}
+}
+
+func TestClockAtCallbackTime(t *testing.T) {
+	c := New()
+	var at time.Duration = -1
+	c.AfterFunc(700*time.Millisecond, func() { at = c.Now() })
+	c.Advance(10 * time.Second)
+	if at != 700*time.Millisecond {
+		t.Errorf("callback saw Now = %v, want 700ms", at)
+	}
+}
+
+func TestStop(t *testing.T) {
+	c := New()
+	fired := false
+	timer := c.AfterFunc(time.Second, func() { fired = true })
+	timer.Stop()
+	if !timer.Stopped() {
+		t.Error("Stopped() should be true")
+	}
+	c.Advance(2 * time.Second)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	c := New()
+	var ticks []time.Duration
+	c.Every(100*time.Millisecond, func() { ticks = append(ticks, c.Now()) })
+	c.Advance(350 * time.Millisecond)
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3: %v", len(ticks), ticks)
+	}
+	for i, want := range []time.Duration{100, 200, 300} {
+		if ticks[i] != want*time.Millisecond {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want*time.Millisecond)
+		}
+	}
+}
+
+func TestEveryStopFromCallback(t *testing.T) {
+	c := New()
+	count := 0
+	var ticker *Timer
+	ticker = c.Every(time.Second, func() {
+		count++
+		if count == 2 {
+			ticker.Stop()
+		}
+	})
+	c.Advance(10 * time.Second)
+	if count != 2 {
+		t.Errorf("ticker fired %d times, want 2", count)
+	}
+}
+
+func TestEveryPanicsOnZeroInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New().Every(0, func() {})
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New().Advance(-time.Second)
+}
+
+func TestAfterFuncNegativeCoerced(t *testing.T) {
+	c := New()
+	fired := false
+	c.AfterFunc(-time.Second, func() { fired = true })
+	c.Advance(0)
+	if !fired {
+		t.Error("negative-delay timer should fire immediately")
+	}
+}
+
+func TestAtAbsolute(t *testing.T) {
+	c := New()
+	c.Advance(5 * time.Second)
+	var at time.Duration = -1
+	c.At(7*time.Second, func() { at = c.Now() })
+	// Past deadlines are coerced to now.
+	var pastAt time.Duration = -1
+	c.At(time.Second, func() { pastAt = c.Now() })
+	c.Advance(5 * time.Second)
+	if at != 7*time.Second {
+		t.Errorf("At fired at %v", at)
+	}
+	if pastAt != 5*time.Second {
+		t.Errorf("past At fired at %v", pastAt)
+	}
+}
+
+func TestStep(t *testing.T) {
+	c := New()
+	var order []int
+	c.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	c.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	if !c.Step() {
+		t.Fatal("Step should fire first timer")
+	}
+	if c.Now() != time.Second || len(order) != 1 || order[0] != 1 {
+		t.Errorf("after first step: now=%v order=%v", c.Now(), order)
+	}
+	if !c.Step() {
+		t.Fatal("Step should fire second timer")
+	}
+	if c.Step() {
+		t.Error("Step with empty queue should return false")
+	}
+}
+
+func TestPendingAndNextDeadline(t *testing.T) {
+	c := New()
+	if _, ok := c.NextDeadline(); ok {
+		t.Error("empty clock should have no deadline")
+	}
+	a := c.AfterFunc(time.Second, func() {})
+	c.AfterFunc(2*time.Second, func() {})
+	if c.Pending() != 2 {
+		t.Errorf("Pending = %d", c.Pending())
+	}
+	if at, ok := c.NextDeadline(); !ok || at != time.Second {
+		t.Errorf("NextDeadline = %v, %v", at, ok)
+	}
+	a.Stop()
+	if c.Pending() != 1 {
+		t.Errorf("Pending after stop = %d", c.Pending())
+	}
+	if at, ok := c.NextDeadline(); !ok || at != 2*time.Second {
+		t.Errorf("NextDeadline after stop = %v, %v", at, ok)
+	}
+}
+
+func TestAdvanceToNoRewind(t *testing.T) {
+	c := New()
+	c.Advance(10 * time.Second)
+	c.AdvanceTo(5 * time.Second)
+	if c.Now() != 10*time.Second {
+		t.Errorf("AdvanceTo rewound the clock: %v", c.Now())
+	}
+}
+
+func TestWallTime(t *testing.T) {
+	c := New()
+	c.Advance(90 * time.Minute)
+	want := Epoch.Add(90 * time.Minute)
+	if !c.WallTime().Equal(want) {
+		t.Errorf("WallTime = %v, want %v", c.WallTime(), want)
+	}
+}
+
+func TestManyTimersStress(t *testing.T) {
+	c := New()
+	fired := 0
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(i%97) * time.Millisecond
+		c.AfterFunc(d, func() { fired++ })
+	}
+	c.Advance(time.Second)
+	if fired != 10000 {
+		t.Errorf("fired %d of 10000", fired)
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d after drain", c.Pending())
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	c := New()
+	for i := 0; i < b.N; i++ {
+		c.AfterFunc(time.Millisecond, func() {})
+		c.Advance(time.Millisecond)
+	}
+}

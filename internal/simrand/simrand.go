@@ -1,0 +1,208 @@
+// Package simrand provides the deterministic random-number machinery the
+// Q-Tag simulator is built on.
+//
+// Every stochastic component in the repository (campaign traffic, user
+// behaviour, automation flakiness, device mixes) draws from a *RNG seeded
+// explicitly by the caller, so any experiment — including the full
+// paper-reproduction benchmarks — replays bit-identically from its seed.
+//
+// The generator is splitmix64: tiny state, excellent statistical quality for
+// simulation purposes, and trivially forkable, which lets independent
+// subsystems derive private streams from one experiment seed without
+// correlating their draws.
+package simrand
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator (splitmix64).
+// It is not safe for concurrent use; fork per-goroutine streams with Fork.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Distinct seeds yield
+// independent-looking streams; the zero seed is valid.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Fork derives a new generator whose stream is independent of the parent's
+// subsequent draws. The label decorrelates sibling forks made at the same
+// parent state.
+func (r *RNG) Fork(label string) *RNG {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return New(r.Uint64() ^ h)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("simrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Normal returns a draw from the normal distribution with the given mean
+// and standard deviation, using the Marsaglia polar method.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// LogNormal returns exp(Normal(mu, sigma)); mu and sigma parameterise the
+// underlying normal, not the resulting distribution's mean.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns a draw from the exponential distribution with the
+// given mean (i.e. rate 1/mean).
+func (r *RNG) Exponential(mean float64) float64 {
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Beta returns a draw from the Beta(alpha, beta) distribution via Jöhnk's
+// gamma-ratio construction. Both parameters must be positive.
+func (r *RNG) Beta(alpha, beta float64) float64 {
+	x := r.gamma(alpha)
+	y := r.gamma(beta)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// gamma samples Gamma(shape, 1) using Marsaglia & Tsang's method, with the
+// standard boost for shape < 1.
+func (r *RNG) gamma(shape float64) float64 {
+	if shape < 1 {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Normal(0, 1)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// BetaMeanConc returns a Beta draw parameterised by its mean in (0,1) and a
+// concentration k > 0 (alpha+beta); larger k concentrates mass around the
+// mean. This is the natural parameterisation for per-campaign rate spread.
+func (r *RNG) BetaMeanConc(mean, k float64) float64 {
+	mean = clamp(mean, 1e-6, 1-1e-6)
+	return r.Beta(mean*k, (1-mean)*k)
+}
+
+// Weighted draws an index in [0, len(weights)) with probability
+// proportional to weights[i]. Non-positive weights are treated as zero. It
+// panics if all weights are zero or the slice is empty.
+func (r *RNG) Weighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("simrand: Weighted with no positive weight")
+	}
+	target := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		target -= w
+		if target < 0 {
+			return i
+		}
+	}
+	// Floating-point slack: fall back to the last positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("unreachable")
+}
+
+// Shuffle permutes the n elements addressed by swap uniformly at random
+// (Fisher–Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,278 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d identical draws from distinct seeds", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	f1 := parent.Fork("alpha")
+	f2 := parent.Fork("beta")
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("sibling forks produced identical first draw")
+	}
+	// Forks with the same label at the same parent state must differ because
+	// the parent stream advances.
+	p := New(7)
+	g1 := p.Fork("x")
+	g2 := p.Fork("x")
+	if g1.Uint64() == g2.Uint64() {
+		t.Error("sequential same-label forks should not collide")
+	}
+}
+
+func TestFloat64Bounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(9)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("bucket %d count %d far from uniform", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(5, 10)
+		if v < 5 || v >= 10 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(13)
+	if r.Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) must be true")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) empirical p = %v", p)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("normal stddev = %v", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal must be positive")
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(23)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exponential(4)
+		if v < 0 {
+			t.Fatal("exponential draw negative")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.1 {
+		t.Errorf("exponential mean = %v, want ~4", mean)
+	}
+}
+
+func TestBetaBoundsAndMean(t *testing.T) {
+	r := New(29)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Beta(2, 6)
+		if v < 0 || v > 1 {
+			t.Fatalf("beta out of bounds: %v", v)
+		}
+		sum += v
+	}
+	// Mean of Beta(2,6) is 0.25.
+	if mean := sum / n; math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("Beta(2,6) mean = %v, want ~0.25", mean)
+	}
+}
+
+func TestBetaMeanConc(t *testing.T) {
+	r := New(31)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.BetaMeanConc(0.93, 200)
+	}
+	if mean := sum / n; math.Abs(mean-0.93) > 0.01 {
+		t.Errorf("BetaMeanConc mean = %v, want ~0.93", mean)
+	}
+	// Degenerate means are clamped rather than panicking.
+	if v := r.BetaMeanConc(0, 10); v < 0 || v > 1 {
+		t.Errorf("clamped beta out of bounds: %v", v)
+	}
+	if v := r.BetaMeanConc(1, 10); v < 0 || v > 1 {
+		t.Errorf("clamped beta out of bounds: %v", v)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	r := New(37)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Weighted(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight bucket drawn %d times", counts[1])
+	}
+	p0 := float64(counts[0]) / n
+	if math.Abs(p0-0.25) > 0.01 {
+		t.Errorf("bucket 0 p = %v, want ~0.25", p0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Weighted with all-zero weights should panic")
+		}
+	}()
+	r.Weighted([]float64{0, 0})
+}
+
+func TestWeightedNegativeTreatedAsZero(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 1000; i++ {
+		if got := r.Weighted([]float64{-5, 2}); got != 1 {
+			t.Fatalf("negative weight bucket drawn (got %d)", got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(43)
+	p := r.Perm(50)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleUniformish(t *testing.T) {
+	r := New(47)
+	// Position of element 0 after shuffling [0,1,2] should be ~uniform.
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		s := []int{0, 1, 2}
+		r.Shuffle(3, func(a, b int) { s[a], s[b] = s[b], s[a] })
+		for pos, v := range s {
+			if v == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	for pos, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Errorf("element 0 at position %d count %d, want ~10000", pos, c)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Normal(0, 1)
+	}
+}

@@ -1,0 +1,216 @@
+// Package stats provides the descriptive statistics used when assembling
+// the paper's tables and figures: running means, standard deviations,
+// percentiles, rate/proportion helpers and simple error metrics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations using Welford's
+// online algorithm, so means and variances stay numerically stable even
+// over millions of samples. The zero value is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddAll records every observation in xs.
+func (s *Summary) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the population variance.
+func (s *Summary) Variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// SampleVariance returns the unbiased (n−1) variance; 0 when n < 2.
+func (s *Summary) SampleVariance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// SampleStdDev returns the sample standard deviation.
+func (s *Summary) SampleStdDev() float64 { return math.Sqrt(s.SampleVariance()) }
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// String implements fmt.Stringer.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	var s Summary
+	s.AddAll(xs)
+	return s.StdDev()
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
+// interpolation between order statistics. It returns 0 for empty input and
+// panics on out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Rate is a counted proportion: Hits out of Total trials.
+type Rate struct {
+	Hits  int
+	Total int
+}
+
+// Observe records one trial with the given outcome.
+func (r *Rate) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns Hits/Total, or 0 when no trials were recorded.
+func (r Rate) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// Percent returns the rate as a percentage.
+func (r Rate) Percent() float64 { return r.Value() * 100 }
+
+// Merge adds another rate's counts into r.
+func (r *Rate) Merge(o Rate) {
+	r.Hits += o.Hits
+	r.Total += o.Total
+}
+
+// String implements fmt.Stringer.
+func (r Rate) String() string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", r.Hits, r.Total, r.Percent())
+}
+
+// WilsonInterval returns the 95 % Wilson score interval for the rate,
+// clamped to [0,1]. It is the standard interval for proportions and
+// behaves sensibly near 0 and 1 where the normal approximation fails.
+func (r Rate) WilsonInterval() (lo, hi float64) {
+	if r.Total == 0 {
+		return 0, 1
+	}
+	const z = 1.959964 // 97.5th normal percentile
+	n := float64(r.Total)
+	p := r.Value()
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	lo = math.Max(0, center-half)
+	hi = math.Min(1, center+half)
+	return lo, hi
+}
+
+// MeanAbsError returns the mean of |got[i]−want[i]|. The slices must have
+// equal length.
+func MeanAbsError(got, want []float64) float64 {
+	if len(got) != len(want) {
+		panic("stats: MeanAbsError length mismatch")
+	}
+	if len(got) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range got {
+		sum += math.Abs(got[i] - want[i])
+	}
+	return sum / float64(len(got))
+}
+
+// RelativeError returns |got−want| / |want|; when want is 0 it returns
+// |got| so the metric stays finite.
+func RelativeError(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

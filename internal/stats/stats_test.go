@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Sum() != 0 {
+		t.Error("empty summary should be all zeros")
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if !approx(s.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %v", s.StdDev())
+	}
+	if !approx(s.SampleVariance(), 32.0/7.0, 1e-12) {
+		t.Errorf("SampleVariance = %v", s.SampleVariance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !approx(s.Sum(), 40, 1e-9) {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.Mean() != 42 || s.StdDev() != 0 || s.SampleVariance() != 0 {
+		t.Error("single-sample summary wrong")
+	}
+	if s.Min() != 42 || s.Max() != 42 {
+		t.Error("single-sample min/max wrong")
+	}
+}
+
+func TestSummaryNumericalStability(t *testing.T) {
+	// Large offset + small variance is where naive sum-of-squares breaks.
+	var s Summary
+	base := 1e9
+	for i := 0; i < 1000; i++ {
+		s.Add(base + float64(i%2)) // values 1e9 and 1e9+1
+	}
+	if !approx(s.Mean(), base+0.5, 1e-3) {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if !approx(s.StdDev(), 0.5, 1e-6) {
+		t.Errorf("stddev = %v", s.StdDev())
+	}
+}
+
+func TestMeanAndStdDevHelpers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !approx(Mean(xs), 2.5, 1e-12) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if !approx(StdDev(xs), math.Sqrt(1.25), 1e-12) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 35 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 20 {
+		t.Errorf("p25 = %v", got)
+	}
+	// Interpolation between order statistics.
+	if got := Percentile([]float64{10, 20}, 50); got != 15 {
+		t.Errorf("interp p50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	if got := Percentile([]float64{7}, 90); got != 7 {
+		t.Errorf("single percentile = %v", got)
+	}
+	if got := Median(xs); got != 35 {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestRate(t *testing.T) {
+	var r Rate
+	if r.Value() != 0 {
+		t.Error("empty rate should be 0")
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe(i < 7)
+	}
+	if !approx(r.Value(), 0.7, 1e-12) || !approx(r.Percent(), 70, 1e-12) {
+		t.Errorf("rate = %v", r.Value())
+	}
+	var r2 Rate
+	r2.Observe(true)
+	r.Merge(r2)
+	if r.Hits != 8 || r.Total != 11 {
+		t.Errorf("merge = %+v", r)
+	}
+	if r.String() != "8/11 (72.7%)" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	r := Rate{Hits: 93, Total: 100}
+	lo, hi := r.WilsonInterval()
+	if lo >= hi {
+		t.Fatal("degenerate interval")
+	}
+	if lo < 0.85 || hi > 0.98 {
+		t.Errorf("interval [%v, %v] implausible for 93/100", lo, hi)
+	}
+	if v := r.Value(); v < lo || v > hi {
+		t.Error("point estimate outside interval")
+	}
+	// Edge cases stay in [0, 1].
+	for _, rr := range []Rate{{0, 10}, {10, 10}, {0, 0}} {
+		lo, hi := rr.WilsonInterval()
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("interval out of bounds for %+v: [%v, %v]", rr, lo, hi)
+		}
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	got := MeanAbsError([]float64{1, 2, 3}, []float64{1, 4, 0})
+	if !approx(got, (0+2+3)/3.0, 1e-12) {
+		t.Errorf("MeanAbsError = %v", got)
+	}
+	if MeanAbsError(nil, nil) != 0 {
+		t.Error("empty MAE should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	MeanAbsError([]float64{1}, []float64{1, 2})
+}
+
+func TestRelativeError(t *testing.T) {
+	if !approx(RelativeError(110, 100), 0.1, 1e-12) {
+		t.Error("RelativeError wrong")
+	}
+	if !approx(RelativeError(3, 0), 3, 1e-12) {
+		t.Error("RelativeError at zero reference wrong")
+	}
+}
+
+// Property: Welford summary matches the two-pass computation.
+func TestSummaryMatchesTwoPass(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(v, 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var s Summary
+		s.AddAll(xs)
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(len(xs))
+		return approx(s.Mean(), mean, 1e-6*(1+math.Abs(mean))) &&
+			approx(s.Variance(), wantVar, 1e-6*(1+wantVar))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1 := Percentile(xs, p1)
+		v2 := Percentile(xs, p2)
+		lo := Percentile(xs, 0)
+		hi := Percentile(xs, 100)
+		return v1 <= v2 && v1 >= lo && v2 <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

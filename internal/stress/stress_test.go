@@ -1,0 +1,85 @@
+package stress
+
+import (
+	"strings"
+	"testing"
+
+	"qtag/internal/simrand"
+)
+
+// TestNoMismatchesOnRobustScenarios is the package's headline assertion:
+// across hundreds of random adversarial scenarios, the tag never
+// contradicts a robust ground truth.
+func TestNoMismatchesOnRobustScenarios(t *testing.T) {
+	batch := RunBatch(300, 2019)
+	if batch.Mismatch != 0 {
+		for i, m := range batch.Mismatches {
+			if i >= 3 {
+				break
+			}
+			t.Logf("mismatch: tag=%v strict=%v nom=%v len=%v scenario=%+v",
+				m.TagInView, m.OracleStrict, m.OracleNom, m.OracleLen, m.Scenario)
+		}
+		t.Fatalf("%s", batch)
+	}
+	if batch.Agree == 0 {
+		t.Fatal("no scenarios agreed — generator degenerate")
+	}
+	// Borderline scenarios exist but must be a minority.
+	if batch.Borderline > batch.Runs/3 {
+		t.Errorf("too many borderline scenarios: %s", batch)
+	}
+	if !strings.Contains(batch.String(), "300 runs") {
+		t.Errorf("String = %q", batch.String())
+	}
+}
+
+func TestBatchDeterminism(t *testing.T) {
+	a := RunBatch(40, 7)
+	b := RunBatch(40, 7)
+	if a.Agree != b.Agree || a.Borderline != b.Borderline || a.Mismatch != b.Mismatch {
+		t.Errorf("same seed diverged: %s vs %s", a, b)
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	rng := simrand.New(3)
+	for i := 0; i < 200; i++ {
+		sc := Generate(rng)
+		if sc.Duration < 4e9 || sc.Duration > 8e9 {
+			t.Fatalf("duration out of range: %v", sc.Duration)
+		}
+		if len(sc.Steps) < 3 || len(sc.Steps) > 10 {
+			t.Fatalf("step count out of range: %d", len(sc.Steps))
+		}
+		for _, st := range sc.Steps {
+			if st.At <= 0 || st.At >= sc.Duration {
+				t.Fatalf("step time out of range: %v of %v", st.At, sc.Duration)
+			}
+			if st.Op == OpCPULoad && st.A > 0.55 {
+				t.Fatalf("CPU load outside the technique's envelope: %v", st.A)
+			}
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if strings.HasPrefix(op.String(), "Op(") {
+			t.Errorf("op %d unnamed", int(op))
+		}
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Error("unknown op string wrong")
+	}
+	if Agree.String() != "agree" || Borderline.String() != "borderline" || Mismatch.String() != "MISMATCH" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+func BenchmarkStressScenario(b *testing.B) {
+	rng := simrand.New(1)
+	for i := 0; i < b.N; i++ {
+		Run(Generate(rng))
+	}
+}

@@ -1,0 +1,218 @@
+package viewability
+
+import (
+	"testing"
+	"time"
+
+	"qtag/internal/geom"
+)
+
+func TestStandardCriteria(t *testing.T) {
+	cases := []struct {
+		f    Format
+		area float64
+		d    time.Duration
+	}{
+		{Display, 0.50, time.Second},
+		{LargeDisplay, 0.30, time.Second},
+		{Video, 0.50, 2 * time.Second},
+	}
+	for _, c := range cases {
+		got := StandardCriteria(c.f)
+		if got.AreaFraction != c.area || got.Dwell != c.d {
+			t.Errorf("StandardCriteria(%v) = %v", c.f, got)
+		}
+	}
+}
+
+func TestClassifySize(t *testing.T) {
+	cases := []struct {
+		size  geom.Size
+		video bool
+		want  Format
+	}{
+		{geom.Size{W: 300, H: 250}, false, Display},
+		{geom.Size{W: 320, H: 50}, false, Display},
+		{geom.Size{W: 970, H: 250}, false, LargeDisplay},
+		{geom.Size{W: 1000, H: 300}, false, LargeDisplay},
+		{geom.Size{W: 300, H: 250}, true, Video},
+		{geom.Size{W: 970, H: 250}, true, Video},
+	}
+	for _, c := range cases {
+		if got := ClassifySize(c.size, c.video); got != c.want {
+			t.Errorf("ClassifySize(%v, video=%v) = %v, want %v", c.size, c.video, got, c.want)
+		}
+	}
+}
+
+func TestCriteriaForSize(t *testing.T) {
+	got := CriteriaForSize(geom.Size{W: 970, H: 250}, false)
+	if got.AreaFraction != 0.30 {
+		t.Errorf("large display area fraction = %v", got.AreaFraction)
+	}
+	got = CriteriaForSize(geom.Size{W: 640, H: 360}, true)
+	if got.Dwell != 2*time.Second {
+		t.Errorf("video dwell = %v", got.Dwell)
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if Display.String() != "display" || LargeDisplay.String() != "large-display" || Video.String() != "video" {
+		t.Error("format names wrong")
+	}
+	if Format(99).String() != "Format(99)" {
+		t.Errorf("unknown format = %q", Format(99).String())
+	}
+}
+
+func TestCriteriaString(t *testing.T) {
+	s := StandardCriteria(Display).String()
+	if s != "≥50% for ≥1s" {
+		t.Errorf("Criteria.String = %q", s)
+	}
+}
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func TestOracleBasicViewed(t *testing.T) {
+	o := NewOracle(StandardCriteria(Display))
+	o.Observe(0, 0.6)
+	if viewed := o.FinishAt(sec(1.5)); !viewed {
+		t.Error("60% for 1.5s should be viewed")
+	}
+	if o.ViewedAt() != sec(1) {
+		t.Errorf("ViewedAt = %v, want 1s", o.ViewedAt())
+	}
+}
+
+func TestOracleTooShort(t *testing.T) {
+	o := NewOracle(StandardCriteria(Display))
+	o.Observe(0, 0.9)
+	if o.FinishAt(sec(0.9)) {
+		t.Error("0.9s dwell must not count")
+	}
+}
+
+func TestOracleBelowThreshold(t *testing.T) {
+	o := NewOracle(StandardCriteria(Display))
+	o.Observe(0, 0.49)
+	if o.FinishAt(sec(10)) {
+		t.Error("49% visibility must not count for display")
+	}
+}
+
+func TestOracleLargeDisplayRelaxedThreshold(t *testing.T) {
+	o := NewOracle(StandardCriteria(LargeDisplay))
+	o.Observe(0, 0.35)
+	if !o.FinishAt(sec(2)) {
+		t.Error("35% for 2s should satisfy the large-display 30% bar")
+	}
+}
+
+func TestOracleVideoNeedsTwoSeconds(t *testing.T) {
+	o := NewOracle(StandardCriteria(Video))
+	o.Observe(0, 0.8)
+	if o.FinishAt(sec(1.5)) {
+		t.Error("video needs 2s")
+	}
+	o2 := NewOracle(StandardCriteria(Video))
+	o2.Observe(0, 0.8)
+	if !o2.FinishAt(sec(2.0)) {
+		t.Error("video with exactly 2s should be viewed")
+	}
+}
+
+func TestOracleInterruptedDwellResets(t *testing.T) {
+	o := NewOracle(StandardCriteria(Display))
+	o.Observe(0, 0.7)        // visible
+	o.Observe(sec(0.8), 0)   // hidden before 1s
+	o.Observe(sec(1.0), 0.7) // visible again
+	if o.Viewed() {
+		t.Error("interrupted dwell must not count yet")
+	}
+	if !o.FinishAt(sec(2.0)) {
+		t.Error("second uninterrupted 1s window should count")
+	}
+	if o.ViewedAt() != sec(2.0) {
+		t.Errorf("ViewedAt = %v, want 2s", o.ViewedAt())
+	}
+}
+
+func TestOracleAccumulationDoesNotCount(t *testing.T) {
+	// Two visible windows of 0.6s each: 1.2s total but never 1s continuous.
+	o := NewOracle(StandardCriteria(Display))
+	o.Observe(0, 0.9)
+	o.Observe(sec(0.6), 0)
+	o.Observe(sec(1.0), 0.9)
+	if o.FinishAt(sec(1.6)) {
+		t.Error("non-continuous exposure must not count")
+	}
+}
+
+func TestOracleExactBoundary(t *testing.T) {
+	o := NewOracle(StandardCriteria(Display))
+	o.Observe(0, 0.5) // exactly 50% counts (≥)
+	if !o.FinishAt(sec(1.0)) {
+		t.Error("exactly 50% for exactly 1s should be viewed")
+	}
+}
+
+func TestOracleViewedLatches(t *testing.T) {
+	o := NewOracle(StandardCriteria(Display))
+	o.Observe(0, 1)
+	o.Observe(sec(3), 0) // hide after 3s; impression already viewed
+	if !o.Viewed() {
+		t.Error("viewed should latch after the dwell elapsed")
+	}
+	o.Observe(sec(5), 1)
+	if !o.FinishAt(sec(5.1)) {
+		t.Error("viewed must remain true")
+	}
+	if o.ViewedAt() != sec(1) {
+		t.Errorf("ViewedAt = %v, want first satisfaction time 1s", o.ViewedAt())
+	}
+}
+
+func TestOracleOutOfOrderPanics(t *testing.T) {
+	o := NewOracle(StandardCriteria(Display))
+	o.Observe(sec(2), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-order sample")
+		}
+	}()
+	o.Observe(sec(1), 1)
+}
+
+func TestOracleNoSamples(t *testing.T) {
+	o := NewOracle(StandardCriteria(Display))
+	if o.FinishAt(sec(10)) {
+		t.Error("no samples should never be viewed")
+	}
+}
+
+func TestOracleZeroDwell(t *testing.T) {
+	o := NewOracle(Criteria{AreaFraction: 0.5, Dwell: 0})
+	o.Observe(sec(1), 0.6)
+	if !o.Viewed() {
+		t.Error("zero dwell should satisfy instantly")
+	}
+	if o.ViewedAt() != sec(1) {
+		t.Errorf("ViewedAt = %v", o.ViewedAt())
+	}
+}
+
+func TestOracleFlappingVisibility(t *testing.T) {
+	// Flap every 400ms: should never satisfy a 1s dwell.
+	o := NewOracle(StandardCriteria(Display))
+	for i := 0; i < 20; i++ {
+		frac := 0.0
+		if i%2 == 0 {
+			frac = 1.0
+		}
+		o.Observe(time.Duration(i)*400*time.Millisecond, frac)
+	}
+	if o.FinishAt(sec(9)) {
+		t.Error("400ms flapping must never satisfy 1s dwell")
+	}
+}

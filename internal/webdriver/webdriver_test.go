@@ -1,0 +1,128 @@
+package webdriver
+
+import (
+	"testing"
+	"time"
+
+	"qtag/internal/simclock"
+	"qtag/internal/simrand"
+)
+
+func TestCommandKindStrings(t *testing.T) {
+	kinds := map[CommandKind]string{
+		KindWait: "wait", KindMoveWindow: "move-window", KindScroll: "scroll",
+		KindResize: "resize", KindSwitchTab: "switch-tab", KindObscure: "obscure",
+		KindBlur: "blur",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestAutomatable(t *testing.T) {
+	if KindObscure.Automatable() {
+		t.Error("obscure cannot be automated")
+	}
+	for _, k := range []CommandKind{KindWait, KindMoveWindow, KindScroll, KindResize, KindSwitchTab, KindBlur} {
+		if !k.Automatable() {
+			t.Errorf("%v should be automatable", k)
+		}
+	}
+}
+
+func TestContainsRacy(t *testing.T) {
+	if (Script{{Kind: KindResize}, {Kind: KindBlur}}).ContainsRacy() {
+		t.Error("resize/blur are not racy")
+	}
+	if !(Script{{Kind: KindMoveWindow}}).ContainsRacy() {
+		t.Error("move-window is racy")
+	}
+	if !(Script{{Kind: KindWait}, {Kind: KindScroll}}).ContainsRacy() {
+		t.Error("scroll is racy")
+	}
+}
+
+func TestSessionFlakesOnlyWhenAutomatedAndRacy(t *testing.T) {
+	clock := simclock.New()
+	racy := Script{{Kind: KindScroll}}
+	safe := Script{{Kind: KindSwitchTab}}
+
+	manual := New(clock, simrand.New(1), false)
+	manual.FlakeProbability = 1
+	if manual.SessionFlakes(racy) {
+		t.Error("manual sessions never flake")
+	}
+
+	auto := New(clock, simrand.New(1), true)
+	auto.FlakeProbability = 1
+	if !auto.SessionFlakes(racy) {
+		t.Error("automated racy session must flake at p=1")
+	}
+	if auto.SessionFlakes(safe) {
+		t.Error("non-racy scripts never flake")
+	}
+
+	noRNG := New(clock, nil, true)
+	noRNG.FlakeProbability = 1
+	if noRNG.SessionFlakes(racy) {
+		t.Error("nil rng disables flaking")
+	}
+}
+
+func TestFlakeRateCalibration(t *testing.T) {
+	clock := simclock.New()
+	d := New(clock, simrand.New(9), true)
+	racy := Script{{Kind: KindMoveWindow}}
+	flakes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if d.SessionFlakes(racy) {
+			flakes++
+		}
+	}
+	rate := float64(flakes) / n
+	if rate < 0.18 || rate > 0.22 {
+		t.Errorf("empirical flake rate = %.3f, want ≈%.3f", rate, DefaultFlakeProbability)
+	}
+}
+
+func TestRunExecutesCommandsInOrder(t *testing.T) {
+	clock := simclock.New()
+	d := New(clock, nil, true)
+	var order []string
+	script := Script{
+		{At: 200 * time.Millisecond, Kind: KindScroll, Do: func() { order = append(order, "scroll") }},
+		{At: 100 * time.Millisecond, Kind: KindResize, Do: func() { order = append(order, "resize") }},
+		{At: 300 * time.Millisecond, Kind: KindWait, Do: nil}, // nil Do is fine
+	}
+	d.Run(script, time.Second)
+	if len(order) != 2 || order[0] != "resize" || order[1] != "scroll" {
+		t.Errorf("order = %v", order)
+	}
+	if clock.Now() != time.Second {
+		t.Errorf("clock = %v", clock.Now())
+	}
+}
+
+func TestRunPanicsOnAutomatedObscure(t *testing.T) {
+	clock := simclock.New()
+	d := New(clock, nil, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.Run(Script{{Kind: KindObscure, Do: func() {}}}, time.Second)
+}
+
+func TestManualCanObscure(t *testing.T) {
+	clock := simclock.New()
+	d := New(clock, nil, false)
+	ran := false
+	d.Run(Script{{At: 10 * time.Millisecond, Kind: KindObscure, Do: func() { ran = true }}}, time.Second)
+	if !ran {
+		t.Error("manual driver should run obscure commands")
+	}
+}
