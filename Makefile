@@ -1,0 +1,27 @@
+# Developer / CI entry points. `make ci` is what a pipeline should run:
+# build, vet, and the full test suite under the race detector (the
+# beacon drain goroutine, circuit breaker, and journal are concurrency
+# hot spots — plain `go test` is not enough).
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+ci: build vet race

@@ -10,7 +10,14 @@
 //
 // Usage:
 //
-//	qtag-server [-addr :8640] [-log-every 30s]
+//	qtag-server [-addr :8640] [-log-every 30s] [-journal beacons.jsonl]
+//	            [-shed-pending 10000] [-retry-after 2s]
+//
+// With -journal and -shed-pending, the server sheds ingestion (503 +
+// Retry-After) while the journal's unflushed backlog exceeds the
+// threshold, and /healthz reports the shed count and backlog. On
+// SIGINT/SIGTERM the HTTP server drains, then the journal is flushed,
+// fsynced and closed before exit.
 package main
 
 import (
@@ -35,6 +42,8 @@ func main() {
 	statsKey := flag.String("stats-key", "", "operator bearer token protecting the stats endpoints (empty = open)")
 	ingestRate := flag.Float64("ingest-rate", 0, "per-client ingestion rate limit in req/s (0 = unlimited)")
 	ingestBurst := flag.Float64("ingest-burst", 50, "per-client ingestion burst")
+	shedPending := flag.Int("shed-pending", 0, "shed ingestion with 503 when this many journal events await flush (0 = disabled)")
+	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on shed responses")
 	flag.Parse()
 
 	store := beacon.NewStore()
@@ -72,6 +81,16 @@ func main() {
 	var handler http.Handler = server
 	if *ingestRate > 0 {
 		handler = beacon.NewRateLimiter(handler, *ingestRate, *ingestBurst)
+	}
+	var guard *beacon.OverloadGuard
+	if journal != nil && *shedPending > 0 {
+		threshold := *shedPending
+		guard = beacon.NewOverloadGuard(handler, func() bool {
+			return journal.Pending() >= threshold
+		}, *retryAfter)
+		server.AddHealthMetric("shed", guard.Shed)
+		server.AddHealthMetric("journal_pending", func() int64 { return int64(journal.Pending()) })
+		handler = guard
 	}
 	if *statsKey != "" {
 		handler = beacon.AuthStats(handler, *statsKey)
@@ -120,5 +139,18 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 	}
-	log.Printf("final: events=%d accepted=%d rejected=%d", store.Len(), server.Accepted(), server.Rejected())
+	// Graceful drain: every in-flight request has completed (Shutdown
+	// returned), so flush + fsync + close the journal before the final
+	// log line — a SIGTERM must not tear the last beacons. Close is
+	// idempotent; the deferred Close becomes a no-op.
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("journal close: %v", err)
+		}
+	}
+	shed := int64(0)
+	if guard != nil {
+		shed = guard.Shed()
+	}
+	log.Printf("final: events=%d accepted=%d rejected=%d shed=%d", store.Len(), server.Accepted(), server.Rejected(), shed)
 }

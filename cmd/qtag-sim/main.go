@@ -6,23 +6,39 @@
 //
 //	qtag-sim [-campaigns 99] [-impressions 120] [-both 4] [-both-factor 3.9]
 //	         [-seed 2019] [-server http://host:8640] [-breakdown]
+//	         [-fault-drop 0.1] [-fault-err 0.05]
+//	         [-queue] [-queue-cap 4096] [-breaker]
+//	         [-fault-http-drop 0.1] [-fault-http-5xx 0.1] [-fault-http-latency 5ms]
 //
 // With -server, every beacon of the simulation is additionally delivered
-// to a live qtag-server over HTTP.
+// to a live qtag-server over HTTP; -queue buffers that delivery through a
+// store-and-forward QueueSink and -breaker adds a circuit breaker, so an
+// unreachable collector degrades the mirror instead of the run.
+//
+// -fault-drop / -fault-err inject deterministic beacon loss on the tag →
+// collector path (internal/faults): the same seed reproduces the same
+// measured-rate / not-measured counts run after run, which is how the
+// paper's "not measured" population is reproduced as a function of
+// injected loss. -fault-http-* degrade the HTTP mirror path instead.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"runtime"
+	"time"
 
 	"qtag/internal/analytics"
 	"qtag/internal/beacon"
 	"qtag/internal/campaign"
 	"qtag/internal/economics"
+	"qtag/internal/faults"
 	"qtag/internal/report"
+	"qtag/internal/simrand"
 )
 
 func main() {
@@ -34,6 +50,16 @@ func main() {
 	serverURL := flag.String("server", "", "optional collection-server URL to mirror beacons to")
 	breakdown := flag.Bool("breakdown", false, "print the per-campaign table")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "campaigns simulated concurrently")
+	faultDrop := flag.Float64("fault-drop", 0, "probability a tag beacon is silently lost in transit")
+	faultErr := flag.Float64("fault-err", 0, "probability a tag beacon submission fails with an error")
+	useQueue := flag.Bool("queue", false, "buffer the -server mirror through a store-and-forward queue")
+	queueCap := flag.Int("queue-cap", 4096, "mirror queue capacity (events)")
+	useBreaker := flag.Bool("breaker", false, "wrap the -server mirror in a circuit breaker")
+	breakerThreshold := flag.Int("breaker-threshold", beacon.DefaultBreakerThreshold, "consecutive failures before the mirror breaker opens")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "mirror breaker cool-down")
+	httpDrop := flag.Float64("fault-http-drop", 0, "probability a mirror HTTP request is dropped on the wire")
+	http5xx := flag.Float64("fault-http-5xx", 0, "probability a mirror HTTP request is answered with an injected 503")
+	httpLatency := flag.Duration("fault-http-latency", 0, "max injected latency per mirror HTTP request")
 	flag.Parse()
 
 	cfg := campaign.Config{
@@ -43,19 +69,63 @@ func main() {
 		BothCampaigns:          *both,
 		BothImpressionsFactor:  *bothFactor,
 		Parallelism:            *parallel,
+		TagFaults:              faults.Profile{Drop: *faultDrop, Error: *faultErr},
 	}
+
+	var queue *beacon.QueueSink
+	var breaker *beacon.CircuitBreaker
+	var httpFaults *faults.RoundTripper
+	var httpSink *beacon.HTTPSink
 	if *serverURL != "" {
-		cfg.ExtraSink = &beacon.HTTPSink{BaseURL: *serverURL, Retries: 2}
+		httpSink = &beacon.HTTPSink{BaseURL: *serverURL, Retries: 2}
+		wireFaults := faults.Profile{Drop: *httpDrop, Error: *http5xx, Latency: *httpLatency}
+		if wireFaults.Enabled() {
+			httpFaults = faults.NewRoundTripper(nil, simrand.New(*seed).Fork("http-faults"), wireFaults)
+			httpSink.Client = &http.Client{Transport: httpFaults}
+			log.Printf("mirror wire faults: %s", wireFaults)
+		}
+		var mirror beacon.Sink = httpSink
+		if *useBreaker {
+			breaker = beacon.NewCircuitBreaker(mirror, *breakerThreshold, *breakerCooldown)
+			mirror = breaker
+		}
+		if *useQueue {
+			queue = beacon.NewQueueSink(mirror, beacon.QueueOptions{Capacity: *queueCap})
+			mirror = queue
+		}
+		cfg.ExtraSink = mirror
 		log.Printf("mirroring beacons to %s", *serverURL)
 	}
 
 	res := campaign.New(cfg).Run()
+
+	if queue != nil {
+		// Drain the store-and-forward buffer before reporting.
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := queue.Close(drainCtx); err != nil {
+			log.Printf("mirror drain: %v", err)
+		}
+		cancel()
+	}
 
 	var served int
 	for _, c := range res.Campaigns {
 		served += c.Served
 	}
 	fmt.Printf("simulated %d campaigns, %d impressions (seed %d)\n\n", len(res.Campaigns), served, *seed)
+
+	if cfg.TagFaults.Enabled() {
+		var drops, errs, loaded int
+		for _, c := range res.Campaigns {
+			drops += c.FaultDrops
+			errs += c.FaultErrors
+			loaded += c.QTagLoaded
+		}
+		notMeasured := served - loaded
+		fmt.Printf("fault injection (%s): beacons dropped=%d errored=%d\n", cfg.TagFaults, drops, errs)
+		fmt.Printf("  q-tag not measured: %d of %d served (%.1f%%)\n\n", notMeasured, served,
+			100*float64(notMeasured)/float64(max(served, 1)))
+	}
 
 	fig := analytics.Figure3(res)
 	q := fig[beacon.SourceQTag]
@@ -105,6 +175,20 @@ func main() {
 			})
 		}
 		fmt.Print(report.Table([]string{"Campaign", "Served", "Q-Tag meas.", "Q-Tag view.", "Comm. meas."}, rows))
+	}
+
+	if httpSink != nil {
+		health := fmt.Sprintf("delivered=%d retried=%d failed=%d", httpSink.Delivered(), httpSink.Retried(), httpSink.Failed())
+		if breaker != nil {
+			health += fmt.Sprintf(" breaker=%s tripped=%d rejected=%d", breaker.State(), breaker.Tripped(), breaker.Rejected())
+		}
+		if queue != nil {
+			health += " queue[" + queue.Stats().String() + "]"
+		}
+		if httpFaults != nil {
+			health += " wire[" + httpFaults.Stats().String() + "]"
+		}
+		log.Printf("mirror delivery health: %s", health)
 	}
 
 	if q.MeanMeasured <= c.MeanMeasured {

@@ -2,40 +2,114 @@ package beacon
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 )
 
+// PermanentError marks a delivery failure that retrying cannot heal —
+// the server received and understood the request and refused it (a 4xx
+// other than 429). Retry layers (HTTPSink's own loop, QueueSink,
+// CircuitBreaker) treat permanent errors as delivered-and-rejected: the
+// event is dropped rather than retried, and the breaker does not count
+// it as an availability failure.
+type PermanentError struct{ Err error }
+
+// Error implements error.
+func (p *PermanentError) Error() string { return p.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (p *PermanentError) Unwrap() error { return p.Err }
+
+// IsPermanent reports whether err is marked non-retryable.
+func IsPermanent(err error) bool {
+	var p *PermanentError
+	return errors.As(err, &p)
+}
+
+// Default retry tuning for HTTPSink. Overridable per sink.
+const (
+	DefaultTimeout     = 10 * time.Second
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffMax  = 5 * time.Second
+	// maxRetryAfter caps how long a server-supplied Retry-After header can
+	// stall one submission; anything longer is a misconfigured server, not
+	// a reason to hang the tag.
+	maxRetryAfter = 30 * time.Second
+)
+
 // HTTPSink delivers events to a collection Server over HTTP. It implements
-// Sink, so an ad tag is indifferent to whether its beacons land in an
-// in-process Store (fast simulation path) or cross a real socket
+// Sink (and BatchSink), so an ad tag is indifferent to whether its beacons
+// land in an in-process Store (fast simulation path) or cross a real socket
 // (integration tests, examples, production).
+//
+// Failure handling: transport errors, 5xx and 429 are retried up to
+// Retries times with capped exponential backoff, honoring a server
+// Retry-After header when one is present (the server's own RateLimiter
+// and OverloadGuard emit them). Other 4xx responses are returned as
+// *PermanentError immediately — the server rejected the payload and
+// resubmitting the same bytes cannot succeed.
 type HTTPSink struct {
 	// BaseURL is the collection server root, e.g. "http://127.0.0.1:8640".
 	BaseURL string
 	// Client is the HTTP client to use; http.DefaultClient when nil.
 	Client *http.Client
-	// Retries is the number of re-submissions attempted after a transport
+	// Retries is the number of re-submissions attempted after a retryable
 	// failure. Ingestion is idempotent, so retries are always safe.
 	Retries int
+	// Timeout bounds each individual request attempt (not the whole retry
+	// loop) via context; DefaultTimeout when zero, negative disables.
+	Timeout time.Duration
+	// BackoffBase is the first retry delay; DefaultBackoffBase when zero.
+	// Delay doubles per attempt up to BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff growth; DefaultBackoffMax when zero.
+	BackoffMax time.Duration
+	// Jitter, when set, returns a uniform value in [0, 1) used to spread
+	// retry delays over [delay/2, delay) — equal jitter. Inject a
+	// deterministic source (e.g. simrand.RNG.Float64) to make retry
+	// schedules replayable; nil applies the full undithered delay.
+	Jitter func() float64
+	// Sleep is the delay function; time.Sleep when nil (tests inject a
+	// recorder or no-op).
+	Sleep func(time.Duration)
+
+	retried   atomic.Int64
+	delivered atomic.Int64
+	failed    atomic.Int64
 }
+
+// Retried returns the number of retry attempts performed (first attempts
+// are not counted).
+func (h *HTTPSink) Retried() int64 { return h.retried.Load() }
+
+// Delivered returns the number of successful batch submissions.
+func (h *HTTPSink) Delivered() int64 { return h.delivered.Load() }
+
+// Failed returns the number of submissions that exhausted retries or hit
+// a permanent error.
+func (h *HTTPSink) Failed() int64 { return h.failed.Load() }
 
 // Submit implements Sink by POSTing the event to /v1/events.
 func (h *HTTPSink) Submit(e Event) error {
 	return h.SubmitBatch([]Event{e})
 }
 
-// SubmitBatch posts several events in a single request.
+// SubmitBatch posts several events in a single request, retrying
+// retryable failures with capped exponential backoff.
 func (h *HTTPSink) SubmitBatch(events []Event) error {
 	if len(events) == 0 {
 		return nil
 	}
 	body, err := json.Marshal(events)
 	if err != nil {
-		return fmt.Errorf("beacon: encode events: %w", err)
+		return &PermanentError{Err: fmt.Errorf("beacon: encode events: %w", err)}
 	}
 	client := h.Client
 	if client == nil {
@@ -44,24 +118,129 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 	url := h.BaseURL + "/v1/events"
 	var lastErr error
 	for attempt := 0; attempt <= h.Retries; attempt++ {
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if attempt > 0 {
+			h.retried.Add(1)
+			h.sleep(h.backoff(attempt, lastErr))
+		}
+		status, respBody, retryAfter, err := h.post(client, url, body)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		status := resp.StatusCode
-		respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		resp.Body.Close()
 		if status == http.StatusAccepted {
+			h.delivered.Add(1)
 			return nil
 		}
-		lastErr = fmt.Errorf("beacon: server returned %d: %s", status, bytes.TrimSpace(respBody))
-		if status >= 400 && status < 500 {
-			// Client errors will not heal on retry.
-			return lastErr
+		lastErr = &statusError{status: status, body: respBody, retryAfter: retryAfter}
+		if retryableStatus(status) {
+			continue
 		}
+		// Other client errors will not heal on retry: the server parsed
+		// the request and rejected it.
+		h.failed.Add(1)
+		return &PermanentError{Err: lastErr}
 	}
+	h.failed.Add(1)
 	return fmt.Errorf("beacon: submit failed after %d attempts: %w", h.Retries+1, lastErr)
+}
+
+// post performs one attempt under the per-request timeout.
+func (h *HTTPSink) post(client *http.Client, url string, body []byte) (status int, respBody []byte, retryAfter time.Duration, err error) {
+	ctx := context.Background()
+	timeout := h.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer resp.Body.Close()
+	respBody, _ = io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode, bytes.TrimSpace(respBody), parseRetryAfter(resp.Header.Get("Retry-After")), nil
+}
+
+// statusError is a non-2xx response, carrying the server's pushback hint.
+type statusError struct {
+	status     int
+	body       []byte
+	retryAfter time.Duration
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("beacon: server returned %d: %s", e.status, e.body)
+}
+
+// retryableStatus reports whether a response status is worth retrying:
+// server errors, plus the two explicit "come back later" pushback codes.
+func retryableStatus(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// backoff computes the delay before the given (1-based) retry attempt. A
+// server-supplied Retry-After overrides the exponential schedule.
+func (h *HTTPSink) backoff(attempt int, lastErr error) time.Duration {
+	var se *statusError
+	if errors.As(lastErr, &se) && se.retryAfter > 0 {
+		if se.retryAfter > maxRetryAfter {
+			return maxRetryAfter
+		}
+		return se.retryAfter
+	}
+	base := h.BackoffBase
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	max := h.BackoffMax
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	delay := base
+	for i := 1; i < attempt && delay < max; i++ {
+		delay *= 2
+	}
+	if delay > max {
+		delay = max
+	}
+	if h.Jitter != nil {
+		delay = delay/2 + time.Duration(h.Jitter()*float64(delay/2))
+	}
+	return delay
+}
+
+func (h *HTTPSink) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if h.Sleep != nil {
+		h.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// parseRetryAfter decodes a Retry-After header value. Only the
+// delta-seconds form is honored; the HTTP-date form depends on clock
+// agreement with the server and is ignored.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // FetchStats retrieves aggregate stats from the server; campaignID may be
@@ -94,7 +273,8 @@ func (h *HTTPSink) FetchStats(campaignID string) (StatsResponse, error) {
 // LossySink wraps a Sink and drops each event with a fixed probability,
 // modelling beacon loss on flaky mobile networks. The drop decision
 // function is injected so campaign simulations can drive it from their
-// deterministic RNG.
+// deterministic RNG. internal/faults provides the richer chaos layer
+// (injected errors, latency, torn writes) built on the same idea.
 type LossySink struct {
 	// Next is the underlying sink.
 	Next Sink

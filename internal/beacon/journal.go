@@ -17,10 +17,12 @@ import (
 //
 // Journal implements Sink and is safe for concurrent use.
 type Journal struct {
-	mu  sync.Mutex
-	w   io.Writer
-	buf *bufio.Writer
-	n   int
+	mu      sync.Mutex
+	w       io.Writer
+	buf     *bufio.Writer
+	n       int
+	pending int // events accepted since the last Flush
+	closed  bool
 }
 
 // NewJournal wraps the writer. The caller owns the writer's lifecycle
@@ -48,6 +50,7 @@ func (j *Journal) Submit(e Event) error {
 		return fmt.Errorf("beacon: journal write: %w", err)
 	}
 	j.n++
+	j.pending++
 	return nil
 }
 
@@ -58,18 +61,62 @@ func (j *Journal) Len() int {
 	return j.n
 }
 
+// Pending returns the number of events accepted since the last Flush —
+// the durability backlog. An overload guard can shed ingestion when this
+// falls too far behind (the journal writer is not keeping up).
+func (j *Journal) Pending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pending
+}
+
 // Flush pushes buffered lines to the underlying writer.
 func (j *Journal) Flush() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.buf.Flush()
+	return j.flushLocked()
 }
 
-// Close flushes and, when the underlying writer is an io.Closer, closes
-// it.
-func (j *Journal) Close() error {
-	if err := j.Flush(); err != nil {
+func (j *Journal) flushLocked() error {
+	if err := j.buf.Flush(); err != nil {
 		return err
+	}
+	j.pending = 0
+	return nil
+}
+
+// Sync flushes and, when the underlying writer supports it (an *os.File
+// does), forces the data to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.flushLocked(); err != nil {
+		return err
+	}
+	if s, ok := j.w.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Close flushes, fsyncs when possible and, when the underlying writer is
+// an io.Closer, closes it. Close is idempotent: the graceful-shutdown
+// path closes explicitly after the HTTP server drains, and a deferred
+// Close becomes a no-op.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.flushLocked(); err != nil {
+		return err
+	}
+	if s, ok := j.w.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return err
+		}
 	}
 	if c, ok := j.w.(io.Closer); ok {
 		return c.Close()

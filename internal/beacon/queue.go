@@ -1,0 +1,298 @@
+package beacon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BatchSink is a Sink that can deliver several events in one call.
+// *HTTPSink and *CircuitBreaker implement it; QueueSink uses it to
+// coalesce queued events into batch submissions.
+type BatchSink interface {
+	Sink
+	SubmitBatch([]Event) error
+}
+
+// Queue errors.
+var (
+	// ErrQueueFull is returned by Submit when the buffer is at capacity;
+	// the event has been dropped and counted.
+	ErrQueueFull = errors.New("beacon: queue full, event dropped")
+	// ErrQueueClosed is returned by Submit after Close.
+	ErrQueueClosed = errors.New("beacon: queue closed")
+)
+
+// QueueOptions tunes a QueueSink. The zero value picks sensible defaults.
+type QueueOptions struct {
+	// Capacity bounds the in-memory buffer; events submitted beyond it
+	// are dropped (and counted). Default 4096.
+	Capacity int
+	// MaxBatch is the largest batch handed to the downstream sink in one
+	// call. Default 128.
+	MaxBatch int
+	// RetryDelay is how long the drain goroutine waits after a retryable
+	// flush failure before trying again. Default 250ms.
+	RetryDelay time.Duration
+	// Sleep overrides the retry delay function (tests); time.Sleep when
+	// nil. The drain goroutine aborts a pending delay when the queue is
+	// force-stopped regardless of the implementation.
+	Sleep func(time.Duration)
+}
+
+func (o QueueOptions) withDefaults() QueueOptions {
+	if o.Capacity <= 0 {
+		o.Capacity = 4096
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 128
+	}
+	if o.RetryDelay <= 0 {
+		o.RetryDelay = 250 * time.Millisecond
+	}
+	return o
+}
+
+// QueueSink is a store-and-forward buffer between a tag and an unreliable
+// downstream sink (typically CircuitBreaker over HTTPSink). Submit is
+// non-blocking: it appends to a bounded in-memory buffer and returns; a
+// background goroutine drains the buffer in batches. A retryable flush
+// failure re-queues the batch at the front and backs off, so delivery is
+// at-least-once for every event accepted below capacity — duplicates are
+// absorbed downstream by idempotent ingestion. When the buffer is full,
+// new events are dropped and counted (overflow-drop policy): under
+// sustained outage the tag sheds load instead of growing memory.
+//
+// QueueSink is safe for concurrent use.
+type QueueSink struct {
+	next      Sink
+	batchNext BatchSink // non-nil when next supports batching
+	opts      QueueOptions
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []Event
+	closed bool
+
+	stop     chan struct{} // force-stop: abandon the buffer
+	stopOnce sync.Once
+	done     chan struct{} // drain goroutine exited
+
+	enqueued atomic.Int64
+	dropped  atomic.Int64
+	flushed  atomic.Int64
+	failed   atomic.Int64
+	retried  atomic.Int64
+}
+
+// NewQueueSink wraps next and starts the drain goroutine. Call Close to
+// flush and stop it.
+func NewQueueSink(next Sink, opts QueueOptions) *QueueSink {
+	q := &QueueSink{
+		next: next,
+		opts: opts.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if b, ok := next.(BatchSink); ok {
+		q.batchNext = b
+	}
+	q.cond = sync.NewCond(&q.mu)
+	go q.drain()
+	return q
+}
+
+// Submit implements Sink. It never blocks on the network: the event is
+// buffered (or dropped with ErrQueueFull when the buffer is at capacity).
+func (q *QueueSink) Submit(e Event) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.dropped.Add(1)
+		return ErrQueueClosed
+	}
+	if len(q.buf) >= q.opts.Capacity {
+		q.mu.Unlock()
+		q.dropped.Add(1)
+		return ErrQueueFull
+	}
+	q.buf = append(q.buf, e)
+	q.enqueued.Add(1)
+	q.cond.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// Close stops intake and drains the remaining buffer, blocking until it
+// is empty or ctx expires. On expiry the drain goroutine is stopped and
+// the undelivered events are counted as dropped.
+func (q *QueueSink) Close(ctx context.Context) error {
+	q.mu.Lock()
+	alreadyClosed := q.closed
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	if alreadyClosed {
+		<-q.done
+		return nil
+	}
+	select {
+	case <-q.done:
+		return nil
+	case <-ctx.Done():
+		q.stopOnce.Do(func() { close(q.stop) })
+		<-q.done
+		q.mu.Lock()
+		abandoned := len(q.buf)
+		q.buf = nil
+		q.mu.Unlock()
+		q.dropped.Add(int64(abandoned))
+		return fmt.Errorf("beacon: queue closed with %d undelivered events: %w", abandoned, ctx.Err())
+	}
+}
+
+// drain is the background flush loop.
+func (q *QueueSink) drain() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.buf) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.buf) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		if q.stopped() {
+			q.mu.Unlock()
+			return
+		}
+		n := len(q.buf)
+		if n > q.opts.MaxBatch {
+			n = q.opts.MaxBatch
+		}
+		batch := make([]Event, n)
+		copy(batch, q.buf)
+		q.mu.Unlock()
+
+		rejected, err := q.deliver(batch)
+
+		q.mu.Lock()
+		if err == nil || IsPermanent(err) {
+			// The front n elements are exactly the batch: Submit only
+			// appends at the tail and overflow drops the incoming event,
+			// never queued ones.
+			q.buf = append(q.buf[:0], q.buf[n:]...)
+			if err == nil {
+				q.flushed.Add(int64(n - rejected))
+				q.failed.Add(int64(rejected))
+			} else {
+				// Delivered-and-rejected: retrying identical bytes cannot
+				// succeed, so drop the batch rather than wedge the queue.
+				q.failed.Add(int64(n))
+			}
+			q.mu.Unlock()
+			continue
+		}
+		q.mu.Unlock()
+		// Retryable failure: leave the batch at the front and back off.
+		q.retried.Add(1)
+		if !q.pause(q.opts.RetryDelay) {
+			return
+		}
+	}
+}
+
+// deliver pushes one batch downstream, preferring the batch interface.
+// rejected counts events the downstream permanently refused while the
+// batch as a whole succeeded (per-event path only).
+func (q *QueueSink) deliver(batch []Event) (rejected int, err error) {
+	if q.batchNext != nil {
+		return 0, q.batchNext.SubmitBatch(batch)
+	}
+	for _, e := range batch {
+		if err := q.next.Submit(e); err != nil {
+			if IsPermanent(err) {
+				// Skip the poison event and keep going; earlier events
+				// already landed and idempotency covers re-delivery.
+				rejected++
+				continue
+			}
+			// A retryable failure re-queues the whole batch; re-delivery
+			// of the already-landed prefix is safe (idempotent ingest).
+			return 0, err
+		}
+	}
+	return rejected, nil
+}
+
+// pause sleeps for d unless the queue is force-stopped first; it reports
+// whether draining should continue.
+func (q *QueueSink) pause(d time.Duration) bool {
+	if q.opts.Sleep != nil {
+		q.opts.Sleep(d)
+		return !q.stopped()
+	}
+	select {
+	case <-time.After(d):
+		return true
+	case <-q.stop:
+		return false
+	}
+}
+
+func (q *QueueSink) stopped() bool {
+	select {
+	case <-q.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth returns the number of events currently buffered.
+func (q *QueueSink) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+// QueueStats is a point-in-time snapshot of a QueueSink's delivery-health
+// counters.
+type QueueStats struct {
+	// Depth is the current buffer occupancy.
+	Depth int
+	// Enqueued counts events accepted into the buffer.
+	Enqueued int64
+	// Dropped counts events lost to overflow, closed-queue submits, or an
+	// abandoned drain (Close deadline).
+	Dropped int64
+	// Flushed counts events delivered downstream.
+	Flushed int64
+	// Failed counts events the downstream permanently rejected.
+	Failed int64
+	// Retried counts flush attempts that failed retryably and were
+	// re-queued.
+	Retried int64
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *QueueSink) Stats() QueueStats {
+	return QueueStats{
+		Depth:    q.Depth(),
+		Enqueued: q.enqueued.Load(),
+		Dropped:  q.dropped.Load(),
+		Flushed:  q.flushed.Load(),
+		Failed:   q.failed.Load(),
+		Retried:  q.retried.Load(),
+	}
+}
+
+// String implements fmt.Stringer for log lines.
+func (s QueueStats) String() string {
+	return fmt.Sprintf("depth=%d enqueued=%d flushed=%d dropped=%d failed=%d retried=%d",
+		s.Depth, s.Enqueued, s.Flushed, s.Dropped, s.Failed, s.Retried)
+}

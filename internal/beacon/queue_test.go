@@ -1,0 +1,164 @@
+package beacon
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedSink fails batches until unblocked; it records delivered events.
+type scriptedSink struct {
+	mu        sync.Mutex
+	failWith  error // returned while set
+	delivered []Event
+	batches   int
+}
+
+func (s *scriptedSink) SubmitBatch(events []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	if s.failWith != nil {
+		return s.failWith
+	}
+	s.delivered = append(s.delivered, events...)
+	return nil
+}
+
+func (s *scriptedSink) Submit(e Event) error { return s.SubmitBatch([]Event{e}) }
+
+func (s *scriptedSink) setFail(err error) {
+	s.mu.Lock()
+	s.failWith = err
+	s.mu.Unlock()
+}
+
+func (s *scriptedSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.delivered)
+}
+
+func drainAndClose(t *testing.T, q *QueueSink) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestQueueSinkDeliversAll(t *testing.T) {
+	next := &scriptedSink{}
+	q := NewQueueSink(next, QueueOptions{Capacity: 1000, MaxBatch: 32, RetryDelay: time.Millisecond})
+	for i := 0; i < 500; i++ {
+		if err := q.Submit(ev(itoa(i), "c1", SourceQTag, EventLoaded)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	drainAndClose(t, q)
+	if next.count() != 500 {
+		t.Errorf("delivered %d, want 500", next.count())
+	}
+	st := q.Stats()
+	if st.Enqueued != 500 || st.Flushed != 500 || st.Dropped != 0 || st.Failed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueueSinkRetriesUntilDownstreamHeals(t *testing.T) {
+	next := &scriptedSink{}
+	next.setFail(errors.New("collector down"))
+	q := NewQueueSink(next, QueueOptions{Capacity: 100, MaxBatch: 10, RetryDelay: time.Millisecond})
+	for i := 0; i < 50; i++ {
+		if err := q.Submit(ev(itoa(i), "c1", SourceQTag, EventLoaded)); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	// Let a few failing flushes happen, then heal.
+	time.Sleep(20 * time.Millisecond)
+	if next.count() != 0 {
+		t.Fatalf("delivered %d during outage", next.count())
+	}
+	next.setFail(nil)
+	drainAndClose(t, q)
+	if next.count() != 50 {
+		t.Errorf("delivered %d after heal, want 50 (zero loss)", next.count())
+	}
+	if st := q.Stats(); st.Retried == 0 {
+		t.Error("expected retried > 0 during outage")
+	}
+}
+
+func TestQueueSinkOverflowDropsAndCounts(t *testing.T) {
+	next := &scriptedSink{}
+	next.setFail(errors.New("collector down"))
+	q := NewQueueSink(next, QueueOptions{Capacity: 10, MaxBatch: 4, RetryDelay: time.Hour})
+	var full int
+	for i := 0; i < 25; i++ {
+		if err := q.Submit(ev(itoa(i), "c1", SourceQTag, EventLoaded)); errors.Is(err, ErrQueueFull) {
+			full++
+		}
+	}
+	st := q.Stats()
+	if st.Dropped < 10 || st.Enqueued > 14 {
+		t.Errorf("overflow accounting: %+v (dropped submits seen: %d)", st, full)
+	}
+	if full != int(st.Dropped) {
+		t.Errorf("ErrQueueFull count %d != dropped counter %d", full, st.Dropped)
+	}
+	if st.Enqueued+st.Dropped != 25 {
+		t.Errorf("enqueued+dropped = %d, want 25", st.Enqueued+st.Dropped)
+	}
+	// Force-stop: the drain goroutine is parked in an hour-long retry
+	// delay, so the deadline expires and the buffer is abandoned.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := q.Close(ctx); err == nil {
+		t.Error("expected close deadline error with undeliverable buffer")
+	}
+	// Every submitted event is now accounted for: 10 abandoned in the
+	// buffer plus 15 overflow drops.
+	if st := q.Stats(); st.Dropped != 25 || st.Flushed != 0 || st.Depth != 0 {
+		t.Errorf("after abandon, stats = %+v, want 25 dropped", st)
+	}
+}
+
+func TestQueueSinkDropsPoisonBatch(t *testing.T) {
+	next := &scriptedSink{}
+	next.setFail(&PermanentError{Err: errors.New("rejected")})
+	q := NewQueueSink(next, QueueOptions{Capacity: 10, MaxBatch: 10, RetryDelay: time.Millisecond})
+	for i := 0; i < 5; i++ {
+		_ = q.Submit(ev(itoa(i), "c1", SourceQTag, EventLoaded))
+	}
+	drainAndClose(t, q)
+	st := q.Stats()
+	if st.Failed != 5 || st.Flushed != 0 {
+		t.Errorf("poison batch stats = %+v, want 5 failed", st)
+	}
+}
+
+func TestQueueSinkSubmitAfterClose(t *testing.T) {
+	q := NewQueueSink(&scriptedSink{}, QueueOptions{})
+	drainAndClose(t, q)
+	if err := q.Submit(ev("i1", "c1", SourceQTag, EventLoaded)); !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("submit after close = %v, want ErrQueueClosed", err)
+	}
+}
+
+// itoa avoids importing strconv in several tests.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}

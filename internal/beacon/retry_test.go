@@ -1,0 +1,142 @@
+package beacon
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler fails the first n requests with the given status before
+// delegating to a real collection server.
+func flakyHandler(t *testing.T, store *Store, n int, status int, retryAfter string) (http.Handler, *atomic.Int64) {
+	t.Helper()
+	server := NewServer(store)
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, "pushback", status)
+			return
+		}
+		server.ServeHTTP(w, r)
+	})
+	return h, &calls
+}
+
+func TestHTTPSink429IsRetried(t *testing.T) {
+	store := NewStore()
+	h, calls := flakyHandler(t, store, 2, http.StatusTooManyRequests, "")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	sink := &HTTPSink{BaseURL: srv.URL, Retries: 3, Sleep: func(time.Duration) {}}
+	if err := sink.Submit(ev("i1", "c1", "", EventServed)); err != nil {
+		t.Fatalf("429 should be retryable: %v", err)
+	}
+	if store.Len() != 1 {
+		t.Error("event not stored after 429 retries")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("request count = %d, want 3", got)
+	}
+	if sink.Retried() != 2 {
+		t.Errorf("Retried = %d, want 2", sink.Retried())
+	}
+}
+
+func TestHTTPSinkHonorsRetryAfter(t *testing.T) {
+	store := NewStore()
+	h, _ := flakyHandler(t, store, 1, http.StatusServiceUnavailable, "3")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var slept []time.Duration
+	sink := &HTTPSink{
+		BaseURL: srv.URL,
+		Retries: 2,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := sink.Submit(ev("i1", "c1", "", EventServed)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 3*time.Second {
+		t.Errorf("slept %v, want one 3s delay from Retry-After", slept)
+	}
+}
+
+func TestHTTPSinkClientErrorIsPermanent(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad payload", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	calls := 0
+	sink := &HTTPSink{BaseURL: srv.URL, Retries: 5, Sleep: func(time.Duration) { calls++ }}
+	err := sink.Submit(ev("i1", "c1", "", EventServed))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !IsPermanent(err) {
+		t.Errorf("400 should be permanent, got %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("permanent error slept %d times", calls)
+	}
+	if sink.Failed() != 1 {
+		t.Errorf("Failed = %d, want 1", sink.Failed())
+	}
+}
+
+func TestHTTPSinkTimeout(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+
+	sink := &HTTPSink{BaseURL: srv.URL, Timeout: 20 * time.Millisecond, Sleep: func(time.Duration) {}}
+	err := sink.Submit(ev("i1", "c1", "", EventServed))
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if IsPermanent(err) {
+		t.Errorf("timeout must stay retryable, got %v", err)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	h := &HTTPSink{BackoffBase: 10 * time.Millisecond, BackoffMax: 40 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, // attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		40 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := h.backoff(i+1, errors.New("x")); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+
+	// Injected jitter spreads the delay over [delay/2, delay).
+	h.Jitter = func() float64 { return 0 }
+	if got := h.backoff(1, nil); got != 5*time.Millisecond {
+		t.Errorf("jitter floor = %v, want 5ms", got)
+	}
+	h.Jitter = func() float64 { return 0.9999999 }
+	if got := h.backoff(1, nil); got < 9*time.Millisecond || got >= 10*time.Millisecond {
+		t.Errorf("jitter ceiling = %v, want just under 10ms", got)
+	}
+
+	// Retry-After overrides the schedule; absurd values are capped.
+	ra := &statusError{status: 429, retryAfter: time.Hour}
+	if got := h.backoff(1, ra); got != maxRetryAfter {
+		t.Errorf("retry-after cap = %v, want %v", got, maxRetryAfter)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -26,6 +27,15 @@ type Server struct {
 	mux      *http.ServeMux
 	accepted atomic.Int64
 	rejected atomic.Int64
+
+	healthMu     sync.Mutex
+	healthExtras []healthMetric
+}
+
+// healthMetric is one operator-registered /healthz gauge.
+type healthMetric struct {
+	name string
+	fn   func() int64
 }
 
 // maxBodyBytes bounds request bodies; a batch of beacons is small, and an
@@ -45,11 +55,35 @@ func NewServerWithSink(store *Store, sink Sink) *Server {
 	s.mux.HandleFunc("GET /v1/events", s.handlePixelEvent)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/stats", s.handleCampaignStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"status":"ok","events":%d}`, s.store.Len())
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// AddHealthMetric registers an extra delivery-health gauge reported in
+// the /healthz payload (e.g. overload-guard shed count, journal backlog).
+// Stress harnesses assert on these to verify graceful degradation.
+func (s *Server) AddHealthMetric(name string, fn func() int64) {
+	s.healthMu.Lock()
+	s.healthExtras = append(s.healthExtras, healthMetric{name: name, fn: fn})
+	s.healthMu.Unlock()
+}
+
+// handleHealthz reports liveness plus the collector's delivery-health
+// counters: stored events, ingestion accept/reject totals, and any
+// registered extras.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	payload := map[string]any{
+		"status":   "ok",
+		"events":   s.store.Len(),
+		"accepted": s.accepted.Load(),
+		"rejected": s.rejected.Load(),
+	}
+	s.healthMu.Lock()
+	for _, m := range s.healthExtras {
+		payload[m.name] = m.fn()
+	}
+	s.healthMu.Unlock()
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // ServeHTTP implements http.Handler.

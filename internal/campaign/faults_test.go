@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"testing"
+
+	"qtag/internal/faults"
+)
+
+// faultyConfig is testConfig with beacon-delivery faults on the tag path.
+func faultyConfig() Config {
+	cfg := testConfig()
+	cfg.TagFaults = faults.Profile{Drop: 0.15, Error: 0.05}
+	return cfg
+}
+
+// TestTagFaultsDeterministicAcrossParallelism is the acceptance property
+// of the fault harness: a fixed seed reproduces identical measured-rate /
+// not-measured counts run after run, at any worker count, because every
+// campaign draws its fault schedule from its own pre-forked RNG.
+func TestTagFaultsDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) []CampaignResult {
+		cfg := faultyConfig()
+		cfg.Parallelism = parallelism
+		return New(cfg).Run().Campaigns
+	}
+	serial := run(1)
+	parallel := run(8)
+	rerun := run(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("campaign counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("campaign %d diverged across parallelism:\n serial  %+v\n parallel %+v",
+				i, serial[i], parallel[i])
+		}
+		if parallel[i] != rerun[i] {
+			t.Errorf("campaign %d diverged across runs:\n run1 %+v\n run2 %+v",
+				i, parallel[i], rerun[i])
+		}
+	}
+}
+
+// TestTagFaultsShrinkMeasuredRate checks the harness reproduces the
+// paper's mechanism: injected beacon loss moves impressions into the
+// "not measured" population without touching the served counts.
+func TestTagFaultsShrinkMeasuredRate(t *testing.T) {
+	baseline := New(testConfig()).Run()
+	faulty := New(faultyConfig()).Run()
+
+	served := func(res *Result) (n int) {
+		for _, c := range res.Campaigns {
+			n += c.Served
+		}
+		return
+	}
+	loaded := func(res *Result) (n int) {
+		for _, c := range res.Campaigns {
+			n += c.QTagLoaded
+		}
+		return
+	}
+	if served(baseline) != served(faulty) {
+		t.Errorf("served changed under faults: %d vs %d (DSP logs must be unaffected)",
+			served(baseline), served(faulty))
+	}
+	if loaded(faulty) >= loaded(baseline) {
+		t.Errorf("injected loss did not reduce measured impressions: %d vs %d",
+			loaded(faulty), loaded(baseline))
+	}
+	var drops, errs int
+	for _, c := range faulty.Campaigns {
+		drops += c.FaultDrops
+		errs += c.FaultErrors
+	}
+	if drops == 0 || errs == 0 {
+		t.Errorf("fault counters empty: drops=%d errs=%d", drops, errs)
+	}
+	// Zero-profile runs must not even fork the fault RNG: the baseline
+	// stream is bit-identical with faults disabled.
+	again := New(testConfig()).Run()
+	for i := range baseline.Campaigns {
+		if baseline.Campaigns[i] != again.Campaigns[i] {
+			t.Fatalf("baseline not reproducible; campaign %d differs", i)
+		}
+	}
+}

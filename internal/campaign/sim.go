@@ -12,6 +12,7 @@ import (
 	"qtag/internal/commercial"
 	"qtag/internal/dom"
 	"qtag/internal/dsp"
+	"qtag/internal/faults"
 	"qtag/internal/geom"
 	"qtag/internal/qtag"
 	"qtag/internal/simclock"
@@ -91,6 +92,15 @@ type Config struct {
 	// Zero keeps every impression at the virtual epoch; set it to make
 	// the analytics time series meaningful.
 	SpreadOver time.Duration
+	// TagFaults injects delivery faults on the tag → collector beacon
+	// path (internal/faults): drops silently lose beacons, errors make
+	// the tag's check-in fail, so the impression joins the "not measured"
+	// population exactly as a lost beacon does in §4.4. Served events are
+	// logged server-side by the DSP and are not affected. Each campaign
+	// draws its schedule from its own forked RNG, so results stay
+	// bit-identical at any Parallelism. The zero profile disables
+	// injection and leaves the RNG streams untouched.
+	TagFaults faults.Profile
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +139,10 @@ type CampaignResult struct {
 	// TruthViewed counts impressions whose ground-truth exposure met the
 	// standard (known to the simulator, not to any tag).
 	TruthViewed int
+	// FaultDrops and FaultErrors count beacons lost / failed by the
+	// injected fault profile (zero when Config.TagFaults is disabled).
+	FaultDrops  int
+	FaultErrors int
 }
 
 // MeasuredRate returns loaded/served for a solution.
@@ -318,12 +332,31 @@ func (s *Simulator) runCampaign(spec Spec, rng *simrand.RNG) (CampaignResult, []
 		Tags:     tags,
 	})
 
+	// The tag → collector path may be degraded by an injected fault
+	// profile; the DSP's own served log never is. Forking the fault
+	// stream here (once, before any impression) keeps the campaign's
+	// behaviour stream identical to a run with a different fault rate.
+	tagSink := s.sink
+	var faultSink *faults.Sink
+	if s.cfg.TagFaults.Enabled() {
+		faultSink = faults.NewSink(s.sink, rng.Fork("faults"), s.cfg.TagFaults)
+		// Simulations run on a virtual clock; injected latency is counted
+		// but must not wall-sleep.
+		faultSink.SetSleep(nil)
+		tagSink = faultSink
+	}
+
 	out := CampaignResult{Spec: spec}
 	var records []ImpressionRecord
 	for i := 0; i < spec.Impressions; i++ {
-		if rec, ok := s.runImpression(spec, platform, rng, &out); ok && s.cfg.RecordImpressions {
+		if rec, ok := s.runImpression(spec, platform, rng, tagSink, &out); ok && s.cfg.RecordImpressions {
 			records = append(records, rec)
 		}
+	}
+	if faultSink != nil {
+		snap := faultSink.Stats()
+		out.FaultDrops = int(snap.Dropped)
+		out.FaultErrors = int(snap.Errored)
 	}
 	// Aggregate the beacon counts for this campaign from the store.
 	out.Served = s.store.Served(spec.ID)
@@ -338,7 +371,7 @@ const sessionPageOrigin = dom.Origin("https://publisher.example")
 
 // runImpression simulates one served ad: environment draw, delivery
 // through an exchange, the user's session, and ground-truth tracking.
-func (s *Simulator) runImpression(spec Spec, platform *dsp.DSP, rng *simrand.RNG, out *CampaignResult) (ImpressionRecord, bool) {
+func (s *Simulator) runImpression(spec Spec, platform *dsp.DSP, rng *simrand.RNG, tagSink beacon.Sink, out *CampaignResult) (ImpressionRecord, bool) {
 	envClass := spec.Mix.Draw(rng)
 	model := s.cfg.EnvModels[envClass]
 	prof := model.Profile(rng)
@@ -370,7 +403,7 @@ func (s *Simulator) runImpression(spec Spec, platform *dsp.DSP, rng *simrand.RNG
 	deliverer := &adserve.Deliverer{
 		Exchange:   exchange,
 		ServerSink: s.sink,
-		TagSink:    s.sink,
+		TagSink:    tagSink,
 		TagLoadFails: func(adtag.Tag) bool {
 			return !rng.Bool(model.TagLoadSuccess)
 		},

@@ -1,0 +1,319 @@
+// Package faults is the deterministic chaos layer for the beacon
+// delivery pipeline. It injects the failure modes third-party tag
+// traffic actually sees — silent drops, server 5xx pushback, added
+// latency, and ambiguous "request sent, response lost" partial failures —
+// at two seams:
+//
+//   - Sink wraps any beacon.Sink (the in-process simulation path), so
+//     campaign runs can model beacon loss between tag and collector.
+//   - RoundTripper wraps an http.RoundTripper (the real wire path), so
+//     integration and chaos tests exercise HTTPSink/QueueSink/
+//     CircuitBreaker against injected network weather.
+//   - TornWriter wraps an io.Writer, tearing journal writes the way a
+//     crash mid-flush does, to test replay robustness.
+//
+// All randomness comes from an injected simrand.RNG, so a fault schedule
+// replays bit-identically from its seed: two runs with the same seed see
+// the same drops in the same places, which is what lets the campaign
+// simulator reproduce the paper's "not measured" population as a function
+// of injected loss.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qtag/internal/beacon"
+	"qtag/internal/simrand"
+)
+
+// Injected failure errors.
+var (
+	// ErrInjected is the base error for injected sink failures.
+	ErrInjected = errors.New("faults: injected failure")
+	// ErrConnDropped models a connection that never reached the server.
+	ErrConnDropped = fmt.Errorf("%w: connection dropped", ErrInjected)
+	// ErrResponseLost models the ambiguous partial failure: the server
+	// processed the request but the response was lost in transit, so the
+	// client cannot tell whether the write landed.
+	ErrResponseLost = fmt.Errorf("%w: response lost after delivery", ErrInjected)
+)
+
+// Profile describes one fault schedule. The zero value injects nothing.
+type Profile struct {
+	// Drop is the probability a submission is silently lost (the sink
+	// reports success, the event vanishes — the classic beacon-loss mode
+	// of §4.4's "not measured" population).
+	Drop float64
+	// Error is the probability of a failed submission: Sink returns an
+	// error, RoundTripper synthesizes an HTTP error response.
+	Error float64
+	// ErrorCode is the synthesized HTTP status for RoundTripper error
+	// injections; 503 when zero.
+	ErrorCode int
+	// RetryAfter, when positive, is advertised on injected HTTP errors so
+	// clients exercising Retry-After handling can be driven
+	// deterministically.
+	RetryAfter time.Duration
+	// Latency is the maximum injected delay; each affected call sleeps a
+	// uniform draw from [0, Latency).
+	Latency time.Duration
+	// Partial is the probability (RoundTripper only) that a request is
+	// delivered to the server but its response is discarded and an error
+	// returned — at-least-once clients must retry and rely on idempotent
+	// ingestion.
+	Partial float64
+}
+
+// Enabled reports whether the profile injects any fault at all.
+func (p Profile) Enabled() bool {
+	return p.Drop > 0 || p.Error > 0 || p.Latency > 0 || p.Partial > 0
+}
+
+// String implements fmt.Stringer for log lines.
+func (p Profile) String() string {
+	return fmt.Sprintf("drop=%.3f err=%.3f latency=%s partial=%.3f", p.Drop, p.Error, p.Latency, p.Partial)
+}
+
+// Stats counts injected faults. All fields are atomics; one Stats may be
+// shared across several injectors to aggregate a whole run.
+type Stats struct {
+	Dropped atomic.Int64
+	Errored atomic.Int64
+	Delayed atomic.Int64
+	Partial atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of Stats.
+type Snapshot struct {
+	Dropped int64
+	Errored int64
+	Delayed int64
+	Partial int64
+}
+
+// Snapshot returns a copy of the counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Dropped: s.Dropped.Load(),
+		Errored: s.Errored.Load(),
+		Delayed: s.Delayed.Load(),
+		Partial: s.Partial.Load(),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("dropped=%d errored=%d delayed=%d partial=%d", s.Dropped, s.Errored, s.Delayed, s.Partial)
+}
+
+// Sink injects faults between a tag and a beacon.Sink. It is safe for
+// concurrent use (draws are serialized), but deterministic replay
+// additionally requires a deterministic submission order — fork one Sink
+// per single-threaded producer (as the campaign simulator does per
+// campaign) to stay replayable under parallelism.
+type Sink struct {
+	next  beacon.Sink
+	p     Profile
+	sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *simrand.RNG
+
+	stats *Stats
+}
+
+// NewSink wraps next with the fault profile, drawing from rng.
+func NewSink(next beacon.Sink, rng *simrand.RNG, p Profile) *Sink {
+	return NewSinkWithStats(next, rng, p, &Stats{})
+}
+
+// NewSinkWithStats is NewSink with a caller-owned (possibly shared)
+// counter block.
+func NewSinkWithStats(next beacon.Sink, rng *simrand.RNG, p Profile, stats *Stats) *Sink {
+	return &Sink{next: next, p: p, rng: rng, sleep: time.Sleep, stats: stats}
+}
+
+// SetSleep overrides the latency-injection sleeper (tests, virtual-clock
+// simulations). A nil fn disables sleeping while still counting delays.
+func (s *Sink) SetSleep(fn func(time.Duration)) { s.sleep = fn }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (s *Sink) Stats() Snapshot { return s.stats.Snapshot() }
+
+// Submit implements beacon.Sink.
+func (s *Sink) Submit(e beacon.Event) error {
+	s.mu.Lock()
+	delay := time.Duration(0)
+	if s.p.Latency > 0 {
+		delay = time.Duration(s.rng.Float64() * float64(s.p.Latency))
+	}
+	drop := s.rng.Bool(s.p.Drop)
+	fail := !drop && s.rng.Bool(s.p.Error)
+	s.mu.Unlock()
+
+	if delay > 0 {
+		s.stats.Delayed.Add(1)
+		if s.sleep != nil {
+			s.sleep(delay)
+		}
+	}
+	if drop {
+		s.stats.Dropped.Add(1)
+		return nil // lost in transit; the tag never learns
+	}
+	if fail {
+		s.stats.Errored.Add(1)
+		return ErrInjected
+	}
+	return s.next.Submit(e)
+}
+
+// RoundTripper injects network weather under an http.Client. Decisions
+// are drawn per request in submission order under a lock; see Sink for
+// the determinism caveat under concurrency.
+type RoundTripper struct {
+	next  http.RoundTripper
+	p     Profile
+	sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *simrand.RNG
+
+	stats *Stats
+}
+
+// NewRoundTripper wraps next (http.DefaultTransport when nil) with the
+// fault profile, drawing from rng.
+func NewRoundTripper(next http.RoundTripper, rng *simrand.RNG, p Profile) *RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &RoundTripper{next: next, p: p, rng: rng, sleep: time.Sleep, stats: &Stats{}}
+}
+
+// SetSleep overrides the latency-injection sleeper (tests).
+func (t *RoundTripper) SetSleep(fn func(time.Duration)) { t.sleep = fn }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (t *RoundTripper) Stats() Snapshot { return t.stats.Snapshot() }
+
+// RoundTrip implements http.RoundTripper.
+func (t *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	delay := time.Duration(0)
+	if t.p.Latency > 0 {
+		delay = time.Duration(t.rng.Float64() * float64(t.p.Latency))
+	}
+	drop := t.rng.Bool(t.p.Drop)
+	fail := !drop && t.rng.Bool(t.p.Error)
+	partial := !drop && !fail && t.rng.Bool(t.p.Partial)
+	t.mu.Unlock()
+
+	if delay > 0 {
+		t.stats.Delayed.Add(1)
+		if t.sleep != nil {
+			t.sleep(delay)
+		}
+	}
+	if drop {
+		// The request never reaches the server.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		t.stats.Dropped.Add(1)
+		return nil, ErrConnDropped
+	}
+	if fail {
+		// The server (or an intermediary) pushes back without ingesting.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		t.stats.Errored.Add(1)
+		code := t.p.ErrorCode
+		if code == 0 {
+			code = http.StatusServiceUnavailable
+		}
+		header := make(http.Header)
+		header.Set("Content-Type", "application/json")
+		if t.p.RetryAfter > 0 {
+			secs := int(t.p.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			header.Set("Retry-After", strconv.Itoa(secs))
+		}
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", code, http.StatusText(code)),
+			StatusCode: code,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     header,
+			Body:       io.NopCloser(strings.NewReader(`{"error":"injected fault"}`)),
+			Request:    req,
+		}, nil
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if partial {
+		// The server processed the request; the client never learns.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.stats.Partial.Add(1)
+		return nil, ErrResponseLost
+	}
+	return resp, nil
+}
+
+// TornWriter wraps an io.Writer and, with probability Rate per Write,
+// silently truncates the buffer to a random prefix while still reporting
+// full success — the way a crash mid-flush tears the tail of a buffered
+// journal write. Downstream bytes after a tear are lost, and the line
+// spanning the tear decodes as garbage, which is exactly the corruption
+// beacon.ReplayJournal must skip past.
+type TornWriter struct {
+	w    io.Writer
+	rate float64
+
+	mu    sync.Mutex
+	rng   *simrand.RNG
+	tears atomic.Int64
+}
+
+// NewTornWriter wraps w, tearing each Write with probability rate.
+func NewTornWriter(w io.Writer, rng *simrand.RNG, rate float64) *TornWriter {
+	return &TornWriter{w: w, rng: rng, rate: rate}
+}
+
+// Tears returns the number of injected torn writes.
+func (t *TornWriter) Tears() int64 { return t.tears.Load() }
+
+// Write implements io.Writer. It lies about n on a tear, by design.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	tear := t.rng.Bool(t.rate) && len(p) > 1
+	cut := 0
+	if tear {
+		cut = 1 + t.rng.Intn(len(p)-1)
+	}
+	t.mu.Unlock()
+	if tear {
+		t.tears.Add(1)
+		if _, err := t.w.Write(p[:cut]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return t.w.Write(p)
+}

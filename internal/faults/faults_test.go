@@ -1,0 +1,160 @@
+package faults_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qtag/internal/beacon"
+	"qtag/internal/faults"
+	"qtag/internal/simrand"
+)
+
+func ev(imp string) beacon.Event {
+	return beacon.Event{ImpressionID: imp, CampaignID: "c1", Source: beacon.SourceQTag, Type: beacon.EventLoaded}
+}
+
+func TestSinkDeterministicSchedule(t *testing.T) {
+	profile := faults.Profile{Drop: 0.3, Error: 0.2}
+	run := func() (delivered int, snap faults.Snapshot, outcomes []string) {
+		store := beacon.NewStore()
+		s := faults.NewSink(store, simrand.New(42), profile)
+		for i := 0; i < 500; i++ {
+			err := s.Submit(ev(itoa(i)))
+			switch {
+			case err != nil:
+				outcomes = append(outcomes, "err")
+			default:
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return store.Len(), s.Stats(), outcomes
+	}
+	d1, s1, o1 := run()
+	d2, s2, o2 := run()
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("same seed diverged: %d/%+v vs %d/%+v", d1, s1, d2, s2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outcome %d diverged: %s vs %s", i, o1[i], o2[i])
+		}
+	}
+	if s1.Dropped == 0 || s1.Errored == 0 {
+		t.Errorf("profile injected nothing: %+v", s1)
+	}
+	if d1+int(s1.Dropped)+int(s1.Errored) != 500 {
+		t.Errorf("accounting: delivered %d + dropped %d + errored %d != 500", d1, s1.Dropped, s1.Errored)
+	}
+}
+
+func TestSinkZeroProfilePassesThrough(t *testing.T) {
+	store := beacon.NewStore()
+	s := faults.NewSink(store, simrand.New(1), faults.Profile{})
+	for i := 0; i < 100; i++ {
+		if err := s.Submit(ev(itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Len() != 100 {
+		t.Errorf("stored %d", store.Len())
+	}
+	if s.Stats() != (faults.Snapshot{}) {
+		t.Errorf("zero profile injected: %+v", s.Stats())
+	}
+}
+
+func TestRoundTripperInjects5xxWithRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(beacon.NewServer(beacon.NewStore()))
+	defer srv.Close()
+
+	rt := faults.NewRoundTripper(nil, simrand.New(7), faults.Profile{
+		Error: 1, RetryAfter: 3 * time.Second,
+	})
+	client := &http.Client{Transport: rt}
+	resp, err := client.Post(srv.URL+"/v1/events", "application/json", strings.NewReader("[]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want injected 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "3" {
+		t.Errorf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	if rt.Stats().Errored != 1 {
+		t.Errorf("stats = %+v", rt.Stats())
+	}
+}
+
+func TestRoundTripperDrop(t *testing.T) {
+	srv := httptest.NewServer(beacon.NewServer(beacon.NewStore()))
+	defer srv.Close()
+	rt := faults.NewRoundTripper(nil, simrand.New(7), faults.Profile{Drop: 1})
+	client := &http.Client{Transport: rt}
+	_, err := client.Get(srv.URL + "/healthz")
+	if err == nil || !strings.Contains(err.Error(), "connection dropped") {
+		t.Errorf("err = %v, want injected connection drop", err)
+	}
+}
+
+func TestRoundTripperPartialDeliversButReportsError(t *testing.T) {
+	store := beacon.NewStore()
+	srv := httptest.NewServer(beacon.NewServer(store))
+	defer srv.Close()
+
+	rt := faults.NewRoundTripper(nil, simrand.New(7), faults.Profile{Partial: 1})
+	client := &http.Client{Transport: rt}
+	body := `{"impression_id":"i1","campaign_id":"c1","type":"served"}`
+	_, err := client.Post(srv.URL+"/v1/events", "application/json", strings.NewReader(body))
+	if err == nil || !strings.Contains(err.Error(), "response lost") {
+		t.Fatalf("err = %v, want response-lost", err)
+	}
+	// The ambiguous failure: the server DID ingest the event.
+	if store.Len() != 1 {
+		t.Errorf("store = %d, want 1 (request was delivered)", store.Len())
+	}
+	// A retry (what HTTPSink would do) is safe: idempotent ingest.
+	rt2 := faults.NewRoundTripper(nil, simrand.New(7), faults.Profile{})
+	client2 := &http.Client{Transport: rt2}
+	resp, err := client2.Post(srv.URL+"/v1/events", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if store.Len() != 1 {
+		t.Errorf("store after retry = %d, duplicate not absorbed", store.Len())
+	}
+}
+
+func TestTornWriterTears(t *testing.T) {
+	var sb strings.Builder
+	tw := faults.NewTornWriter(&sb, simrand.New(3), 1) // every write tears
+	n, err := tw.Write([]byte("hello world"))
+	if err != nil || n != 11 {
+		t.Fatalf("torn write reported (%d, %v), want full success", n, err)
+	}
+	if sb.Len() >= 11 || sb.Len() < 1 {
+		t.Errorf("underlying got %d bytes, want a strict prefix", sb.Len())
+	}
+	if tw.Tears() != 1 {
+		t.Errorf("Tears = %d", tw.Tears())
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}
