@@ -1,11 +1,16 @@
 # Developer / CI entry points. `make ci` is what a pipeline should run:
-# build, vet, and the full test suite under the race detector (the
-# beacon drain goroutine, circuit breaker, and journal are concurrency
-# hot spots — plain `go test` is not enough).
+# build, vet, the full test suite under the race detector (the beacon
+# drain goroutine, circuit breaker, and journal are concurrency hot
+# spots — plain `go test` is not enough), and the coverage gate.
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+# Total statement coverage must not fall below the seed repository's
+# baseline. Raise the floor when coverage improves; never lower it.
+COVER_FLOOR ?= 80.5
+COVER_PROFILE ?= coverage.out
+
+.PHONY: all build vet test race bench cover ci
 
 all: ci
 
@@ -24,4 +29,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-ci: build vet race
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v got="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit (got + 0 < floor + 0) ? 1 : 0 }' \
+		|| { echo "FAIL: coverage $$total% is below the floor $(COVER_FLOOR)%"; exit 1; }
+
+ci: build vet race cover

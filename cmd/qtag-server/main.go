@@ -6,26 +6,37 @@
 //	POST /v1/events               ingest one event or a JSON array
 //	GET  /v1/stats                global measured/viewability rates
 //	GET  /v1/campaigns/{id}/stats per-campaign rates
+//	GET  /metrics                 Prometheus text-format metrics
 //	GET  /healthz                 liveness
+//	GET  /debug/pprof/*           profiling (only with -pprof)
 //
 // Usage:
 //
 //	qtag-server [-addr :8640] [-log-every 30s] [-journal beacons.jsonl]
 //	            [-shed-pending 10000] [-retry-after 2s]
+//	            [-log-level info] [-pprof]
+//
+// Ingested events reach the in-memory store synchronously; durability is
+// asynchronous: a store-and-forward queue drains them through a circuit
+// breaker into the journal (or discards them when no -journal is set), so
+// /metrics always exposes the same queue/breaker/flush-latency series
+// regardless of configuration.
 //
 // With -journal and -shed-pending, the server sheds ingestion (503 +
 // Retry-After) while the journal's unflushed backlog exceeds the
 // threshold, and /healthz reports the shed count and backlog. On
-// SIGINT/SIGTERM the HTTP server drains, then the journal is flushed,
-// fsynced and closed before exit.
+// SIGINT/SIGTERM the HTTP server drains, the queue flushes into the
+// journal, then the journal is flushed, fsynced and closed before the
+// final summary log line.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +45,12 @@ import (
 	"qtag/internal/analytics"
 	"qtag/internal/beacon"
 )
+
+// parseLogLevel maps the -log-level flag onto a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	var lvl slog.Level
+	return lvl, lvl.UnmarshalText([]byte(s))
+}
 
 func main() {
 	addr := flag.String("addr", ":8640", "listen address")
@@ -44,7 +61,18 @@ func main() {
 	ingestBurst := flag.Float64("ingest-burst", 50, "per-client ingestion burst")
 	shedPending := flag.Int("shed-pending", 0, "shed ingestion with 503 when this many journal events await flush (0 = disabled)")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on shed responses")
+	queueCap := flag.Int("queue-cap", 4096, "durability queue capacity (events)")
+	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
+
+	lvl, err := parseLogLevel(*logLevel)
+	if err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
 
 	store := beacon.NewStore()
 	var journal *beacon.Journal
@@ -55,29 +83,53 @@ func main() {
 			st, rerr := beacon.ReplayJournal(f, store)
 			f.Close()
 			if rerr != nil {
-				log.Fatalf("replay journal: %v", rerr)
+				logger.Error("replay journal", "err", rerr)
+				os.Exit(1)
 			}
-			log.Printf("replayed %d events from %s (%d skipped)", st.Replayed, *journalPath, st.Skipped)
+			logger.Info("journal replayed", "path", *journalPath, "replayed", st.Replayed, "skipped", st.Skipped)
 		} else if !errors.Is(err, os.ErrNotExist) {
-			log.Fatalf("open journal: %v", err)
+			logger.Error("open journal", "err", err)
+			os.Exit(1)
 		}
 		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			log.Fatalf("append journal: %v", err)
+			logger.Error("append journal", "err", err)
+			os.Exit(1)
 		}
 		journal = beacon.NewJournal(f)
 		defer journal.Close()
 	}
-	var sink beacon.Sink = store
+
+	// Durability pipeline: the store ingests synchronously; journal writes
+	// drain asynchronously through queue → breaker → journal. Without a
+	// journal the terminal sink discards, keeping the metric surface
+	// identical either way.
+	var durable beacon.Sink = beacon.Discard
 	if journal != nil {
-		sink = beacon.Tee(store, journal)
+		durable = journal
 	}
+	breaker := beacon.NewCircuitBreaker(durable, beacon.DefaultBreakerThreshold, 5*time.Second)
+	queue := beacon.NewQueueSink(breaker, beacon.QueueOptions{Capacity: *queueCap})
+	var sink beacon.Sink = beacon.Tee(store, queue)
 	// Stamp receive time onto beacons that arrive without one (browsers
 	// with broken clocks, legacy pixels).
 	sink = &beacon.StampSink{Next: sink, Now: time.Now}
 	server := beacon.NewServerWithSink(store, sink)
 	server.Mount("GET /v1/breakdown", analytics.Handler(store))
 	server.Mount("GET /v1/timeseries", analytics.Handler(store))
+	queue.RegisterMetrics(server.Metrics())
+	breaker.RegisterMetrics(server.Metrics())
+	if journal != nil {
+		journal.RegisterMetrics(server.Metrics())
+	}
+	if *pprofOn {
+		server.Mount("GET /debug/pprof/", http.HandlerFunc(pprof.Index))
+		server.Mount("GET /debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+		server.Mount("GET /debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+		server.Mount("GET /debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+		server.Mount("GET /debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	var handler http.Handler = server
 	if *ingestRate > 0 {
 		handler = beacon.NewRateLimiter(handler, *ingestRate, *ingestBurst)
@@ -88,6 +140,7 @@ func main() {
 		guard = beacon.NewOverloadGuard(handler, func() bool {
 			return journal.Pending() >= threshold
 		}, *retryAfter)
+		guard.RegisterMetrics(server.Metrics())
 		server.AddHealthMetric("shed", guard.Shed)
 		server.AddHealthMetric("journal_pending", func() int64 { return int64(journal.Pending()) })
 		handler = guard
@@ -108,11 +161,15 @@ func main() {
 			for range ticker.C {
 				if journal != nil {
 					if err := journal.Flush(); err != nil {
-						log.Printf("journal flush: %v", err)
+						logger.Warn("journal flush", "err", err)
 					}
 				}
-				log.Printf("events=%d accepted=%d rejected=%d campaigns=%d",
-					store.Len(), server.Accepted(), server.Rejected(), len(store.CampaignIDs()))
+				logger.Info("stats",
+					"events", store.Len(),
+					"accepted", server.Accepted(),
+					"rejected", server.Rejected(),
+					"campaigns", len(store.CampaignIDs()),
+					"queue_depth", queue.Depth())
 			}
 		}()
 	}
@@ -122,35 +179,52 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("qtag-server listening on %s", *addr)
+		logger.Info("qtag-server listening", "addr", *addr)
 		errCh <- httpServer.ListenAndServe()
 	}()
 
 	select {
 	case <-ctx.Done():
-		log.Print("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Warn("shutdown", "err", err)
 		}
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("serve: %v", err)
+			logger.Error("serve", "err", err)
+			os.Exit(1)
 		}
 	}
-	// Graceful drain: every in-flight request has completed (Shutdown
-	// returned), so flush + fsync + close the journal before the final
-	// log line — a SIGTERM must not tear the last beacons. Close is
-	// idempotent; the deferred Close becomes a no-op.
+	// Graceful drain, in dependency order: every in-flight request has
+	// completed (Shutdown returned), so drain the durability queue into
+	// the journal, then flush + fsync + close the journal — a SIGTERM
+	// must not tear the last beacons. Close is idempotent; the deferred
+	// Close becomes a no-op.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := queue.Close(drainCtx); err != nil {
+		logger.Warn("queue drain", "err", err)
+	}
+	cancel()
+	journalPending := 0
 	if journal != nil {
+		journalPending = journal.Pending()
 		if err := journal.Close(); err != nil {
-			log.Printf("journal close: %v", err)
+			logger.Warn("journal close", "err", err)
 		}
 	}
 	shed := int64(0)
 	if guard != nil {
 		shed = guard.Shed()
 	}
-	log.Printf("final: events=%d accepted=%d rejected=%d shed=%d", store.Len(), server.Accepted(), server.Rejected(), shed)
+	qs := queue.Stats()
+	logger.Info("final",
+		"events", store.Len(),
+		"accepted", server.Accepted(),
+		"rejected", server.Rejected(),
+		"shed", shed,
+		"journal_pending_at_close", journalPending,
+		"queue_flushed", qs.Flushed,
+		"queue_dropped", qs.Dropped)
 }

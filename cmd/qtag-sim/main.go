@@ -9,6 +9,7 @@
 //	         [-fault-drop 0.1] [-fault-err 0.05]
 //	         [-queue] [-queue-cap 4096] [-breaker]
 //	         [-fault-http-drop 0.1] [-fault-http-5xx 0.1] [-fault-http-latency 5ms]
+//	         [-metrics] [-trace] [-pprof :6060] [-log-level info]
 //
 // With -server, every beacon of the simulation is additionally delivered
 // to a live qtag-server over HTTP; -queue buffers that delivery through a
@@ -20,13 +21,20 @@
 // measured-rate / not-measured counts run after run, which is how the
 // paper's "not measured" population is reproduced as a function of
 // injected loss. -fault-http-* degrade the HTTP mirror path instead.
+//
+// -metrics dumps the run's metrics registry (campaign totals plus, with
+// -server, the mirror sink/queue/breaker series) in Prometheus text
+// format at the end of the run — the counts reconcile with a scrape of
+// the collector's /metrics. -trace records a per-impression lifecycle
+// trace and prints its deterministic summary. -pprof serves
+// net/http/pprof on a separate listener for profiling long runs.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
@@ -37,8 +45,11 @@ import (
 	"qtag/internal/campaign"
 	"qtag/internal/economics"
 	"qtag/internal/faults"
+	"qtag/internal/obs"
 	"qtag/internal/report"
 	"qtag/internal/simrand"
+
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener's DefaultServeMux
 )
 
 func main() {
@@ -60,7 +71,31 @@ func main() {
 	httpDrop := flag.Float64("fault-http-drop", 0, "probability a mirror HTTP request is dropped on the wire")
 	http5xx := flag.Float64("fault-http-5xx", 0, "probability a mirror HTTP request is answered with an injected 503")
 	httpLatency := flag.Duration("fault-http-latency", 0, "max injected latency per mirror HTTP request")
+	metricsDump := flag.Bool("metrics", false, "print the run's metrics in Prometheus text format at the end")
+	traceRun := flag.Bool("trace", false, "record a per-impression lifecycle trace and print its summary")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060; empty = off)")
+	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
 	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
+
+	if *pprofAddr != "" {
+		go func() {
+			// The blank net/http/pprof import registered its handlers on
+			// http.DefaultServeMux; serve them on a side listener so
+			// profiling never mixes with the report on stdout.
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Warn("pprof listener", "err", err)
+			}
+		}()
+	}
 
 	cfg := campaign.Config{
 		Seed:                   *seed,
@@ -70,31 +105,36 @@ func main() {
 		BothImpressionsFactor:  *bothFactor,
 		Parallelism:            *parallel,
 		TagFaults:              faults.Profile{Drop: *faultDrop, Error: *faultErr},
+		TraceLifecycle:         *traceRun,
 	}
 
+	reg := obs.NewRegistry()
 	var queue *beacon.QueueSink
 	var breaker *beacon.CircuitBreaker
 	var httpFaults *faults.RoundTripper
 	var httpSink *beacon.HTTPSink
 	if *serverURL != "" {
 		httpSink = &beacon.HTTPSink{BaseURL: *serverURL, Retries: 2}
+		httpSink.RegisterMetrics(reg)
 		wireFaults := faults.Profile{Drop: *httpDrop, Error: *http5xx, Latency: *httpLatency}
 		if wireFaults.Enabled() {
 			httpFaults = faults.NewRoundTripper(nil, simrand.New(*seed).Fork("http-faults"), wireFaults)
 			httpSink.Client = &http.Client{Transport: httpFaults}
-			log.Printf("mirror wire faults: %s", wireFaults)
+			logger.Info("mirror wire faults", "profile", wireFaults.String())
 		}
 		var mirror beacon.Sink = httpSink
 		if *useBreaker {
 			breaker = beacon.NewCircuitBreaker(mirror, *breakerThreshold, *breakerCooldown)
+			breaker.RegisterMetrics(reg)
 			mirror = breaker
 		}
 		if *useQueue {
 			queue = beacon.NewQueueSink(mirror, beacon.QueueOptions{Capacity: *queueCap})
+			queue.RegisterMetrics(reg)
 			mirror = queue
 		}
 		cfg.ExtraSink = mirror
-		log.Printf("mirroring beacons to %s", *serverURL)
+		logger.Info("mirroring beacons", "server", *serverURL)
 	}
 
 	res := campaign.New(cfg).Run()
@@ -103,7 +143,7 @@ func main() {
 		// Drain the store-and-forward buffer before reporting.
 		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		if err := queue.Close(drainCtx); err != nil {
-			log.Printf("mirror drain: %v", err)
+			logger.Warn("mirror drain", "err", err)
 		}
 		cancel()
 	}
@@ -188,7 +228,34 @@ func main() {
 		if httpFaults != nil {
 			health += " wire[" + httpFaults.Stats().String() + "]"
 		}
-		log.Printf("mirror delivery health: %s", health)
+		logger.Info("mirror delivery health", "health", health)
+	}
+
+	if *traceRun && res.Trace != nil {
+		fmt.Println("\nLifecycle trace (deterministic for a given seed at any -parallel)")
+		fmt.Println(res.Trace.Summary())
+	}
+
+	if *metricsDump {
+		// End-of-run registry dump. Beacon totals come from the store (the
+		// ground truth every mirror scrape must reconcile with); the mirror
+		// sink/queue/breaker series were registered as the chain was built.
+		var loaded, inview int
+		for _, cr := range res.Campaigns {
+			loaded += cr.QTagLoaded
+			inview += cr.QTagInView
+		}
+		servedTotal, loadedTotal, inviewTotal := int64(served), int64(loaded), int64(inview)
+		reg.CounterFunc("qtag_sim_served_total", "Impressions served across all campaigns of the run.",
+			func() int64 { return servedTotal })
+		reg.CounterFunc("qtag_sim_qtag_loaded_total", "Impressions measured by Q-Tag (loaded beacons).",
+			func() int64 { return loadedTotal })
+		reg.CounterFunc("qtag_sim_qtag_inview_total", "Impressions Q-Tag reported in view.",
+			func() int64 { return inviewTotal })
+		reg.GaugeFunc("qtag_sim_store_events", "Beacon events held by the run's in-memory store.",
+			func() float64 { return float64(res.Store.Len()) })
+		fmt.Println("\n# end-of-run metrics")
+		fmt.Print(reg.Render())
 	}
 
 	if q.MeanMeasured <= c.MeanMeasured {

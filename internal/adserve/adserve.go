@@ -33,6 +33,7 @@ import (
 	"qtag/internal/browser"
 	"qtag/internal/dom"
 	"qtag/internal/geom"
+	"qtag/internal/obs"
 	"qtag/internal/simclock"
 )
 
@@ -213,6 +214,10 @@ type Deliverer struct {
 	// Mobile networks and short-lived webviews make this the dominant
 	// reason even Q-Tag misses ~3–9 % of impressions (Table 2).
 	TagLoadFails func(adtag.Tag) bool
+	// Tracer, when set, records lifecycle spans for every delivered
+	// impression (served log, tag start, tag failures) and is handed to
+	// each tag runtime so tags can record their own stages.
+	Tracer *obs.Tracer
 }
 
 // Delivery is the result of delivering one impression.
@@ -265,6 +270,7 @@ func (d *Deliverer) Deliver(req *SlotRequest) (*Delivery, error) {
 		At:           simclock.Epoch.Add(clock.Now()),
 		Meta:         bid.Impression.Meta,
 	}
+	d.trace(bid, obs.StageServed, clock, d.Exchange.Name())
 	if err := d.ServerSink.Submit(served); err != nil {
 		return nil, fmt.Errorf("adserve: served log: %w", err)
 	}
@@ -273,16 +279,30 @@ func (d *Deliverer) Deliver(req *SlotRequest) (*Delivery, error) {
 	for _, tag := range bid.Tags {
 		if d.TagLoadFails != nil && d.TagLoadFails(tag) {
 			del.TagErrors[tag.Name()] = ErrTagLoadFailed
+			d.trace(bid, obs.StageTagFailed, clock, tag.Name()+": load-failed")
 			continue
 		}
 		rt := adtag.NewRuntime(req.Page, creative, d.TagSink, bid.Impression)
+		rt.SetTracer(d.Tracer)
+		d.trace(bid, obs.StageTagStart, clock, tag.Name())
 		if err := tag.Deploy(rt); err != nil {
 			del.TagErrors[tag.Name()] = err
+			d.trace(bid, obs.StageTagFailed, clock, tag.Name()+": "+err.Error())
 			continue
 		}
 		del.Runtimes = append(del.Runtimes, rt)
 	}
 	return del, nil
+}
+
+// trace records one lifecycle span at the page's current virtual time; a
+// nil tracer makes it a no-op.
+func (d *Deliverer) trace(bid Bid, stage obs.Stage, clock *simclock.Clock, detail string) {
+	if d.Tracer == nil {
+		return
+	}
+	d.Tracer.Record(bid.Impression.ID, bid.Impression.CampaignID, stage,
+		simclock.Epoch.Add(clock.Now()), detail)
 }
 
 // Close tears down all tag runtimes of a delivery (end of session).

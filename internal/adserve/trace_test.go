@@ -1,0 +1,90 @@
+package adserve
+
+import (
+	"testing"
+	"time"
+
+	"qtag/internal/adtag"
+	"qtag/internal/beacon"
+	"qtag/internal/obs"
+	"qtag/internal/qtag"
+	"qtag/internal/simclock"
+)
+
+// TestDeliverTraces checks the delivery step's lifecycle spans: a served
+// span before the DSP log, a tag-start span per deployable tag, the tag's
+// own classified span, and a tag-failed span when the script never loads.
+func TestDeliverTraces(t *testing.T) {
+	x := NewExchange("mopub")
+	x.Register(&stubBidder{name: "dsp", price: 1, tags: []adtag.Tag{qtag.New(qtag.Config{})}})
+	store := beacon.NewStore()
+	tr := obs.NewTracer(simclock.Epoch)
+	d := &Deliverer{Exchange: x, ServerSink: store, TagSink: store, Tracer: tr}
+	clock, _, page, slot := newPage(t, chrome())
+	clock.Advance(200 * time.Millisecond)
+	del, err := d.Deliver(&SlotRequest{Page: page, Slot: slot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer del.Close()
+
+	byStage := map[obs.Stage]int{}
+	for _, s := range tr.Spans() {
+		byStage[s.Stage]++
+		if s.Impression != "imp-dsp" || s.Campaign != "camp-dsp" {
+			t.Errorf("span identity = %s/%s", s.Impression, s.Campaign)
+		}
+		if s.At != 200*time.Millisecond {
+			t.Errorf("span At = %v, want the 200ms virtual clock offset", s.At)
+		}
+	}
+	if byStage[obs.StageServed] != 1 || byStage[obs.StageTagStart] != 1 {
+		t.Errorf("stages = %v, want one served + one tag-start", byStage)
+	}
+	// The tag runtime inherited the tracer and recorded its pixel
+	// classification arming.
+	if byStage[obs.StageClassified] != 1 {
+		t.Errorf("stages = %v, want one classified span from the tag", byStage)
+	}
+
+	spans := tr.Spans()
+	if spans[0].Stage != obs.StageServed {
+		t.Errorf("first span = %s, want served before everything else", spans[0].Stage)
+	}
+	if spans[0].Detail != "mopub" {
+		t.Errorf("served span detail = %q, want the exchange name", spans[0].Detail)
+	}
+}
+
+func TestDeliverTracesTagLoadFailure(t *testing.T) {
+	x := NewExchange("axonix")
+	x.Register(&stubBidder{name: "dsp", price: 1, tags: []adtag.Tag{qtag.New(qtag.Config{})}})
+	tr := obs.NewTracer(simclock.Epoch)
+	store := beacon.NewStore()
+	d := &Deliverer{
+		Exchange: x, ServerSink: store, TagSink: store, Tracer: tr,
+		TagLoadFails: func(adtag.Tag) bool { return true },
+	}
+	_, _, page, slot := newPage(t, chrome())
+	del, err := d.Deliver(&SlotRequest{Page: page, Slot: slot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer del.Close()
+
+	var failed int
+	for _, s := range tr.Spans() {
+		if s.Stage == obs.StageTagFailed {
+			failed++
+			if s.Detail != "qtag: load-failed" {
+				t.Errorf("tag-failed detail = %q", s.Detail)
+			}
+		}
+		if s.Stage == obs.StageTagStart {
+			t.Error("a tag that never loads must not record tag-start")
+		}
+	}
+	if failed != 1 {
+		t.Errorf("tag-failed spans = %d, want 1", failed)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"qtag/internal/browser"
 	"qtag/internal/dom"
 	"qtag/internal/geom"
+	"qtag/internal/obs"
 	"qtag/internal/simclock"
 	"qtag/internal/viewability"
 )
@@ -69,6 +70,7 @@ type Runtime struct {
 	clock      *simclock.Clock
 	sink       beacon.Sink
 	impression Impression
+	tracer     *obs.Tracer
 
 	observers []*browser.PaintObserver
 	timers    []*simclock.Timer
@@ -90,6 +92,21 @@ func NewRuntime(page *browser.Page, creative *dom.Element, sink beacon.Sink, imp
 
 // Impression returns the impression this runtime is measuring.
 func (rt *Runtime) Impression() Impression { return rt.impression }
+
+// SetTracer attaches a lifecycle tracer; subsequent Trace calls record
+// spans for this impression. A nil tracer disables tracing (the default).
+func (rt *Runtime) SetTracer(t *obs.Tracer) { rt.tracer = t }
+
+// Trace records a lifecycle span for this impression at the current
+// virtual time. It is a no-op without an attached tracer, so tags can
+// call it unconditionally.
+func (rt *Runtime) Trace(stage obs.Stage, detail string) {
+	if rt.tracer == nil {
+		return
+	}
+	rt.tracer.Record(rt.impression.ID, rt.impression.CampaignID, stage,
+		simclock.Epoch.Add(rt.clock.Now()), detail)
+}
 
 // Now returns the current virtual time.
 func (rt *Runtime) Now() time.Duration { return rt.clock.Now() }
@@ -137,9 +154,9 @@ func (rt *Runtime) ObservePixelPaints(px *dom.Element, fn browser.PaintFunc) (*b
 	if !rt.page.Tab().Window().Browser().Profile().SupportsFrameCallbacks {
 		return nil, ErrNoFrameCallbacks
 	}
-	obs := rt.page.ObservePaint(px, px.Rect().Center(), fn)
-	rt.observers = append(rt.observers, obs)
-	return obs, nil
+	po := rt.page.ObservePaint(px, px.Rect().Center(), fn)
+	rt.observers = append(rt.observers, po)
+	return po, nil
 }
 
 // SendBeacon emits an event to the monitoring server, filling in the

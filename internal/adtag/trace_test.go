@@ -1,0 +1,37 @@
+package adtag
+
+import (
+	"testing"
+	"time"
+
+	"qtag/internal/obs"
+	"qtag/internal/simclock"
+)
+
+func TestRuntimeTrace(t *testing.T) {
+	e := newEnv(t, chromeProfile(), false)
+
+	// Without a tracer, Trace is a safe no-op.
+	e.rt.Trace(obs.StageTagStart, "untracked")
+
+	tr := obs.NewTracer(simclock.Epoch)
+	e.rt.SetTracer(tr)
+	e.clock.Advance(1500 * time.Millisecond)
+	e.rt.Trace(obs.StageClassified, "pixels=25")
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1 (pre-tracer call must not record)", len(spans))
+	}
+	s := spans[0]
+	if s.Impression != "imp-7" || s.Campaign != "camp-3" {
+		t.Errorf("span identity = %s/%s, want imp-7/camp-3", s.Impression, s.Campaign)
+	}
+	if s.Stage != obs.StageClassified || s.Detail != "pixels=25" {
+		t.Errorf("span = %+v", s)
+	}
+	// Timestamps are virtual: the span sits at the clock's offset.
+	if s.At != 1500*time.Millisecond {
+		t.Errorf("span At = %v, want 1.5s of virtual time", s.At)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qtag/internal/obs"
 )
 
 // ErrBreakerOpen is returned by a CircuitBreaker while it is refusing
@@ -64,11 +66,11 @@ type CircuitBreaker struct {
 	cooldown  time.Duration
 	now       func() time.Time
 
-	mu          sync.Mutex
-	state       BreakerState
-	failures    int       // consecutive retryable failures while closed
-	openedAt    time.Time // when the breaker last opened
-	probeInFlight bool    // half-open: a probe is out
+	mu            sync.Mutex
+	state         BreakerState
+	failures      int       // consecutive retryable failures while closed
+	openedAt      time.Time // when the breaker last opened
+	probeInFlight bool      // half-open: a probe is out
 
 	tripped  atomic.Int64
 	rejected atomic.Int64
@@ -110,6 +112,16 @@ func (b *CircuitBreaker) Tripped() int64 { return b.tripped.Load() }
 
 // Rejected returns how many submissions were refused while open.
 func (b *CircuitBreaker) Rejected() int64 { return b.rejected.Load() }
+
+// RegisterMetrics exports the breaker's state and trip/reject counters
+// on the registry. The state gauge encodes the classic cycle: 0 closed,
+// 1 open, 2 half-open.
+func (b *CircuitBreaker) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("qtag_breaker_state", "Circuit breaker state: 0 closed, 1 open, 2 half-open.",
+		func() float64 { return float64(b.State()) })
+	r.CounterFunc("qtag_breaker_trips_total", "Times the breaker has opened.", b.tripped.Load)
+	r.CounterFunc("qtag_breaker_rejected_total", "Submissions refused while the breaker was open.", b.rejected.Load)
+}
 
 // Submit implements Sink.
 func (b *CircuitBreaker) Submit(e Event) error {

@@ -9,8 +9,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"qtag/internal/obs"
 )
 
 // PermanentError marks a delivery failure that retrying cannot heal —
@@ -79,11 +82,40 @@ type HTTPSink struct {
 	// Sleep is the delay function; time.Sleep when nil (tests inject a
 	// recorder or no-op).
 	Sleep func(time.Duration)
+	// Tracer, when set, records a delivered (or dropped) lifecycle span
+	// for every event in a batch once the server acknowledges (or
+	// permanently rejects) it.
+	Tracer *obs.Tracer
 
 	retried   atomic.Int64
 	delivered atomic.Int64
 	failed    atomic.Int64
+	latency   onceHistogram
 }
+
+// onceHistogram lazily builds the delivery-latency histogram — HTTPSink
+// is constructed as a struct literal, so there is no constructor to hook.
+type onceHistogram struct {
+	once sync.Once
+	h    *obs.Histogram
+}
+
+func (o *onceHistogram) get() *obs.Histogram {
+	o.once.Do(func() { o.h = obs.NewHistogram(obs.LatencyBuckets...) })
+	return o.h
+}
+
+// RegisterMetrics exports the sink's delivery counters and wire-latency
+// histogram on the registry.
+func (h *HTTPSink) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("qtag_sink_delivered_total", "Successful batch submissions to the collection server.", h.delivered.Load)
+	r.CounterFunc("qtag_sink_retried_total", "Retry attempts after retryable delivery failures.", h.retried.Load)
+	r.CounterFunc("qtag_sink_failed_total", "Submissions that exhausted retries or were permanently rejected.", h.failed.Load)
+	r.RegisterHistogram("qtag_delivery_latency_seconds", "Wire latency per delivery attempt (request to response).", h.latency.get())
+}
+
+// DeliveryLatency exposes the per-attempt wire latency histogram.
+func (h *HTTPSink) DeliveryLatency() *obs.Histogram { return h.latency.get() }
 
 // Retried returns the number of retry attempts performed (first attempts
 // are not counted).
@@ -122,13 +154,16 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 			h.retried.Add(1)
 			h.sleep(h.backoff(attempt, lastErr))
 		}
+		start := time.Now()
 		status, respBody, retryAfter, err := h.post(client, url, body)
+		h.latency.get().ObserveDuration(time.Since(start))
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		if status == http.StatusAccepted {
 			h.delivered.Add(1)
+			h.trace(events, obs.StageDelivered)
 			return nil
 		}
 		lastErr = &statusError{status: status, body: respBody, retryAfter: retryAfter}
@@ -138,10 +173,22 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 		// Other client errors will not heal on retry: the server parsed
 		// the request and rejected it.
 		h.failed.Add(1)
+		h.trace(events, obs.StageDropped)
 		return &PermanentError{Err: lastErr}
 	}
 	h.failed.Add(1)
 	return fmt.Errorf("beacon: submit failed after %d attempts: %w", h.Retries+1, lastErr)
+}
+
+// trace records a lifecycle span per event when a tracer is attached.
+// Spans carry the event's own timestamp, keeping traces on virtual time.
+func (h *HTTPSink) trace(events []Event, stage obs.Stage) {
+	if h.Tracer == nil {
+		return
+	}
+	for _, e := range events {
+		h.Tracer.Record(e.ImpressionID, e.CampaignID, stage, e.At, string(e.Type))
+	}
 }
 
 // post performs one attempt under the per-request timeout.

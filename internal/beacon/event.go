@@ -137,3 +137,19 @@ type SinkFunc func(Event) error
 
 // Submit implements Sink.
 func (f SinkFunc) Submit(e Event) error { return f(e) }
+
+// discardSink accepts and discards everything — the terminal sink of a
+// durability pipeline that has no journal configured.
+type discardSink struct{}
+
+// Submit implements Sink.
+func (discardSink) Submit(Event) error { return nil }
+
+// SubmitBatch implements BatchSink.
+func (discardSink) SubmitBatch([]Event) error { return nil }
+
+// Discard is a Sink (and BatchSink) that accepts every event and drops
+// it. qtag-server uses it as the durability pipeline's terminal when no
+// journal is configured, so the queue/breaker metrics keep the same
+// shape either way.
+var Discard BatchSink = discardSink{}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"qtag/internal/obs"
 )
 
 // Journal persists events as JSON Lines to an io.Writer — the durability
@@ -52,6 +54,47 @@ func (j *Journal) Submit(e Event) error {
 	j.n++
 	j.pending++
 	return nil
+}
+
+// SubmitBatch implements BatchSink: it appends the whole batch under a
+// single lock acquisition, one JSON line per event. Encoding happens
+// outside the lock. A write error mid-batch may leave a prefix of the
+// batch in the journal; the retrying caller re-appends the whole batch,
+// which is safe because replay feeds an idempotent store.
+func (j *Journal) SubmitBatch(events []Event) error {
+	lines := make([][]byte, 0, len(events))
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		line, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("beacon: journal encode: %w", err)
+		}
+		lines = append(lines, line)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, line := range lines {
+		if _, err := j.buf.Write(line); err != nil {
+			return fmt.Errorf("beacon: journal write: %w", err)
+		}
+		if err := j.buf.WriteByte('\n'); err != nil {
+			return fmt.Errorf("beacon: journal write: %w", err)
+		}
+		j.n++
+		j.pending++
+	}
+	return nil
+}
+
+// RegisterMetrics exports the journal's durability counters on the
+// registry.
+func (j *Journal) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("qtag_journal_pending", "Events accepted since the last flush — the durability backlog.",
+		func() float64 { return float64(j.Pending()) })
+	r.GaugeFunc("qtag_journal_events", "Events written to the journal since startup.",
+		func() float64 { return float64(j.Len()) })
 }
 
 // Len returns the number of events written.

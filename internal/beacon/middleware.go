@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qtag/internal/obs"
 )
 
 // AuthStats wraps a collection server so that read endpoints (stats,
@@ -180,6 +182,11 @@ func NewOverloadGuard(next http.Handler, overloaded func() bool, retryAfter time
 
 // Shed returns the number of ingestion requests refused so far.
 func (g *OverloadGuard) Shed() int64 { return g.shed.Load() }
+
+// RegisterMetrics exports the shed counter on the registry.
+func (g *OverloadGuard) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("qtag_shed_total", "Ingestion requests refused with 503 while the collector was overloaded.", g.shed.Load)
+}
 
 // ServeHTTP implements http.Handler.
 func (g *OverloadGuard) ServeHTTP(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,305 @@
+package beacon
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qtag/internal/obs"
+)
+
+var obsEpoch = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func mkEvent(id string) Event {
+	return Event{ImpressionID: id, CampaignID: "c1", Type: EventServed, At: obsEpoch.Add(time.Second)}
+}
+
+func TestJournalSubmitBatch(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	if err := j.SubmitBatch([]Event{mkEvent("i1"), mkEvent("i2")}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 || j.Pending() != 2 {
+		t.Fatalf("Len=%d Pending=%d, want 2/2", j.Len(), j.Pending())
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Pending() != 0 {
+		t.Fatalf("Pending after flush = %d, want 0", j.Pending())
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("journal holds %d lines, want 2", got)
+	}
+	// Replay round-trip: both events land in a store.
+	store := NewStore()
+	if _, err := ReplayJournal(&buf, store); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("replayed %d events, want 2", store.Len())
+	}
+	// An invalid event rejects the whole batch before any write.
+	if err := j.SubmitBatch([]Event{{CampaignID: "c1", Type: EventServed}}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if j.Len() != 2 {
+		t.Fatalf("invalid batch must not write: Len=%d", j.Len())
+	}
+}
+
+func TestJournalRegisterMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	reg := obs.NewRegistry()
+	j.RegisterMetrics(reg)
+	if err := j.Submit(mkEvent("i1")); err != nil {
+		t.Fatal(err)
+	}
+	v := reg.Values()
+	if v["qtag_journal_events"] != 1 || v["qtag_journal_pending"] != 1 {
+		t.Fatalf("journal gauges = %v", v)
+	}
+	j.Flush()
+	if got := reg.Values()["qtag_journal_pending"]; got != 0 {
+		t.Fatalf("pending after flush = %g, want 0", got)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscardSink(t *testing.T) {
+	if err := Discard.Submit(mkEvent("i1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Discard.SubmitBatch([]Event{mkEvent("i1"), mkEvent("i2")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverloadGuardRegisterMetrics(t *testing.T) {
+	overloaded := true
+	guard := NewOverloadGuard(NewServer(NewStore()), func() bool { return overloaded }, time.Second)
+	reg := obs.NewRegistry()
+	guard.RegisterMetrics(reg)
+
+	srv := httptest.NewServer(guard)
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/v1/events", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503 while overloaded", resp.StatusCode)
+	}
+	if got := reg.Values()["qtag_shed_total"]; got != 1 {
+		t.Fatalf("qtag_shed_total = %g, want 1", got)
+	}
+}
+
+func TestQueueTracerRecordsFlushes(t *testing.T) {
+	store := NewStore()
+	q := NewQueueSink(store, QueueOptions{})
+	tr := obs.NewTracer(obsEpoch)
+	q.SetTracer(tr)
+	if err := q.Submit(mkEvent("i1")); err != nil {
+		t.Fatal(err)
+	}
+	waitDrained(t, q)
+
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Stage != obs.StageFlushed {
+		t.Fatalf("spans = %v, want one flushed span", spans)
+	}
+	// Span timestamps come from the event, not the wall clock.
+	if spans[0].At != time.Second {
+		t.Fatalf("span At = %v, want the event's 1s offset", spans[0].At)
+	}
+	if q.FlushLatency().Count() == 0 {
+		t.Fatal("flush latency histogram never observed")
+	}
+}
+
+func TestQueueTracerRecordsPermanentDrops(t *testing.T) {
+	permanent := SinkFunc(func(Event) error {
+		return &PermanentError{Err: errors.New("rejected")}
+	})
+	q := NewQueueSink(permanent, QueueOptions{})
+	tr := obs.NewTracer(obsEpoch)
+	q.SetTracer(tr)
+	if err := q.Submit(mkEvent("i1")); err != nil {
+		t.Fatal(err)
+	}
+	waitFailed(t, q)
+	// The per-event delivery path skips poison events; the batch itself
+	// succeeds, so the span is recorded as flushed with the event counted
+	// failed. A batch-level permanent error (batch sink) records dropped.
+	if tr.Len() == 0 {
+		t.Fatal("no spans recorded for permanently rejected event")
+	}
+}
+
+func TestQueueTracerRecordsBatchDrops(t *testing.T) {
+	permanent := batchSinkFunc(func([]Event) error {
+		return &PermanentError{Err: errors.New("rejected")}
+	})
+	q := NewQueueSink(permanent, QueueOptions{})
+	tr := obs.NewTracer(obsEpoch)
+	q.SetTracer(tr)
+	if err := q.Submit(mkEvent("i1")); err != nil {
+		t.Fatal(err)
+	}
+	waitFailed(t, q)
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Stage != obs.StageDropped {
+		t.Fatalf("spans = %v, want one dropped span", spans)
+	}
+}
+
+// batchSinkFunc adapts a function to BatchSink for tests.
+type batchSinkFunc func([]Event) error
+
+func (f batchSinkFunc) Submit(e Event) error         { return f([]Event{e}) }
+func (f batchSinkFunc) SubmitBatch(es []Event) error { return f(es) }
+
+func waitDrained(t *testing.T, q *QueueSink) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := q.Stats(); s.Depth == 0 && s.Flushed+s.Failed+s.Dropped >= s.Enqueued {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never drained: %s", q.Stats())
+}
+
+func waitFailed(t *testing.T, q *QueueSink) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if q.Stats().Failed > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never recorded a failure: %s", q.Stats())
+}
+
+func TestHTTPSinkTracer(t *testing.T) {
+	store := NewStore()
+	collector := httptest.NewServer(NewServer(store))
+	defer collector.Close()
+
+	tr := obs.NewTracer(obsEpoch)
+	sink := &HTTPSink{BaseURL: collector.URL, Tracer: tr}
+	if err := sink.SubmitBatch([]Event{mkEvent("i1"), mkEvent("i2")}); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Stage != obs.StageDelivered {
+			t.Fatalf("stage = %s, want delivered", s.Stage)
+		}
+	}
+
+	// A permanent rejection records dropped spans.
+	trBad := obs.NewTracer(obsEpoch)
+	bad := &HTTPSink{BaseURL: collector.URL, Tracer: trBad}
+	if err := bad.SubmitBatch([]Event{{ImpressionID: "ix", CampaignID: "c1", Type: "bogus", At: obsEpoch}}); err == nil {
+		t.Fatal("bogus event accepted")
+	}
+	spans = trBad.Spans()
+	if len(spans) != 1 || spans[0].Stage != obs.StageDropped {
+		t.Fatalf("spans = %v, want one dropped span", spans)
+	}
+}
+
+func TestStringersAndAccessors(t *testing.T) {
+	if got := (QueueStats{Depth: 1, Enqueued: 2, Flushed: 1, Dropped: 1}).String(); !strings.Contains(got, "depth=1") {
+		t.Errorf("QueueStats.String() = %q", got)
+	}
+	for state, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if state.String() != want {
+			t.Errorf("BreakerState(%d).String() = %q, want %q", state, state.String(), want)
+		}
+	}
+	inner := errors.New("boom")
+	perr := &PermanentError{Err: inner}
+	if perr.Error() != "boom" || !errors.Is(perr, inner) {
+		t.Errorf("PermanentError Error/Unwrap broken: %v", perr)
+	}
+
+	store := NewStore()
+	collector := httptest.NewServer(NewServer(store))
+	defer collector.Close()
+	sink := &HTTPSink{BaseURL: collector.URL}
+	if err := sink.Submit(mkEvent("i1")); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Delivered() != 1 {
+		t.Errorf("Delivered() = %d, want 1", sink.Delivered())
+	}
+	// A permanent server rejection surfaces the status in the error text.
+	err := sink.SubmitBatch([]Event{{ImpressionID: "ix", CampaignID: "c1", Type: "bogus", At: obsEpoch}})
+	if err == nil || !strings.Contains(err.Error(), "422") {
+		t.Errorf("rejection error = %v, want status 422 in text", err)
+	}
+}
+
+func TestServerMount(t *testing.T) {
+	server := NewServer(NewStore())
+	server.Mount("GET /custom", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("/custom = %d, want 418", resp.StatusCode)
+	}
+}
+
+func TestBreakerStateMetric(t *testing.T) {
+	failing := SinkFunc(func(Event) error { return errors.New("down") })
+	b := NewCircuitBreaker(failing, 2, time.Minute)
+	reg := obs.NewRegistry()
+	b.RegisterMetrics(reg)
+
+	if got := reg.Values()["qtag_breaker_state"]; got != 0 {
+		t.Fatalf("closed breaker state = %g, want 0", got)
+	}
+	for i := 0; i < 2; i++ {
+		_ = b.Submit(mkEvent("i1"))
+	}
+	v := reg.Values()
+	if v["qtag_breaker_state"] != 1 {
+		t.Fatalf("open breaker state = %g, want 1", v["qtag_breaker_state"])
+	}
+	if v["qtag_breaker_trips_total"] != 1 {
+		t.Fatalf("trips = %g, want 1", v["qtag_breaker_trips_total"])
+	}
+	_ = b.Submit(mkEvent("i2")) // rejected while open
+	if got := reg.Values()["qtag_breaker_rejected_total"]; got != 1 {
+		t.Fatalf("rejected = %g, want 1", got)
+	}
+	if s := b.State().String(); s != "open" {
+		t.Fatalf("State() = %q, want open", s)
+	}
+}

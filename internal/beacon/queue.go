@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qtag/internal/obs"
 )
 
 // BatchSink is a Sink that can deliver several events in one call.
@@ -86,16 +88,27 @@ type QueueSink struct {
 	flushed  atomic.Int64
 	failed   atomic.Int64
 	retried  atomic.Int64
+
+	// Flush instrumentation: batch size and downstream delivery latency
+	// per flush attempt. Always collected (the cost is one atomic add per
+	// flush); export them by registering the queue on an obs.Registry.
+	flushBatch   *obs.Histogram
+	flushLatency *obs.Histogram
+	now          func() time.Time
+	tracer       atomic.Pointer[obs.Tracer]
 }
 
 // NewQueueSink wraps next and starts the drain goroutine. Call Close to
 // flush and stop it.
 func NewQueueSink(next Sink, opts QueueOptions) *QueueSink {
 	q := &QueueSink{
-		next: next,
-		opts: opts.withDefaults(),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		next:         next,
+		opts:         opts.withDefaults(),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		flushBatch:   obs.NewHistogram(obs.SizeBuckets...),
+		flushLatency: obs.NewHistogram(obs.LatencyBuckets...),
+		now:          time.Now,
 	}
 	if b, ok := next.(BatchSink); ok {
 		q.batchNext = b
@@ -178,7 +191,10 @@ func (q *QueueSink) drain() {
 		copy(batch, q.buf)
 		q.mu.Unlock()
 
+		start := q.now()
 		rejected, err := q.deliver(batch)
+		q.flushLatency.ObserveDuration(q.now().Sub(start))
+		q.flushBatch.Observe(float64(n))
 
 		q.mu.Lock()
 		if err == nil || IsPermanent(err) {
@@ -195,6 +211,15 @@ func (q *QueueSink) drain() {
 				q.failed.Add(int64(n))
 			}
 			q.mu.Unlock()
+			if tr := q.tracer.Load(); tr != nil {
+				stage := obs.StageFlushed
+				if err != nil {
+					stage = obs.StageDropped
+				}
+				for _, e := range batch {
+					tr.Record(e.ImpressionID, e.CampaignID, stage, e.At, string(e.Type))
+				}
+			}
 			continue
 		}
 		q.mu.Unlock()
@@ -295,4 +320,28 @@ func (q *QueueSink) Stats() QueueStats {
 func (s QueueStats) String() string {
 	return fmt.Sprintf("depth=%d enqueued=%d flushed=%d dropped=%d failed=%d retried=%d",
 		s.Depth, s.Enqueued, s.Flushed, s.Dropped, s.Failed, s.Retried)
+}
+
+// SetTracer attaches a lifecycle tracer: every flushed (or permanently
+// dropped) event records a span with the event's own timestamp, so the
+// trace stream stays virtual-clock-driven even though flushing happens
+// on a background goroutine.
+func (q *QueueSink) SetTracer(tr *obs.Tracer) { q.tracer.Store(tr) }
+
+// FlushLatency exposes the per-flush downstream delivery latency
+// histogram.
+func (q *QueueSink) FlushLatency() *obs.Histogram { return q.flushLatency }
+
+// RegisterMetrics exports the queue's delivery-health counters and flush
+// histograms on the registry.
+func (q *QueueSink) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("qtag_queue_depth", "Events currently buffered in the store-and-forward queue.",
+		func() float64 { return float64(q.Depth()) })
+	r.CounterFunc("qtag_queue_enqueued_total", "Events accepted into the queue buffer.", q.enqueued.Load)
+	r.CounterFunc("qtag_queue_dropped_total", "Events lost to overflow, closed-queue submits, or an abandoned drain.", q.dropped.Load)
+	r.CounterFunc("qtag_queue_flushed_total", "Events delivered downstream.", q.flushed.Load)
+	r.CounterFunc("qtag_queue_failed_total", "Events the downstream permanently rejected.", q.failed.Load)
+	r.CounterFunc("qtag_queue_retries_total", "Flush attempts that failed retryably and were re-queued.", q.retried.Load)
+	r.RegisterHistogram("qtag_queue_flush_batch_size", "Batch size per flush attempt.", q.flushBatch)
+	r.RegisterHistogram("qtag_queue_flush_latency_seconds", "Downstream delivery latency per flush attempt.", q.flushLatency)
 }

@@ -9,6 +9,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"qtag/internal/obs"
 )
 
 // Server is the HTTP collection endpoint tags send beacons to — the
@@ -27,6 +30,14 @@ type Server struct {
 	mux      *http.ServeMux
 	accepted atomic.Int64
 	rejected atomic.Int64
+
+	// reg is the server's metrics registry, exported at GET /metrics in
+	// Prometheus text format. The ingest counters above are registered on
+	// it at construction; /healthz stays a thin JSON view over the same
+	// instruments.
+	reg           *obs.Registry
+	ingestLatency *obs.Histogram
+	now           func() time.Time
 
 	healthMu     sync.Mutex
 	healthExtras []healthMetric
@@ -50,18 +61,50 @@ func NewServer(store *Store) *Server { return NewServerWithSink(store, store) }
 // from store. The sink must (directly or indirectly) feed the store or
 // the stats will stay empty.
 func NewServerWithSink(store *Store, sink Sink) *Server {
-	s := &Server{store: store, sink: sink, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/events", s.handlePixelEvent)
+	s := &Server{store: store, sink: sink, mux: http.NewServeMux(), reg: obs.NewRegistry(), now: time.Now}
+	s.reg.CounterFunc("qtag_ingest_accepted_total", "Events accepted by the collection endpoints.", s.accepted.Load)
+	s.reg.CounterFunc("qtag_ingest_rejected_total", "Events refused by validation.", s.rejected.Load)
+	s.reg.GaugeFunc("qtag_store_events", "Distinct events held by the in-memory store.",
+		func() float64 { return float64(store.Len()) })
+	s.reg.GaugeFunc("qtag_store_campaigns", "Distinct campaigns observed by the store.",
+		func() float64 { return float64(len(store.CampaignIDs())) })
+	s.ingestLatency = s.reg.Histogram("qtag_ingest_latency_seconds",
+		"Wall time spent handling one /v1/events ingestion request.", obs.LatencyBuckets)
+	s.mux.HandleFunc("POST /v1/events", s.timed(s.handleEvents))
+	s.mux.HandleFunc("GET /v1/events", s.timed(s.handlePixelEvent))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/stats", s.handleCampaignStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	return s
+}
+
+// Metrics returns the server's registry so callers can register the rest
+// of the pipeline (queue, breaker, journal, overload guard) for export
+// on the same GET /metrics endpoint.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// SetClock overrides the server's time source for the handler-latency
+// histogram (tests).
+func (s *Server) SetClock(now func() time.Time) { s.now = now }
+
+// timed wraps an ingestion handler with the handler-latency histogram.
+func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		h(w, r)
+		s.ingestLatency.ObserveDuration(s.now().Sub(start))
+	}
 }
 
 // AddHealthMetric registers an extra delivery-health gauge reported in
 // the /healthz payload (e.g. overload-guard shed count, journal backlog).
 // Stress harnesses assert on these to verify graceful degradation.
+//
+// AddHealthMetric is safe to call concurrently and after the server has
+// started serving: the gauge slice is mutex-guarded against in-flight
+// /healthz collections. fn itself must be safe for concurrent use — it
+// is invoked from request goroutines.
 func (s *Server) AddHealthMetric(name string, fn func() int64) {
 	s.healthMu.Lock()
 	s.healthExtras = append(s.healthExtras, healthMetric{name: name, fn: fn})

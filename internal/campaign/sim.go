@@ -14,6 +14,7 @@ import (
 	"qtag/internal/dsp"
 	"qtag/internal/faults"
 	"qtag/internal/geom"
+	"qtag/internal/obs"
 	"qtag/internal/qtag"
 	"qtag/internal/simclock"
 	"qtag/internal/simrand"
@@ -101,6 +102,13 @@ type Config struct {
 	// bit-identical at any Parallelism. The zero profile disables
 	// injection and leaves the RNG streams untouched.
 	TagFaults faults.Profile
+	// TraceLifecycle records a per-impression lifecycle trace (served →
+	// tag start → pixel classification → state transitions → beacon
+	// enqueue → delivery/drop) into Result.Trace. Spans are timestamped
+	// on the virtual clock and each campaign records into its own tracer,
+	// merged in campaign order — traces are byte-identical at any
+	// Parallelism. Off by default to keep big runs lean.
+	TraceLifecycle bool
 }
 
 func (c Config) withDefaults() Config {
@@ -206,6 +214,9 @@ type Result struct {
 	// Impressions holds per-impression records when
 	// Config.RecordImpressions is set.
 	Impressions []ImpressionRecord
+	// Trace is the merged per-impression lifecycle trace when
+	// Config.TraceLifecycle is set; nil otherwise.
+	Trace *obs.Tracer
 }
 
 // Simulator runs the production-deployment simulation.
@@ -282,36 +293,38 @@ func (s *Simulator) Run() *Result {
 	if workers > len(specs) {
 		workers = len(specs)
 	}
-	if workers <= 1 {
-		records := make([][]ImpressionRecord, len(specs))
-		for i, spec := range specs {
-			res.Campaigns[i], records[i] = s.runCampaign(spec, rngs[i])
-		}
-		for _, recs := range records {
-			res.Impressions = append(res.Impressions, recs...)
-		}
-		return res
-	}
-
 	records := make([][]ImpressionRecord, len(specs))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				res.Campaigns[i], records[i] = s.runCampaign(specs[i], rngs[i])
-			}
-		}()
+	tracers := make([]*obs.Tracer, len(specs))
+	if workers <= 1 {
+		for i, spec := range specs {
+			res.Campaigns[i], records[i], tracers[i] = s.runCampaign(spec, rngs[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					res.Campaigns[i], records[i], tracers[i] = s.runCampaign(specs[i], rngs[i])
+				}
+			}()
+		}
+		for i := range specs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	for i := range specs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 	for _, recs := range records {
 		res.Impressions = append(res.Impressions, recs...)
+	}
+	if s.cfg.TraceLifecycle {
+		// Merge the per-campaign tracers in campaign order: the combined
+		// span stream is identical at any worker count.
+		res.Trace = obs.NewTracer(simclock.Epoch)
+		res.Trace.Merge(tracers...)
 	}
 	return res
 }
@@ -319,7 +332,7 @@ func (s *Simulator) Run() *Result {
 // runCampaign delivers and measures every impression of one campaign.
 // It is safe to call concurrently for distinct campaigns: the only shared
 // state it touches is the thread-safe beacon sink.
-func (s *Simulator) runCampaign(spec Spec, rng *simrand.RNG) (CampaignResult, []ImpressionRecord) {
+func (s *Simulator) runCampaign(spec Spec, rng *simrand.RNG) (CampaignResult, []ImpressionRecord, *obs.Tracer) {
 	tags := []adtag.Tag{qtag.New(qtag.Config{})}
 	if spec.Both {
 		tags = append(tags, commercial.New(commercial.Config{}))
@@ -332,24 +345,42 @@ func (s *Simulator) runCampaign(spec Spec, rng *simrand.RNG) (CampaignResult, []
 		Tags:     tags,
 	})
 
+	// Each campaign records into its own tracer so the merged stream is
+	// deterministic at any parallelism. Tracing wraps the sinks without
+	// consuming any RNG, so traced and untraced runs are bit-identical.
+	var tracer *obs.Tracer
+	serverSink := s.sink
+	tagSink := s.sink
+	if s.cfg.TraceLifecycle {
+		tracer = obs.NewTracer(simclock.Epoch)
+		serverSink = &ackSink{next: s.sink, tr: tracer}
+		tagSink = &ackSink{next: s.sink, tr: tracer}
+	}
+
 	// The tag → collector path may be degraded by an injected fault
 	// profile; the DSP's own served log never is. Forking the fault
 	// stream here (once, before any impression) keeps the campaign's
 	// behaviour stream identical to a run with a different fault rate.
-	tagSink := s.sink
 	var faultSink *faults.Sink
 	if s.cfg.TagFaults.Enabled() {
-		faultSink = faults.NewSink(s.sink, rng.Fork("faults"), s.cfg.TagFaults)
+		faultSink = faults.NewSink(tagSink, rng.Fork("faults"), s.cfg.TagFaults)
 		// Simulations run on a virtual clock; injected latency is counted
 		// but must not wall-sleep.
 		faultSink.SetSleep(nil)
 		tagSink = faultSink
 	}
+	if tracer != nil {
+		// Outermost wrapper: every tag beacon records an enqueue span (and
+		// a state-transition span for in-view/out-of-view) before faults
+		// or the store see it. A beacon that is enqueued but never
+		// delivered was lost in transit — the trace shows exactly which.
+		tagSink = &enqueueSink{next: tagSink, tr: tracer}
+	}
 
 	out := CampaignResult{Spec: spec}
 	var records []ImpressionRecord
 	for i := 0; i < spec.Impressions; i++ {
-		if rec, ok := s.runImpression(spec, platform, rng, tagSink, &out); ok && s.cfg.RecordImpressions {
+		if rec, ok := s.runImpression(spec, platform, rng, serverSink, tagSink, tracer, &out); ok && s.cfg.RecordImpressions {
 			records = append(records, rec)
 		}
 	}
@@ -364,14 +395,55 @@ func (s *Simulator) runCampaign(spec Spec, rng *simrand.RNG) (CampaignResult, []
 	out.QTagInView = s.store.InView(spec.ID, beacon.SourceQTag)
 	out.CommercialLoaded = s.store.Loaded(spec.ID, beacon.SourceCommercial)
 	out.CommercialInView = s.store.InView(spec.ID, beacon.SourceCommercial)
-	return out, records
+	return out, records, tracer
+}
+
+// enqueueSink is the tracing wrapper at the top of the tag beacon path: it
+// records a state-transition span for in-view/out-of-view events and an
+// enqueue span for every event, then forwards. A forwarding error (an
+// injected fault, a validation reject) records a drop span — the beacon
+// left the tag but never reached the store.
+type enqueueSink struct {
+	next beacon.Sink
+	tr   *obs.Tracer
+}
+
+// Submit implements beacon.Sink.
+func (s *enqueueSink) Submit(e beacon.Event) error {
+	detail := string(e.Source) + ":" + string(e.Type)
+	if e.Type == beacon.EventInView || e.Type == beacon.EventOutOfView {
+		s.tr.Record(e.ImpressionID, e.CampaignID, obs.StageTransition, e.At, detail)
+	}
+	s.tr.Record(e.ImpressionID, e.CampaignID, obs.StageEnqueued, e.At, detail)
+	if err := s.next.Submit(e); err != nil {
+		s.tr.Record(e.ImpressionID, e.CampaignID, obs.StageDropped, e.At, err.Error())
+		return err
+	}
+	return nil
+}
+
+// ackSink sits directly above the store and records a delivery span once
+// the store has accepted the event. A beacon with an enqueue span but no
+// delivery span was silently lost in transit (a fault-profile drop).
+type ackSink struct {
+	next beacon.Sink
+	tr   *obs.Tracer
+}
+
+// Submit implements beacon.Sink.
+func (s *ackSink) Submit(e beacon.Event) error {
+	if err := s.next.Submit(e); err != nil {
+		return err
+	}
+	s.tr.Record(e.ImpressionID, e.CampaignID, obs.StageDelivered, e.At, string(e.Type))
+	return nil
 }
 
 const sessionPageOrigin = dom.Origin("https://publisher.example")
 
 // runImpression simulates one served ad: environment draw, delivery
 // through an exchange, the user's session, and ground-truth tracking.
-func (s *Simulator) runImpression(spec Spec, platform *dsp.DSP, rng *simrand.RNG, tagSink beacon.Sink, out *CampaignResult) (ImpressionRecord, bool) {
+func (s *Simulator) runImpression(spec Spec, platform *dsp.DSP, rng *simrand.RNG, serverSink, tagSink beacon.Sink, tracer *obs.Tracer, out *CampaignResult) (ImpressionRecord, bool) {
 	envClass := spec.Mix.Draw(rng)
 	model := s.cfg.EnvModels[envClass]
 	prof := model.Profile(rng)
@@ -402,8 +474,9 @@ func (s *Simulator) runImpression(spec Spec, platform *dsp.DSP, rng *simrand.RNG
 	exchange.Register(platform)
 	deliverer := &adserve.Deliverer{
 		Exchange:   exchange,
-		ServerSink: s.sink,
+		ServerSink: serverSink,
 		TagSink:    tagSink,
+		Tracer:     tracer,
 		TagLoadFails: func(adtag.Tag) bool {
 			return !rng.Bool(model.TagLoadSuccess)
 		},

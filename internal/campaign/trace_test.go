@@ -1,0 +1,217 @@
+package campaign
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"qtag/internal/beacon"
+	"qtag/internal/faults"
+	"qtag/internal/obs"
+)
+
+func traceConfig(parallelism int) Config {
+	return Config{
+		Seed:                   77,
+		Campaigns:              8,
+		ImpressionsPerCampaign: 40,
+		BothCampaigns:          2,
+		Parallelism:            parallelism,
+		TraceLifecycle:         true,
+	}
+}
+
+// TestTraceDeterministicAcrossParallelism is the tentpole invariant: two
+// identical runs at different worker counts produce byte-identical trace
+// summaries (same spans, same order, same checksum).
+func TestTraceDeterministicAcrossParallelism(t *testing.T) {
+	serial := New(traceConfig(1)).Run()
+	parallel := New(traceConfig(8)).Run()
+
+	if serial.Trace == nil || parallel.Trace == nil {
+		t.Fatal("TraceLifecycle must populate Result.Trace")
+	}
+	if serial.Trace.Len() == 0 {
+		t.Fatal("trace recorded no spans")
+	}
+	s1, s2 := serial.Trace.Summary(), parallel.Trace.Summary()
+	if s1 != s2 {
+		t.Fatalf("trace summaries differ across parallelism:\n--- serial ---\n%s--- parallel ---\n%s", s1, s2)
+	}
+}
+
+// TestTraceReconcilesWithAggregates cross-checks the span stream against
+// the campaign aggregates computed from the store.
+func TestTraceReconcilesWithAggregates(t *testing.T) {
+	res := New(traceConfig(4)).Run()
+
+	byStage := map[obs.Stage]int{}
+	delivered := 0
+	for _, s := range res.Trace.Spans() {
+		byStage[s.Stage]++
+		if s.Stage == obs.StageDelivered {
+			delivered++
+		}
+	}
+	var served int
+	for _, c := range res.Campaigns {
+		served += c.Served
+	}
+	if byStage[obs.StageServed] != served {
+		t.Errorf("served spans = %d, aggregates say %d", byStage[obs.StageServed], served)
+	}
+	// No faults injected: every beacon that was enqueued (tag path) or
+	// served (DSP path) reached the store.
+	if want := byStage[obs.StageEnqueued] + served; delivered != want {
+		t.Errorf("delivered spans = %d, want enqueued+served = %d", delivered, want)
+	}
+	if delivered != res.Store.Len() {
+		t.Errorf("delivered spans = %d, store holds %d events", delivered, res.Store.Len())
+	}
+	if byStage[obs.StageDropped] != 0 {
+		t.Errorf("dropped spans = %d, want 0 without faults", byStage[obs.StageDropped])
+	}
+}
+
+// TestTraceShowsFaultDrops checks that injected silent drops surface as
+// enqueued-without-delivered and injected errors as dropped spans.
+func TestTraceShowsFaultDrops(t *testing.T) {
+	cfg := traceConfig(2)
+	cfg.TagFaults = faults.Profile{Drop: 0.3, Error: 0.1}
+	res := New(cfg).Run()
+
+	byStage := map[obs.Stage]int{}
+	for _, s := range res.Trace.Spans() {
+		byStage[s.Stage]++
+	}
+	var drops, errs, served int
+	for _, c := range res.Campaigns {
+		drops += c.FaultDrops
+		errs += c.FaultErrors
+		served += c.Served
+	}
+	if drops == 0 || errs == 0 {
+		t.Fatalf("fault profile injected nothing: drops=%d errs=%d", drops, errs)
+	}
+	// Errored submissions record a dropped span at the enqueue wrapper.
+	if byStage[obs.StageDropped] != errs {
+		t.Errorf("dropped spans = %d, want errored count %d", byStage[obs.StageDropped], errs)
+	}
+	// Silent drops: enqueued but never delivered. Delivered = everything
+	// that reached the store (tag beacons that survived + served events).
+	if want := byStage[obs.StageEnqueued] - drops - errs + served; byStage[obs.StageDelivered] != want {
+		t.Errorf("delivered spans = %d, want enqueued-drops-errs+served = %d",
+			byStage[obs.StageDelivered], want)
+	}
+	if byStage[obs.StageDelivered] != res.Store.Len() {
+		t.Errorf("delivered spans = %d, store holds %d", byStage[obs.StageDelivered], res.Store.Len())
+	}
+}
+
+// TestTracingDoesNotPerturbResults guards the RNG streams: a traced run
+// must produce exactly the aggregates of an untraced one.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	traced := New(traceConfig(1)).Run()
+	cfg := traceConfig(1)
+	cfg.TraceLifecycle = false
+	plain := New(cfg).Run()
+
+	for i := range plain.Campaigns {
+		a, b := plain.Campaigns[i], traced.Campaigns[i]
+		if a != b {
+			t.Fatalf("campaign %d aggregates diverge with tracing on:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+}
+
+// parseProm extracts "name value" series (no labels) from a Prometheus
+// text scrape.
+func parseProm(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out
+}
+
+// TestMetricsReconcileEndToEnd runs the full acceptance loop in-process:
+// a simulation mirrors every beacon through QueueSink → HTTPSink to a
+// live collection server, then the server's /metrics scrape must
+// reconcile with the run's own numbers — accepted == flushed ==
+// enqueued, zero drops, and the remote store matching the local one.
+func TestMetricsReconcileEndToEnd(t *testing.T) {
+	remote := beacon.NewStore()
+	server := beacon.NewServerWithSink(remote, remote)
+	collector := httptest.NewServer(server)
+	defer collector.Close()
+
+	sink := &beacon.HTTPSink{BaseURL: collector.URL, Retries: 2}
+	queue := beacon.NewQueueSink(sink, beacon.QueueOptions{Capacity: 1 << 16})
+	queue.RegisterMetrics(server.Metrics())
+	sink.RegisterMetrics(server.Metrics())
+
+	cfg := Config{
+		Seed:                   99,
+		Campaigns:              4,
+		ImpressionsPerCampaign: 30,
+		BothCampaigns:          1,
+		Parallelism:            4,
+		ExtraSink:              queue,
+	}
+	res := New(cfg).Run()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := queue.Close(drainCtx); err != nil {
+		t.Fatalf("drain mirror queue: %v", err)
+	}
+
+	resp, err := collector.Client().Get(collector.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := parseProm(string(body))
+
+	local := float64(res.Store.Len())
+	if m["qtag_queue_enqueued_total"] != local {
+		t.Errorf("enqueued = %g, local store has %g events", m["qtag_queue_enqueued_total"], local)
+	}
+	if m["qtag_queue_flushed_total"] != local {
+		t.Errorf("flushed = %g, want %g", m["qtag_queue_flushed_total"], local)
+	}
+	if m["qtag_ingest_accepted_total"] != local {
+		t.Errorf("server accepted = %g, want %g", m["qtag_ingest_accepted_total"], local)
+	}
+	if m["qtag_store_events"] != local {
+		t.Errorf("remote store = %g, local store = %g", m["qtag_store_events"], local)
+	}
+	if m["qtag_queue_dropped_total"] != 0 || m["qtag_ingest_rejected_total"] != 0 {
+		t.Errorf("lossless path expected: dropped=%g rejected=%g",
+			m["qtag_queue_dropped_total"], m["qtag_ingest_rejected_total"])
+	}
+	if m["qtag_delivery_latency_seconds_count"] == 0 {
+		t.Error("delivery latency histogram never observed")
+	}
+	if remote.Len() != res.Store.Len() {
+		t.Errorf("remote store %d events, local %d", remote.Len(), res.Store.Len())
+	}
+}

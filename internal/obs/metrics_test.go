@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // counters only go up: ignored
+	c.Add(0)  // not a positive delta: ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(1, 2.5, 5)
+	// A value exactly on a bucket's upper bound lands in that bucket
+	// ("le" semantics).
+	cases := []struct {
+		v    float64
+		want int // bucket index; 3 = +Inf
+	}{
+		{0, 0}, {1, 0}, {1.0001, 1}, {2.5, 1}, {2.50001, 2}, {5, 2}, {5.0001, 3}, {math.Inf(1), 3},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	wantCounts := make([]int64, 4)
+	for _, c := range cases {
+		wantCounts[c.want]++
+	}
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d: count %d, want %d (snapshot %v)", i, s.Counts[i], want, s.Counts)
+		}
+	}
+	if s.Count != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", s.Count, len(cases))
+	}
+	cum := s.Cumulative()
+	if cum[len(cum)-1] != int64(len(cases)) {
+		t.Errorf("last cumulative bucket = %d, want total %d", cum[len(cum)-1], len(cases))
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("cumulative counts not monotonic: %v", cum)
+		}
+	}
+}
+
+func TestHistogramIgnoresNaN(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(math.NaN())
+	h.Observe(0.5)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1 (NaN must be ignored)", h.Count())
+	}
+	if h.Sum() != 0.5 {
+		t.Fatalf("Sum = %g, want 0.5", h.Sum())
+	}
+}
+
+func TestHistogramSortsAndDedupesBounds(t *testing.T) {
+	h := NewHistogram(5, 1, 2.5, 1)
+	want := []float64{1, 2.5, 5}
+	s := h.Snapshot()
+	if len(s.Bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", s.Bounds, want)
+	}
+	for i := range want {
+		if s.Bounds[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", s.Bounds, want)
+		}
+	}
+}
+
+func TestHistogramDefaultsToLatencyBuckets(t *testing.T) {
+	h := NewHistogram()
+	if got, want := len(h.Snapshot().Bounds), len(LatencyBuckets); got != want {
+		t.Fatalf("default bounds = %d, want %d", got, want)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram(0.1, 1)
+	h.ObserveDuration(250 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Counts[1] != 1 {
+		t.Fatalf("250ms must land in the le=1 bucket: %v", s.Counts)
+	}
+	if s.Sum != 0.25 {
+		t.Fatalf("Sum = %g, want 0.25", s.Sum)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	// 2 observations per finite bucket, none in +Inf.
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Median rank 3 is halfway through the (1,2] bucket (cumulative 2→4):
+	// interpolates to 1.5, exactly what histogram_quantile would report.
+	if got := s.Quantile(0.5); got != 1.5 {
+		t.Errorf("Quantile(0.5) = %g, want 1.5", got)
+	}
+	// Rank 1.5 is halfway through the first bucket [0,1].
+	if got := s.Quantile(0.25); got != 0.75 {
+		t.Errorf("Quantile(0.25) = %g, want 0.75", got)
+	}
+	if got := s.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %g, want 4", got)
+	}
+	// Out-of-range q clamps.
+	if got := s.Quantile(2); got != 4 {
+		t.Errorf("Quantile(2) = %g, want 4", got)
+	}
+}
+
+func TestQuantileInfBucketClampsToHighestBound(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(100) // +Inf bucket
+	if got := h.Snapshot().Quantile(0.99); got != 2 {
+		t.Fatalf("Quantile over the +Inf bucket = %g, want clamp to 2", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram(1)
+	if got := h.Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("Quantile on empty histogram = %g, want NaN", got)
+	}
+}

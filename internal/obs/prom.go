@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// contentType is the Prometheus text exposition format version this
+// package emits.
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format. Output is deterministic: series are sorted by name,
+// then by rendered label set, and HELP/TYPE headers are emitted once per
+// metric family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	entries := r.snapshot()
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return renderLabels(entries[i].labels) < renderLabels(entries[j].labels)
+	})
+	var b strings.Builder
+	lastFamily := ""
+	for _, e := range entries {
+		if e.name != lastFamily {
+			lastFamily = e.name
+			if e.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", e.name, escapeHelp(e.help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, e.kind)
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", e.name, renderLabels(e.labels), e.intFn())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", e.name, renderLabels(e.labels), formatFloat(e.fltFn()))
+		case kindHistogram:
+			s := e.hist.Snapshot()
+			cum := s.Cumulative()
+			for i, bound := range s.Bounds {
+				le := append(e.labels.clone(), Label{"le", formatFloat(bound)})
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", e.name, renderLabels(le), cum[i])
+			}
+			inf := append(e.labels.clone(), Label{"le", "+Inf"})
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", e.name, renderLabels(inf), cum[len(cum)-1])
+			fmt.Fprintf(&b, "%s_sum%s %s\n", e.name, renderLabels(e.labels), formatFloat(s.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", e.name, renderLabels(e.labels), s.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Render returns the text exposition as a string.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// scrape endpoint — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// renderLabels renders {a="b",c="d"}, or "" for an empty set.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

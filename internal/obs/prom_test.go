@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition: families
+// sorted by name, HELP/TYPE once per family, series within a family
+// sorted by label set, cumulative le buckets with +Inf, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	// Registered deliberately out of name and label order.
+	c500 := r.Counter("test_requests_total", "Total requests.", Label{"code", "500"})
+	c500.Inc()
+	c200 := r.Counter("test_requests_total", "Total requests.", Label{"code", "200"})
+	c200.Add(3)
+	h := r.Histogram("test_latency_seconds", "Request latency.", []float64{0.25, 1})
+	h.Observe(0.25) // boundary value: lands in the le=0.25 bucket
+	h.Observe(0.5)
+	h.Observe(2)
+	r.GaugeFunc("test_depth", "Queue depth.", func() float64 { return 2.5 })
+
+	want := `# HELP test_depth Queue depth.
+# TYPE test_depth gauge
+test_depth 2.5
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.25"} 1
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 2.75
+test_latency_seconds_count 3
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{code="200"} 3
+test_requests_total{code="500"} 1
+`
+	if got := r.Render(); got != want {
+		t.Fatalf("Render() mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != contentType {
+		t.Fatalf("Content-Type = %q, want %q", got, contentType)
+	}
+	if rec.Body.Len() == 0 {
+		t.Fatal("empty scrape body")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("esc_total", "line1\nline2 \\ done", func() int64 { return 1 },
+		Label{"path", `a"b\c` + "\n"})
+	want := `# HELP esc_total line1\nline2 \\ done
+# TYPE esc_total counter
+esc_total{path="a\"b\\c\n"} 1
+`
+	if got := r.Render(); got != want {
+		t.Fatalf("Render() mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentScrapeWhileIngesting hammers a registry with observations,
+// counter increments and late registrations while scraping it. Run under
+// -race this proves collection needs no stop-the-world.
+func TestConcurrentScrapeWhileIngesting(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("busy_total", "Busy.")
+	h := r.Histogram("busy_seconds", "Busy latency.", LatencyBuckets)
+
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) / 100)
+				if i%500 == 0 {
+					// Late (re-)registration mid-scrape must be safe too.
+					r.GaugeFunc("busy_gauge", "Busy gauge.", func() float64 { return float64(w) })
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Render()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	v := r.Values()
+	if v["busy_total"] != writers*perWriter {
+		t.Fatalf("busy_total = %g, want %d", v["busy_total"], writers*perWriter)
+	}
+	if v["busy_seconds_count"] != writers*perWriter {
+		t.Fatalf("busy_seconds_count = %g, want %d", v["busy_seconds_count"], writers*perWriter)
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"sync"
+)
+
+// Label is one constant name/value pair attached to a metric series.
+type Label struct{ Name, Value string }
+
+// Labels is an ordered label set. Order is preserved in the export (sort
+// your labels if you need canonical output across processes).
+type Labels []Label
+
+// kind enumerates the exported metric types.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered series.
+type entry struct {
+	name   string
+	help   string
+	labels Labels
+	kind   kind
+	intFn  func() int64   // counter kind
+	fltFn  func() float64 // gauge kind
+	hist   *Histogram     // histogram kind
+}
+
+// Registry holds registered metrics for export. The zero value is not
+// usable; construct with NewRegistry. Registration and collection are
+// both safe for concurrent use — metrics may be registered after a
+// server has started scraping.
+//
+// Registering a series with the same name and label set as an existing
+// one replaces it (idempotent re-registration), so wiring code can be
+// re-run without bookkeeping.
+type Registry struct {
+	mu      sync.RWMutex
+	entries []*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, old := range r.entries {
+		if old.name == e.name && labelsEqual(old.labels, e.labels) {
+			r.entries[i] = e
+			return
+		}
+	}
+	r.entries = append(r.entries, e)
+}
+
+func labelsEqual(a, b Labels) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter creates, registers and returns a new counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := NewCounter()
+	r.CounterFunc(name, help, c.Value, labels...)
+	return c
+}
+
+// CounterFunc registers a counter series sampled from a callback at
+// collection time — the migration path for components that already keep
+// their own atomic counters. The callback must be monotonic and safe for
+// concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.add(&entry{name: name, help: help, labels: labels, kind: kindCounter, intFn: fn})
+}
+
+// GaugeFunc registers a gauge series sampled from a callback at
+// collection time (queue depth, breaker state, journal backlog...). The
+// callback must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.add(&entry{name: name, help: help, labels: labels, kind: kindGauge, fltFn: fn})
+}
+
+// Histogram creates, registers and returns a new histogram series over
+// the given bucket upper bounds (LatencyBuckets when empty).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := NewHistogram(bounds...)
+	r.RegisterHistogram(name, help, h, labels...)
+	return h
+}
+
+// RegisterHistogram registers an existing histogram under the given
+// series name.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.add(&entry{name: name, help: help, labels: labels, kind: kindHistogram, hist: h})
+}
+
+// snapshot returns a stable copy of the entry list for collection.
+func (r *Registry) snapshot() []*entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*entry(nil), r.entries...)
+}
+
+// Values flattens every series to fully-qualified-name → value, the
+// programmatic twin of the text export used by reconciliation checks and
+// tests. Histograms contribute <name>_count and <name>_sum entries plus
+// one <name>_bucket{le="..."} entry per cumulative bucket.
+func (r *Registry) Values() map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range r.snapshot() {
+		base := e.name + renderLabels(e.labels)
+		switch e.kind {
+		case kindCounter:
+			out[base] = float64(e.intFn())
+		case kindGauge:
+			out[base] = e.fltFn()
+		case kindHistogram:
+			s := e.hist.Snapshot()
+			out[e.name+"_count"+renderLabels(e.labels)] = float64(s.Count)
+			out[e.name+"_sum"+renderLabels(e.labels)] = s.Sum
+			cum := s.Cumulative()
+			for i, b := range s.Bounds {
+				out[e.name+"_bucket"+renderLabels(append(e.labels.clone(), Label{"le", formatFloat(b)}))] = float64(cum[i])
+			}
+			out[e.name+"_bucket"+renderLabels(append(e.labels.clone(), Label{"le", "+Inf"}))] = float64(cum[len(cum)-1])
+		}
+	}
+	return out
+}
+
+func (l Labels) clone() Labels { return append(Labels(nil), l...) }

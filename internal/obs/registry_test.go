@@ -1,0 +1,67 @@
+package obs
+
+import "testing"
+
+func TestRegistryCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "Events.")
+	c.Add(3)
+	depth := 7.0
+	r.GaugeFunc("depth", "Depth.", func() float64 { return depth })
+
+	v := r.Values()
+	if v["events_total"] != 3 {
+		t.Errorf("events_total = %g, want 3", v["events_total"])
+	}
+	if v["depth"] != 7 {
+		t.Errorf("depth = %g, want 7", v["depth"])
+	}
+}
+
+func TestRegistryIdempotentReRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("x_total", "first", func() int64 { return 1 })
+	r.CounterFunc("x_total", "second", func() int64 { return 2 })
+	v := r.Values()
+	if len(v) != 1 {
+		t.Fatalf("re-registration must replace, got %d series: %v", len(v), v)
+	}
+	if v["x_total"] != 2 {
+		t.Fatalf("x_total = %g, want the replacement's 2", v["x_total"])
+	}
+
+	// A different label set is a different series, not a replacement.
+	r.CounterFunc("x_total", "labeled", func() int64 { return 9 }, Label{"code", "200"})
+	v = r.Values()
+	if len(v) != 2 {
+		t.Fatalf("labeled series must coexist, got %v", v)
+	}
+	if v[`x_total{code="200"}`] != 9 {
+		t.Fatalf(`x_total{code="200"} = %g, want 9`, v[`x_total{code="200"}`])
+	}
+}
+
+func TestRegistryHistogramValues(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+
+	v := r.Values()
+	if v["lat_seconds_count"] != 3 {
+		t.Errorf("count = %g, want 3", v["lat_seconds_count"])
+	}
+	if v["lat_seconds_sum"] != 101 {
+		t.Errorf("sum = %g, want 101", v["lat_seconds_sum"])
+	}
+	if v[`lat_seconds_bucket{le="1"}`] != 1 {
+		t.Errorf(`bucket le=1 = %g, want 1`, v[`lat_seconds_bucket{le="1"}`])
+	}
+	if v[`lat_seconds_bucket{le="2"}`] != 2 {
+		t.Errorf(`bucket le=2 = %g, want 2`, v[`lat_seconds_bucket{le="2"}`])
+	}
+	if v[`lat_seconds_bucket{le="+Inf"}`] != 3 {
+		t.Errorf(`bucket le=+Inf = %g, want 3`, v[`lat_seconds_bucket{le="+Inf"}`])
+	}
+}

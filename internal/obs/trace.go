@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage names one step of an impression's lifecycle. The delivery chain
+// records, in order: the DSP's served log, the tag bootstrapping inside
+// the creative iframe, its monitoring-pixel classification arming, the
+// viewability state-machine transitions, and each beacon's journey
+// through enqueue → flush → delivery (or drop).
+type Stage string
+
+// Lifecycle stages.
+const (
+	// StageServed is the DSP's server-side impression log.
+	StageServed Stage = "served"
+	// StageTagStart marks a measurement tag beginning execution inside
+	// the creative iframe.
+	StageTagStart Stage = "tag-start"
+	// StageTagFailed marks a tag that never executed (script load
+	// failure) or whose deployment errored.
+	StageTagFailed Stage = "tag-failed"
+	// StageClassified marks the tag's pixel classification armed: paint
+	// observers are attached and visibility sampling is live.
+	StageClassified Stage = "classified"
+	// StageTransition is a viewability state-machine transition (in-view,
+	// out-of-view).
+	StageTransition Stage = "transition"
+	// StageEnqueued marks a beacon handed to the delivery pipeline.
+	StageEnqueued Stage = "enqueued"
+	// StageFlushed marks a beacon flushed downstream by a
+	// store-and-forward queue.
+	StageFlushed Stage = "flushed"
+	// StageDelivered marks a beacon acknowledged by its terminal sink.
+	StageDelivered Stage = "delivered"
+	// StageDropped marks a beacon lost: overflow, permanent rejection, or
+	// an injected fault.
+	StageDropped Stage = "dropped"
+)
+
+// stageOrder fixes the rendering order of stage aggregates in summaries.
+var stageOrder = []Stage{
+	StageServed, StageTagStart, StageTagFailed, StageClassified,
+	StageTransition, StageEnqueued, StageFlushed, StageDelivered, StageDropped,
+}
+
+// Span is one recorded lifecycle step. At is an offset from the tracer's
+// epoch — virtual time when the recording clock is a simclock, so span
+// streams are bit-identical across runs.
+type Span struct {
+	Impression string
+	Campaign   string
+	Stage      Stage
+	At         time.Duration
+	Detail     string
+}
+
+// String renders one span as a log-friendly line.
+func (s Span) String() string {
+	d := ""
+	if s.Detail != "" {
+		d = " " + s.Detail
+	}
+	return fmt.Sprintf("%-12s t=%-12s camp=%s imp=%s%s", s.Stage, s.At, s.Campaign, s.Impression, d)
+}
+
+// Tracer accumulates lifecycle spans. It is safe for concurrent use; for
+// deterministic output across worker counts, give each deterministic
+// unit of work (a campaign) its own tracer and Merge them in a fixed
+// order afterwards.
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTracer returns a tracer whose Record timestamps are measured as
+// offsets from epoch (typically simclock.Epoch). A zero epoch records
+// all spans at offset 0 unless recorded via RecordSpan.
+func NewTracer(epoch time.Time) *Tracer { return &Tracer{epoch: epoch} }
+
+// Record appends a span, converting the absolute timestamp to an offset
+// from the tracer's epoch. Zero timestamps record as offset 0.
+func (t *Tracer) Record(impression, campaign string, stage Stage, at time.Time, detail string) {
+	var off time.Duration
+	if !at.IsZero() && !t.epoch.IsZero() {
+		off = at.Sub(t.epoch)
+	}
+	t.RecordSpan(Span{Impression: impression, Campaign: campaign, Stage: stage, At: off, Detail: detail})
+}
+
+// RecordSpan appends a fully-formed span.
+func (t *Tracer) RecordSpan(s Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Merge appends the spans of others, in argument order, to t. Merging
+// per-campaign tracers in campaign order yields a deterministic combined
+// stream regardless of how many workers recorded them.
+func (t *Tracer) Merge(others ...*Tracer) {
+	for _, o := range others {
+		if o == nil {
+			continue
+		}
+		t.mu.Lock()
+		t.spans = append(t.spans, o.Spans()...)
+		t.mu.Unlock()
+	}
+}
+
+// Summary renders a deterministic digest of the trace: span and
+// impression totals, a checksum over the full ordered span stream, and
+// per-stage counts in canonical stage order (extra stages follow,
+// sorted). Two runs that measured the same impressions the same way
+// produce byte-identical summaries.
+func (t *Tracer) Summary() string {
+	spans := t.Spans()
+	byStage := map[Stage]int{}
+	imps := map[string]struct{}{}
+	h := fnv.New64a()
+	for _, s := range spans {
+		byStage[s.Stage]++
+		imps[s.Impression] = struct{}{}
+		fmt.Fprintf(h, "%s|%s|%s|%d|%s\n", s.Campaign, s.Impression, s.Stage, int64(s.At), s.Detail)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: spans=%d impressions=%d checksum=%016x\n", len(spans), len(imps), h.Sum64())
+	seen := map[Stage]bool{}
+	for _, st := range stageOrder {
+		seen[st] = true
+		if n, ok := byStage[st]; ok {
+			fmt.Fprintf(&b, "  %-12s %d\n", st, n)
+		}
+	}
+	var extra []string
+	for st := range byStage {
+		if !seen[st] {
+			extra = append(extra, string(st))
+		}
+	}
+	sort.Strings(extra)
+	for _, st := range extra {
+		fmt.Fprintf(&b, "  %-12s %d\n", st, byStage[Stage(st)])
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestTracerRecordOffsets(t *testing.T) {
+	tr := NewTracer(epoch)
+	tr.Record("imp-1", "camp-1", StageServed, epoch.Add(250*time.Millisecond), "x")
+	tr.Record("imp-1", "camp-1", StageEnqueued, time.Time{}, "") // zero time → offset 0
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("Len = %d, want 2", len(spans))
+	}
+	if spans[0].At != 250*time.Millisecond {
+		t.Errorf("At = %v, want 250ms", spans[0].At)
+	}
+	if spans[1].At != 0 {
+		t.Errorf("zero-timestamp span At = %v, want 0", spans[1].At)
+	}
+}
+
+func TestTracerMergeOrderAndSummaryDeterminism(t *testing.T) {
+	mk := func() (*Tracer, *Tracer) {
+		a := NewTracer(epoch)
+		a.Record("a-1", "camp-a", StageServed, epoch, "ex")
+		a.Record("a-1", "camp-a", StageEnqueued, epoch.Add(time.Second), "qtag:loaded")
+		b := NewTracer(epoch)
+		b.Record("b-1", "camp-b", StageServed, epoch, "ex")
+		b.Record("b-1", "camp-b", StageDropped, epoch.Add(2*time.Second), "fault")
+		return a, b
+	}
+
+	a1, b1 := mk()
+	m1 := NewTracer(epoch)
+	m1.Merge(a1, nil, b1) // nil tracers are skipped
+	a2, b2 := mk()
+	m2 := NewTracer(epoch)
+	m2.Merge(a2, nil, b2)
+
+	if m1.Len() != 4 {
+		t.Fatalf("merged Len = %d, want 4", m1.Len())
+	}
+	if s1, s2 := m1.Summary(), m2.Summary(); s1 != s2 {
+		t.Fatalf("identical merges must summarize identically:\n%s\nvs\n%s", s1, s2)
+	}
+
+	// Merge order is part of the stream: swapping it changes the checksum.
+	a3, b3 := mk()
+	m3 := NewTracer(epoch)
+	m3.Merge(b3, a3)
+	if m1.Summary() == m3.Summary() {
+		t.Fatal("merge order must be reflected in the summary checksum")
+	}
+}
+
+func TestSummaryContents(t *testing.T) {
+	tr := NewTracer(epoch)
+	tr.Record("i1", "c1", StageServed, epoch, "")
+	tr.Record("i1", "c1", StageTagStart, epoch, "")
+	tr.Record("i2", "c1", StageServed, epoch, "")
+	s := tr.Summary()
+	if !strings.Contains(s, "spans=3") || !strings.Contains(s, "impressions=2") {
+		t.Fatalf("summary totals wrong:\n%s", s)
+	}
+	// Stages render in canonical lifecycle order.
+	if strings.Index(s, "served") > strings.Index(s, "tag-start") {
+		t.Fatalf("stage order wrong:\n%s", s)
+	}
+	// Unknown stages still render (sorted after the canonical ones).
+	tr.Record("i1", "c1", Stage("custom"), epoch, "")
+	if !strings.Contains(tr.Summary(), "custom") {
+		t.Fatalf("extra stage missing:\n%s", tr.Summary())
+	}
+}
+
+func TestSummaryChecksumSensitivity(t *testing.T) {
+	one := NewTracer(epoch)
+	one.Record("i1", "c1", StageServed, epoch, "a")
+	two := NewTracer(epoch)
+	two.Record("i1", "c1", StageServed, epoch, "b") // only the detail differs
+	if one.Summary() == two.Summary() {
+		t.Fatal("checksum must cover span details")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"qtag/internal/browser"
 	"qtag/internal/dom"
 	"qtag/internal/geom"
+	"qtag/internal/obs"
 	"qtag/internal/viewability"
 )
 
@@ -95,6 +96,7 @@ func (t *Tag) Deploy(rt *adtag.Runtime) error {
 	if err := d.plant(points); err != nil {
 		return err
 	}
+	rt.Trace(obs.StageClassified, fmt.Sprintf("pixels=%d fps>=%g", len(points), t.cfg.FPSThreshold))
 	if err := rt.SendBeacon(beacon.SourceQTag, beacon.EventLoaded, 0); err != nil {
 		return fmt.Errorf("qtag: loaded beacon: %w", err)
 	}
