@@ -7,10 +7,10 @@ GO ?= go
 
 # Total statement coverage must not fall below the seed repository's
 # baseline. Raise the floor when coverage improves; never lower it.
-COVER_FLOOR ?= 80.5
+COVER_FLOOR ?= 81.0
 COVER_PROFILE ?= coverage.out
 
-.PHONY: all build vet test race bench cover ci
+.PHONY: all build vet test race bench cover chaos fuzz-smoke ci
 
 all: ci
 
@@ -29,6 +29,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Crash-safety sweep: the WAL, the crash-point harness, and the
+# durability layer's torn-write / page-cache-loss / bit-rot / ENOSPC
+# recovery tests, under the race detector.
+chaos:
+	$(GO) test -race -run 'Crash|Torn|Quarantine|ENOSPC|Snapshot|Recover|Durable|Flip' \
+		./internal/wal/... ./internal/faults/... ./internal/beacon/...
+
+# Ten seconds of fuzzing on the WAL record codec — enough to catch a
+# framing or checksum regression without stalling the pipeline.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzWALRecord -fuzztime=10s ./internal/beacon
+
 cover:
 	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
 	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
@@ -36,4 +48,4 @@ cover:
 	awk -v got="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit (got + 0 < floor + 0) ? 1 : 0 }' \
 		|| { echo "FAIL: coverage $$total% is below the floor $(COVER_FLOOR)%"; exit 1; }
 
-ci: build vet race cover
+ci: build vet race cover chaos fuzz-smoke

@@ -1,12 +1,21 @@
-// Command qtag-replay reads a beacon journal (JSONL, as written by
-// qtag-server -journal) and either prints the aggregated stats or
-// re-submits every event to a live collection server. Ingestion is
-// idempotent end to end, so replaying into a server that already holds
-// part of the journal is safe.
+// Command qtag-replay reads a beacon journal and either prints the
+// aggregated stats or re-submits every event to a live collection
+// server. -journal accepts both formats qtag-server writes: a JSONL
+// file (-journal mode) or a WAL directory (-wal-dir mode — newest valid
+// snapshot first, then every record past its coverage, read-only and
+// safe to point at a live or crashed server's directory).
+//
+// Replay is tolerant by design: a corrupted or truncated trailing line
+// (the signature of a crash mid-write) is skipped and counted, not
+// fatal — the tool reports "skipped N malformed lines" and still exits
+// 0 with the stats for everything readable. Ingestion is idempotent end
+// to end, so replaying into a server that already holds part of the
+// journal is safe.
 //
 // Usage:
 //
 //	qtag-replay -journal beacons.jsonl                # print stats
+//	qtag-replay -journal beacons.wal                  # WAL directory
 //	qtag-replay -journal beacons.jsonl -server URL    # re-submit over HTTP
 package main
 
@@ -22,30 +31,59 @@ import (
 )
 
 func main() {
-	journalPath := flag.String("journal", "", "journal file to read (required)")
+	journalPath := flag.String("journal", "", "journal to read: a JSONL file or a WAL directory (required)")
 	serverURL := flag.String("server", "", "collection server to re-submit events to")
 	flag.Parse()
 	if *journalPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: qtag-replay -journal beacons.jsonl [-server URL]")
+		fmt.Fprintln(os.Stderr, "usage: qtag-replay -journal <beacons.jsonl | wal-dir> [-server URL]")
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*journalPath)
+	info, err := os.Stat(*journalPath)
 	if err != nil {
 		log.Fatalf("open journal: %v", err)
 	}
-	defer f.Close()
 
 	store := beacon.NewStore()
 	var sink beacon.Sink = store
 	if *serverURL != "" {
 		sink = beacon.Tee(store, &beacon.HTTPSink{BaseURL: *serverURL, Retries: 2})
 	}
-	st, err := beacon.ReplayJournal(f, sink)
-	if err != nil {
-		log.Fatalf("replay: %v", err)
+
+	replayed, skipped := 0, 0
+	if info.IsDir() {
+		rec, err := beacon.ReplayWALDir(*journalPath, sink)
+		if err != nil {
+			// Partial reads still count: report what we got and move on.
+			fmt.Fprintf(os.Stderr, "warning: wal replay ended early: %v\n", err)
+		}
+		replayed = rec.SnapshotRestored + rec.Replayed
+		skipped = rec.ReplaySkipped + rec.SnapshotSkipped + rec.Quarantined
+		if rec.SnapshotRestored > 0 {
+			fmt.Printf("restored %d events from snapshot (covers record %d)\n", rec.SnapshotRestored, rec.SnapshotIndex)
+		}
+		if rec.TornTail {
+			fmt.Fprintf(os.Stderr, "warning: journal tail is torn (%d bytes unreadable) — a crash mid-write; everything before it was replayed\n", rec.TruncatedBytes)
+		}
+	} else {
+		f, err := os.Open(*journalPath)
+		if err != nil {
+			log.Fatalf("open journal: %v", err)
+		}
+		st, rerr := beacon.ReplayJournal(f, sink)
+		f.Close()
+		if rerr != nil {
+			// A truncated or corrupted tail must not hide the readable
+			// prefix: warn, keep the stats, exit 0.
+			fmt.Fprintf(os.Stderr, "warning: journal read ended early: %v\n", rerr)
+		}
+		replayed, skipped = st.Replayed, st.Skipped
 	}
-	fmt.Printf("replayed %d events (%d skipped) from %s\n\n", st.Replayed, st.Skipped, *journalPath)
+	fmt.Printf("replayed %d events from %s\n", replayed, *journalPath)
+	if skipped > 0 {
+		fmt.Printf("skipped %d malformed lines\n", skipped)
+	}
+	fmt.Println()
 	if *serverURL != "" {
 		fmt.Printf("re-submitted to %s\n\n", *serverURL)
 	}

@@ -12,22 +12,34 @@
 //
 // Usage:
 //
-//	qtag-server [-addr :8640] [-log-every 30s] [-journal beacons.jsonl]
+//	qtag-server [-addr :8640] [-log-every 30s]
+//	            [-wal-dir beacons.wal] [-wal-segment-bytes 8388608]
+//	            [-fsync batch] [-fsync-every 1s] [-snapshot-every 1m]
+//	            [-journal beacons.jsonl]
 //	            [-shed-pending 10000] [-retry-after 2s]
 //	            [-log-level info] [-pprof]
 //
 // Ingested events reach the in-memory store synchronously; durability is
 // asynchronous: a store-and-forward queue drains them through a circuit
-// breaker into the journal (or discards them when no -journal is set), so
-// /metrics always exposes the same queue/breaker/flush-latency series
-// regardless of configuration.
+// breaker into the journal (or discards them when neither -wal-dir nor
+// -journal is set), so /metrics always exposes the same
+// queue/breaker/flush-latency series regardless of configuration.
 //
-// With -journal and -shed-pending, the server sheds ingestion (503 +
-// Retry-After) while the journal's unflushed backlog exceeds the
+// -wal-dir selects the crash-safe durability backend: a segmented,
+// checksummed write-ahead journal (see internal/wal) recovered on boot —
+// torn tails truncated, corrupted records quarantined, the newest valid
+// snapshot restored first — with periodic snapshot + compaction bounding
+// disk use. -journal keeps the legacy single-file JSONL journal; the two
+// are mutually exclusive. A full disk never crashes the server: appends
+// fail into the circuit breaker, ingestion keeps running from memory,
+// and the qtag_wal_disk_full gauge raises the alarm.
+//
+// With durability configured and -shed-pending, the server sheds
+// ingestion (503 + Retry-After) while the unflushed backlog exceeds the
 // threshold, and /healthz reports the shed count and backlog. On
 // SIGINT/SIGTERM the HTTP server drains, the queue flushes into the
-// journal, then the journal is flushed, fsynced and closed before the
-// final summary log line.
+// journal, a final snapshot is taken (WAL mode), then the journal is
+// fsynced and closed before the final summary log line.
 package main
 
 import (
@@ -44,6 +56,7 @@ import (
 
 	"qtag/internal/analytics"
 	"qtag/internal/beacon"
+	"qtag/internal/wal"
 )
 
 // parseLogLevel maps the -log-level flag onto a slog.Level.
@@ -56,6 +69,11 @@ func main() {
 	addr := flag.String("addr", ":8640", "listen address")
 	logEvery := flag.Duration("log-every", 30*time.Second, "interval between stats log lines (0 disables)")
 	journalPath := flag.String("journal", "", "JSONL journal file for durability (replayed on startup)")
+	walDir := flag.String("wal-dir", "", "segmented write-ahead journal directory (crash-safe durability; excludes -journal)")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 8<<20, "rotate WAL segments at this size")
+	fsyncMode := flag.String("fsync", "batch", "WAL fsync policy: always, batch or interval")
+	fsyncEvery := flag.Duration("fsync-every", time.Second, "fsync period for -fsync interval")
+	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "snapshot + compaction cadence for -wal-dir (0 disables)")
 	statsKey := flag.String("stats-key", "", "operator bearer token protecting the stats endpoints (empty = open)")
 	ingestRate := flag.Float64("ingest-rate", 0, "per-client ingestion rate limit in req/s (0 = unlimited)")
 	ingestBurst := flag.Float64("ingest-burst", 50, "per-client ingestion burst")
@@ -74,7 +92,42 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	slog.SetDefault(logger)
 
+	if *walDir != "" && *journalPath != "" {
+		slog.Error("-wal-dir and -journal are mutually exclusive; pick one durability backend")
+		os.Exit(2)
+	}
+
 	store := beacon.NewStore()
+	var wj *beacon.WALJournal
+	if *walDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			logger.Error("bad -fsync", "value", *fsyncMode, "err", err)
+			os.Exit(2)
+		}
+		var rec beacon.DurableRecovery
+		wj, rec, err = beacon.OpenDurable(wal.Options{
+			Dir:          *walDir,
+			SegmentBytes: *walSegmentBytes,
+			Fsync:        policy,
+			FsyncEvery:   *fsyncEvery,
+		}, store)
+		if err != nil {
+			logger.Error("wal recovery", "dir", *walDir, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wal recovered",
+			"dir", *walDir,
+			"segments", rec.Segments,
+			"snapshot_restored", rec.SnapshotRestored,
+			"replayed", rec.Replayed,
+			"skipped", rec.ReplaySkipped,
+			"quarantined", rec.Quarantined,
+			"corrupt_snapshots", rec.CorruptSnapshots,
+			"torn_tail", rec.TornTail,
+			"duration", rec.Duration)
+		defer wj.Close()
+	}
 	var journal *beacon.Journal
 	if *journalPath != "" {
 		// Replay an existing journal, then append to it. Idempotent
@@ -105,7 +158,10 @@ func main() {
 	// journal the terminal sink discards, keeping the metric surface
 	// identical either way.
 	var durable beacon.Sink = beacon.Discard
-	if journal != nil {
+	switch {
+	case wj != nil:
+		durable = wj
+	case journal != nil:
 		durable = journal
 	}
 	breaker := beacon.NewCircuitBreaker(durable, beacon.DefaultBreakerThreshold, 5*time.Second)
@@ -122,6 +178,9 @@ func main() {
 	if journal != nil {
 		journal.RegisterMetrics(server.Metrics())
 	}
+	if wj != nil {
+		wj.RegisterMetrics(server.Metrics())
+	}
 	if *pprofOn {
 		server.Mount("GET /debug/pprof/", http.HandlerFunc(pprof.Index))
 		server.Mount("GET /debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
@@ -134,16 +193,33 @@ func main() {
 	if *ingestRate > 0 {
 		handler = beacon.NewRateLimiter(handler, *ingestRate, *ingestBurst)
 	}
+	// backlog counts events accepted but not yet durable: the journal's
+	// unflushed (or un-fsynced) records plus whatever sits in the queue.
+	var backlog func() int
+	switch {
+	case wj != nil:
+		backlog = func() int { return wj.Pending() + queue.Depth() }
+	case journal != nil:
+		backlog = func() int { return journal.Pending() }
+	}
 	var guard *beacon.OverloadGuard
-	if journal != nil && *shedPending > 0 {
+	if backlog != nil && *shedPending > 0 {
 		threshold := *shedPending
 		guard = beacon.NewOverloadGuard(handler, func() bool {
-			return journal.Pending() >= threshold
+			return backlog() >= threshold
 		}, *retryAfter)
 		guard.RegisterMetrics(server.Metrics())
 		server.AddHealthMetric("shed", guard.Shed)
-		server.AddHealthMetric("journal_pending", func() int64 { return int64(journal.Pending()) })
+		server.AddHealthMetric("journal_pending", func() int64 { return int64(backlog()) })
 		handler = guard
+	}
+	if wj != nil {
+		server.AddHealthMetric("wal_disk_full", func() int64 {
+			if wj.DiskFull() {
+				return 1
+			}
+			return 0
+		})
 	}
 	if *statsKey != "" {
 		handler = beacon.AuthStats(handler, *statsKey)
@@ -164,12 +240,38 @@ func main() {
 						logger.Warn("journal flush", "err", err)
 					}
 				}
+				if wj != nil {
+					// Keep idle streams durable under the batch/interval
+					// fsync policies. A full disk degrades (breaker opens,
+					// alarm gauge raises) — it must never crash the server.
+					if err := wj.Sync(); err != nil {
+						logger.Warn("wal sync", "err", err)
+					}
+				}
 				logger.Info("stats",
 					"events", store.Len(),
 					"accepted", server.Accepted(),
 					"rejected", server.Rejected(),
 					"campaigns", len(store.CampaignIDs()),
 					"queue_depth", queue.Depth())
+			}
+		}()
+	}
+
+	if wj != nil && *snapshotEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*snapshotEvery)
+			defer ticker.Stop()
+			for range ticker.C {
+				wrote, err := wj.Snapshot(store)
+				if err != nil {
+					logger.Warn("wal snapshot", "err", err)
+					continue
+				}
+				if wrote {
+					idx, _ := wj.SnapshotInfo()
+					logger.Info("wal snapshot", "covers", idx, "segments", wj.WAL().Segments())
+				}
 			}
 		}()
 	}
@@ -212,6 +314,20 @@ func main() {
 		journalPending = journal.Pending()
 		if err := journal.Close(); err != nil {
 			logger.Warn("journal close", "err", err)
+		}
+	}
+	if wj != nil {
+		// The queue has drained, so the WAL holds everything. Take a
+		// parting snapshot (best effort — a full disk must not block
+		// shutdown), then fsync and close.
+		if *snapshotEvery > 0 {
+			if _, err := wj.Snapshot(store); err != nil {
+				logger.Warn("final snapshot", "err", err)
+			}
+		}
+		journalPending = wj.Pending()
+		if err := wj.Close(); err != nil {
+			logger.Warn("wal close", "err", err)
 		}
 	}
 	shed := int64(0)

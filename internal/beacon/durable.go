@@ -1,0 +1,323 @@
+package beacon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qtag/internal/obs"
+	"qtag/internal/wal"
+)
+
+// DurableRecovery is the full boot-time recovery accounting: the WAL
+// scan result plus what the snapshot contributed and how the replayed
+// payloads decoded.
+type DurableRecovery struct {
+	wal.RecoverResult
+
+	// SnapshotIndex is the WAL record index the restored snapshot covers
+	// (0 when no snapshot was found).
+	SnapshotIndex uint64
+	// SnapshotRestored counts events rebuilt from the snapshot payload.
+	SnapshotRestored int
+	// SnapshotSkipped counts malformed lines inside the snapshot payload
+	// (should be zero — the payload is checksummed).
+	SnapshotSkipped int
+	// CorruptSnapshots counts snapshot files that failed validation and
+	// were skipped in favour of an older snapshot or a full replay.
+	CorruptSnapshots int
+	// Replayed counts WAL records decoded and submitted to the store.
+	Replayed int
+	// ReplaySkipped counts WAL records whose payload passed the CRC but
+	// did not decode into a valid event; they are counted, not fatal.
+	ReplaySkipped int
+}
+
+// WALJournal is the Journal API layered on the segmented WAL: a
+// Sink/BatchSink whose records are JSONL-encoded events, giving the
+// collection server crash-safe durability while qtag-replay keeps
+// reading the same wire format. It is safe for concurrent use.
+type WALJournal struct {
+	w   *wal.WAL
+	fs  wal.FS
+	dir string
+	now func() time.Time
+
+	recovery DurableRecovery // immutable after OpenDurable
+
+	mu        sync.Mutex
+	snapIndex uint64
+	snapAt    time.Time
+
+	snapshots atomic.Int64
+	compacted atomic.Int64
+}
+
+// EncodeStoreSnapshot serializes the store's full event set as JSONL —
+// the snapshot payload. Snapshots carry complete events (not just
+// counters) so a restored store retains its whole dedup map, which is
+// what makes replaying a WAL region that overlaps the snapshot
+// idempotent, and therefore makes compaction safe.
+func EncodeStoreSnapshot(store *Store) []byte {
+	var buf bytes.Buffer
+	for _, e := range store.Events() {
+		line, err := json.Marshal(e)
+		if err != nil {
+			continue // events in the store have already validated
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// OpenDurable recovers the WAL directory into the store and returns a
+// WALJournal positioned to append: newest valid snapshot first, then
+// every WAL record past the snapshot's coverage. Corrupt snapshots,
+// quarantined records and undecodable payloads are counted in the
+// returned DurableRecovery, never fatal — the only hard errors are I/O
+// failures that leave the directory unusable.
+func OpenDurable(opts wal.Options, store *Store) (*WALJournal, DurableRecovery, error) {
+	var rec DurableRecovery
+	snap, corrupt, err := wal.LoadSnapshot(opts.FS, opts.Dir)
+	if err != nil {
+		return nil, rec, err
+	}
+	rec.CorruptSnapshots = corrupt
+	var snapAt time.Time
+	if snap != nil {
+		st, err := ReplayJournal(bytes.NewReader(snap.Payload), store)
+		if err != nil {
+			return nil, rec, fmt.Errorf("beacon: replay snapshot: %w", err)
+		}
+		rec.SnapshotIndex = snap.LastIndex
+		rec.SnapshotRestored = st.Replayed
+		rec.SnapshotSkipped = st.Skipped
+		snapAt = snap.CreatedAt
+	}
+	replay := func(index uint64, payload []byte) error {
+		if index <= rec.SnapshotIndex {
+			return nil // already covered by the snapshot
+		}
+		var e Event
+		if err := json.Unmarshal(payload, &e); err != nil {
+			rec.ReplaySkipped++
+			return nil
+		}
+		if err := store.Submit(e); err != nil {
+			rec.ReplaySkipped++
+			return nil
+		}
+		rec.Replayed++
+		return nil
+	}
+	w, res, err := wal.Open(opts, replay)
+	if err != nil {
+		return nil, rec, err
+	}
+	rec.RecoverResult = res
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	j := &WALJournal{
+		w:         w,
+		fs:        opts.FS,
+		dir:       opts.Dir,
+		now:       now,
+		recovery:  rec,
+		snapIndex: rec.SnapshotIndex,
+		snapAt:    snapAt,
+	}
+	return j, rec, nil
+}
+
+// Submit implements Sink: the event becomes one WAL record.
+func (j *WALJournal) Submit(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("beacon: journal encode: %w", err)
+	}
+	return j.w.Append(line)
+}
+
+// SubmitBatch implements BatchSink: the batch lands as consecutive WAL
+// records in a single write, synced per the WAL's fsync policy. A
+// failed batch may leave a prefix behind; retrying callers re-append
+// the whole batch, which is safe because replay feeds an idempotent
+// store.
+func (j *WALJournal) SubmitBatch(events []Event) error {
+	payloads := make([][]byte, 0, len(events))
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		line, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("beacon: journal encode: %w", err)
+		}
+		payloads = append(payloads, line)
+	}
+	return j.w.AppendBatch(payloads)
+}
+
+// Snapshot serializes the store, publishes it as a WAL snapshot and
+// compacts the segments it covers. It returns whether a snapshot was
+// actually written — when no records arrived since the last one it is
+// a no-op. The coverage index is captured before the store is encoded:
+// events reach the store before the WAL (Tee order), so every record
+// at or below that index is already reflected in the encoded state.
+func (j *WALJournal) Snapshot(store *Store) (bool, error) {
+	last := j.w.LastIndex()
+	j.mu.Lock()
+	unchanged := last == j.snapIndex
+	j.mu.Unlock()
+	if unchanged {
+		return false, nil
+	}
+	payload := EncodeStoreSnapshot(store)
+	at := j.now()
+	if _, err := wal.WriteSnapshot(j.fs, j.dir, last, at, payload); err != nil {
+		return false, err
+	}
+	removed, cerr := j.w.Compact(last)
+	j.mu.Lock()
+	j.snapIndex = last
+	j.snapAt = at
+	j.mu.Unlock()
+	j.snapshots.Add(1)
+	j.compacted.Add(int64(removed))
+	return true, cerr
+}
+
+// SnapshotInfo returns the coverage index and creation time of the
+// newest snapshot (zero values when none exists yet).
+func (j *WALJournal) SnapshotInfo() (uint64, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapIndex, j.snapAt
+}
+
+// Recovery returns the boot-time recovery accounting.
+func (j *WALJournal) Recovery() DurableRecovery { return j.recovery }
+
+// WAL exposes the underlying journal for telemetry and tests.
+func (j *WALJournal) WAL() *wal.WAL { return j.w }
+
+// Len returns the number of events appended since startup (compatible
+// with Journal.Len).
+func (j *WALJournal) Len() int { return int(j.w.Appended()) }
+
+// Pending returns the number of events appended but not yet fsynced —
+// the window a crash can lose, and the overload guard's backlog signal.
+func (j *WALJournal) Pending() int { return j.w.Pending() }
+
+// Flush is a no-op: the WAL writes through on every append. It exists
+// so WALJournal satisfies the same shutdown contract as Journal.
+func (j *WALJournal) Flush() error { return nil }
+
+// Sync forces everything appended so far to stable storage.
+func (j *WALJournal) Sync() error { return j.w.Sync() }
+
+// DiskFull reports whether the most recent append or sync hit an
+// out-of-space error.
+func (j *WALJournal) DiskFull() bool { return j.w.DiskFull() }
+
+// Close syncs and closes the WAL. Close is idempotent.
+func (j *WALJournal) Close() error { return j.w.Close() }
+
+// RegisterMetrics exports the durability counters: the compatibility
+// pair the plain Journal exposed, plus the WAL lifecycle, recovery,
+// quarantine and snapshot series the /metrics contract requires.
+func (j *WALJournal) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("qtag_journal_pending", "Events accepted since the last fsync — the durability backlog.",
+		func() float64 { return float64(j.Pending()) })
+	r.GaugeFunc("qtag_journal_events", "Events written to the journal since startup.",
+		func() float64 { return float64(j.Len()) })
+
+	r.GaugeFunc("qtag_wal_segments", "Live WAL segment files (sealed + active).",
+		func() float64 { return float64(j.w.Segments()) })
+	r.GaugeFunc("qtag_wal_active_segment_bytes", "Size of the active WAL segment.",
+		func() float64 { return float64(j.w.ActiveSegmentBytes()) })
+	r.CounterFunc("qtag_wal_appended_total", "WAL records appended since startup.", j.w.Appended)
+	r.CounterFunc("qtag_wal_syncs_total", "Successful WAL fsyncs since startup.", j.w.Syncs)
+	r.CounterFunc("qtag_wal_rotations_total", "WAL segment rotations since startup.", j.w.Rotations)
+	r.CounterFunc("qtag_wal_append_errors_total", "Failed WAL appends since startup.", j.w.AppendErrors)
+	r.GaugeFunc("qtag_wal_disk_full", "1 while the WAL is hitting out-of-space errors, else 0.",
+		func() float64 {
+			if j.w.DiskFull() {
+				return 1
+			}
+			return 0
+		})
+
+	rec := j.recovery
+	r.GaugeFunc("qtag_wal_recovery_seconds", "Wall time of the boot-time WAL recovery.",
+		func() float64 { return rec.Duration.Seconds() })
+	r.GaugeFunc("qtag_wal_recovery_segments", "Segments scanned during boot-time recovery.",
+		func() float64 { return float64(rec.Segments) })
+	r.GaugeFunc("qtag_wal_recovery_records", "Records replayed during boot-time recovery (snapshot events included).",
+		func() float64 { return float64(rec.Records + rec.SnapshotRestored) })
+	r.GaugeFunc("qtag_wal_quarantined_records_total", "Corrupted chunks quarantined by boot-time recovery.",
+		func() float64 { return float64(rec.Quarantined) })
+	r.GaugeFunc("qtag_wal_replay_skipped_total", "WAL records that passed the CRC but did not decode into valid events.",
+		func() float64 { return float64(rec.ReplaySkipped + rec.SnapshotSkipped) })
+
+	r.CounterFunc("qtag_wal_snapshots_total", "Snapshots written since startup.", j.snapshots.Load)
+	r.CounterFunc("qtag_wal_compacted_segments_total", "Sealed segments retired by compaction since startup.", j.compacted.Load)
+	r.GaugeFunc("qtag_wal_snapshot_age_seconds", "Age of the newest snapshot; -1 when none exists.",
+		func() float64 {
+			_, at := j.SnapshotInfo()
+			if at.IsZero() {
+				return -1
+			}
+			return j.now().Sub(at).Seconds()
+		})
+}
+
+// ReplayWALDir is the read-only replay used by qtag-replay: it rebuilds
+// state from a WAL directory — newest valid snapshot, then every record
+// past its coverage — without truncating, quarantining or creating
+// anything, so it is safe to point at a live or crashed server's
+// directory.
+func ReplayWALDir(dir string, sink Sink) (DurableRecovery, error) {
+	var rec DurableRecovery
+	snap, corrupt, err := wal.LoadSnapshot(nil, dir)
+	if err != nil {
+		return rec, err
+	}
+	rec.CorruptSnapshots = corrupt
+	if snap != nil {
+		st, err := ReplayJournal(bytes.NewReader(snap.Payload), sink)
+		if err != nil {
+			return rec, fmt.Errorf("beacon: replay snapshot: %w", err)
+		}
+		rec.SnapshotIndex = snap.LastIndex
+		rec.SnapshotRestored = st.Replayed
+		rec.SnapshotSkipped = st.Skipped
+	}
+	res, err := wal.Scan(nil, dir, func(index uint64, payload []byte) error {
+		if index <= rec.SnapshotIndex {
+			return nil
+		}
+		var e Event
+		if uerr := json.Unmarshal(payload, &e); uerr != nil {
+			rec.ReplaySkipped++
+			return nil
+		}
+		if serr := sink.Submit(e); serr != nil {
+			rec.ReplaySkipped++
+			return nil
+		}
+		rec.Replayed++
+		return nil
+	})
+	rec.RecoverResult = res
+	return rec, err
+}

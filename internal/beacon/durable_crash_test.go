@@ -1,0 +1,279 @@
+// Crash-point sweep: the durability layer is driven through the
+// deterministic crash harness at every interesting byte offset, and the
+// recovery invariants are asserted after each simulated crash:
+//
+//   - zero loss after fsync: every event acked before the last
+//     successful sync is recovered;
+//   - zero duplicates: every recovered record lands in the store exactly
+//     once (replayed count == store size);
+//   - prefix property: the recovered set is exactly the first N events
+//     of the submission order — a crash never creates holes;
+//   - exactness under FsyncAlways with page-cache loss: recovered ==
+//     acked, byte for byte of the contract.
+//
+// External test package for the same reason as durable_test.go.
+package beacon_test
+
+import (
+	"testing"
+	"time"
+
+	. "qtag/internal/beacon"
+	"qtag/internal/faults"
+	"qtag/internal/wal"
+)
+
+const (
+	crashBatchSize = 5
+	crashBatches   = 6
+	crashTotal     = crashBatchSize * crashBatches
+)
+
+// crashWorkload submits the fixed workload through j, returning how
+// many events were acked and how many were acked at the time of the
+// last known-successful fsync. syncEvery asks for an explicit Sync
+// after every second batch (the FsyncInterval regime, where appends
+// alone promise nothing).
+func crashWorkload(j *WALJournal, policy wal.FsyncPolicy) (acked, synced int) {
+	for b := 0; b < crashBatches; b++ {
+		batch := make([]Event, 0, crashBatchSize)
+		for i := 0; i < crashBatchSize; i++ {
+			batch = append(batch, durEvent(b*crashBatchSize+i))
+		}
+		if err := j.SubmitBatch(batch); err != nil {
+			return acked, synced
+		}
+		acked += crashBatchSize
+		switch policy {
+		case wal.FsyncAlways, wal.FsyncOnBatch:
+			// AppendBatch syncs before acking under both policies.
+			synced = acked
+		case wal.FsyncInterval:
+			if b%2 == 1 {
+				if err := j.Sync(); err != nil {
+					return acked, synced
+				}
+				synced = acked
+			}
+		}
+	}
+	return acked, synced
+}
+
+func crashOpts(dir string, fsys wal.FS, policy wal.FsyncPolicy) wal.Options {
+	return wal.Options{
+		Dir:          dir,
+		FS:           fsys,
+		Fsync:        policy,
+		FsyncEvery:   time.Hour, // FsyncInterval: only explicit Syncs count
+		SegmentBytes: 512,       // force rotations inside the workload
+	}
+}
+
+func TestCrashPointSweep(t *testing.T) {
+	// Dry run on an unarmed harness to learn the workload's total write
+	// volume and the byte boundaries of each batch/sync step.
+	dryDir := t.TempDir()
+	dry := faults.NewCrashFS(nil)
+	j, _, err := OpenDurable(crashOpts(dryDir, dry, wal.FsyncOnBatch), NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := []int64{dry.BytesWritten()} // after Open (segment header)
+	for b := 0; b < crashBatches; b++ {
+		batch := make([]Event, 0, crashBatchSize)
+		for i := 0; i < crashBatchSize; i++ {
+			batch = append(batch, durEvent(b*crashBatchSize+i))
+		}
+		if err := j.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, dry.BytesWritten())
+	}
+	j.Close()
+	total := dry.BytesWritten()
+	if acked := int(j.WAL().Appended()); acked != crashTotal {
+		t.Fatalf("dry run acked %d, want %d", acked, crashTotal)
+	}
+
+	// Sweep offsets: every write boundary ±1 plus every 13th byte.
+	offsets := map[int64]bool{}
+	for _, b := range boundaries {
+		for _, d := range []int64{-1, 0, 1} {
+			if b+d > 0 {
+				offsets[b+d] = true
+			}
+		}
+	}
+	for off := int64(1); off <= total+wal.SegmentHeaderSize; off += 13 {
+		offsets[off] = true
+	}
+
+	cases := []struct {
+		name    string
+		policy  wal.FsyncPolicy
+		discard bool // lose the page cache at the crash instant
+		exact   bool // recovered must equal acked exactly
+	}{
+		{"always-discard", wal.FsyncAlways, true, true},
+		{"always-keep", wal.FsyncAlways, false, false},
+		{"batch-discard", wal.FsyncOnBatch, true, false},
+		{"interval-discard", wal.FsyncInterval, true, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for off := range offsets {
+				sweepOne(t, tc.policy, tc.discard, tc.exact, off)
+			}
+		})
+	}
+}
+
+// sweepOne crashes one workload run at byte offset off and asserts the
+// recovery invariants.
+func sweepOne(t *testing.T, policy wal.FsyncPolicy, discard, exact bool, off int64) {
+	t.Helper()
+	dir := t.TempDir()
+	cfs := faults.NewCrashFS(nil)
+	cfs.DiscardUnsynced(discard)
+	cfs.CrashAfterBytes(off)
+
+	acked, synced := 0, 0
+	if j, _, err := OpenDurable(crashOpts(dir, cfs, policy), NewStore()); err == nil {
+		acked, synced = crashWorkload(j, policy)
+		j.Close() // post-crash close errors are irrelevant
+	}
+	if policy == wal.FsyncAlways {
+		synced = acked
+	}
+
+	// "Restart": recover the same directory on the real filesystem.
+	store := NewStore()
+	j2, rec, err := OpenDurable(crashOpts(dir, nil, policy), store)
+	if err != nil {
+		t.Fatalf("off=%d: recovery failed: %v (%+v)", off, err, rec)
+	}
+	recovered := store.Len()
+
+	// Zero duplicates: every replayed record hit the store exactly once.
+	if rec.Replayed != recovered {
+		t.Fatalf("off=%d: replayed %d but store holds %d — duplicates", off, rec.Replayed, recovered)
+	}
+	// Zero loss after fsync / no invented events.
+	if recovered < synced || recovered > crashTotal {
+		t.Fatalf("off=%d: recovered %d, synced %d, acked %d", off, recovered, synced, acked)
+	}
+	if exact && recovered != acked {
+		t.Fatalf("off=%d: FsyncAlways must recover exactly the acked set: recovered %d, acked %d", off, recovered, acked)
+	}
+	if !discard && recovered < acked {
+		t.Fatalf("off=%d: cache-survives crash lost acked data: recovered %d, acked %d", off, recovered, acked)
+	}
+	// Prefix property: the recovered set is the first N submitted events.
+	keys := map[string]bool{}
+	for _, e := range store.Events() {
+		keys[e.Key()] = true
+	}
+	for i := 0; i < recovered; i++ {
+		if !keys[durEvent(i).Key()] {
+			t.Fatalf("off=%d: recovered %d events but event %d is missing — hole in the prefix", off, recovered, i)
+		}
+	}
+	j2.Close()
+
+	// Double restart: the first recovery repaired the directory, so the
+	// second must be clean and change nothing.
+	store2 := NewStore()
+	j3, rec2, err := OpenDurable(crashOpts(dir, nil, policy), store2)
+	if err != nil {
+		t.Fatalf("off=%d: second recovery failed: %v", off, err)
+	}
+	defer j3.Close()
+	if store2.Len() != recovered {
+		t.Fatalf("off=%d: second recovery yielded %d events, first %d", off, store2.Len(), recovered)
+	}
+	if rec2.TornTail || rec2.TruncatedBytes != 0 {
+		t.Fatalf("off=%d: second recovery still dirty: %+v", off, rec2)
+	}
+}
+
+// TestCrashDuringSnapshotKeepsOldSnapshot crashes in the middle of
+// writing a snapshot and verifies recovery falls back cleanly: either
+// the old snapshot or a full WAL replay, never data loss.
+func TestCrashDuringSnapshotKeepsOldSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	store := NewStore()
+	cfs := faults.NewCrashFS(nil)
+	j, _, err := OpenDurable(crashOpts(dir, cfs, wal.FsyncAlways), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e := durEvent(i)
+		store.Submit(e)
+		if err := j.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := j.Snapshot(store); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 20; i++ {
+		e := durEvent(i)
+		store.Submit(e)
+		if err := j.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash partway through the second snapshot's payload.
+	cfs.CrashAfterBytes(int64(len(EncodeStoreSnapshot(store)) / 2))
+	if _, err := j.Snapshot(store); err == nil {
+		t.Fatal("snapshot through a crashed filesystem must fail")
+	}
+	j.Close()
+
+	restored := NewStore()
+	j2, rec, err := OpenDurable(crashOpts(dir, nil, wal.FsyncAlways), restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if restored.Len() != 20 {
+		t.Fatalf("restored %d events, want 20 (%+v)", restored.Len(), rec)
+	}
+	if rec.SnapshotIndex != 10 {
+		t.Fatalf("recovery used snapshot index %d, want the intact one at 10 (%+v)", rec.SnapshotIndex, rec)
+	}
+}
+
+// TestCrashSweepIsDeterministic reruns one crash offset twice and
+// demands identical outcomes — the harness itself must not flake.
+func TestCrashSweepIsDeterministic(t *testing.T) {
+	run := func() (int, int, int) {
+		dir := t.TempDir()
+		cfs := faults.NewCrashFS(nil)
+		cfs.DiscardUnsynced(true)
+		cfs.CrashAfterBytes(700)
+		acked := 0
+		if j, _, err := OpenDurable(crashOpts(dir, cfs, wal.FsyncOnBatch), NewStore()); err == nil {
+			acked, _ = crashWorkload(j, wal.FsyncOnBatch)
+			j.Close()
+		}
+		store := NewStore()
+		j2, rec, err := OpenDurable(crashOpts(dir, nil, wal.FsyncOnBatch), store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		return acked, store.Len(), rec.Segments
+	}
+	a1, r1, s1 := run()
+	a2, r2, s2 := run()
+	if a1 != a2 || r1 != r2 || s1 != s2 {
+		t.Fatalf("non-deterministic crash: (%d,%d,%d) vs (%d,%d,%d)", a1, r1, s1, a2, r2, s2)
+	}
+	if a1 == 0 || a1 == crashTotal {
+		t.Fatalf("offset 700 should crash mid-workload, acked %d", a1)
+	}
+}

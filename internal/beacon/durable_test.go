@@ -1,0 +1,418 @@
+// The durable-layer tests live in an external test package so they can
+// drive the WAL through the fault-injection harness: internal/faults
+// imports internal/beacon, so an in-package test importing faults would
+// be an import cycle.
+package beacon_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	. "qtag/internal/beacon"
+	"qtag/internal/faults"
+	"qtag/internal/obs"
+	"qtag/internal/wal"
+)
+
+// durEvent builds the i-th event of a deterministic workload; every
+// index yields a distinct idempotency key.
+func durEvent(i int) Event {
+	return Event{
+		ImpressionID: fmt.Sprintf("i-%04d", i),
+		CampaignID:   "c1",
+		Source:       SourceQTag,
+		Type:         EventLoaded,
+		At:           time.Unix(0, int64(i+1)).UTC(),
+	}
+}
+
+func TestOpenDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store := NewStore()
+	j, rec, err := OpenDurable(wal.Options{Dir: dir}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 0 || rec.SnapshotRestored != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Submit(durEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := []Event{durEvent(5), durEvent(6), durEvent(7)}
+	if err := j.SubmitBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewStore()
+	j2, rec2, err := OpenDurable(wal.Options{Dir: dir}, restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec2.Replayed != 8 || restored.Len() != 8 {
+		t.Fatalf("replayed %d into %d events, want 8/8 (%+v)", rec2.Replayed, restored.Len(), rec2)
+	}
+	if rec2.ReplaySkipped != 0 || rec2.Quarantined != 0 || rec2.TornTail {
+		t.Fatalf("clean journal recovered dirty: %+v", rec2)
+	}
+	// The replayed store holds exactly the submitted workload.
+	keys := make(map[string]bool)
+	for _, e := range restored.Events() {
+		keys[e.Key()] = true
+	}
+	for i := 0; i < 8; i++ {
+		if !keys[durEvent(i).Key()] {
+			t.Fatalf("event %d missing after replay", i)
+		}
+	}
+}
+
+func TestWALJournalSubmitValidates(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenDurable(wal.Options{Dir: dir}, NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Submit(Event{}); !errors.Is(err, ErrNoImpression) {
+		t.Fatalf("invalid event: %v", err)
+	}
+	if err := j.SubmitBatch([]Event{durEvent(0), {}}); !errors.Is(err, ErrNoImpression) {
+		t.Fatalf("invalid batch: %v", err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("invalid submissions landed: Len=%d", j.Len())
+	}
+}
+
+func TestWALJournalSnapshotAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	store := NewStore()
+	// Tiny segments so the workload spans several files.
+	opts := wal.Options{Dir: dir, SegmentBytes: 512}
+	j, _, err := OpenDurable(opts, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 40
+	for i := 0; i < total; i++ {
+		e := durEvent(i)
+		if err := store.Submit(e); err != nil { // Tee order: store first
+			t.Fatal(err)
+		}
+		if err := j.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.WAL().Segments() < 3 {
+		t.Fatalf("workload did not rotate: %d segments", j.WAL().Segments())
+	}
+	wrote, err := j.Snapshot(store)
+	if err != nil || !wrote {
+		t.Fatalf("snapshot: wrote=%v err=%v", wrote, err)
+	}
+	// Every sealed segment is covered by the snapshot; only the active
+	// segment survives compaction.
+	if got := j.WAL().Segments(); got != 1 {
+		t.Fatalf("segments after compaction = %d, want 1", got)
+	}
+	idx, at := j.SnapshotInfo()
+	if idx != uint64(total) || at.IsZero() {
+		t.Fatalf("snapshot info: idx=%d at=%v", idx, at)
+	}
+	// No new records: the next snapshot is a no-op.
+	if wrote, err := j.Snapshot(store); err != nil || wrote {
+		t.Fatalf("idle snapshot: wrote=%v err=%v", wrote, err)
+	}
+	// More events after the snapshot land in the WAL tail.
+	for i := total; i < total+10; i++ {
+		e := durEvent(i)
+		store.Submit(e)
+		if err := j.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	restored := NewStore()
+	j2, rec, err := OpenDurable(opts, restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec.SnapshotIndex != uint64(total) || rec.SnapshotRestored != total {
+		t.Fatalf("snapshot recovery: %+v", rec)
+	}
+	if rec.Replayed != 10 {
+		t.Fatalf("tail replay = %d, want 10 (%+v)", rec.Replayed, rec)
+	}
+	if restored.Len() != total+10 {
+		t.Fatalf("restored %d events, want %d", restored.Len(), total+10)
+	}
+	// Appending must continue from the pre-restart index.
+	if got := j2.WAL().NextIndex(); got != uint64(total+10+1) {
+		t.Fatalf("NextIndex = %d, want %d", got, total+10+1)
+	}
+}
+
+func TestWALJournalSnapshotOverlapIsIdempotent(t *testing.T) {
+	// A snapshot taken while the WAL still holds the same records (no
+	// compaction possible: all in the active segment) makes recovery see
+	// the data twice. The index check must skip the overlap.
+	dir := t.TempDir()
+	store := NewStore()
+	j, _, err := OpenDurable(wal.Options{Dir: dir}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		e := durEvent(i)
+		store.Submit(e)
+		if err := j.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := j.Snapshot(store); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	restored := NewStore()
+	j2, rec, err := OpenDurable(wal.Options{Dir: dir}, restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if restored.Len() != 7 {
+		t.Fatalf("restored %d events, want 7 (duplicates?)", restored.Len())
+	}
+	if rec.SnapshotRestored != 7 || rec.Replayed != 0 {
+		t.Fatalf("overlap not skipped: %+v", rec)
+	}
+}
+
+func TestWALJournalDiskFullDegrades(t *testing.T) {
+	dir := t.TempDir()
+	cfs := faults.NewCrashFS(nil)
+	cfs.FailWith(syscall.ENOSPC)
+	store := NewStore()
+	j, _, err := OpenDurable(wal.Options{Dir: dir, FS: cfs, Fsync: wal.FsyncAlways}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	cfs.CrashAfterBytes(256) // the "disk" has 256 bytes left
+	acked := 0
+	var full error
+	for i := 0; i < 100; i++ {
+		if err := j.Submit(durEvent(i)); err != nil {
+			full = err
+			break
+		}
+		acked++
+	}
+	if full == nil || !wal.IsDiskFull(full) {
+		t.Fatalf("want ENOSPC after %d acks, got %v", acked, full)
+	}
+	if !j.DiskFull() {
+		t.Fatal("DiskFull must report the condition")
+	}
+	// The process survives: freeing space lets appends resume and clears
+	// the alarm.
+	cfs.Refill(1 << 20)
+	if err := j.Submit(durEvent(200)); err != nil {
+		t.Fatalf("append after refill: %v", err)
+	}
+	if j.DiskFull() {
+		t.Fatal("DiskFull must clear on the next successful append")
+	}
+}
+
+func TestWALJournalCorruptRecordQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	store := NewStore()
+	j, _, err := OpenDurable(wal.Options{Dir: dir}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := j.Submit(durEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	// Flip a payload bit in the middle of the file: one record fails its
+	// CRC, the rest replay.
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.FlipBit(segs[0], info.Size()/2, 1); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	j2, rec, err := OpenDurable(wal.Options{Dir: dir}, restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Quarantined != 1 || len(rec.QuarantineFiles) != 1 {
+		t.Fatalf("quarantine accounting: %+v", rec)
+	}
+	if restored.Len() != 5 || rec.Replayed != 5 {
+		t.Fatalf("recovered %d events (replayed %d), want 5", restored.Len(), rec.Replayed)
+	}
+	side1, err := os.ReadFile(rec.QuarantineFiles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	// A second recovery produces a byte-identical sidecar: quarantine
+	// contents are a pure function of the segment.
+	j3, rec3, err := OpenDurable(wal.Options{Dir: dir}, NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	side2, err := os.ReadFile(rec3.QuarantineFiles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(side1) != string(side2) {
+		t.Fatalf("quarantine sidecar not deterministic: %d vs %d bytes", len(side1), len(side2))
+	}
+}
+
+func TestWALJournalMetrics(t *testing.T) {
+	dir := t.TempDir()
+	store := NewStore()
+	j, _, err := OpenDurable(wal.Options{Dir: dir}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	reg := obs.NewRegistry()
+	j.RegisterMetrics(reg)
+	vals := reg.Values()
+	for _, name := range []string{
+		"qtag_journal_events", "qtag_journal_pending",
+		"qtag_wal_segments", "qtag_wal_active_segment_bytes",
+		"qtag_wal_appended_total", "qtag_wal_syncs_total",
+		"qtag_wal_rotations_total", "qtag_wal_append_errors_total",
+		"qtag_wal_disk_full", "qtag_wal_recovery_seconds",
+		"qtag_wal_recovery_segments", "qtag_wal_recovery_records",
+		"qtag_wal_quarantined_records_total", "qtag_wal_replay_skipped_total",
+		"qtag_wal_snapshots_total", "qtag_wal_compacted_segments_total",
+		"qtag_wal_snapshot_age_seconds",
+	} {
+		if _, ok := vals[name]; !ok {
+			t.Fatalf("metric %s missing (have %v)", name, vals)
+		}
+	}
+	if vals["qtag_wal_snapshot_age_seconds"] != -1 {
+		t.Fatalf("snapshot age before any snapshot = %v, want -1", vals["qtag_wal_snapshot_age_seconds"])
+	}
+	e := durEvent(0)
+	store.Submit(e)
+	j.Submit(e)
+	if _, err := j.Snapshot(store); err != nil {
+		t.Fatal(err)
+	}
+	vals = reg.Values()
+	if vals["qtag_wal_snapshots_total"] != 1 {
+		t.Fatalf("snapshots_total = %v", vals["qtag_wal_snapshots_total"])
+	}
+	if age := vals["qtag_wal_snapshot_age_seconds"]; age < 0 || age > 60 {
+		t.Fatalf("snapshot age = %v", age)
+	}
+	if vals["qtag_wal_appended_total"] != 1 || vals["qtag_journal_events"] != 1 {
+		t.Fatalf("append counters: %v", vals)
+	}
+}
+
+func TestReplayWALDirReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	store := NewStore()
+	j, _, err := OpenDurable(wal.Options{Dir: dir, SegmentBytes: 512}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 20
+	for i := 0; i < total; i++ {
+		e := durEvent(i)
+		store.Submit(e)
+		if err := j.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := j.Snapshot(store); err != nil {
+		t.Fatal(err)
+	}
+	for i := total; i < total+5; i++ {
+		e := durEvent(i)
+		store.Submit(e)
+		if err := j.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Corrupt one record in the tail segment.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	last := segs[len(segs)-1]
+	info, _ := os.Stat(last)
+	if err := faults.FlipBit(last, info.Size()-3, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := NewStore()
+	rec, err := ReplayWALDir(dir, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotRestored != total {
+		t.Fatalf("snapshot restored %d, want %d (%+v)", rec.SnapshotRestored, total, rec)
+	}
+	if rec.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1 (%+v)", rec.Quarantined, rec)
+	}
+	if sink.Len() != total+4 {
+		t.Fatalf("replayed into %d events, want %d", sink.Len(), total+4)
+	}
+	// Read-only: the scan must not have created quarantine sidecars or
+	// modified the directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".quarantine") {
+			t.Fatalf("read-only replay wrote %s", e.Name())
+		}
+	}
+	// A missing directory replays to nothing, without error.
+	rec, err = ReplayWALDir(filepath.Join(dir, "nope"), NewStore())
+	if err != nil || rec.Records != 0 || rec.SnapshotRestored != 0 {
+		t.Fatalf("missing dir: %+v %v", rec, err)
+	}
+}

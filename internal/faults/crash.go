@@ -1,0 +1,376 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"qtag/internal/wal"
+)
+
+// ErrCrashed is returned by every operation on a crash-injected writer
+// or filesystem after the configured crash point has been hit: from the
+// program's point of view the process died at that exact byte.
+var ErrCrashed = fmt.Errorf("%w: process crashed", ErrInjected)
+
+// CrashWriter wraps an io.Writer and kills the write stream at the Nth
+// byte: writes pass through until the budget is exhausted, the write
+// straddling the boundary lands only its prefix (a torn write), and
+// everything after fails with ErrCrashed. Deterministic by construction
+// — no randomness involved.
+type CrashWriter struct {
+	mu        sync.Mutex
+	w         io.Writer
+	remaining int64
+	crashed   bool
+}
+
+// NewCrashWriter wraps w, crashing after crashAfter bytes.
+func NewCrashWriter(w io.Writer, crashAfter int64) *CrashWriter {
+	return &CrashWriter{w: w, remaining: crashAfter}
+}
+
+// Crashed reports whether the crash point has been hit.
+func (c *CrashWriter) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Write implements io.Writer.
+func (c *CrashWriter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	if int64(len(p)) <= c.remaining {
+		c.remaining -= int64(len(p))
+		return c.w.Write(p)
+	}
+	cut := c.remaining
+	c.remaining = 0
+	c.crashed = true
+	if cut > 0 {
+		if n, err := c.w.Write(p[:cut]); err != nil {
+			return n, err
+		}
+	}
+	return int(cut), ErrCrashed
+}
+
+// CrashFS implements wal.FS over an inner filesystem with a shared byte
+// budget across every file it opens — the deterministic crash-point
+// harness for the durability layer. Two modes:
+//
+//   - Crash mode (CrashAfterBytes): once the total bytes written reach
+//     N, the write straddling the boundary lands only its prefix and
+//     every later mutation fails with ErrCrashed — the process died at
+//     byte N. With DiscardUnsynced(true), data written after each
+//     file's last Sync is rolled back at the crash instant, modelling
+//     the loss of the OS page cache; without it the torn prefix stays,
+//     modelling a cache that happened to reach the platter.
+//   - ENOSPC mode (FailWith): once the budget is exhausted, writes fail
+//     with the injected error (typically syscall.ENOSPC) but the
+//     process lives on — sync, close and reads keep working, and
+//     Refill models space being freed.
+type CrashFS struct {
+	inner wal.FS
+
+	mu      sync.Mutex
+	armed   bool
+	budget  int64
+	crashed bool
+	discard bool
+	failErr error
+	written int64
+	torn    int64
+	files   map[*crashFile]struct{}
+}
+
+// NewCrashFS wraps inner (the real filesystem when nil).
+func NewCrashFS(inner wal.FS) *CrashFS {
+	if inner == nil {
+		inner = wal.OS
+	}
+	return &CrashFS{inner: inner, files: make(map[*crashFile]struct{})}
+}
+
+// CrashAfterBytes arms the crash point: the process dies when n more
+// bytes have been written (across all files).
+func (c *CrashFS) CrashAfterBytes(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed = true
+	c.budget = n
+}
+
+// DiscardUnsynced selects whether a crash also loses every byte written
+// after each file's last successful Sync (page-cache loss).
+func (c *CrashFS) DiscardUnsynced(v bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.discard = v
+}
+
+// FailWith switches to ENOSPC mode: once the byte budget is exhausted,
+// writes fail with err instead of crashing the filesystem.
+func (c *CrashFS) FailWith(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failErr = err
+}
+
+// Refill grants n more bytes of budget and, in ENOSPC mode, lets writes
+// proceed again — space was freed.
+func (c *CrashFS) Refill(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget += n
+}
+
+// Crashed reports whether the crash point has been hit.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// BytesWritten returns the total bytes accepted across all files.
+func (c *CrashFS) BytesWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}
+
+// TornWrites returns the number of writes cut short at the crash point.
+func (c *CrashFS) TornWrites() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.torn
+}
+
+// failedLocked reports the error mutations must return, if any.
+func (c *CrashFS) failedLocked() error {
+	if c.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// MkdirAll implements wal.FS.
+func (c *CrashFS) MkdirAll(dir string) error {
+	c.mu.Lock()
+	err := c.failedLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.inner.MkdirAll(dir)
+}
+
+// OpenAppend implements wal.FS.
+func (c *CrashFS) OpenAppend(name string) (wal.File, error) { return c.open(name, false) }
+
+// Create implements wal.FS.
+func (c *CrashFS) Create(name string) (wal.File, error) { return c.open(name, true) }
+
+func (c *CrashFS) open(name string, create bool) (wal.File, error) {
+	c.mu.Lock()
+	err := c.failedLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	var f wal.File
+	if create {
+		f, err = c.inner.Create(name)
+	} else {
+		f, err = c.inner.OpenAppend(name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if !create {
+		if data, rerr := c.inner.ReadFile(name); rerr == nil {
+			size = int64(len(data))
+		}
+	}
+	cf := &crashFile{fs: c, inner: f, size: size, synced: size}
+	c.mu.Lock()
+	c.files[cf] = struct{}{}
+	c.mu.Unlock()
+	return cf, nil
+}
+
+// ReadFile implements wal.FS. Reads keep working after a crash so the
+// "restarted process" can share the FS in tests.
+func (c *CrashFS) ReadFile(name string) ([]byte, error) { return c.inner.ReadFile(name) }
+
+// List implements wal.FS.
+func (c *CrashFS) List(dir string) ([]string, error) { return c.inner.List(dir) }
+
+// Rename implements wal.FS.
+func (c *CrashFS) Rename(oldPath, newPath string) error {
+	c.mu.Lock()
+	err := c.failedLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.inner.Rename(oldPath, newPath)
+}
+
+// Remove implements wal.FS.
+func (c *CrashFS) Remove(name string) error {
+	c.mu.Lock()
+	err := c.failedLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.inner.Remove(name)
+}
+
+// crashFile is one open file under a CrashFS.
+type crashFile struct {
+	fs     *CrashFS
+	inner  wal.File
+	size   int64 // bytes written (as seen by the program)
+	synced int64 // size at the last successful Sync
+	closed bool
+}
+
+// Write implements wal.File, consuming the shared budget.
+func (f *crashFile) Write(p []byte) (int, error) {
+	c := f.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if err := c.failedLocked(); err != nil {
+		return 0, err
+	}
+	if c.armed && int64(len(p)) > c.budget {
+		if c.failErr != nil {
+			// ENOSPC mode: the write fails whole, nothing lands, the
+			// process survives.
+			return 0, c.failErr
+		}
+		// Crash mode: the prefix that fit reaches the file (a torn
+		// write), then the process dies.
+		cut := c.budget
+		c.budget = 0
+		c.crashed = true
+		c.torn++
+		if cut > 0 {
+			n, err := f.inner.Write(p[:cut])
+			f.size += int64(n)
+			c.written += int64(n)
+			if err != nil {
+				return n, err
+			}
+		}
+		if c.discard {
+			// The page cache dies with the process: roll every open
+			// file back to its last-synced length.
+			for of := range c.files {
+				if of.size > of.synced {
+					of.inner.Truncate(of.synced)
+					of.size = of.synced
+				}
+			}
+		}
+		return int(cut), ErrCrashed
+	}
+	if c.armed {
+		c.budget -= int64(len(p))
+	}
+	n, err := f.inner.Write(p)
+	f.size += int64(n)
+	c.written += int64(n)
+	return n, err
+}
+
+// Sync implements wal.File.
+func (f *crashFile) Sync() error {
+	c := f.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if err := c.failedLocked(); err != nil {
+		return err
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	f.synced = f.size
+	return nil
+}
+
+// Truncate implements wal.File.
+func (f *crashFile) Truncate(size int64) error {
+	c := f.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if err := c.failedLocked(); err != nil {
+		return err
+	}
+	if err := f.inner.Truncate(size); err != nil {
+		return err
+	}
+	f.size = size
+	if f.synced > size {
+		f.synced = size
+	}
+	return nil
+}
+
+// Close implements wal.File. The inner file is always closed (so test
+// temp dirs can be cleaned up), but after a crash the close reports
+// ErrCrashed like every other post-mortem operation.
+func (f *crashFile) Close() error {
+	c := f.fs
+	c.mu.Lock()
+	if f.closed {
+		c.mu.Unlock()
+		return os.ErrClosed
+	}
+	f.closed = true
+	delete(c.files, f)
+	crashed := c.crashed && c.failErr == nil
+	c.mu.Unlock()
+	err := f.inner.Close()
+	if crashed {
+		return ErrCrashed
+	}
+	return err
+}
+
+// FlipBit flips one bit of the file at path — the corruption primitive
+// for checksum-validation tests. offset addresses the byte, bit the bit
+// within it (0 = least significant).
+func FlipBit(path string, offset int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	if _, err := f.WriteAt(b[:], offset); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,305 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"qtag/internal/wal"
+)
+
+func TestCrashWriterTearsAtExactByte(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCrashWriter(&buf, 10)
+	if n, err := cw.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("pre-crash write: n=%d err=%v", n, err)
+	}
+	// This write straddles byte 10: 2 bytes land, then the crash.
+	n, err := cw.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("straddling write: n=%d err=%v", n, err)
+	}
+	if !cw.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if n, err := cw.Write([]byte("x")); n != 0 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "12345678ab" {
+		t.Fatalf("persisted %q, want exactly 10 bytes", got)
+	}
+}
+
+func TestCrashWriterExactBoundaryIsNotTorn(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCrashWriter(&buf, 4)
+	if n, err := cw.Write([]byte("1234")); n != 4 || err != nil {
+		t.Fatalf("boundary write: n=%d err=%v", n, err)
+	}
+	if cw.Crashed() {
+		t.Fatal("write that exactly fits must not crash")
+	}
+	if n, err := cw.Write([]byte("5")); n != 0 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("next write: n=%d err=%v", n, err)
+	}
+}
+
+func TestCrashFSTornWriteKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewCrashFS(nil)
+	cfs.CrashAfterBytes(6)
+	f, err := cfs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("abcd")); n != 4 || err != nil {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	n, err := f.Write([]byte("efgh"))
+	if n != 2 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write: %d %v", n, err)
+	}
+	if cfs.TornWrites() != 1 || !cfs.Crashed() {
+		t.Fatalf("torn=%d crashed=%v", cfs.TornWrites(), cfs.Crashed())
+	}
+	// Post-mortem mutations all fail; the torn prefix is on disk.
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if _, err := cfs.Create(filepath.Join(dir, "g")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash close: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "abcdef" {
+		t.Fatalf("persisted %q, want abcdef", data)
+	}
+}
+
+func TestCrashFSDiscardUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewCrashFS(nil)
+	cfs.CrashAfterBytes(10)
+	cfs.DiscardUnsynced(true)
+	f, err := cfs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("dur"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("memo")) // in "page cache" only
+	if _, err := f.Write([]byte("ryzz")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	f.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "dur" {
+		t.Fatalf("persisted %q, want only the synced prefix \"dur\"", data)
+	}
+}
+
+func TestCrashFSENOSPCModeSurvivesAndRefills(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewCrashFS(nil)
+	cfs.CrashAfterBytes(4)
+	cfs.FailWith(syscall.ENOSPC)
+	f, err := cfs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if cfs.Crashed() {
+		t.Fatal("ENOSPC mode must not crash the filesystem")
+	}
+	// Sync and close still work; freeing space lets writes resume.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	cfs.Refill(100)
+	if _, err := f.Write([]byte("5678")); err != nil {
+		t.Fatalf("write after refill: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "f"))
+	if string(data) != "12345678" {
+		t.Fatalf("persisted %q", data)
+	}
+}
+
+func TestCrashFSOpenAppendTracksExistingSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("pre-existing"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfs := NewCrashFS(nil)
+	cfs.CrashAfterBytes(2)
+	cfs.DiscardUnsynced(true)
+	f, err := cfs.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-existing bytes count as synced: the crash rollback must
+	// not eat them.
+	if _, err := f.Write([]byte("abcd")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "pre-existing" {
+		t.Fatalf("persisted %q, want the pre-existing content intact", data)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte{0x00, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if data[0] != 0x08 || data[1] != 0xfe {
+		t.Fatalf("flipped to % x", data)
+	}
+	if err := FlipBit(path, 99, 0); err == nil {
+		t.Fatal("out-of-range offset must error")
+	}
+}
+
+// TestCrashFSDrivesWAL is the integration smoke: a WAL writing through a
+// CrashFS crashes at a byte boundary, and recovery over the same
+// directory yields exactly the synced prefix.
+func TestCrashFSDrivesWAL(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewCrashFS(nil)
+	cfs.DiscardUnsynced(true)
+	w, _, err := wal.Open(wal.Options{Dir: dir, FS: cfs, Fsync: wal.FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm after the segment header so the first records fit.
+	cfs.CrashAfterBytes(100)
+	acked := 0
+	for i := 0; i < 100; i++ {
+		if err := w.Append([]byte("0123456789abcdef")); err != nil {
+			break
+		}
+		acked++
+	}
+	if acked == 0 || acked >= 100 {
+		t.Fatalf("acked %d appends, want a crash mid-run", acked)
+	}
+	w.Close()
+	got := 0
+	_, res, err := wal.Open(wal.Options{Dir: dir}, func(uint64, []byte) error {
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != acked {
+		t.Fatalf("recovered %d records, acked %d (result %+v)", got, acked, res)
+	}
+}
+
+func TestCrashFSPassThroughAndPostMortem(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewCrashFS(nil)
+	sub := filepath.Join(dir, "sub")
+	if err := cfs.MkdirAll(sub); err != nil {
+		t.Fatal(err)
+	}
+	a, b := filepath.Join(sub, "a"), filepath.Join(sub, "b")
+	f, err := cfs.Create(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate before any crash adjusts both size and synced tracking.
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+	if got := cfs.BytesWritten(); got != 4 {
+		t.Fatalf("BytesWritten = %d", got)
+	}
+	if err := cfs.Rename(a, b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cfs.ReadFile(b)
+	if err != nil || string(data) != "da" {
+		t.Fatalf("ReadFile: %q %v", data, err)
+	}
+	names, err := cfs.List(sub)
+	if err != nil || len(names) != 1 || names[0] != "b" {
+		t.Fatalf("List: %v %v", names, err)
+	}
+	if err := cfs.Remove(b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the filesystem: every mutation fails, reads keep working.
+	g, err := cfs.Create(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs.CrashAfterBytes(0)
+	if _, err := g.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-arm write: %v", err)
+	}
+	if err := g.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash truncate: %v", err)
+	}
+	if err := cfs.MkdirAll(filepath.Join(dir, "x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash mkdir: %v", err)
+	}
+	if err := cfs.Rename(a, b); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	if err := cfs.Remove(a); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash remove: %v", err)
+	}
+	if _, err := cfs.OpenAppend(a); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: %v", err)
+	}
+	if _, err := cfs.ReadFile(a); err != nil {
+		t.Fatalf("post-crash read must work: %v", err)
+	}
+	if _, err := cfs.List(sub); err != nil {
+		t.Fatalf("post-crash list must work: %v", err)
+	}
+}

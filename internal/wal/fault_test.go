@@ -1,0 +1,539 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// hookFS decorates a real FS with injectable failures, for exercising
+// the WAL's error paths without the internal/faults package (which
+// would be an import cycle from here).
+type hookFS struct {
+	FS
+	mkdirErr  error
+	openErr   error
+	createErr error
+	readErr   error
+	listErr   error
+	renameErr error
+	removeErr error
+	// createHook, when set, decides per-path whether Create fails.
+	createHook func(name string) error
+	// wrap, when set, decorates every opened/created file.
+	wrap func(File) File
+}
+
+func (h *hookFS) MkdirAll(dir string) error {
+	if h.mkdirErr != nil {
+		return h.mkdirErr
+	}
+	return h.FS.MkdirAll(dir)
+}
+
+func (h *hookFS) OpenAppend(name string) (File, error) {
+	if h.openErr != nil {
+		return nil, h.openErr
+	}
+	f, err := h.FS.OpenAppend(name)
+	if err == nil && h.wrap != nil {
+		f = h.wrap(f)
+	}
+	return f, err
+}
+
+func (h *hookFS) Create(name string) (File, error) {
+	if h.createErr != nil {
+		return nil, h.createErr
+	}
+	if h.createHook != nil {
+		if err := h.createHook(name); err != nil {
+			return nil, err
+		}
+	}
+	f, err := h.FS.Create(name)
+	if err == nil && h.wrap != nil {
+		f = h.wrap(f)
+	}
+	return f, err
+}
+
+func (h *hookFS) ReadFile(name string) ([]byte, error) {
+	if h.readErr != nil {
+		return nil, h.readErr
+	}
+	return h.FS.ReadFile(name)
+}
+
+func (h *hookFS) List(dir string) ([]string, error) {
+	if h.listErr != nil {
+		return nil, h.listErr
+	}
+	return h.FS.List(dir)
+}
+
+func (h *hookFS) Rename(oldPath, newPath string) error {
+	if h.renameErr != nil {
+		return h.renameErr
+	}
+	return h.FS.Rename(oldPath, newPath)
+}
+
+func (h *hookFS) Remove(name string) error {
+	if h.removeErr != nil {
+		return h.removeErr
+	}
+	return h.FS.Remove(name)
+}
+
+// hookFile decorates a File with injectable write/sync/truncate
+// failures; writeErr fires after writeOK more successful writes, and
+// partial>=0 makes the failing write land that many bytes first.
+type hookFile struct {
+	File
+	writeOK  int
+	writeErr error
+	partial  int
+	syncErr  error
+	truncErr error
+}
+
+func (h *hookFile) Write(p []byte) (int, error) {
+	if h.writeErr != nil && h.writeOK <= 0 {
+		n := 0
+		if h.partial > 0 && h.partial < len(p) {
+			n, _ = h.File.Write(p[:h.partial])
+		}
+		return n, h.writeErr
+	}
+	h.writeOK--
+	return h.File.Write(p)
+}
+
+func (h *hookFile) Sync() error {
+	if h.syncErr != nil {
+		return h.syncErr
+	}
+	return h.File.Sync()
+}
+
+func (h *hookFile) Truncate(size int64) error {
+	if h.truncErr != nil {
+		return h.truncErr
+	}
+	return h.File.Truncate(size)
+}
+
+func TestAccessorsAndIsDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Dir() != dir {
+		t.Fatalf("Dir = %q", w.Dir())
+	}
+	if w.ActiveSegmentBytes() != SegmentHeaderSize {
+		t.Fatalf("empty active segment = %d bytes", w.ActiveSegmentBytes())
+	}
+	if err := w.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if w.Appended() != 1 || w.AppendErrors() != 0 || w.DiskFull() {
+		t.Fatalf("counters: appended=%d errs=%d full=%v", w.Appended(), w.AppendErrors(), w.DiskFull())
+	}
+	if w.Pending() != 1 { // FsyncOnBatch: a lone Append is unsynced
+		t.Fatalf("pending = %d", w.Pending())
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Pending() != 0 || w.Syncs() == 0 {
+		t.Fatalf("after Sync: pending=%d syncs=%d", w.Pending(), w.Syncs())
+	}
+	if IsDiskFull(nil) || IsDiskFull(errors.New("nope")) {
+		t.Fatal("IsDiskFull false positives")
+	}
+	if !IsDiskFull(syscall.ENOSPC) || !IsDiskFull(fmt.Errorf("wrap: %w", syscall.EDQUOT)) {
+		t.Fatal("IsDiskFull false negatives")
+	}
+}
+
+func TestExplicitRotateAndClosedOps(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotating an empty active segment is a no-op.
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Segments(); got != 1 {
+		t.Fatalf("empty rotate created a segment: %d", got)
+	}
+	if err := w.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, rot := w.Segments(), w.Rotations(); got != 2 || rot != 1 {
+		t.Fatalf("after rotate: segments=%d rotations=%d", got, rot)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+	if err := w.Rotate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("rotate after close: %v", err)
+	}
+	if err := w.AppendBatch(nil); err != nil { // empty batch short-circuits
+		t.Fatal(err)
+	}
+}
+
+func TestOpenErrorPaths(t *testing.T) {
+	if _, _, err := Open(Options{}, nil); err == nil {
+		t.Fatal("Open without Dir must fail")
+	}
+	boom := errors.New("boom")
+	if _, _, err := Open(Options{Dir: t.TempDir(), FS: &hookFS{FS: OS, mkdirErr: boom}}, nil); !errors.Is(err, boom) {
+		t.Fatalf("mkdir error: %v", err)
+	}
+	if _, _, err := Open(Options{Dir: t.TempDir(), FS: &hookFS{FS: OS, listErr: boom}}, nil); !errors.Is(err, boom) {
+		t.Fatalf("list error: %v", err)
+	}
+	// A readable dir whose segment cannot be read.
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append([]byte("x"))
+	w.Close()
+	if _, _, err := Open(Options{Dir: dir, FS: &hookFS{FS: OS, readErr: boom}}, nil); !errors.Is(err, boom) {
+		t.Fatalf("read error: %v", err)
+	}
+	// A replay callback error aborts Open.
+	if _, _, err := Open(Options{Dir: dir}, func(uint64, []byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("replay error: %v", err)
+	}
+	// Create failing on a fresh dir.
+	if _, _, err := Open(Options{Dir: t.TempDir(), FS: &hookFS{FS: OS, createErr: syscall.ENOSPC}}, nil); !IsDiskFull(err) {
+		t.Fatalf("create error: %v", err)
+	}
+}
+
+func TestAppendWriteErrorPaths(t *testing.T) {
+	boom := errors.New("boom")
+	t.Run("clean failure", func(t *testing.T) {
+		hf := &hookFile{}
+		fsys := &hookFS{FS: OS, wrap: func(f File) File { hf.File = f; return hf }}
+		w, _, err := Open(Options{Dir: t.TempDir(), FS: fsys}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hf.writeErr = syscall.ENOSPC
+		if err := w.Append([]byte("x")); !IsDiskFull(err) {
+			t.Fatalf("want ENOSPC, got %v", err)
+		}
+		if w.AppendErrors() != 1 || !w.DiskFull() {
+			t.Fatalf("errs=%d full=%v", w.AppendErrors(), w.DiskFull())
+		}
+		// Space frees up: the append succeeds and the alarm clears.
+		hf.writeErr = nil
+		if err := w.Append([]byte("x")); err != nil || w.DiskFull() {
+			t.Fatalf("recovered append: %v full=%v", err, w.DiskFull())
+		}
+		w.Close()
+	})
+	t.Run("partial write rolled back", func(t *testing.T) {
+		hf := &hookFile{}
+		fsys := &hookFS{FS: OS, wrap: func(f File) File { hf.File = f; return hf }}
+		dir := t.TempDir()
+		w, _, err := Open(Options{Dir: dir, FS: fsys}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Append([]byte("good"))
+		hf.writeErr, hf.partial = boom, 3
+		if err := w.Append([]byte("torn-record")); !errors.Is(err, boom) {
+			t.Fatalf("torn append: %v", err)
+		}
+		hf.writeErr, hf.partial = nil, 0
+		if err := w.Append([]byte("after")); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		var recs []string
+		if _, _, err := Open(Options{Dir: dir}, func(_ uint64, p []byte) error {
+			recs = append(recs, string(p))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 2 || recs[0] != "good" || recs[1] != "after" {
+			t.Fatalf("recovered %q", recs)
+		}
+	})
+	t.Run("partial write with failed rollback poisons segment", func(t *testing.T) {
+		hf := &hookFile{}
+		fsys := &hookFS{FS: OS, wrap: func(f File) File { hf.File = f; return hf }}
+		dir := t.TempDir()
+		w, _, err := Open(Options{Dir: dir, FS: fsys}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Append([]byte("good"))
+		hf.writeErr, hf.partial, hf.truncErr = boom, 3, boom
+		if err := w.Append([]byte("torn")); !errors.Is(err, boom) {
+			t.Fatalf("torn append: %v", err)
+		}
+		// The next append must rotate away from the poisoned segment.
+		hf.writeErr, hf.partial, hf.truncErr = nil, 0, nil
+		if err := w.Append([]byte("fresh")); err != nil {
+			t.Fatal(err)
+		}
+		if w.Segments() != 2 {
+			t.Fatalf("poisoned segment not rotated: %d segments", w.Segments())
+		}
+		w.Close()
+		var recs []string
+		if _, _, err := Open(Options{Dir: dir}, func(_ uint64, p []byte) error {
+			recs = append(recs, string(p))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 2 || recs[0] != "good" || recs[1] != "fresh" {
+			t.Fatalf("recovered %q", recs)
+		}
+	})
+	t.Run("sync failure surfaces", func(t *testing.T) {
+		hf := &hookFile{}
+		fsys := &hookFS{FS: OS, wrap: func(f File) File { hf.File = f; return hf }}
+		w, _, err := Open(Options{Dir: t.TempDir(), FS: fsys}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Append([]byte("x"))
+		hf.syncErr = syscall.ENOSPC
+		if err := w.Sync(); !IsDiskFull(err) {
+			t.Fatalf("sync: %v", err)
+		}
+		if !w.DiskFull() {
+			t.Fatal("sync ENOSPC must raise the disk-full flag")
+		}
+		hf.syncErr = boom
+		if err := w.Rotate(); !errors.Is(err, boom) {
+			t.Fatalf("rotate with failing sync: %v", err)
+		}
+	})
+}
+
+func TestCompactRemoveFailureKeepsSegment(t *testing.T) {
+	fsys := &hookFS{FS: OS}
+	w, _, err := Open(Options{Dir: t.TempDir(), FS: fsys, SegmentBytes: 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 6; i++ {
+		if err := w.Append([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealed := w.Segments() - 1
+	if sealed < 2 {
+		t.Fatalf("want several sealed segments, got %d", sealed)
+	}
+	boom := errors.New("boom")
+	fsys.removeErr = boom
+	removed, err := w.Compact(w.LastIndex())
+	if removed != 0 || !errors.Is(err, boom) {
+		t.Fatalf("compact with failing remove: removed=%d err=%v", removed, err)
+	}
+	fsys.removeErr = nil
+	removed, err = w.Compact(w.LastIndex())
+	if err != nil || removed != sealed {
+		t.Fatalf("retry compact: removed=%d err=%v", removed, err)
+	}
+}
+
+func TestRecoverQuarantineWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		w.Append([]byte("0123456789abcdef"))
+	}
+	w.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	data, _ := os.ReadFile(segs[0])
+	data[SegmentHeaderSize+RecordHeaderSize] ^= 0xff // corrupt record 1's payload
+	os.WriteFile(segs[0], data, 0o644)
+
+	boom := errors.New("boom")
+	fsys := &hookFS{FS: OS, createHook: func(name string) error {
+		if strings.HasSuffix(name, ".quarantine") {
+			return boom
+		}
+		return nil
+	}}
+	if _, _, err := Open(Options{Dir: dir, FS: fsys}, nil); !errors.Is(err, boom) {
+		t.Fatalf("recovery with failing quarantine create: %v", err)
+	}
+}
+
+func TestRecoverRenameFailureOnBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, SegmentBytes: 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		w.Append([]byte("0123456789abcdef"))
+	}
+	w.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 2 {
+		t.Fatalf("need a mid-stream segment, have %d", len(segs))
+	}
+	// Smash the first segment's magic: recovery wants to rename it aside.
+	data, _ := os.ReadFile(segs[0])
+	copy(data, "XXXXXXXX")
+	os.WriteFile(segs[0], data, 0o644)
+	boom := errors.New("boom")
+	if _, _, err := Open(Options{Dir: dir, FS: &hookFS{FS: OS, renameErr: boom}}, nil); !errors.Is(err, boom) {
+		t.Fatalf("recovery with failing rename: %v", err)
+	}
+	// Without injection the rename succeeds and recovery continues.
+	w2, res, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if res.Quarantined != 1 || len(res.QuarantineFiles) != 1 {
+		t.Fatalf("bad-header segment not quarantined: %+v", res)
+	}
+}
+
+func TestScanDamageBranches(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, SegmentBytes: 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		w.Append([]byte("0123456789abcdef"))
+	}
+	w.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("need >=3 segments, have %d", len(segs))
+	}
+	// Segment 0: unreadable header. Segment 1: torn mid-stream (framing
+	// lost). Last segment: torn tail plus a trailing stub file.
+	data, _ := os.ReadFile(segs[0])
+	copy(data, "XXXXXXXX")
+	os.WriteFile(segs[0], data, 0o644)
+	data, _ = os.ReadFile(segs[1])
+	os.WriteFile(segs[1], data[:SegmentHeaderSize+3], 0o644)
+	last := segs[len(segs)-1]
+	f, _ := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0)
+	f.Write([]byte{9, 9})
+	f.Close()
+	os.WriteFile(filepath.Join(dir, segmentName(1<<40)), []byte("QW"), 0o644)
+
+	var got int
+	res, err := Scan(nil, dir, func(uint64, []byte) error { got++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three quarantined chunks: the bad-header file, the torn mid-stream
+	// remainder, and the garbage appended to the now-non-final segment
+	// (the stub is the final file, whose short header is the torn tail).
+	if res.Quarantined != 3 {
+		t.Fatalf("quarantined = %d (%+v)", res.Quarantined, res)
+	}
+	if !res.TornTail || res.TruncatedBytes == 0 {
+		t.Fatalf("torn tail not reported: %+v", res)
+	}
+	if got != 4 { // 6 records minus one per damaged segment
+		t.Fatalf("scanned %d records, want 4", got)
+	}
+	// A scan replay error aborts.
+	boom := errors.New("boom")
+	if _, err := Scan(nil, dir, func(uint64, []byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("scan replay error: %v", err)
+	}
+	// And a read failure surfaces.
+	if _, err := Scan(&hookFS{FS: OS, readErr: boom}, dir, nil); !errors.Is(err, boom) {
+		t.Fatalf("scan read error: %v", err)
+	}
+	if _, err := Scan(&hookFS{FS: OS, listErr: boom}, dir, nil); !errors.Is(err, boom) {
+		t.Fatalf("scan list error: %v", err)
+	}
+}
+
+func TestSnapshotErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	at := time.Unix(100, 0)
+	if _, err := WriteSnapshot(&hookFS{FS: OS, mkdirErr: boom}, dir, 1, at, []byte("p")); !errors.Is(err, boom) {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if _, err := WriteSnapshot(&hookFS{FS: OS, createErr: boom}, dir, 1, at, []byte("p")); !errors.Is(err, boom) {
+		t.Fatalf("create: %v", err)
+	}
+	hf := &hookFile{writeErr: boom}
+	if _, err := WriteSnapshot(&hookFS{FS: OS, wrap: func(f File) File { hf.File = f; return hf }}, dir, 1, at, []byte("p")); !errors.Is(err, boom) {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := WriteSnapshot(&hookFS{FS: OS, renameErr: boom}, dir, 1, at, []byte("p")); !errors.Is(err, boom) {
+		t.Fatalf("rename: %v", err)
+	}
+	// None of the failures may leave a loadable snapshot behind.
+	if snap, _, err := LoadSnapshot(nil, dir); err != nil || snap != nil {
+		t.Fatalf("partial snapshot visible: %v %v", snap, err)
+	}
+	// Junk names and short/mismatched files are skipped, not fatal.
+	os.WriteFile(filepath.Join(dir, "snap-zz.snap"), []byte("junk"), 0o644)
+	os.WriteFile(filepath.Join(dir, "snap-00000000000000ff.snap"), []byte("short"), 0o644)
+	if snap, corrupt, err := LoadSnapshot(nil, dir); err != nil || snap != nil || corrupt != 1 {
+		t.Fatalf("junk dir: snap=%v corrupt=%d err=%v", snap, corrupt, err)
+	}
+	// Length-mismatch branch of decodeSnapshot.
+	path, err := WriteSnapshot(nil, dir, 7, at, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-2], 0o644)
+	if snap, corrupt, err := LoadSnapshot(nil, dir); err != nil || snap != nil || corrupt != 2 {
+		t.Fatalf("truncated snapshot: snap=%v corrupt=%d err=%v", snap, corrupt, err)
+	}
+	if _, _, err := LoadSnapshot(&hookFS{FS: OS, readErr: boom}, dir); !errors.Is(err, boom) {
+		t.Fatalf("load read error: %v", err)
+	}
+	if _, _, err := LoadSnapshot(&hookFS{FS: OS, listErr: boom}, dir); !errors.Is(err, boom) {
+		t.Fatalf("load list error: %v", err)
+	}
+}

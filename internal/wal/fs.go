@@ -1,0 +1,72 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"sort"
+)
+
+// File is the slice of *os.File the WAL needs. The fault-injection
+// harness (internal/faults.CrashFS) wraps it to tear writes at exact
+// byte offsets and to drop unsynced data on a simulated crash.
+type File interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS is the filesystem seam under the WAL. Paths are full paths (the
+// WAL joins its directory itself). The OS variable is the real
+// implementation; internal/faults provides crash- and ENOSPC-injecting
+// wrappers.
+type FS interface {
+	MkdirAll(dir string) error
+	// OpenAppend opens name for appending, creating it when absent.
+	OpenAppend(name string) (File, error)
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	// List returns the entry names (not paths) of dir, sorted.
+	List(dir string) ([]string, error)
+	Rename(oldPath, newPath string) error
+	Remove(name string) error
+}
+
+// OS is the real-filesystem FS.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+}
+
+// Create truncates, then appends: O_APPEND makes every write land at
+// the current end of file regardless of the descriptor's offset, so
+// rolling back a torn write with Truncate and continuing to append
+// cannot leave a zero-filled hole.
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_RDWR|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

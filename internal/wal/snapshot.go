@@ -1,0 +1,165 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Snapshot framing: magic (8) | lastIndex (8) | createdAt unix-nanos (8)
+// | payload length (8) | CRC32C(payload) (4) | payload.
+const (
+	snapMagic      = "QWALSNP1"
+	snapHeaderSize = 8 + 8 + 8 + 8 + 4
+)
+
+// ErrBadSnapshot reports a snapshot file that fails structural or
+// checksum validation.
+var ErrBadSnapshot = errors.New("wal: bad snapshot")
+
+// Snapshot is one loaded snapshot file.
+type Snapshot struct {
+	// LastIndex is the highest WAL record index the snapshot covers:
+	// every record with index <= LastIndex is reflected in Payload.
+	LastIndex uint64
+	// CreatedAt is the snapshot's creation time (for age metrics).
+	CreatedAt time.Time
+	// Payload is the caller-defined serialized state.
+	Payload []byte
+	// Path is the file the snapshot was loaded from.
+	Path string
+}
+
+func snapshotName(lastIndex uint64) string { return fmt.Sprintf("snap-%016x.snap", lastIndex) }
+
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	return v, err == nil
+}
+
+// WriteSnapshot atomically persists a snapshot covering WAL records
+// [1, lastIndex]: the file is assembled under a temporary name, synced,
+// renamed into place, and only then are older snapshots deleted — a
+// crash at any point leaves at least one valid snapshot behind.
+func WriteSnapshot(fsys FS, dir string, lastIndex uint64, at time.Time, payload []byte) (string, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return "", fmt.Errorf("wal: snapshot dir: %w", err)
+	}
+	final := filepath.Join(dir, snapshotName(lastIndex))
+	tmp := final + ".tmp"
+	hdr := make([]byte, snapHeaderSize)
+	copy(hdr, snapMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], lastIndex)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(at.UnixNano()))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[32:36], Checksum(payload))
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	write := func() error {
+		if _, err := f.Write(hdr); err != nil {
+			return err
+		}
+		if _, err := f.Write(payload); err != nil {
+			return err
+		}
+		return f.Sync()
+	}
+	if err := write(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return "", fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return "", fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
+		return "", fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	// The new snapshot is durable; older ones are now redundant.
+	names, err := fsys.List(dir)
+	if err != nil {
+		return final, nil // best effort — stale snapshots are harmless
+	}
+	for _, name := range names {
+		if idx, ok := parseSnapshotName(name); ok && idx < lastIndex {
+			fsys.Remove(filepath.Join(dir, name))
+		}
+	}
+	return final, nil
+}
+
+// LoadSnapshot returns the newest valid snapshot in dir (nil when none
+// exists) plus the number of corrupt snapshot files skipped on the way.
+// A snapshot failing its checksum is skipped, not fatal: recovery falls
+// back to an older snapshot or a full WAL replay.
+func LoadSnapshot(fsys FS, dir string) (*Snapshot, int, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	names, err := fsys.List(dir)
+	if err != nil {
+		if errors.Is(err, syscall.ENOENT) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("wal: list snapshots: %w", err)
+	}
+	// names are sorted ascending and the index is fixed-width hex, so
+	// walk backwards for newest-first.
+	corrupt := 0
+	for i := len(names) - 1; i >= 0; i-- {
+		if _, ok := parseSnapshotName(names[i]); !ok {
+			continue
+		}
+		path := filepath.Join(dir, names[i])
+		data, err := fsys.ReadFile(path)
+		if err != nil {
+			return nil, corrupt, fmt.Errorf("wal: read snapshot: %w", err)
+		}
+		snap, err := decodeSnapshot(data)
+		if err != nil {
+			corrupt++
+			continue
+		}
+		snap.Path = path
+		return snap, corrupt, nil
+	}
+	return nil, corrupt, nil
+}
+
+func decodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < snapHeaderSize || string(b[:8]) != snapMagic {
+		return nil, fmt.Errorf("%w: header", ErrBadSnapshot)
+	}
+	length := binary.LittleEndian.Uint64(b[24:32])
+	if uint64(len(b)-snapHeaderSize) != length {
+		return nil, fmt.Errorf("%w: payload length %d, have %d bytes", ErrBadSnapshot, length, len(b)-snapHeaderSize)
+	}
+	payload := b[snapHeaderSize:]
+	if Checksum(payload) != binary.LittleEndian.Uint32(b[32:36]) {
+		return nil, fmt.Errorf("%w: checksum", ErrBadSnapshot)
+	}
+	return &Snapshot{
+		LastIndex: binary.LittleEndian.Uint64(b[8:16]),
+		CreatedAt: time.Unix(0, int64(binary.LittleEndian.Uint64(b[16:24]))),
+		Payload:   payload,
+	}, nil
+}

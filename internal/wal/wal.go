@@ -1,0 +1,493 @@
+// Package wal is a crash-safe, segmented write-ahead journal: the
+// durability layer under the beacon collection server's in-memory store.
+//
+// Layout: a WAL directory holds numbered segment files
+// (wal-<firstIndex>.seg), each a 16-byte header followed by
+// length-prefixed, CRC32C-checksummed records, plus at most one
+// checksummed snapshot (snap-<lastIndex>.snap) and any quarantine
+// sidecars produced by recovery (*.quarantine).
+//
+// Guarantees:
+//
+//   - Append durability follows the fsync policy: FsyncAlways syncs every
+//     append, FsyncOnBatch syncs at the end of each AppendBatch, and
+//     FsyncInterval syncs when FsyncEvery has elapsed (checked on append;
+//     pair it with a periodic Sync for idle streams).
+//   - Recovery (Open) scans segments in index order, replays every valid
+//     record, truncates a torn tail (a crash mid-write loses at most the
+//     records appended after the last fsync), and quarantines corrupted
+//     mid-stream records into a <segment>.quarantine sidecar instead of
+//     aborting — with exact loss accounting in RecoverResult.
+//   - Snapshot + Compact bound disk use: a snapshot covering records
+//     [1, lastIndex] lets Compact retire every sealed segment whose
+//     records are all <= lastIndex.
+//
+// The package has no dependencies beyond the standard library; callers
+// decide what record payloads mean (internal/beacon stores JSONL-encoded
+// events, keeping qtag-replay compatibility).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// FsyncPolicy selects when appends are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncOnBatch syncs at the end of every AppendBatch (and on
+	// rotation and Close). Single Appends are not synced — the default
+	// trade: one fsync per queue flush.
+	FsyncOnBatch FsyncPolicy = iota
+	// FsyncAlways syncs after every Append and AppendBatch.
+	FsyncAlways
+	// FsyncInterval syncs when FsyncEvery has elapsed since the last
+	// sync, checked after each append.
+	FsyncInterval
+)
+
+// String implements fmt.Stringer.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return "batch"
+	}
+}
+
+// ParseFsyncPolicy maps a flag value onto a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "batch", "on-batch", "onbatch":
+		return FsyncOnBatch, nil
+	}
+	return FsyncOnBatch, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or batch)", s)
+}
+
+// Options tunes a WAL. Dir is required; everything else has defaults.
+type Options struct {
+	// Dir is the WAL directory; created when absent.
+	Dir string
+	// SegmentBytes rotates the active segment when appending would push
+	// it past this size. Default 64 MiB. A record larger than the limit
+	// still lands in one (oversized) segment.
+	SegmentBytes int64
+	// SegmentAge rotates the active segment when it has been open longer
+	// than this (0 disables age rotation).
+	SegmentAge time.Duration
+	// Fsync selects the durability policy; FsyncOnBatch by default.
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval period. Default 1s.
+	FsyncEvery time.Duration
+	// MaxRecordBytes bounds one record payload. Default 16 MiB.
+	MaxRecordBytes int
+	// FS is the filesystem seam; the real filesystem when nil.
+	FS FS
+	// Now is the clock; time.Now when nil.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = time.Second
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	if o.FS == nil {
+		o.FS = OS
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// sealedSeg is one closed segment: its file and the record index range
+// it covers.
+type sealedSeg struct {
+	path  string
+	first uint64
+	last  uint64
+}
+
+// WAL is a segmented, checksummed append-only journal. It is safe for
+// concurrent use.
+type WAL struct {
+	opts Options
+	fs   FS
+
+	mu          sync.Mutex
+	sealed      []sealedSeg
+	active      File
+	activePath  string
+	activeStart uint64 // first record index of the active segment
+	activeSize  int64
+	activeBirth time.Time
+	nextIndex   uint64 // index the next appended record will get
+	pending     int    // records appended since the last successful sync
+	lastSync    time.Time
+	torn        bool // a failed partial write could not be rolled back
+	closed      bool
+
+	appended   atomic.Int64
+	syncs      atomic.Int64
+	rotations  atomic.Int64
+	appendErrs atomic.Int64
+	diskFull   atomic.Bool
+}
+
+func segmentName(firstIndex uint64) string { return fmt.Sprintf("wal-%016x.seg", firstIndex) }
+
+// parseSegmentName extracts the first record index from a segment file
+// name, reporting whether the name is a segment at all.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	return v, err == nil
+}
+
+// listSegments returns the segment files in dir ordered by first record
+// index. A missing directory yields an empty list.
+func listSegments(fsys FS, dir string) ([]sealedSeg, error) {
+	names, err := fsys.List(dir)
+	if err != nil {
+		if errors.Is(err, syscall.ENOENT) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	segs := make([]sealedSeg, 0, len(names))
+	for _, name := range names {
+		if first, ok := parseSegmentName(name); ok {
+			segs = append(segs, sealedSeg{path: filepath.Join(dir, name), first: first})
+		}
+	}
+	// names are sorted and the index is fixed-width hex, so segs is
+	// already in index order.
+	return segs, nil
+}
+
+// Open recovers the WAL in dir and returns it positioned to append.
+// Every valid record is passed to replay in index order (replay may be
+// nil to validate without consuming); a replay error aborts Open.
+// Recovery truncates a torn tail on the final segment and quarantines
+// corrupted mid-stream records into <segment>.quarantine sidecars; the
+// exact accounting comes back in RecoverResult.
+func Open(opts Options, replay func(index uint64, payload []byte) error) (*WAL, RecoverResult, error) {
+	opts = opts.withDefaults()
+	var res RecoverResult
+	if opts.Dir == "" {
+		return nil, res, errors.New("wal: Options.Dir is required")
+	}
+	start := opts.Now()
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
+		return nil, res, fmt.Errorf("wal: create dir: %w", err)
+	}
+	w := &WAL{opts: opts, fs: opts.FS, nextIndex: 1, lastSync: start}
+	if err := w.recover(replay, &res); err != nil {
+		return nil, res, err
+	}
+	res.Duration = opts.Now().Sub(start)
+	return w, res, nil
+}
+
+// append frames the payloads and writes them as one Write call,
+// applying rotation and the fsync policy. batch reports whether the
+// call came from AppendBatch (for FsyncOnBatch).
+func (w *WAL) append(payloads [][]byte, batch bool) error {
+	frame := make([]byte, 0, 64)
+	for _, p := range payloads {
+		if len(p) > w.opts.MaxRecordBytes {
+			return fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, len(p), w.opts.MaxRecordBytes)
+		}
+		frame = EncodeRecord(frame, p)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.torn {
+		// A previous partial write could not be rolled back; the active
+		// segment's tail is garbage. Seal it (recovery will truncate the
+		// tear) and continue on a fresh segment.
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+		w.torn = false
+	}
+	if w.shouldRotateLocked(int64(len(frame))) {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := w.active.Write(frame)
+	if err != nil {
+		w.appendErrs.Add(1)
+		if IsDiskFull(err) {
+			w.diskFull.Store(true)
+		}
+		if n > 0 {
+			// Partial write: roll the file back to the last record
+			// boundary so the next append does not interleave with a
+			// torn frame. If even that fails, poison the segment.
+			if terr := w.active.Truncate(w.activeSize); terr != nil {
+				w.torn = true
+			}
+		}
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	w.diskFull.Store(false)
+	w.activeSize += int64(n)
+	w.nextIndex += uint64(len(payloads))
+	w.pending += len(payloads)
+	w.appended.Add(int64(len(payloads)))
+	switch w.opts.Fsync {
+	case FsyncAlways:
+		return w.syncLocked()
+	case FsyncOnBatch:
+		if batch {
+			return w.syncLocked()
+		}
+	case FsyncInterval:
+		if w.opts.Now().Sub(w.lastSync) >= w.opts.FsyncEvery {
+			return w.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Append writes one record. Durability follows the fsync policy.
+func (w *WAL) Append(payload []byte) error { return w.append([][]byte{payload}, false) }
+
+// AppendBatch writes the payloads as consecutive records in one write
+// call; under FsyncOnBatch the batch is synced before returning.
+func (w *WAL) AppendBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	return w.append(payloads, true)
+}
+
+// shouldRotateLocked reports whether the active segment must be sealed
+// before writing incoming more bytes.
+func (w *WAL) shouldRotateLocked(incoming int64) bool {
+	if w.activeSize <= SegmentHeaderSize {
+		return false // never rotate an empty segment
+	}
+	if w.activeSize+incoming > w.opts.SegmentBytes {
+		return true
+	}
+	return w.opts.SegmentAge > 0 && w.opts.Now().Sub(w.activeBirth) >= w.opts.SegmentAge
+}
+
+// rotateLocked seals the active segment (sync + close) and opens a
+// fresh one. An empty active segment is left in place.
+func (w *WAL) rotateLocked() error {
+	if w.activeSize <= SegmentHeaderSize {
+		return nil
+	}
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.active.Close(); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	w.sealed = append(w.sealed, sealedSeg{path: w.activePath, first: w.activeStart, last: w.nextIndex - 1})
+	w.rotations.Add(1)
+	return w.createActiveLocked()
+}
+
+// createActiveLocked opens a brand-new active segment whose first record
+// index is nextIndex. The header is written and synced immediately so a
+// crash right after rotation leaves a well-formed empty segment.
+func (w *WAL) createActiveLocked() error {
+	path := filepath.Join(w.opts.Dir, segmentName(w.nextIndex))
+	f, err := w.fs.Create(path)
+	if err != nil {
+		if IsDiskFull(err) {
+			w.diskFull.Store(true)
+		}
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if _, err := f.Write(encodeSegmentHeader(w.nextIndex)); err != nil {
+		f.Close()
+		if IsDiskFull(err) {
+			w.diskFull.Store(true)
+		}
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync segment header: %w", err)
+	}
+	w.active = f
+	w.activePath = path
+	w.activeStart = w.nextIndex
+	w.activeSize = SegmentHeaderSize
+	w.activeBirth = w.opts.Now()
+	return nil
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.active.Sync(); err != nil {
+		if IsDiskFull(err) {
+			w.diskFull.Store(true)
+		}
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	w.pending = 0
+	w.lastSync = w.opts.Now()
+	w.syncs.Add(1)
+	return nil
+}
+
+// Sync forces everything appended so far to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.syncLocked()
+}
+
+// Rotate seals the active segment and starts a new one (no-op when the
+// active segment holds no records).
+func (w *WAL) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.rotateLocked()
+}
+
+// Close syncs and closes the active segment. Close is idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	serr := w.syncLocked()
+	cerr := w.active.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Compact removes every sealed segment whose records are all covered by
+// a snapshot at upTo (record indexes <= upTo). The active segment is
+// never removed. It returns the number of segments retired.
+func (w *WAL) Compact(upTo uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	removed := 0
+	var firstErr error
+	keep := w.sealed[:0]
+	for _, s := range w.sealed {
+		if s.last <= upTo {
+			if err := w.fs.Remove(s.path); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("wal: compact: %w", err)
+				}
+				keep = append(keep, s)
+				continue
+			}
+			removed++
+			continue
+		}
+		keep = append(keep, s)
+	}
+	w.sealed = keep
+	return removed, firstErr
+}
+
+// Dir returns the WAL directory.
+func (w *WAL) Dir() string { return w.opts.Dir }
+
+// NextIndex returns the index the next appended record will get.
+func (w *WAL) NextIndex() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextIndex
+}
+
+// LastIndex returns the index of the most recently appended record (0
+// when the WAL holds none).
+func (w *WAL) LastIndex() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextIndex - 1
+}
+
+// Segments returns the number of live segment files (sealed + active).
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sealed) + 1
+}
+
+// ActiveSegmentBytes returns the size of the active segment file.
+func (w *WAL) ActiveSegmentBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.activeSize
+}
+
+// Pending returns the number of records appended since the last
+// successful sync — the window a crash can lose.
+func (w *WAL) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pending
+}
+
+// Appended returns the number of records appended since Open.
+func (w *WAL) Appended() int64 { return w.appended.Load() }
+
+// Syncs returns the number of successful fsyncs since Open.
+func (w *WAL) Syncs() int64 { return w.syncs.Load() }
+
+// Rotations returns the number of segment rotations since Open.
+func (w *WAL) Rotations() int64 { return w.rotations.Load() }
+
+// AppendErrors returns the number of failed appends since Open.
+func (w *WAL) AppendErrors() int64 { return w.appendErrs.Load() }
+
+// DiskFull reports whether the most recent append or sync failed with
+// an out-of-space error; it resets on the next successful append.
+func (w *WAL) DiskFull() bool { return w.diskFull.Load() }
+
+// IsDiskFull reports whether err is an out-of-space condition.
+func IsDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
