@@ -7,10 +7,12 @@
 //
 // Replay is tolerant by design: a corrupted or truncated trailing line
 // (the signature of a crash mid-write) is skipped and counted, not
-// fatal — the tool reports "skipped N malformed lines" and still exits
-// 0 with the stats for everything readable. Ingestion is idempotent end
-// to end, so replaying into a server that already holds part of the
-// journal is safe.
+// fatal — the tool reports "skipped N malformed lines" (for a WAL
+// directory, undecodable records and quarantined corruption are
+// reported separately, with byte counts) and still exits 0 with the
+// stats for everything readable. Ingestion is idempotent end to end, so
+// replaying into a server that already holds part of the journal is
+// safe.
 //
 // Usage:
 //
@@ -50,7 +52,7 @@ func main() {
 		sink = beacon.Tee(store, &beacon.HTTPSink{BaseURL: *serverURL, Retries: 2})
 	}
 
-	replayed, skipped := 0, 0
+	replayed := 0
 	if info.IsDir() {
 		rec, err := beacon.ReplayWALDir(*journalPath, sink)
 		if err != nil {
@@ -58,12 +60,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "warning: wal replay ended early: %v\n", err)
 		}
 		replayed = rec.SnapshotRestored + rec.Replayed
-		skipped = rec.ReplaySkipped + rec.SnapshotSkipped + rec.Quarantined
 		if rec.SnapshotRestored > 0 {
 			fmt.Printf("restored %d events from snapshot (covers record %d)\n", rec.SnapshotRestored, rec.SnapshotIndex)
 		}
 		if rec.TornTail {
 			fmt.Fprintf(os.Stderr, "warning: journal tail is torn (%d bytes unreadable) — a crash mid-write; everything before it was replayed\n", rec.TruncatedBytes)
+		}
+		// Undecodable records (one line each) and quarantined corruption
+		// (chunks or whole segments, each possibly holding many records)
+		// are different losses — report them separately so the operator's
+		// accounting is exact.
+		if skipped := rec.ReplaySkipped + rec.SnapshotSkipped; skipped > 0 {
+			fmt.Printf("skipped %d undecodable records\n", skipped)
+		}
+		if rec.Quarantined > 0 {
+			fmt.Printf("%d corrupted chunks (%d bytes) quarantined\n", rec.Quarantined, rec.QuarantinedBytes)
 		}
 	} else {
 		f, err := os.Open(*journalPath)
@@ -77,12 +88,12 @@ func main() {
 			// prefix: warn, keep the stats, exit 0.
 			fmt.Fprintf(os.Stderr, "warning: journal read ended early: %v\n", rerr)
 		}
-		replayed, skipped = st.Replayed, st.Skipped
+		replayed = st.Replayed
+		if st.Skipped > 0 {
+			fmt.Printf("skipped %d malformed lines\n", st.Skipped)
+		}
 	}
 	fmt.Printf("replayed %d events from %s\n", replayed, *journalPath)
-	if skipped > 0 {
-		fmt.Printf("skipped %d malformed lines\n", skipped)
-	}
 	fmt.Println()
 	if *serverURL != "" {
 		fmt.Printf("re-submitted to %s\n\n", *serverURL)

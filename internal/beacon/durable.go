@@ -119,6 +119,15 @@ func OpenDurable(opts wal.Options, store *Store) (*WALJournal, DurableRecovery, 
 		return nil, rec, err
 	}
 	rec.RecoverResult = res
+	// Recovery can leave the WAL's next index below the snapshot's
+	// coverage (truncated torn tail, quarantined final segment). New
+	// appends must never reuse covered indices — the replay skip above
+	// would silently drop them on the next boot — so skip forward past
+	// the snapshot before accepting events.
+	if err := w.SkipTo(rec.SnapshotIndex + 1); err != nil {
+		w.Close()
+		return nil, rec, fmt.Errorf("beacon: advance wal past snapshot: %w", err)
+	}
 	now := opts.Now
 	if now == nil {
 		now = time.Now
@@ -173,8 +182,14 @@ func (j *WALJournal) SubmitBatch(events []Event) error {
 // a no-op. The coverage index is captured before the store is encoded:
 // events reach the store before the WAL (Tee order), so every record
 // at or below that index is already reflected in the encoded state.
+// The WAL is synced first and the index captured atomically with the
+// sync, so coverage never exceeds the durable tail — a crash right
+// after the snapshot must not leave it claiming records the WAL lost.
 func (j *WALJournal) Snapshot(store *Store) (bool, error) {
-	last := j.w.LastIndex()
+	last, err := j.w.SyncIndex()
+	if err != nil {
+		return false, err
+	}
 	j.mu.Lock()
 	unchanged := last == j.snapIndex
 	j.mu.Unlock()
@@ -218,9 +233,10 @@ func (j *WALJournal) Len() int { return int(j.w.Appended()) }
 // the window a crash can lose, and the overload guard's backlog signal.
 func (j *WALJournal) Pending() int { return j.w.Pending() }
 
-// Flush is a no-op: the WAL writes through on every append. It exists
-// so WALJournal satisfies the same shutdown contract as Journal.
-func (j *WALJournal) Flush() error { return nil }
+// Flush forces everything appended so far to stable storage — the same
+// durability contract as Journal.Flush. Under the batch/interval fsync
+// policies this is what drains Pending to zero.
+func (j *WALJournal) Flush() error { return j.w.Sync() }
 
 // Sync forces everything appended so far to stable storage.
 func (j *WALJournal) Sync() error { return j.w.Sync() }

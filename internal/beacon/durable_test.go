@@ -205,6 +205,108 @@ func TestWALJournalSnapshotOverlapIsIdempotent(t *testing.T) {
 	}
 }
 
+func TestWALJournalFlushIsDurable(t *testing.T) {
+	// Flush must honour the legacy Journal contract: after it returns,
+	// nothing is pending. Under the default on-batch policy a lone
+	// Submit is unsynced until then.
+	dir := t.TempDir()
+	j, _, err := OpenDurable(wal.Options{Dir: dir}, NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Submit(durEvent(0)); err != nil {
+		t.Fatal(err)
+	}
+	if j.Pending() != 1 {
+		t.Fatalf("pending before Flush = %d, want 1", j.Pending())
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Pending() != 0 {
+		t.Fatalf("pending after Flush = %d, want 0", j.Pending())
+	}
+}
+
+func TestSnapshotCoverageNeverExceedsDurableTail(t *testing.T) {
+	// The review scenario: under a deferred-fsync policy, a snapshot
+	// whose coverage index ran ahead of the fsynced tail would — after a
+	// crash that loses the page cache — leave the WAL's next index BELOW
+	// the snapshot's coverage. Post-restart appends would then reuse
+	// covered indices, and the next recovery's skip would silently drop
+	// them. Snapshot now syncs before capturing coverage, and OpenDurable
+	// skips the WAL forward past the snapshot, so events accepted after
+	// the crash must always survive the following restart.
+	dir := t.TempDir()
+	cfs := faults.NewCrashFS(nil)
+	cfs.DiscardUnsynced(true)
+	store := NewStore()
+	opts := wal.Options{Dir: dir, FS: cfs, Fsync: wal.FsyncInterval, FsyncEvery: time.Hour}
+	j, _, err := OpenDurable(opts, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e := durEvent(i)
+		store.Submit(e)
+		if err := j.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5 (interval policy must defer fsync)", j.Pending())
+	}
+	wrote, err := j.Snapshot(store)
+	if err != nil || !wrote {
+		t.Fatalf("snapshot: wrote=%v err=%v", wrote, err)
+	}
+	// Coverage was captured with a sync: nothing the snapshot claims can
+	// be lost by the crash below.
+	if j.Pending() != 0 {
+		t.Fatalf("pending after snapshot = %d, want 0", j.Pending())
+	}
+	// Crash with page-cache loss on the next write.
+	cfs.CrashAfterBytes(0)
+	if err := j.Submit(durEvent(5)); err == nil {
+		t.Fatal("submit after crash point must fail")
+	}
+
+	// Restart 1: the snapshot restores everything; new events must get
+	// indices past its coverage.
+	restored := NewStore()
+	j2, rec, err := OpenDurable(wal.Options{Dir: dir}, restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotIndex != 5 || restored.Len() != 5 {
+		t.Fatalf("restart 1: snapIndex=%d len=%d, want 5/5 (%+v)", rec.SnapshotIndex, restored.Len(), rec)
+	}
+	if got := j2.WAL().NextIndex(); got != 6 {
+		t.Fatalf("restart 1: NextIndex = %d, want 6 (must not regress below snapshot coverage)", got)
+	}
+	for i := 5; i < 8; i++ {
+		e := durEvent(i)
+		restored.Submit(e)
+		if err := j2.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j2.Close()
+
+	// Restart 2: the post-crash events must replay — with the old index
+	// regression they would have been skipped as snapshot-covered.
+	final := NewStore()
+	j3, rec3, err := OpenDurable(wal.Options{Dir: dir}, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if rec3.Replayed != 3 || final.Len() != 8 {
+		t.Fatalf("restart 2: replayed=%d len=%d, want 3/8 (%+v)", rec3.Replayed, final.Len(), rec3)
+	}
+}
+
 func TestWALJournalDiskFullDegrades(t *testing.T) {
 	dir := t.TempDir()
 	cfs := faults.NewCrashFS(nil)

@@ -223,6 +223,19 @@ func (c *CrashFS) Rename(oldPath, newPath string) error {
 	return c.inner.Rename(oldPath, newPath)
 }
 
+// SyncDir implements wal.FS. Directory-entry durability is not modelled
+// (the harness tracks per-file page-cache loss only), so a live FS just
+// passes through; after a crash it fails like every other mutation.
+func (c *CrashFS) SyncDir(dir string) error {
+	c.mu.Lock()
+	err := c.failedLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.inner.SyncDir(dir)
+}
+
 // Remove implements wal.FS.
 func (c *CrashFS) Remove(name string) error {
 	c.mu.Lock()

@@ -21,8 +21,9 @@ type hookFS struct {
 	createErr error
 	readErr   error
 	listErr   error
-	renameErr error
-	removeErr error
+	renameErr  error
+	removeErr  error
+	syncDirErr error
 	// createHook, when set, decides per-path whether Create fails.
 	createHook func(name string) error
 	// wrap, when set, decorates every opened/created file.
@@ -91,11 +92,19 @@ func (h *hookFS) Remove(name string) error {
 	return h.FS.Remove(name)
 }
 
-// hookFile decorates a File with injectable write/sync/truncate
-// failures; writeErr fires after writeOK more successful writes, and
-// partial>=0 makes the failing write land that many bytes first.
-type hookFile struct {
-	File
+func (h *hookFS) SyncDir(dir string) error {
+	if h.syncDirErr != nil {
+		return h.syncDirErr
+	}
+	return h.FS.SyncDir(dir)
+}
+
+// hookErrs is the injectable write/sync/truncate failure config;
+// writeErr fires after writeOK more successful writes, and partial>=0
+// makes the failing write land that many bytes first. It is shared by
+// every file the wrapping hookFS opens (rotation keeps two files live
+// at once), and tests mutate it mid-run.
+type hookErrs struct {
 	writeOK  int
 	writeErr error
 	partial  int
@@ -103,28 +112,38 @@ type hookFile struct {
 	truncErr error
 }
 
+// bind attaches the shared config to one opened file.
+func (e *hookErrs) bind(f File) File { return &hookFile{File: f, errs: e} }
+
+// hookFile decorates one File with the shared failure config.
+type hookFile struct {
+	File
+	errs *hookErrs
+}
+
 func (h *hookFile) Write(p []byte) (int, error) {
-	if h.writeErr != nil && h.writeOK <= 0 {
+	e := h.errs
+	if e.writeErr != nil && e.writeOK <= 0 {
 		n := 0
-		if h.partial > 0 && h.partial < len(p) {
-			n, _ = h.File.Write(p[:h.partial])
+		if e.partial > 0 && e.partial < len(p) {
+			n, _ = h.File.Write(p[:e.partial])
 		}
-		return n, h.writeErr
+		return n, e.writeErr
 	}
-	h.writeOK--
+	e.writeOK--
 	return h.File.Write(p)
 }
 
 func (h *hookFile) Sync() error {
-	if h.syncErr != nil {
-		return h.syncErr
+	if h.errs.syncErr != nil {
+		return h.errs.syncErr
 	}
 	return h.File.Sync()
 }
 
 func (h *hookFile) Truncate(size int64) error {
-	if h.truncErr != nil {
-		return h.truncErr
+	if h.errs.truncErr != nil {
+		return h.errs.truncErr
 	}
 	return h.File.Truncate(size)
 }
@@ -242,8 +261,8 @@ func TestOpenErrorPaths(t *testing.T) {
 func TestAppendWriteErrorPaths(t *testing.T) {
 	boom := errors.New("boom")
 	t.Run("clean failure", func(t *testing.T) {
-		hf := &hookFile{}
-		fsys := &hookFS{FS: OS, wrap: func(f File) File { hf.File = f; return hf }}
+		hf := &hookErrs{}
+		fsys := &hookFS{FS: OS, wrap: hf.bind}
 		w, _, err := Open(Options{Dir: t.TempDir(), FS: fsys}, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -263,8 +282,8 @@ func TestAppendWriteErrorPaths(t *testing.T) {
 		w.Close()
 	})
 	t.Run("partial write rolled back", func(t *testing.T) {
-		hf := &hookFile{}
-		fsys := &hookFS{FS: OS, wrap: func(f File) File { hf.File = f; return hf }}
+		hf := &hookErrs{}
+		fsys := &hookFS{FS: OS, wrap: hf.bind}
 		dir := t.TempDir()
 		w, _, err := Open(Options{Dir: dir, FS: fsys}, nil)
 		if err != nil {
@@ -292,8 +311,8 @@ func TestAppendWriteErrorPaths(t *testing.T) {
 		}
 	})
 	t.Run("partial write with failed rollback poisons segment", func(t *testing.T) {
-		hf := &hookFile{}
-		fsys := &hookFS{FS: OS, wrap: func(f File) File { hf.File = f; return hf }}
+		hf := &hookErrs{}
+		fsys := &hookFS{FS: OS, wrap: hf.bind}
 		dir := t.TempDir()
 		w, _, err := Open(Options{Dir: dir, FS: fsys}, nil)
 		if err != nil {
@@ -325,8 +344,8 @@ func TestAppendWriteErrorPaths(t *testing.T) {
 		}
 	})
 	t.Run("sync failure surfaces", func(t *testing.T) {
-		hf := &hookFile{}
-		fsys := &hookFS{FS: OS, wrap: func(f File) File { hf.File = f; return hf }}
+		hf := &hookErrs{}
+		fsys := &hookFS{FS: OS, wrap: hf.bind}
 		w, _, err := Open(Options{Dir: t.TempDir(), FS: fsys}, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -344,6 +363,174 @@ func TestAppendWriteErrorPaths(t *testing.T) {
 			t.Fatalf("rotate with failing sync: %v", err)
 		}
 	})
+}
+
+func TestRotateCreateFailureKeepsOldSegmentActive(t *testing.T) {
+	// ENOSPC at rotation: creating the replacement segment fails. The
+	// old segment must stay active (and writable) so the WAL self-heals
+	// once space is freed, instead of wedging against a closed file.
+	fail := false
+	fsys := &hookFS{FS: OS, createHook: func(name string) error {
+		if fail && strings.HasSuffix(name, ".seg") {
+			return syscall.ENOSPC
+		}
+		return nil
+	}}
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, FS: fsys, SegmentBytes: 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	// The next append must rotate; the rotation's create fails.
+	if err := w.Append([]byte("second-record-xx")); !IsDiskFull(err) {
+		t.Fatalf("append during failed rotation: %v", err)
+	}
+	if !w.DiskFull() {
+		t.Fatal("failed segment create must raise the disk-full flag")
+	}
+	// Space frees up: the very next append rotates and lands.
+	fail = false
+	if err := w.Append([]byte("third-record-xxx")); err != nil {
+		t.Fatalf("append after space freed: %v", err)
+	}
+	if w.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2", w.Segments())
+	}
+	w.Close()
+	var recs []string
+	if _, _, err := Open(Options{Dir: dir}, func(_ uint64, p []byte) error {
+		recs = append(recs, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0] != "0123456789abcdef" || recs[1] != "third-record-xxx" {
+		t.Fatalf("recovered %q", recs)
+	}
+}
+
+func TestSkipTo(t *testing.T) {
+	t.Run("past records", func(t *testing.T) {
+		dir := t.TempDir()
+		w, _, err := Open(Options{Dir: dir}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := w.Append([]byte("rec")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.SkipTo(2); err != nil { // behind: no-op
+			t.Fatal(err)
+		}
+		if got := w.NextIndex(); got != 4 {
+			t.Fatalf("NextIndex after backward SkipTo = %d", got)
+		}
+		if err := w.SkipTo(10); err != nil {
+			t.Fatal(err)
+		}
+		if got := w.NextIndex(); got != 10 {
+			t.Fatalf("NextIndex = %d, want 10", got)
+		}
+		if err := w.Append([]byte("after-skip")); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		// The jump survives recovery: the new segment's header declares it.
+		var idx []uint64
+		w2, _, err := Open(Options{Dir: dir}, func(i uint64, _ []byte) error {
+			idx = append(idx, i)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w2.Close()
+		want := []uint64{1, 2, 3, 10}
+		if len(idx) != len(want) {
+			t.Fatalf("recovered indices %v, want %v", idx, want)
+		}
+		for i := range want {
+			if idx[i] != want[i] {
+				t.Fatalf("recovered indices %v, want %v", idx, want)
+			}
+		}
+		if got := w2.NextIndex(); got != 11 {
+			t.Fatalf("NextIndex after recovery = %d, want 11", got)
+		}
+	})
+	t.Run("empty active segment is replaced", func(t *testing.T) {
+		dir := t.TempDir()
+		w, _, err := Open(Options{Dir: dir}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.SkipTo(7); err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Segments(); got != 1 {
+			t.Fatalf("empty segment not retired: %d segments", got)
+		}
+		if err := w.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		var idx []uint64
+		w2, _, err := Open(Options{Dir: dir}, func(i uint64, _ []byte) error {
+			idx = append(idx, i)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w2.Close()
+		if len(idx) != 1 || idx[0] != 7 {
+			t.Fatalf("recovered indices %v, want [7]", idx)
+		}
+	})
+	t.Run("closed", func(t *testing.T) {
+		w, _, err := Open(Options{Dir: t.TempDir()}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		if err := w.SkipTo(5); !errors.Is(err, ErrClosed) {
+			t.Fatalf("SkipTo after close: %v", err)
+		}
+	})
+	t.Run("create failure restores index", func(t *testing.T) {
+		fsys := &hookFS{FS: OS}
+		w, _, err := Open(Options{Dir: t.TempDir(), FS: fsys}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		boom := errors.New("boom")
+		fsys.createErr = boom
+		if err := w.SkipTo(9); !errors.Is(err, boom) {
+			t.Fatalf("SkipTo with failing create: %v", err)
+		}
+		if got := w.NextIndex(); got != 1 {
+			t.Fatalf("NextIndex after failed SkipTo = %d, want 1", got)
+		}
+		fsys.createErr = nil
+		if err := w.Append([]byte("x")); err != nil {
+			t.Fatalf("append after failed SkipTo: %v", err)
+		}
+	})
+}
+
+func TestSyncDirFailurePaths(t *testing.T) {
+	boom := errors.New("boom")
+	// Segment creation surfaces a directory-sync failure.
+	if _, _, err := Open(Options{Dir: t.TempDir(), FS: &hookFS{FS: OS, syncDirErr: boom}}, nil); !errors.Is(err, boom) {
+		t.Fatalf("open with failing dir sync: %v", err)
+	}
 }
 
 func TestCompactRemoveFailureKeepsSegment(t *testing.T) {
@@ -503,12 +690,15 @@ func TestSnapshotErrorPaths(t *testing.T) {
 	if _, err := WriteSnapshot(&hookFS{FS: OS, createErr: boom}, dir, 1, at, []byte("p")); !errors.Is(err, boom) {
 		t.Fatalf("create: %v", err)
 	}
-	hf := &hookFile{writeErr: boom}
-	if _, err := WriteSnapshot(&hookFS{FS: OS, wrap: func(f File) File { hf.File = f; return hf }}, dir, 1, at, []byte("p")); !errors.Is(err, boom) {
+	hf := &hookErrs{writeErr: boom}
+	if _, err := WriteSnapshot(&hookFS{FS: OS, wrap: hf.bind}, dir, 1, at, []byte("p")); !errors.Is(err, boom) {
 		t.Fatalf("write: %v", err)
 	}
 	if _, err := WriteSnapshot(&hookFS{FS: OS, renameErr: boom}, dir, 1, at, []byte("p")); !errors.Is(err, boom) {
 		t.Fatalf("rename: %v", err)
+	}
+	if _, err := WriteSnapshot(&hookFS{FS: OS, syncDirErr: boom}, dir, 1, at, []byte("p")); !errors.Is(err, boom) {
+		t.Fatalf("dir sync: %v", err)
 	}
 	// None of the failures may leave a loadable snapshot behind.
 	if snap, _, err := LoadSnapshot(nil, dir); err != nil || snap != nil {

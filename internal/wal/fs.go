@@ -31,6 +31,11 @@ type FS interface {
 	List(dir string) ([]string, error)
 	Rename(oldPath, newPath string) error
 	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making entry mutations
+	// (create, rename) durable: without it a power loss can make a
+	// freshly created segment or a renamed snapshot vanish even though
+	// the file's own contents were fsynced.
+	SyncDir(dir string) error
 }
 
 // OS is the real-filesystem FS.
@@ -70,3 +75,16 @@ func (osFS) List(dir string) ([]string, error) {
 func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
 
 func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

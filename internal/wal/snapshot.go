@@ -94,6 +94,14 @@ func WriteSnapshot(fsys FS, dir string, lastIndex uint64, at time.Time, payload 
 		fsys.Remove(tmp)
 		return "", fmt.Errorf("wal: publish snapshot: %w", err)
 	}
+	// The rename is only durable once the directory entry is fsynced;
+	// until then a power loss could roll the directory back and make
+	// the snapshot vanish. Callers (Compact) must not delete the
+	// segments it covers before this point.
+	if err := fsys.SyncDir(dir); err != nil {
+		fsys.Remove(final) // publish failed: don't leave a maybe-durable snapshot
+		return "", fmt.Errorf("wal: sync snapshot dir: %w", err)
+	}
 	// The new snapshot is durable; older ones are now redundant.
 	names, err := fsys.List(dir)
 	if err != nil {

@@ -306,8 +306,12 @@ func (w *WAL) shouldRotateLocked(incoming int64) bool {
 	return w.opts.SegmentAge > 0 && w.opts.Now().Sub(w.activeBirth) >= w.opts.SegmentAge
 }
 
-// rotateLocked seals the active segment (sync + close) and opens a
-// fresh one. An empty active segment is left in place.
+// rotateLocked seals the active segment and opens a fresh one. An empty
+// active segment is left in place. The replacement is created (and its
+// directory entry fsynced) BEFORE the old segment is closed: if creation
+// fails — ENOSPC at rotation is the classic case — the old file stays
+// active and the next append simply retries the rotation, instead of
+// wedging every future append against a closed file.
 func (w *WAL) rotateLocked() error {
 	if w.activeSize <= SegmentHeaderSize {
 		return nil
@@ -315,17 +319,25 @@ func (w *WAL) rotateLocked() error {
 	if err := w.syncLocked(); err != nil {
 		return err
 	}
-	if err := w.active.Close(); err != nil {
+	old, oldPath, oldStart, oldLast := w.active, w.activePath, w.activeStart, w.nextIndex-1
+	if err := w.createActiveLocked(); err != nil {
+		return err // old segment untouched, still active
+	}
+	w.sealed = append(w.sealed, sealedSeg{path: oldPath, first: oldStart, last: oldLast})
+	w.rotations.Add(1)
+	if err := old.Close(); err != nil {
+		// The data is already synced; a close failure costs a descriptor,
+		// not durability. The new segment stays active.
 		return fmt.Errorf("wal: seal segment: %w", err)
 	}
-	w.sealed = append(w.sealed, sealedSeg{path: w.activePath, first: w.activeStart, last: w.nextIndex - 1})
-	w.rotations.Add(1)
-	return w.createActiveLocked()
+	return nil
 }
 
 // createActiveLocked opens a brand-new active segment whose first record
-// index is nextIndex. The header is written and synced immediately so a
-// crash right after rotation leaves a well-formed empty segment.
+// index is nextIndex. The header is written and synced — and the
+// directory entry fsynced — immediately, so a crash right after rotation
+// leaves a well-formed, durably linked empty segment. On failure w's
+// active-segment fields are untouched.
 func (w *WAL) createActiveLocked() error {
 	path := filepath.Join(w.opts.Dir, segmentName(w.nextIndex))
 	f, err := w.fs.Create(path)
@@ -345,6 +357,10 @@ func (w *WAL) createActiveLocked() error {
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: sync segment header: %w", err)
+	}
+	if err := w.fs.SyncDir(w.opts.Dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync dir: %w", err)
 	}
 	w.active = f
 	w.activePath = path
@@ -375,6 +391,70 @@ func (w *WAL) Sync() error {
 		return ErrClosed
 	}
 	return w.syncLocked()
+}
+
+// SyncIndex forces everything appended so far to stable storage and
+// returns the index of the last durable record (0 when the WAL holds
+// none). Snapshot coverage must be captured through this, not
+// LastIndex: under the batch/interval fsync policies LastIndex can run
+// ahead of the durable tail, and a crash would leave a snapshot
+// claiming to cover records the WAL lost.
+func (w *WAL) SyncIndex() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if err := w.syncLocked(); err != nil {
+		return 0, err
+	}
+	return w.nextIndex - 1, nil
+}
+
+// SkipTo advances the WAL so the next appended record gets index at
+// least next (no-op when it already would). Recovery can leave
+// nextIndex behind a published snapshot's coverage — a truncated torn
+// tail or a quarantined final segment rewinds it — and appends would
+// then reuse indices the snapshot already covers, which the replay
+// skip would silently drop on the NEXT recovery. The jump is made
+// durable by sealing the active segment and starting a fresh one whose
+// header declares the new first index.
+func (w *WAL) SkipTo(next uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if next <= w.nextIndex {
+		return nil
+	}
+	hasRecords := w.activeSize > SegmentHeaderSize
+	if hasRecords {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+	}
+	old, oldPath, oldStart, oldLast := w.active, w.activePath, w.activeStart, w.nextIndex-1
+	prev := w.nextIndex
+	w.nextIndex = next
+	if err := w.createActiveLocked(); err != nil {
+		w.nextIndex = prev
+		return err
+	}
+	if hasRecords {
+		w.sealed = append(w.sealed, sealedSeg{path: oldPath, first: oldStart, last: oldLast})
+		w.rotations.Add(1)
+		if err := old.Close(); err != nil {
+			return fmt.Errorf("wal: seal segment: %w", err)
+		}
+		return nil
+	}
+	// The outgoing active segment held no records: retire the empty
+	// file. Best effort — a leftover empty segment is recovered as an
+	// empty sealed segment and compacted away later.
+	old.Close()
+	w.fs.Remove(oldPath)
+	return nil
 }
 
 // Rotate seals the active segment and starts a new one (no-op when the
