@@ -10,7 +10,7 @@ GO ?= go
 COVER_FLOOR ?= 81.0
 COVER_PROFILE ?= coverage.out
 
-.PHONY: all build vet test race bench cover chaos fuzz-smoke ci
+.PHONY: all build vet test race bench cover chaos soak fuzz-smoke ci
 
 all: ci
 
@@ -26,8 +26,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Ingest benchmarks: microbenchmarks for the sharded store and the WAL
+# group committer, then the end-to-end shard-scaling ladder (full HTTP
+# server, WAL on the request path, fsync=always) written to BENCH_PR4.json.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run='^$$' -bench='BenchmarkStore|BenchmarkWALAppend' -benchmem ./internal/beacon
+	$(GO) run ./cmd/qtag-stress -load -workers 32 -events 8000 \
+		-group-commit-max-wait 500us -bench-out BENCH_PR4.json
 
 # Crash-safety sweep: the WAL, the crash-point harness, and the
 # durability layer's torn-write / page-cache-loss / bit-rot / ENOSPC
@@ -36,10 +41,21 @@ chaos:
 	$(GO) test -race -run 'Crash|Torn|Quarantine|ENOSPC|Snapshot|Recover|Durable|Flip' \
 		./internal/wal/... ./internal/faults/... ./internal/beacon/...
 
-# Ten seconds of fuzzing on the WAL record codec — enough to catch a
-# framing or checksum regression without stalling the pipeline.
+# Concurrency soak: the sharded store + group-commit WAL driven through
+# the full HTTP server by concurrent clients, with store/WAL/counter
+# reconciliation, plus the sharded-vs-seed and group-commit-vs-per-record
+# equivalence property tests — all under the race detector.
+soak:
+	$(GO) test -race -count=1 -run 'Soak|Equivalence|ShardsRounding' \
+		./internal/beacon/... ./internal/stress/...
+
+# Ten seconds of fuzzing each on the WAL record codec and the ingest
+# handler — enough to catch a framing, checksum, or batch-atomicity
+# regression without stalling the pipeline. (One -fuzz pattern per
+# invocation: go test rejects fuzzing multiple targets at once.)
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWALRecord -fuzztime=10s ./internal/beacon
+	$(GO) test -run='^$$' -fuzz=FuzzHandleEvents -fuzztime=10s ./internal/beacon
 
 cover:
 	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
@@ -48,4 +64,4 @@ cover:
 	awk -v got="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit (got + 0 < floor + 0) ? 1 : 0 }' \
 		|| { echo "FAIL: coverage $$total% is below the floor $(COVER_FLOOR)%"; exit 1; }
 
-ci: build vet race cover chaos fuzz-smoke
+ci: build vet race cover soak chaos fuzz-smoke

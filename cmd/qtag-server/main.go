@@ -13,17 +13,27 @@
 // Usage:
 //
 //	qtag-server [-addr :8640] [-log-every 30s]
+//	            [-ingest-shards 16] [-max-body-bytes 4194304]
 //	            [-wal-dir beacons.wal] [-wal-segment-bytes 8388608]
 //	            [-fsync batch] [-fsync-every 1s] [-snapshot-every 1m]
+//	            [-group-commit] [-group-commit-max-batch 256]
+//	            [-group-commit-max-wait 0] [-durable-sync]
 //	            [-journal beacons.jsonl]
 //	            [-shed-pending 10000] [-retry-after 2s]
 //	            [-log-level info] [-pprof]
 //
-// Ingested events reach the in-memory store synchronously; durability is
-// asynchronous: a store-and-forward queue drains them through a circuit
-// breaker into the journal (or discards them when neither -wal-dir nor
-// -journal is set), so /metrics always exposes the same
-// queue/breaker/flush-latency series regardless of configuration.
+// The in-memory store is sharded by impression-id hash (-ingest-shards,
+// rounded to a power of two) so concurrent ingestion contends per shard,
+// not on one lock. Ingested events reach the store synchronously;
+// durability is asynchronous by default: a store-and-forward queue
+// drains them through a circuit breaker into the journal (or discards
+// them when neither -wal-dir nor -journal is set), so /metrics always
+// exposes the same queue/breaker/flush-latency series regardless of
+// configuration. -durable-sync instead puts the WAL on the request path:
+// a POST is acknowledged only once its events are journaled (fsynced,
+// under -fsync always) — combine with -group-commit, which coalesces
+// concurrent appends into one write + one fsync per group so the
+// per-request durability cost is amortized instead of serialized.
 //
 // -wal-dir selects the crash-safe durability backend: a segmented,
 // checksummed write-ahead journal (see internal/wal) recovered on boot —
@@ -74,6 +84,12 @@ func main() {
 	fsyncMode := flag.String("fsync", "batch", "WAL fsync policy: always, batch or interval")
 	fsyncEvery := flag.Duration("fsync-every", time.Second, "fsync period for -fsync interval")
 	snapshotEvery := flag.Duration("snapshot-every", time.Minute, "snapshot + compaction cadence for -wal-dir (0 disables)")
+	ingestShards := flag.Int("ingest-shards", beacon.DefaultStoreShards, "store shard count (rounded up to a power of two)")
+	maxBodyBytes := flag.Int64("max-body-bytes", beacon.DefaultMaxBodyBytes, "reject POST /v1/events bodies larger than this with 413")
+	groupCommit := flag.Bool("group-commit", true, "coalesce concurrent WAL appends into shared fsyncs")
+	gcMaxBatch := flag.Int("group-commit-max-batch", 256, "max records per WAL group commit")
+	gcMaxWait := flag.Duration("group-commit-max-wait", 0, "hold small commit groups open this long to let more callers join")
+	durableSync := flag.Bool("durable-sync", false, "acknowledge ingestion only after events are journaled (requires -wal-dir)")
 	statsKey := flag.String("stats-key", "", "operator bearer token protecting the stats endpoints (empty = open)")
 	ingestRate := flag.Float64("ingest-rate", 0, "per-client ingestion rate limit in req/s (0 = unlimited)")
 	ingestBurst := flag.Float64("ingest-burst", 50, "per-client ingestion burst")
@@ -96,8 +112,12 @@ func main() {
 		slog.Error("-wal-dir and -journal are mutually exclusive; pick one durability backend")
 		os.Exit(2)
 	}
+	if *durableSync && *walDir == "" {
+		slog.Error("-durable-sync requires -wal-dir (synchronous durability needs a crash-safe journal)")
+		os.Exit(2)
+	}
 
-	store := beacon.NewStore()
+	store := beacon.NewStoreWithShards(*ingestShards)
 	var wj *beacon.WALJournal
 	if *walDir != "" {
 		policy, err := wal.ParseFsyncPolicy(*fsyncMode)
@@ -107,10 +127,13 @@ func main() {
 		}
 		var rec beacon.DurableRecovery
 		wj, rec, err = beacon.OpenDurable(wal.Options{
-			Dir:          *walDir,
-			SegmentBytes: *walSegmentBytes,
-			Fsync:        policy,
-			FsyncEvery:   *fsyncEvery,
+			Dir:                 *walDir,
+			SegmentBytes:        *walSegmentBytes,
+			Fsync:               policy,
+			FsyncEvery:          *fsyncEvery,
+			GroupCommit:         *groupCommit,
+			GroupCommitMaxBatch: *gcMaxBatch,
+			GroupCommitMaxWait:  *gcMaxWait,
 		}, store)
 		if err != nil {
 			logger.Error("wal recovery", "dir", *walDir, "err", err)
@@ -156,7 +179,10 @@ func main() {
 	// Durability pipeline: the store ingests synchronously; journal writes
 	// drain asynchronously through queue → breaker → journal. Without a
 	// journal the terminal sink discards, keeping the metric surface
-	// identical either way.
+	// identical either way. -durable-sync bypasses the queue and journals
+	// on the request path (breaker still in front, so a dead disk degrades
+	// to fast failures instead of hung requests); the idle queue keeps its
+	// metric series registered.
 	var durable beacon.Sink = beacon.Discard
 	switch {
 	case wj != nil:
@@ -166,11 +192,17 @@ func main() {
 	}
 	breaker := beacon.NewCircuitBreaker(durable, beacon.DefaultBreakerThreshold, 5*time.Second)
 	queue := beacon.NewQueueSink(breaker, beacon.QueueOptions{Capacity: *queueCap})
-	var sink beacon.Sink = beacon.Tee(store, queue)
+	var sink beacon.Sink
+	if *durableSync {
+		sink = beacon.Tee(store, breaker)
+	} else {
+		sink = beacon.Tee(store, queue)
+	}
 	// Stamp receive time onto beacons that arrive without one (browsers
 	// with broken clocks, legacy pixels).
 	sink = &beacon.StampSink{Next: sink, Now: time.Now}
 	server := beacon.NewServerWithSink(store, sink)
+	server.SetMaxBodyBytes(*maxBodyBytes)
 	server.Mount("GET /v1/breakdown", analytics.Handler(store))
 	server.Mount("GET /v1/timeseries", analytics.Handler(store))
 	queue.RegisterMetrics(server.Metrics())

@@ -54,6 +54,11 @@ type WALJournal struct {
 
 	snapshots atomic.Int64
 	compacted atomic.Int64
+
+	// Group-commit instrumentation, populated by the WAL's CommitObserver
+	// hook (always collected; registering on an obs.Registry exports it).
+	commitBatch   *obs.Histogram
+	commitLatency *obs.Histogram
 }
 
 // EncodeStoreSnapshot serializes the store's full event set as JSONL —
@@ -82,6 +87,14 @@ func EncodeStoreSnapshot(store *Store) []byte {
 // failures that leave the directory unusable.
 func OpenDurable(opts wal.Options, store *Store) (*WALJournal, DurableRecovery, error) {
 	var rec DurableRecovery
+	commitBatch := obs.NewHistogram(obs.SizeBuckets...)
+	commitLatency := obs.NewHistogram(obs.LatencyBuckets...)
+	if opts.GroupCommit && opts.CommitObserver == nil {
+		opts.CommitObserver = func(records int, latency time.Duration) {
+			commitBatch.Observe(float64(records))
+			commitLatency.ObserveDuration(latency)
+		}
+	}
 	snap, corrupt, err := wal.LoadSnapshot(opts.FS, opts.Dir)
 	if err != nil {
 		return nil, rec, err
@@ -133,13 +146,15 @@ func OpenDurable(opts wal.Options, store *Store) (*WALJournal, DurableRecovery, 
 		now = time.Now
 	}
 	j := &WALJournal{
-		w:         w,
-		fs:        opts.FS,
-		dir:       opts.Dir,
-		now:       now,
-		recovery:  rec,
-		snapIndex: rec.SnapshotIndex,
-		snapAt:    snapAt,
+		w:             w,
+		fs:            opts.FS,
+		dir:           opts.Dir,
+		now:           now,
+		recovery:      rec,
+		snapIndex:     rec.SnapshotIndex,
+		snapAt:        snapAt,
+		commitBatch:   commitBatch,
+		commitLatency: commitLatency,
 	}
 	return j, rec, nil
 }
@@ -284,6 +299,19 @@ func (j *WALJournal) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(rec.Quarantined) })
 	r.GaugeFunc("qtag_wal_replay_skipped_total", "WAL records that passed the CRC but did not decode into valid events.",
 		func() float64 { return float64(rec.ReplaySkipped + rec.SnapshotSkipped) })
+
+	r.GaugeFunc("qtag_wal_group_commit_enabled", "1 when WAL appends go through the group committer, else 0.",
+		func() float64 {
+			if j.w.GroupCommitEnabled() {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("qtag_wal_group_commits_total", "Successful WAL group commits since startup.", j.w.GroupCommits)
+	r.GaugeFunc("qtag_wal_group_commit_queue", "Callers currently waiting on the group committer.",
+		func() float64 { return float64(j.w.GroupQueueDepth()) })
+	r.RegisterHistogram("qtag_wal_group_commit_batch_size", "Records coalesced per WAL group commit.", j.commitBatch)
+	r.RegisterHistogram("qtag_wal_group_commit_latency_seconds", "Enqueue-to-durable latency per WAL group commit.", j.commitLatency)
 
 	r.CounterFunc("qtag_wal_snapshots_total", "Snapshots written since startup.", j.snapshots.Load)
 	r.CounterFunc("qtag_wal_compacted_segments_total", "Sealed segments retired by compaction since startup.", j.compacted.Load)

@@ -1,0 +1,406 @@
+// Equivalence property tests: the PR 4 scalability work (store sharding,
+// WAL group commit) must be observationally invisible. For random event
+// streams — duplicates, multiple campaigns, mixed sources — a sharded
+// store at any shard count produces exactly the seed single-lock store's
+// event set, counters and reconciliation output; and a WAL written
+// through the group committer replays to state byte-identical to one
+// written with per-record appends.
+//
+// External test package like durable_test.go: everything goes through
+// the public API.
+package beacon_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	. "qtag/internal/beacon"
+	"qtag/internal/simrand"
+	"qtag/internal/wal"
+)
+
+// seedStore is the seed repository's store collapsed to its essentials:
+// one mutex, one dedup map, one counter map. It is the equivalence
+// oracle the sharded store is compared against.
+type seedStore struct {
+	mu       sync.Mutex
+	events   map[string]Event
+	counters map[CounterKey]int
+}
+
+func newSeedStore() *seedStore {
+	return &seedStore{events: make(map[string]Event), counters: make(map[CounterKey]int)}
+}
+
+func (s *seedStore) Submit(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := e.Key()
+	if _, dup := s.events[key]; dup {
+		return nil
+	}
+	s.events[key] = e
+	s.counters[CounterKey{
+		CampaignID: e.CampaignID,
+		Source:     e.Source,
+		Type:       e.Type,
+		OS:         e.Meta.OS,
+		SiteType:   e.Meta.SiteType,
+		Exchange:   e.Meta.Exchange,
+		Country:    e.Meta.Country,
+	}]++
+	return nil
+}
+
+// randomStream draws n events with deliberate collisions: few campaigns
+// and impressions, every type/source combination, and enough repeats
+// that dedup paths are exercised. Non-key fields (At, Meta) are derived
+// from the impression index, so two stream entries with the same
+// idempotency key are byte-identical — the precondition for order
+// independence (with distinct payloads under one key, "which duplicate
+// wins" legitimately depends on arrival order).
+func randomStream(seed uint64, n int) []Event {
+	rng := simrand.New(seed).Fork("equiv-stream")
+	types := []EventType{EventServed, EventLoaded, EventInView, EventOutOfView}
+	sources := []Source{SourceQTag, SourceCommercial}
+	oses := []string{"android", "ios", ""}
+	sites := []string{"news", "video", ""}
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		typ := types[rng.Intn(len(types))]
+		imp := rng.Intn(n/4 + 1)
+		e := Event{
+			ImpressionID: fmt.Sprintf("imp-%d", imp),
+			CampaignID:   fmt.Sprintf("camp-%d", imp%3),
+			Type:         typ,
+			At:           time.Unix(1500000000+int64(imp), 0).UTC(),
+			Seq:          imp % 2,
+			Meta: Meta{
+				OS:       oses[imp%len(oses)],
+				SiteType: sites[(imp/3)%len(sites)],
+			},
+		}
+		if typ != EventServed {
+			e.Source = sources[imp%len(sources)]
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// reconciliation is the slice of store outputs the stats endpoints and
+// end-of-run reconciliation checks read; two equivalent stores must
+// agree on every field.
+type reconciliation struct {
+	Len         int
+	CampaignIDs []string
+	Counters    map[CounterKey]int
+	Served      map[string]int
+	Loaded      map[string]map[Source]int
+	InView      map[string]map[Source]int
+}
+
+func reconcile(s *Store) reconciliation {
+	rec := reconciliation{
+		Len:         s.Len(),
+		CampaignIDs: s.CampaignIDs(),
+		Counters:    s.Counters(),
+		Served:      map[string]int{},
+		Loaded:      map[string]map[Source]int{},
+		InView:      map[string]map[Source]int{},
+	}
+	for _, id := range append([]string{""}, rec.CampaignIDs...) {
+		rec.Served[id] = s.Served(id)
+		rec.Loaded[id] = map[Source]int{}
+		rec.InView[id] = map[Source]int{}
+		for _, src := range []Source{SourceQTag, SourceCommercial} {
+			rec.Loaded[id][src] = s.Loaded(id, src)
+			rec.InView[id][src] = s.InView(id, src)
+		}
+	}
+	return rec
+}
+
+func TestStoreShardsRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16}, {16, 16}, {17, 32}, {1 << 20, 1024},
+	} {
+		if got := NewStoreWithShards(tc.in).Shards(); got != tc.want {
+			t.Errorf("NewStoreWithShards(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := NewStore().Shards(); got != DefaultStoreShards {
+		t.Errorf("NewStore().Shards() = %d, want %d", got, DefaultStoreShards)
+	}
+}
+
+// TestShardedStoreEquivalence: sequential application of a random
+// stream yields identical state at every shard count, matching the seed
+// single-lock oracle.
+func TestShardedStoreEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 2019, 0xdeadbeef} {
+		stream := randomStream(seed, 600)
+		oracle := newSeedStore()
+		for _, e := range stream {
+			oracle.Submit(e)
+		}
+		for _, shards := range []int{1, 2, 8, 16} {
+			store := NewStoreWithShards(shards)
+			for _, e := range stream {
+				if err := store.Submit(e); err != nil {
+					t.Fatalf("seed=%d shards=%d: submit: %v", seed, shards, err)
+				}
+			}
+			assertMatchesOracle(t, fmt.Sprintf("seed=%d shards=%d", seed, shards), store, oracle)
+		}
+	}
+}
+
+// TestShardedStoreConcurrentEquivalence: the same stream applied from
+// many goroutines (interleaving unknown) still converges to the oracle
+// state — submission order never matters to an idempotent store.
+func TestShardedStoreConcurrentEquivalence(t *testing.T) {
+	stream := randomStream(77, 800)
+	oracle := newSeedStore()
+	for _, e := range stream {
+		oracle.Submit(e)
+	}
+	for _, shards := range []int{1, 2, 8, 16} {
+		store := NewStoreWithShards(shards)
+		const workers = 8
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Striped assignment: every event submitted exactly once,
+				// but interleaved across goroutines.
+				for i := w; i < len(stream); i += workers {
+					store.Submit(stream[i])
+				}
+				// And a second full pass from the last worker: duplicates
+				// from every shard must be absorbed.
+				if w == workers-1 {
+					for _, e := range stream {
+						store.Submit(e)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		assertMatchesOracle(t, fmt.Sprintf("concurrent shards=%d", shards), store, oracle)
+	}
+}
+
+func assertMatchesOracle(t *testing.T, label string, store *Store, oracle *seedStore) {
+	t.Helper()
+	// Identical event sets.
+	if store.Len() != len(oracle.events) {
+		t.Fatalf("%s: Len = %d, oracle %d", label, store.Len(), len(oracle.events))
+	}
+	for _, e := range store.Events() {
+		oe, ok := oracle.events[e.Key()]
+		if !ok {
+			t.Fatalf("%s: store holds %q, oracle does not", label, e.Key())
+		}
+		if !reflect.DeepEqual(e, oe) {
+			t.Fatalf("%s: event %q differs: %+v vs %+v", label, e.Key(), e, oe)
+		}
+	}
+	// Identical counters.
+	if got := store.Counters(); !reflect.DeepEqual(got, oracle.counters) {
+		t.Fatalf("%s: counters diverge:\n got %v\nwant %v", label, got, oracle.counters)
+	}
+}
+
+// TestShardedStoreReconciliationEquivalence: the reconciliation surface
+// (Len, CampaignIDs, Served/Loaded/InView at every slice) is identical
+// across shard counts.
+func TestShardedStoreReconciliationEquivalence(t *testing.T) {
+	stream := randomStream(4242, 700)
+	var baseline *reconciliation
+	for _, shards := range []int{1, 2, 8, 16} {
+		store := NewStoreWithShards(shards)
+		for _, e := range stream {
+			store.Submit(e)
+		}
+		rec := reconcile(store)
+		if baseline == nil {
+			baseline = &rec
+			continue
+		}
+		if !reflect.DeepEqual(rec, *baseline) {
+			t.Fatalf("shards=%d: reconciliation diverges from shards=1:\n got %+v\nwant %+v", shards, rec, *baseline)
+		}
+	}
+}
+
+// TestGroupCommitWALEquivalence: a WAL filled by concurrent appenders
+// through the group committer replays to state byte-identical to a WAL
+// filled by sequential per-record appends — grouping changes syscall
+// counts, never recovered state.
+func TestGroupCommitWALEquivalence(t *testing.T) {
+	stream := randomStream(99, 400)
+
+	// Reference: per-record appends, seed configuration.
+	refDir := t.TempDir()
+	refStore := NewStore()
+	refJ, _, err := OpenDurable(wal.Options{Dir: refDir, Fsync: wal.FsyncAlways}, refStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream {
+		// Tee order: store first, then the journal — as the server wires it.
+		if err := refStore.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := refJ.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := refJ.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Group commit: the same events from 8 concurrent goroutines.
+	gcDir := t.TempDir()
+	gcStore := NewStore()
+	gcJ, _, err := OpenDurable(wal.Options{
+		Dir: gcDir, Fsync: wal.FsyncAlways,
+		GroupCommit: true, GroupCommitMaxBatch: 32,
+	}, gcStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(stream); i += workers {
+				if err := gcStore.Submit(stream[i]); err != nil {
+					errs <- err
+					return
+				}
+				if err := gcJ.Submit(stream[i]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if gcJ.WAL().GroupCommits() == 0 {
+		t.Fatal("group committer never committed a group")
+	}
+	if err := gcJ.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay both directories; the restored stores must serialize to the
+	// same bytes (EncodeStoreSnapshot sorts deterministically).
+	replayRef, replayGC := NewStore(), NewStore()
+	if _, err := ReplayWALDir(refDir, replayRef); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWALDir(gcDir, replayGC); err != nil {
+		t.Fatal(err)
+	}
+	a, b := EncodeStoreSnapshot(replayRef), EncodeStoreSnapshot(replayGC)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("replayed state differs: per-record %d bytes, group-commit %d bytes", len(a), len(b))
+	}
+	if replayRef.Len() == 0 {
+		t.Fatal("reference replay restored nothing — vacuous equivalence")
+	}
+	// And both equal the in-memory state the stores held before the
+	// restart (the Tee order guarantee).
+	if !bytes.Equal(a, EncodeStoreSnapshot(refStore)) {
+		t.Fatal("per-record replay diverges from pre-restart store")
+	}
+	if !bytes.Equal(b, EncodeStoreSnapshot(gcStore)) {
+		t.Fatal("group-commit replay diverges from pre-restart store")
+	}
+}
+
+// TestGroupCommitBatchEquivalence: SubmitBatch through the group
+// committer preserves the per-record WAL's replayed state too, and
+// oversized records fail their own caller without poisoning the group.
+func TestGroupCommitBatchEquivalence(t *testing.T) {
+	stream := randomStream(7, 120)
+
+	refDir, gcDir := t.TempDir(), t.TempDir()
+	refJ, _, err := OpenDurable(wal.Options{Dir: refDir, Fsync: wal.FsyncOnBatch}, NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcJ, _, err := OpenDurable(wal.Options{
+		Dir: gcDir, Fsync: wal.FsyncOnBatch, GroupCommit: true,
+	}, NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(stream); off += 10 {
+		batch := stream[off:min(off+10, len(stream))]
+		if err := refJ.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := gcJ.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := refJ.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gcJ.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replayRef, replayGC := NewStore(), NewStore()
+	if _, err := ReplayWALDir(refDir, replayRef); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWALDir(gcDir, replayGC); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeStoreSnapshot(replayRef), EncodeStoreSnapshot(replayGC)) {
+		t.Fatal("batched group-commit replay diverges from per-record replay")
+	}
+}
+
+// TestGroupCommitOversizedRecordIsolated: an over-limit record errors
+// back to its caller before it can join (and fail) a group.
+func TestGroupCommitOversizedRecordIsolated(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := wal.Open(wal.Options{
+		Dir: dir, MaxRecordBytes: 64, GroupCommit: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(make([]byte, 65)); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+	if err := w.AppendBatch([][]byte{make([]byte, 10), make([]byte, 65)}); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if err := w.Append([]byte("ok")); err != nil {
+		t.Fatalf("well-sized append after oversized rejections: %v", err)
+	}
+	if got := w.Appended(); got != 1 {
+		t.Fatalf("appended = %d, want 1 (oversized records must not land)", got)
+	}
+}

@@ -19,6 +19,8 @@ package beacon
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -112,9 +114,21 @@ func (e Event) Validate() error {
 }
 
 // Key returns the idempotency key: re-submitting an event with the same
-// key is a no-op at the store.
+// key is a no-op at the store. Built by hand rather than fmt.Sprintf —
+// this sits on the per-event ingest hot path.
 func (e Event) Key() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%d", e.CampaignID, e.ImpressionID, e.Source, e.Type, e.Seq)
+	var b strings.Builder
+	b.Grow(len(e.CampaignID) + len(e.ImpressionID) + len(e.Source) + len(e.Type) + 24)
+	b.WriteString(e.CampaignID)
+	b.WriteByte('|')
+	b.WriteString(e.ImpressionID)
+	b.WriteByte('|')
+	b.WriteString(string(e.Source))
+	b.WriteByte('|')
+	b.WriteString(string(e.Type))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(int64(e.Seq), 10))
+	return b.String()
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,65 @@
+package beacon
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzHandleEvents fuzzes the full POST /v1/events handler — body size
+// limiting, JSON decoding, validation, and the atomic-batch contract —
+// through a real ServeHTTP round trip. Invariants for ANY body:
+//
+//   - the handler never panics and never answers 5xx: malformed input is
+//     the client's fault (4xx), a well-formed batch is accepted (2xx);
+//   - a batch is never partially applied: any non-2xx response leaves
+//     the store exactly as it was (422 means the WHOLE batch bounced);
+//   - on 2xx the store grows by at most the accepted count (duplicates
+//     are absorbed, never double-counted).
+func FuzzHandleEvents(f *testing.F) {
+	f.Add(`{"impression_id":"a","campaign_id":"c","type":"served"}`)
+	f.Add(`[{"impression_id":"a","campaign_id":"c","source":"qtag","type":"loaded"}]`)
+	f.Add(`[{"impression_id":"a","campaign_id":"c","type":"served"},{"type":"bogus"}]`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Add(`not json`)
+	f.Add(`null`)
+	f.Add(`{"impression_id":"a","impression_id":"b","type":"served"}`)
+	f.Add(`{"unknown_field":true,"type":"served"}`)
+	f.Add(`[{},{},{}]`)
+	f.Add(`{"type":"in_view","seq":-1}`)
+	f.Add(`[` + strings.Repeat(`{"impression_id":"x","campaign_id":"c","type":"served"},`, 40) + `{}]`)
+	f.Add(strings.Repeat("A", 4096)) // over the shrunken body limit
+	f.Add("[{\"impression_id\":\"\\u0000\",\"campaign_id\":\"c\",\"type\":\"served\"}]")
+	f.Fuzz(func(t *testing.T, body string) {
+		store := NewStore()
+		server := NewServer(store)
+		server.SetMaxBodyBytes(2048) // small enough for the fuzzer to cross
+
+		before := store.Len()
+		req := httptest.NewRequest(http.MethodPost, "/v1/events", bytes.NewReader([]byte(body)))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		server.ServeHTTP(w, req) // a panic here fails the fuzz run
+
+		code := w.Code
+		if code >= 500 {
+			t.Fatalf("5xx from handler: %d %q for body %q", code, w.Body.String(), body)
+		}
+		if code < 200 || code >= 300 {
+			// Atomic batch: a rejected request applies nothing.
+			if store.Len() != before {
+				t.Fatalf("status %d but store grew %d -> %d for body %q", code, before, store.Len(), body)
+			}
+			if len(body) > 2048 && code != http.StatusRequestEntityTooLarge {
+				t.Fatalf("oversized body answered %d, want 413", code)
+			}
+			return
+		}
+		if got := store.Len(); int64(got) > server.Accepted() {
+			t.Fatalf("store holds %d events but only %d were ever accepted", got, server.Accepted())
+		}
+	})
+}

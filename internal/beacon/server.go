@@ -25,11 +25,13 @@ import (
 // Ingestion is idempotent (see Store.Submit), so tags may retry beacons
 // freely.
 type Server struct {
-	store    *Store
-	sink     Sink
-	mux      *http.ServeMux
-	accepted atomic.Int64
-	rejected atomic.Int64
+	store     *Store
+	sink      Sink
+	mux       *http.ServeMux
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	oversized atomic.Int64
+	maxBody   atomic.Int64 // request-body cap for POST /v1/events
 
 	// reg is the server's metrics registry, exported at GET /metrics in
 	// Prometheus text format. The ingest counters above are registered on
@@ -49,9 +51,10 @@ type healthMetric struct {
 	fn   func() int64
 }
 
-// maxBodyBytes bounds request bodies; a batch of beacons is small, and an
-// unbounded read would let a client exhaust memory.
-const maxBodyBytes = 4 << 20
+// DefaultMaxBodyBytes bounds request bodies; a batch of beacons is
+// small, and an unbounded read would let a client exhaust memory.
+// Override per server with SetMaxBodyBytes.
+const DefaultMaxBodyBytes = 4 << 20
 
 // NewServer wraps a store with the HTTP collection API.
 func NewServer(store *Store) *Server { return NewServerWithSink(store, store) }
@@ -62,8 +65,10 @@ func NewServer(store *Store) *Server { return NewServerWithSink(store, store) }
 // the stats will stay empty.
 func NewServerWithSink(store *Store, sink Sink) *Server {
 	s := &Server{store: store, sink: sink, mux: http.NewServeMux(), reg: obs.NewRegistry(), now: time.Now}
+	s.maxBody.Store(DefaultMaxBodyBytes)
 	s.reg.CounterFunc("qtag_ingest_accepted_total", "Events accepted by the collection endpoints.", s.accepted.Load)
 	s.reg.CounterFunc("qtag_ingest_rejected_total", "Events refused by validation.", s.rejected.Load)
+	s.reg.CounterFunc("qtag_ingest_oversized_total", "Requests refused because the body exceeded the size limit.", s.oversized.Load)
 	s.reg.GaugeFunc("qtag_store_events", "Distinct events held by the in-memory store.",
 		func() float64 { return float64(store.Len()) })
 	s.reg.GaugeFunc("qtag_store_campaigns", "Distinct campaigns observed by the store.",
@@ -151,9 +156,35 @@ type ingestResponse struct {
 	Error    string `json:"error,omitempty"`
 }
 
+// SetMaxBodyBytes overrides the POST /v1/events body-size limit. Safe to
+// call concurrently with serving; n <= 0 restores the default.
+func (s *Server) SetMaxBodyBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBodyBytes
+	}
+	s.maxBody.Store(n)
+}
+
+// Oversized returns the number of requests refused for exceeding the
+// body-size limit.
+func (s *Server) Oversized() int64 { return s.oversized.Load() }
+
+// handleEvents ingests one event or a JSON array. A batch is applied
+// atomically with respect to validation: every event is validated before
+// any is submitted, so a malformed or invalid entry rejects the whole
+// request (422) and the store is untouched — a retrying client never
+// has to reason about which half of its batch landed.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	limit := s.maxBody.Load()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.oversized.Add(1)
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
 		return
 	}
@@ -162,8 +193,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	for _, e := range events {
+		if verr := e.Validate(); verr != nil {
+			s.rejected.Add(int64(len(events)))
+			writeJSON(w, http.StatusUnprocessableEntity, ingestResponse{
+				Rejected: len(events),
+				Error:    verr.Error(),
+			})
+			return
+		}
+	}
 	resp := ingestResponse{}
 	for _, e := range events {
+		// Validation passed for the whole batch; a Submit failure here is
+		// infrastructure (queue full, journal down), counted per event.
 		if err := s.sink.Submit(e); err != nil {
 			resp.Rejected++
 			resp.Error = err.Error()

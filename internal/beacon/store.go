@@ -18,34 +18,75 @@ type CounterKey struct {
 	Country    string
 }
 
-// Store is an idempotent, thread-safe, in-memory event store with
-// incremental aggregation counters. It is the reference implementation of
-// the DSP's "distributed monitoring infrastructure" (§5) collapsed to a
-// single process; the HTTP Server exposes it over the wire.
-type Store struct {
+// storeShard is one independently locked partition of the store: its own
+// dedup map and its own aggregation counters, so concurrent Submits on
+// different impressions never contend on a shared mutex. Read paths
+// (Len, Events, Count, …) merge across shards under per-shard RLocks.
+type storeShard struct {
 	mu       sync.RWMutex
-	shards   [storeShards]map[string]Event
+	events   map[string]Event
 	counters map[CounterKey]int
 }
 
-const storeShards = 16
+// Store is an idempotent, thread-safe, in-memory event store with
+// incremental aggregation counters, sharded by impression-ID hash so the
+// ingest path scales with cores. It is the reference implementation of
+// the DSP's "distributed monitoring infrastructure" (§5) collapsed to a
+// single process; the HTTP Server exposes it over the wire.
+type Store struct {
+	shards []storeShard
+	mask   uint32 // len(shards)-1; shard count is a power of two
+}
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	s := &Store{counters: make(map[CounterKey]int)}
+// DefaultStoreShards is the shard count NewStore picks.
+const DefaultStoreShards = 16
+
+// maxStoreShards bounds NewStoreWithShards; beyond this the per-shard
+// fixed overhead dominates any contention win.
+const maxStoreShards = 1024
+
+// NewStore returns an empty store with DefaultStoreShards shards.
+func NewStore() *Store { return NewStoreWithShards(DefaultStoreShards) }
+
+// NewStoreWithShards returns an empty store partitioned into n shards,
+// rounded up to the next power of two and clamped to [1, 1024]. One
+// shard reproduces the seed single-lock store exactly (the equivalence
+// property tests assert this); the shard count never changes observable
+// behaviour, only contention.
+func NewStoreWithShards(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxStoreShards {
+		n = maxStoreShards
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Store{shards: make([]storeShard, size), mask: uint32(size - 1)}
 	for i := range s.shards {
-		s.shards[i] = make(map[string]Event)
+		s.shards[i].events = make(map[string]Event)
+		s.shards[i].counters = make(map[CounterKey]int)
 	}
 	return s
 }
 
-func shardFor(key string) int {
+// Shards returns the store's shard count (always a power of two).
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor picks the shard for an event by FNV-1a hash of its impression
+// ID: every event of one impression (and therefore every duplicate of
+// one idempotency key) lands in the same shard.
+func (s *Store) shardFor(e Event) *storeShard {
 	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
+	id := e.ImpressionID
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
 		h *= 16777619
 	}
-	return int(h % storeShards)
+	return &s.shards[h&s.mask]
 }
 
 // Submit validates and stores the event. Duplicate submissions (same
@@ -56,14 +97,14 @@ func (s *Store) Submit(e Event) error {
 		return err
 	}
 	key := e.Key()
-	shard := shardFor(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.shards[shard][key]; dup {
+	sh := s.shardFor(e)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.events[key]; dup {
 		return nil
 	}
-	s.shards[shard][key] = e
-	s.counters[CounterKey{
+	sh.events[key] = e
+	sh.counters[CounterKey{
 		CampaignID: e.CampaignID,
 		Source:     e.Source,
 		Type:       e.Type,
@@ -77,27 +118,31 @@ func (s *Store) Submit(e Event) error {
 
 // Len returns the number of distinct stored events.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
 	for i := range s.shards {
-		n += len(s.shards[i])
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.events)
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // Events returns all stored events sorted by (campaign, impression,
 // source, type, seq) for deterministic inspection. It copies; the result
-// is safe to retain.
+// is safe to retain. The merge takes shard locks one at a time, so the
+// result is a consistent snapshot only of each shard, not of the whole
+// store — fine for an append-only event set.
 func (s *Store) Events() []Event {
-	s.mu.RLock()
 	out := make([]Event, 0, 64)
 	for i := range s.shards {
-		for _, e := range s.shards[i] {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.events {
 			out = append(out, e)
 		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.CampaignID != b.CampaignID {
@@ -117,39 +162,48 @@ func (s *Store) Events() []Event {
 	return out
 }
 
-// Count sums counters matching the predicate. A nil predicate matches
-// everything.
+// Count sums counters matching the predicate across all shards. A nil
+// predicate matches everything.
 func (s *Store) Count(match func(CounterKey) bool) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for k, c := range s.counters {
-		if match == nil || match(k) {
-			n += c
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, c := range sh.counters {
+			if match == nil || match(k) {
+				n += c
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
-// Counters returns a copy of the aggregation counters.
+// Counters returns a merged copy of the aggregation counters.
 func (s *Store) Counters() map[CounterKey]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[CounterKey]int, len(s.counters))
-	for k, v := range s.counters {
-		out[k] = v
+	out := make(map[CounterKey]int)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.counters {
+			out[k] += v
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // CampaignIDs returns the distinct campaign ids present, sorted.
 func (s *Store) CampaignIDs() []string {
-	s.mu.RLock()
 	seen := make(map[string]bool)
-	for k := range s.counters {
-		seen[k.CampaignID] = true
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.counters {
+			seen[k.CampaignID] = true
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	out := make([]string, 0, len(seen))
 	for id := range seen {
 		out = append(out, id)

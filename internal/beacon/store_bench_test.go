@@ -1,0 +1,92 @@
+package beacon_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	. "qtag/internal/beacon"
+	"qtag/internal/wal"
+)
+
+func benchEvent(i int64) Event {
+	return Event{
+		ImpressionID: fmt.Sprintf("bench-i%09d", i),
+		CampaignID:   fmt.Sprintf("camp-%d", i%8),
+		Source:       SourceQTag,
+		Type:         EventInView,
+		At:           time.Unix(1600000000, 0).UTC(),
+	}
+}
+
+// BenchmarkStoreSubmit measures raw in-memory ingest contention at each
+// shard count: with one shard every Submit serializes on one mutex (the
+// seed behavior); sharding spreads the writers.
+func BenchmarkStoreSubmit(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			store := NewStoreWithShards(shards)
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := store.Submit(benchEvent(seq.Add(1))); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreMixedReadWrite adds merged-read pressure (Len + Count)
+// alongside the writers, the /healthz-during-ingest pattern.
+func BenchmarkStoreMixedReadWrite(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			store := NewStoreWithShards(shards)
+			var seq atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := seq.Add(1)
+					if n%16 == 0 {
+						_ = store.Len()
+						_ = store.Count(func(k CounterKey) bool { return k.CampaignID == "camp-0" })
+						continue
+					}
+					if err := store.Submit(benchEvent(n)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkWALAppendGroupCommit compares per-record fsync against group
+// commit under concurrent appenders — the amortization the group
+// committer exists for.
+func BenchmarkWALAppendGroupCommit(b *testing.B) {
+	payload := []byte(`{"impression_id":"bench","campaign_id":"c","source":"qtag","type":"in_view"}`)
+	for _, gc := range []bool{false, true} {
+		b.Run(fmt.Sprintf("group_commit=%v", gc), func(b *testing.B) {
+			w, _, err := wal.Open(wal.Options{
+				Dir:         b.TempDir(),
+				Fsync:       wal.FsyncAlways,
+				GroupCommit: gc,
+			}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := w.Append(payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package stress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"qtag/internal/wal"
+)
+
+// BenchOptions configures RunBenchLadder.
+type BenchOptions struct {
+	// Workers / Events / BatchSize are passed to every RunLoad call.
+	Workers   int
+	Events    int
+	BatchSize int
+	// Reps runs each configuration this many times and reports the best
+	// run — peak capability under identical conditions, insulated from
+	// scheduler noise on shared hardware. Default 1.
+	Reps int
+	// GroupCommitMaxBatch / GroupCommitMaxWait tune the committer in the
+	// group-commit configurations.
+	GroupCommitMaxBatch int
+	GroupCommitMaxWait  time.Duration
+	// MinSpeedup16 fails the ladder when the 16-shard row's throughput is
+	// below this multiple of the 1-shard row (0 = report only).
+	MinSpeedup16 float64
+	// Out receives one progress line per configuration (nil = silent).
+	Out io.Writer
+}
+
+// BenchEntry is one row of the ladder report.
+type BenchEntry struct {
+	Shards      int     `json:"shards"`
+	GroupCommit bool    `json:"group_commit"`
+	Eps         float64 `json:"throughput_eps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	Accepted    int64   `json:"accepted"`
+	DurationSec float64 `json:"duration_sec"`
+}
+
+// BenchConfig records the knobs a report was measured under.
+type BenchConfig struct {
+	Workers   int    `json:"workers"`
+	Events    int    `json:"events"`
+	BatchSize int    `json:"batch_size"`
+	Fsync     string `json:"fsync"`
+	SyncDur   bool   `json:"sync_durability"`
+	Reps      int    `json:"reps"`
+}
+
+// BenchLadderReport is the full shard-scaling measurement.
+type BenchLadderReport struct {
+	Config       BenchConfig  `json:"config"`
+	Entries      []BenchEntry `json:"entries"`
+	Speedup4Vs1  float64      `json:"speedup_4_vs_1"`
+	Speedup16Vs1 float64      `json:"speedup_16_vs_1"`
+}
+
+// RunBenchLadder measures ingest throughput with the WAL on the request
+// path (fsync=always, sync durability) across the shard/group-commit
+// ladder: the 1-shard no-group-commit row is the seed per-record-fsync
+// behavior, the 4- and 16-shard group-commit rows are the scaled ingest
+// path. Every row uses a fresh WAL directory and a fresh in-process
+// server; numbers are measured, never modeled.
+func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
+	var rep BenchLadderReport
+	o := LoadOptions{Workers: opts.Workers, Events: opts.Events, BatchSize: opts.BatchSize, Seed: 2019}.withDefaults()
+	reps := opts.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	out := opts.Out
+	if out == nil {
+		out = io.Discard
+	}
+	rep.Config = BenchConfig{
+		Workers:   o.Workers,
+		Events:    o.Events,
+		BatchSize: o.BatchSize,
+		Fsync:     "always",
+		SyncDur:   true,
+		Reps:      reps,
+	}
+
+	tmpRoot, err := os.MkdirTemp("", "qtag-bench-")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(tmpRoot)
+
+	cases := []struct {
+		shards int
+		gc     bool
+	}{
+		{1, false}, // the seed: single lock, one fsync per record
+		{4, true},
+		{16, true},
+	}
+	for i, c := range cases {
+		var best LoadReport
+		for r := 0; r < reps; r++ {
+			srv, err := StartIngestServer(IngestServerConfig{
+				Shards:              c.shards,
+				WALDir:              filepath.Join(tmpRoot, fmt.Sprintf("wal-%d-%d", i, r)),
+				Fsync:               wal.FsyncAlways,
+				GroupCommit:         c.gc,
+				GroupCommitMaxBatch: opts.GroupCommitMaxBatch,
+				GroupCommitMaxWait:  opts.GroupCommitMaxWait,
+				SyncDurability:      true,
+			})
+			if err != nil {
+				return rep, err
+			}
+			lr, err := RunLoad(srv.URL, LoadOptions{
+				Workers: o.Workers, Events: o.Events, BatchSize: o.BatchSize, Seed: 2019,
+			})
+			cerr := srv.Close()
+			if err != nil {
+				return rep, fmt.Errorf("shards=%d: %w", c.shards, err)
+			}
+			if cerr != nil {
+				return rep, fmt.Errorf("shards=%d close: %w", c.shards, cerr)
+			}
+			if lr.Errors > 0 || lr.Accepted != int64(o.Events) {
+				return rep, fmt.Errorf("shards=%d: dirty run: %s", c.shards, lr)
+			}
+			if lr.Eps > best.Eps {
+				best = lr
+			}
+		}
+		fmt.Fprintf(out, "shards=%-2d group-commit=%-5v  %s\n", c.shards, c.gc, best)
+		rep.Entries = append(rep.Entries, BenchEntry{
+			Shards:      c.shards,
+			GroupCommit: c.gc,
+			Eps:         best.Eps,
+			P50Ms:       float64(best.P50) / float64(time.Millisecond),
+			P99Ms:       float64(best.P99) / float64(time.Millisecond),
+			Accepted:    best.Accepted,
+			DurationSec: best.Duration.Seconds(),
+		})
+	}
+	if base := rep.Entries[0].Eps; base > 0 {
+		rep.Speedup4Vs1 = rep.Entries[1].Eps / base
+		rep.Speedup16Vs1 = rep.Entries[2].Eps / base
+	}
+	fmt.Fprintf(out, "speedup: 4 shards %.2fx, 16 shards %.2fx vs 1 shard\n",
+		rep.Speedup4Vs1, rep.Speedup16Vs1)
+	if opts.MinSpeedup16 > 0 && rep.Speedup16Vs1 < opts.MinSpeedup16 {
+		return rep, fmt.Errorf("16-shard speedup %.2fx below the %.1fx floor",
+			rep.Speedup16Vs1, opts.MinSpeedup16)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r BenchLadderReport) WriteJSON(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

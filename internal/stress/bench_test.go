@@ -1,0 +1,92 @@
+package stress
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunBenchLadderSmall runs the full three-row ladder with a tiny
+// event count — this is a correctness test of the harness (fresh WAL
+// dir per row, clean runs, report shape, JSON output), not a
+// performance assertion, so MinSpeedup16 stays 0.
+func TestRunBenchLadderSmall(t *testing.T) {
+	var progress strings.Builder
+	rep, err := RunBenchLadder(BenchOptions{
+		Workers:            4,
+		Events:             120,
+		BatchSize:          2,
+		Reps:               1,
+		GroupCommitMaxWait: 100 * time.Microsecond,
+		Out:                &progress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 3 {
+		t.Fatalf("ladder produced %d rows, want 3", len(rep.Entries))
+	}
+	wantShards := []int{1, 4, 16}
+	wantGC := []bool{false, true, true}
+	for i, e := range rep.Entries {
+		if e.Shards != wantShards[i] || e.GroupCommit != wantGC[i] {
+			t.Fatalf("row %d = shards=%d gc=%v, want shards=%d gc=%v",
+				i, e.Shards, e.GroupCommit, wantShards[i], wantGC[i])
+		}
+		if e.Accepted != 120 {
+			t.Fatalf("row %d accepted %d events, want 120", i, e.Accepted)
+		}
+		if e.Eps <= 0 || e.DurationSec <= 0 {
+			t.Fatalf("row %d reported no measurement: %+v", i, e)
+		}
+	}
+	if rep.Config.Fsync != "always" || !rep.Config.SyncDur {
+		t.Fatalf("config does not record the durability contract: %+v", rep.Config)
+	}
+	if rep.Speedup4Vs1 <= 0 || rep.Speedup16Vs1 <= 0 {
+		t.Fatalf("speedups not computed: %+v", rep)
+	}
+	if !strings.Contains(progress.String(), "speedup:") {
+		t.Fatalf("progress output missing summary line:\n%s", progress.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchLadderReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 3 || back.Entries[2].Shards != 16 {
+		t.Fatalf("report did not round-trip: %+v", back)
+	}
+}
+
+// TestRunBenchLadderSpeedupFloor proves the acceptance gate fires: a
+// floor no real machine can reach must fail with the measured ratio in
+// the error, while still returning the complete report.
+func TestRunBenchLadderSpeedupFloor(t *testing.T) {
+	rep, err := RunBenchLadder(BenchOptions{
+		Workers:      2,
+		Events:       40,
+		Reps:         1,
+		MinSpeedup16: 1e9,
+	})
+	if err == nil {
+		t.Fatal("a 1e9x speedup floor must fail")
+	}
+	if !strings.Contains(err.Error(), "below the") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+	if len(rep.Entries) != 3 {
+		t.Fatalf("gate failure must still return the full ladder, got %d rows", len(rep.Entries))
+	}
+}

@@ -1,0 +1,359 @@
+package stress
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qtag/internal/beacon"
+	"qtag/internal/simrand"
+	"qtag/internal/wal"
+)
+
+// This file is the server-side counterpart of the tag stress harness:
+// a concurrent load generator that drives the full HTTP collection
+// server (WAL and all) with mixed beacon traffic and reports measured
+// throughput and latency quantiles — the ingest path's speedup is
+// measured, never claimed.
+
+// LoadOptions tunes RunLoad. The zero value picks sensible defaults.
+type LoadOptions struct {
+	// Workers is the number of concurrent client goroutines. Default 8.
+	Workers int
+	// Events is the total number of beacon events to send across all
+	// workers. Default 2000.
+	Events int
+	// BatchSize is the number of events per POST /v1/events request.
+	// Default 1 — one beacon per request, the browser-tag shape.
+	BatchSize int
+	// Campaigns spreads impressions over this many campaign ids. Default 4.
+	Campaigns int
+	// InViewRate is the fraction of impressions that report in-view (a
+	// fraction of those also report out-of-view). Default 0.6.
+	InViewRate float64
+	// Seed makes the generated traffic deterministic per worker.
+	Seed uint64
+	// Client overrides the HTTP client (default: pooled transport sized
+	// to Workers).
+	Client *http.Client
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Events <= 0 {
+		o.Events = 2000
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	if o.Campaigns <= 0 {
+		o.Campaigns = 4
+	}
+	if o.InViewRate <= 0 {
+		o.InViewRate = 0.6
+	}
+	return o
+}
+
+// LoadReport is the measured outcome of one load run.
+type LoadReport struct {
+	Workers    int           `json:"workers"`
+	Events     int           `json:"events"`
+	Requests   int64         `json:"requests"`
+	Accepted   int64         `json:"accepted"`
+	Rejected   int64         `json:"rejected"`
+	Errors     int64         `json:"errors"`
+	Duration   time.Duration `json:"duration_ns"`
+	Eps        float64       `json:"throughput_eps"` // accepted events per second
+	P50        time.Duration `json:"p50_ns"`
+	P90        time.Duration `json:"p90_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	MaxLatency time.Duration `json:"max_ns"`
+}
+
+// String implements fmt.Stringer.
+func (r LoadReport) String() string {
+	return fmt.Sprintf("load: %d events / %d reqs over %d workers in %v — %.0f ev/s, p50=%v p90=%v p99=%v max=%v (accepted=%d rejected=%d errors=%d)",
+		r.Events, r.Requests, r.Workers, r.Duration.Round(time.Millisecond), r.Eps,
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.MaxLatency.Round(time.Microsecond),
+		r.Accepted, r.Rejected, r.Errors)
+}
+
+// genEvents produces one worker's deterministic mixed traffic: for each
+// impression a served event, a loaded check-in, then with probability
+// InViewRate an in-view (and half the time an out-of-view after it) —
+// the event lifecycle of §3 under random slicing attributes.
+func genEvents(worker int, quota int, opts LoadOptions) []beacon.Event {
+	rng := simrand.New(opts.Seed).Fork(fmt.Sprintf("load-worker-%d", worker))
+	oses := []string{"android", "ios", "windows", "macos"}
+	sites := []string{"news", "blog", "sports", "video"}
+	out := make([]beacon.Event, 0, quota)
+	at := time.Unix(1500000000, 0).UTC()
+	for imp := 0; len(out) < quota; imp++ {
+		id := fmt.Sprintf("load-w%d-i%06d", worker, imp)
+		camp := fmt.Sprintf("camp-%d", rng.Intn(opts.Campaigns))
+		meta := beacon.Meta{
+			OS:       oses[rng.Intn(len(oses))],
+			SiteType: sites[rng.Intn(len(sites))],
+		}
+		out = append(out, beacon.Event{
+			ImpressionID: id, CampaignID: camp, Type: beacon.EventServed, At: at, Meta: meta,
+		})
+		out = append(out, beacon.Event{
+			ImpressionID: id, CampaignID: camp, Source: beacon.SourceQTag,
+			Type: beacon.EventLoaded, At: at.Add(time.Second), Meta: meta,
+		})
+		if rng.Bool(opts.InViewRate) {
+			out = append(out, beacon.Event{
+				ImpressionID: id, CampaignID: camp, Source: beacon.SourceQTag,
+				Type: beacon.EventInView, At: at.Add(2 * time.Second), Meta: meta,
+			})
+			if rng.Bool(0.5) {
+				out = append(out, beacon.Event{
+					ImpressionID: id, CampaignID: camp, Source: beacon.SourceQTag,
+					Type: beacon.EventOutOfView, At: at.Add(3 * time.Second), Meta: meta,
+				})
+			}
+		}
+	}
+	return out[:quota]
+}
+
+// RunLoad drives baseURL's POST /v1/events with opts.Workers concurrent
+// goroutines of mixed traffic and returns measured throughput and
+// latency quantiles. Latencies are collected raw per worker and merged,
+// so the quantiles are exact, not bucket-interpolated.
+func RunLoad(baseURL string, opts LoadOptions) (LoadReport, error) {
+	opts = opts.withDefaults()
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        opts.Workers * 2,
+				MaxIdleConnsPerHost: opts.Workers * 2,
+			},
+		}
+	}
+	url := baseURL + "/v1/events"
+
+	var requests, accepted, rejected, httpErrs atomic.Int64
+	latencies := make([][]time.Duration, opts.Workers)
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+
+	// Pre-serialize every request body before the clock starts: the run
+	// measures the server's ingest path, not the generator's JSON
+	// marshaling (which would otherwise compete for the same cores).
+	bodies := make([][][]byte, opts.Workers)
+	for wkr := 0; wkr < opts.Workers; wkr++ {
+		quota := opts.Events / opts.Workers
+		if wkr < opts.Events%opts.Workers {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		events := genEvents(wkr, quota, opts)
+		for off := 0; off < len(events); off += opts.BatchSize {
+			end := min(off+opts.BatchSize, len(events))
+			var body []byte
+			if end-off == 1 {
+				body, _ = json.Marshal(events[off])
+			} else {
+				body, _ = json.Marshal(events[off:end])
+			}
+			bodies[wkr] = append(bodies[wkr], body)
+		}
+	}
+
+	start := time.Now()
+	for wkr := 0; wkr < opts.Workers; wkr++ {
+		if len(bodies[wkr]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, len(bodies[wkr]))
+			for _, body := range bodies[wkr] {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				lats = append(lats, time.Since(t0))
+				requests.Add(1)
+				if err != nil {
+					httpErrs.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				var ir struct {
+					Accepted int `json:"accepted"`
+					Rejected int `json:"rejected"`
+				}
+				jerr := json.NewDecoder(resp.Body).Decode(&ir)
+				resp.Body.Close()
+				if jerr != nil || resp.StatusCode >= 500 {
+					httpErrs.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("status %d (decode: %v)", resp.StatusCode, jerr))
+					continue
+				}
+				accepted.Add(int64(ir.Accepted))
+				rejected.Add(int64(ir.Rejected))
+			}
+			latencies[wkr] = lats
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := make([]time.Duration, 0, opts.Events)
+	for _, l := range latencies {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	rep := LoadReport{
+		Workers:  opts.Workers,
+		Events:   opts.Events,
+		Requests: requests.Load(),
+		Accepted: accepted.Load(),
+		Rejected: rejected.Load(),
+		Errors:   httpErrs.Load(),
+		Duration: elapsed,
+	}
+	if elapsed > 0 {
+		rep.Eps = float64(rep.Accepted) / elapsed.Seconds()
+	}
+	if len(merged) > 0 {
+		rep.P50 = rawQuantile(merged, 0.50)
+		rep.P90 = rawQuantile(merged, 0.90)
+		rep.P99 = rawQuantile(merged, 0.99)
+		rep.MaxLatency = merged[len(merged)-1]
+	}
+	var err error
+	if e := firstErr.Load(); e != nil {
+		err = e.(error)
+	}
+	return rep, err
+}
+
+// rawQuantile reads the q-quantile from a sorted latency slice.
+func rawQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// IngestServerConfig describes an in-process collection server for load
+// runs: the sharded store, the WAL durability backend and the group
+// committer — the full qtag-server ingest stack minus flag parsing.
+type IngestServerConfig struct {
+	// Shards is the store shard count (power of two; default 16).
+	Shards int
+	// WALDir enables crash-safe durability; empty disables the WAL.
+	WALDir string
+	// Fsync is the WAL durability policy (wal.FsyncAlways for the
+	// benchmark contract).
+	Fsync wal.FsyncPolicy
+	// GroupCommit coalesces concurrent WAL appends into shared fsyncs.
+	GroupCommit bool
+	// GroupCommitMaxBatch caps records per group commit (default 256).
+	GroupCommitMaxBatch int
+	// GroupCommitMaxWait holds small groups open to grow them (default 0).
+	GroupCommitMaxWait time.Duration
+	// SyncDurability puts the WAL on the request path: a POST is acked
+	// only after its events are fsynced (Tee store+journal). When false
+	// the WAL drains asynchronously through a QueueSink, the qtag-server
+	// default.
+	SyncDurability bool
+}
+
+// IngestServer is a live in-process collection server.
+type IngestServer struct {
+	URL     string
+	Store   *beacon.Store
+	Journal *beacon.WALJournal
+	Server  *beacon.Server
+
+	httpSrv *http.Server
+	queue   *beacon.QueueSink
+}
+
+// StartIngestServer builds the configured ingest stack and serves it on
+// a loopback listener. Close releases everything.
+func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = beacon.DefaultStoreShards
+	}
+	store := beacon.NewStoreWithShards(cfg.Shards)
+	is := &IngestServer{Store: store}
+	var sink beacon.Sink = store
+	if cfg.WALDir != "" {
+		wj, _, err := beacon.OpenDurable(wal.Options{
+			Dir:                 cfg.WALDir,
+			Fsync:               cfg.Fsync,
+			GroupCommit:         cfg.GroupCommit,
+			GroupCommitMaxBatch: cfg.GroupCommitMaxBatch,
+			GroupCommitMaxWait:  cfg.GroupCommitMaxWait,
+		}, store)
+		if err != nil {
+			return nil, err
+		}
+		is.Journal = wj
+		if cfg.SyncDurability {
+			sink = beacon.Tee(store, wj)
+		} else {
+			is.queue = beacon.NewQueueSink(wj, beacon.QueueOptions{})
+			sink = beacon.Tee(store, is.queue)
+		}
+	}
+	is.Server = beacon.NewServerWithSink(store, sink)
+	if is.Journal != nil {
+		is.Journal.RegisterMetrics(is.Server.Metrics())
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if is.Journal != nil {
+			is.Journal.Close()
+		}
+		return nil, err
+	}
+	is.URL = "http://" + ln.Addr().String()
+	is.httpSrv = &http.Server{Handler: is.Server, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if serr := is.httpSrv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			_ = serr // listener closed under us; Close reports what matters
+		}
+	}()
+	return is, nil
+}
+
+// Close drains and shuts everything down: HTTP server, queue, WAL.
+func (s *IngestServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := s.httpSrv.Shutdown(ctx)
+	if s.queue != nil {
+		if qerr := s.queue.Close(ctx); err == nil {
+			err = qerr
+		}
+	}
+	if s.Journal != nil {
+		if jerr := s.Journal.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}

@@ -16,11 +16,11 @@ import (
 // would be an import cycle from here).
 type hookFS struct {
 	FS
-	mkdirErr  error
-	openErr   error
-	createErr error
-	readErr   error
-	listErr   error
+	mkdirErr   error
+	openErr    error
+	createErr  error
+	readErr    error
+	listErr    error
 	renameErr  error
 	removeErr  error
 	syncDirErr error

@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// commitReq is one caller's pending append: its framed payloads, whether
+// it came from AppendBatch (the FsyncOnBatch trigger), and the channel
+// the commit outcome is delivered on.
+type commitReq struct {
+	payloads [][]byte
+	batch    bool
+	enqueued time.Time
+	err      chan error
+}
+
+// groupCommitter serializes concurrent Append callers through one
+// committer goroutine: callers enqueue records and block; the committer
+// drains the queue, writes one coalesced frame and performs one fsync
+// per group (policy permitting), then releases every caller in the
+// group. Per-caller durability semantics are unchanged — an Append under
+// FsyncAlways still returns only after the fsync covering its record —
+// but the syscall cost is amortized across every caller that queued up
+// while the previous fsync was in flight (natural batching). MaxWait > 0
+// additionally holds small groups open for a bounded wait to grow them.
+type groupCommitter struct {
+	w        *WAL
+	maxBatch int
+	maxWait  time.Duration
+	observe  func(records int, latency time.Duration)
+	now      func() time.Time
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*commitReq
+	stopped bool
+	done    chan struct{}
+}
+
+func newGroupCommitter(w *WAL) *groupCommitter {
+	g := &groupCommitter{
+		w:        w,
+		maxBatch: w.opts.GroupCommitMaxBatch,
+		maxWait:  w.opts.GroupCommitMaxWait,
+		observe:  w.opts.CommitObserver,
+		now:      w.opts.Now,
+		done:     make(chan struct{}),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	go g.run()
+	return g
+}
+
+// submit enqueues one caller's records and blocks until the group commit
+// covering them completes (or fails — every caller in a failed group
+// gets the error; retrying re-appends the whole request, which is safe
+// because replay feeds an idempotent store).
+func (g *groupCommitter) submit(payloads [][]byte, batch bool) error {
+	req := &commitReq{payloads: payloads, batch: batch, enqueued: g.now(), err: make(chan error, 1)}
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	g.queue = append(g.queue, req)
+	if len(g.queue) == 1 {
+		g.cond.Signal()
+	}
+	g.mu.Unlock()
+	return <-req.err
+}
+
+// depth returns the number of callers waiting for a commit.
+func (g *groupCommitter) depth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queue)
+}
+
+// stop drains the queue (remaining requests are committed, not dropped)
+// and retires the committer goroutine. Idempotent; safe to call
+// concurrently with submit — later submits fail with ErrClosed.
+func (g *groupCommitter) stop() {
+	g.mu.Lock()
+	if !g.stopped {
+		g.stopped = true
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+	<-g.done
+}
+
+// run is the committer loop.
+func (g *groupCommitter) run() {
+	defer close(g.done)
+	for {
+		g.mu.Lock()
+		for len(g.queue) == 0 && !g.stopped {
+			g.cond.Wait()
+		}
+		if len(g.queue) == 0 {
+			g.mu.Unlock()
+			return // stopped and drained
+		}
+		take, records := g.takeLocked(nil, 0)
+		g.mu.Unlock()
+		if records < g.maxBatch && g.maxWait > 0 {
+			// Hold the group open to let concurrent callers join — but
+			// adaptively, not with one fixed sleep: yield so blocked
+			// handlers get scheduled and enqueue, and close the group as
+			// soon as arrivals dry up, it fills, or maxWait elapses. Real
+			// time, deliberately: this is a latency/throughput trade on
+			// the live ingest path, not part of the simulated clock domain.
+			deadline := time.Now().Add(g.maxWait)
+			idle := 0
+			for records < g.maxBatch && idle < 2 && time.Now().Before(deadline) {
+				runtime.Gosched()
+				g.mu.Lock()
+				prev := records
+				take, records = g.takeLocked(take, records)
+				g.mu.Unlock()
+				if records == prev {
+					idle++
+				} else {
+					idle = 0
+				}
+			}
+		}
+		g.commit(take, records)
+	}
+}
+
+// takeLocked moves requests from the queue into the in-progress group
+// until the group reaches maxBatch records (a request is never split, so
+// one oversized AppendBatch can exceed it).
+func (g *groupCommitter) takeLocked(group []*commitReq, records int) ([]*commitReq, int) {
+	for len(g.queue) > 0 && records < g.maxBatch {
+		req := g.queue[0]
+		g.queue = g.queue[1:]
+		group = append(group, req)
+		records += len(req.payloads)
+	}
+	return group, records
+}
+
+// commit writes one coalesced group and releases its callers.
+func (g *groupCommitter) commit(group []*commitReq, records int) {
+	payloads := make([][]byte, 0, records)
+	batch := false
+	for _, req := range group {
+		payloads = append(payloads, req.payloads...)
+		batch = batch || req.batch
+	}
+	err := g.w.append(payloads, batch)
+	if err == nil {
+		g.w.groupCommits.Add(1)
+	}
+	if g.observe != nil {
+		g.observe(records, g.now().Sub(group[0].enqueued))
+	}
+	for _, req := range group {
+		req.err <- err
+	}
+}

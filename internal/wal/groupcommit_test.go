@@ -1,0 +1,226 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openGC(t *testing.T, opts Options) *WAL {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	opts.GroupCommit = true
+	w, _, err := Open(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	var obsMu sync.Mutex
+	observed := 0
+	w := openGC(t, Options{
+		Fsync: FsyncAlways,
+		CommitObserver: func(records int, latency time.Duration) {
+			obsMu.Lock()
+			observed += records
+			obsMu.Unlock()
+			if records <= 0 || latency < 0 {
+				t.Errorf("bad observation: records=%d latency=%v", records, latency)
+			}
+		},
+	})
+	defer w.Close()
+	if !w.GroupCommitEnabled() {
+		t.Fatal("group commit not enabled")
+	}
+
+	const (
+		workers = 8
+		each    = 40
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := w.Append(fmt.Appendf(nil, "rec-%d-%d", g, i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Appended(); got != workers*each {
+		t.Fatalf("appended %d, want %d", got, workers*each)
+	}
+	if w.GroupCommits() == 0 || w.GroupCommits() > int64(workers*each) {
+		t.Fatalf("implausible group commit count %d", w.GroupCommits())
+	}
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	if observed != workers*each {
+		t.Fatalf("observer saw %d records, want %d", observed, workers*each)
+	}
+}
+
+func TestGroupCommitMaxWaitGrowsBatches(t *testing.T) {
+	w := openGC(t, Options{
+		Fsync:               FsyncAlways,
+		GroupCommitMaxWait:  2 * time.Millisecond,
+		GroupCommitMaxBatch: 8,
+	})
+	defer w.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := w.Append(fmt.Appendf(nil, "w-%d-%d", g, i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Appended(); got != 160 {
+		t.Fatalf("appended %d, want 160", got)
+	}
+	// With 16 concurrent callers and a held-open group, commits must be
+	// meaningfully amortized (strictly fewer than records).
+	if gc := w.GroupCommits(); gc >= 160 || gc == 0 {
+		t.Fatalf("group commits %d show no amortization over 160 records", gc)
+	}
+}
+
+func TestGroupCommitAppendBatchAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	w := openGC(t, Options{Dir: dir, Fsync: FsyncOnBatch})
+	if err := w.AppendBatch([][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	w2, rec, err := Open(Options{Dir: dir}, func(index uint64, payload []byte) error {
+		got = append(got, string(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Records != 4 || len(got) != 4 {
+		t.Fatalf("replayed %d records (%v), want 4", rec.Records, got)
+	}
+	want := []string{"a", "b", "c", "d"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGroupCommitCloseDrainsQueue(t *testing.T) {
+	dir := t.TempDir()
+	w := openGC(t, Options{Dir: dir, Fsync: FsyncAlways, GroupCommitMaxWait: time.Millisecond})
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = w.Append(fmt.Appendf(nil, "drain-%d", g))
+		}(g)
+	}
+	wg.Wait() // all in-flight appends acked before Close below
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	acked := 0
+	for _, err := range errs {
+		if err == nil {
+			acked++
+		}
+	}
+	if err := w.Append([]byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if err := w.AppendBatch([][]byte{[]byte("late")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append batch after close = %v, want ErrClosed", err)
+	}
+	// Every acked record must be on disk.
+	n := 0
+	w2, _, err := Open(Options{Dir: dir}, func(uint64, []byte) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if n != acked {
+		t.Fatalf("recovered %d records, acked %d", n, acked)
+	}
+}
+
+func TestGroupCommitOversizedFailsCallerOnly(t *testing.T) {
+	w := openGC(t, Options{Fsync: FsyncAlways, MaxRecordBytes: 32})
+	defer w.Close()
+	big := make([]byte, 64)
+	if err := w.Append(big); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized append = %v, want ErrRecordTooLarge", err)
+	}
+	if err := w.AppendBatch([][]byte{[]byte("ok"), big}); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized batch = %v, want ErrRecordTooLarge", err)
+	}
+	if err := w.Append([]byte("fits")); err != nil {
+		t.Fatalf("good append after oversized rejections: %v", err)
+	}
+	if got := w.Appended(); got != 1 {
+		t.Fatalf("appended %d, want 1 (rejections must not reach the log)", got)
+	}
+}
+
+func TestGroupQueueDepth(t *testing.T) {
+	w := openGC(t, Options{Fsync: FsyncAlways})
+	if d := w.GroupQueueDepth(); d != 0 {
+		t.Fatalf("idle queue depth %d, want 0", d)
+	}
+	if err := w.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := w.GroupQueueDepth(); d != 0 {
+		t.Fatalf("closed queue depth %d, want 0", d)
+	}
+}
+
+func TestGroupCommitDisabledAccessors(t *testing.T) {
+	w, _, err := Open(Options{Dir: t.TempDir()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.GroupCommitEnabled() {
+		t.Fatal("group commit reported enabled without the option")
+	}
+	if w.GroupCommits() != 0 || w.GroupQueueDepth() != 0 {
+		t.Fatal("group commit counters nonzero without the option")
+	}
+	if err := w.Append([]byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -100,6 +100,26 @@ type Options struct {
 	FS FS
 	// Now is the clock; time.Now when nil.
 	Now func() time.Time
+
+	// GroupCommit routes concurrent Append/AppendBatch callers through a
+	// single committer goroutine that writes one coalesced buffer and
+	// performs one fsync per group. Per-caller durability is unchanged —
+	// an Append under FsyncAlways still returns only after the fsync
+	// covering its record — but the fsync cost is amortized across every
+	// caller that arrived while the previous group was committing.
+	GroupCommit bool
+	// GroupCommitMaxBatch caps the records coalesced into one group.
+	// Default 256.
+	GroupCommitMaxBatch int
+	// GroupCommitMaxWait, when > 0, holds a group below MaxBatch open for
+	// this long so more callers can join before the write. Default 0: no
+	// added latency, batching comes only from fsync backpressure.
+	GroupCommitMaxWait time.Duration
+	// CommitObserver, when set, is called after every group commit with
+	// the number of records in the group and the wall time from the first
+	// caller's enqueue to commit completion (per Now). It must be safe
+	// for use from the committer goroutine.
+	CommitObserver func(records int, latency time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +131,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRecordBytes <= 0 {
 		o.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	if o.GroupCommitMaxBatch <= 0 {
+		o.GroupCommitMaxBatch = 256
 	}
 	if o.FS == nil {
 		o.FS = OS
@@ -148,11 +171,17 @@ type WAL struct {
 	torn        bool // a failed partial write could not be rolled back
 	closed      bool
 
-	appended   atomic.Int64
-	syncs      atomic.Int64
-	rotations  atomic.Int64
-	appendErrs atomic.Int64
-	diskFull   atomic.Bool
+	// gc is the group committer; nil unless Options.GroupCommit. It sits
+	// in front of mu: group-mode appends enqueue on gc and the committer
+	// goroutine is the only append path that takes mu.
+	gc *groupCommitter
+
+	appended     atomic.Int64
+	syncs        atomic.Int64
+	rotations    atomic.Int64
+	appendErrs   atomic.Int64
+	groupCommits atomic.Int64
+	diskFull     atomic.Bool
 }
 
 func segmentName(firstIndex uint64) string { return fmt.Sprintf("wal-%016x.seg", firstIndex) }
@@ -213,6 +242,9 @@ func Open(opts Options, replay func(index uint64, payload []byte) error) (*WAL, 
 		return nil, res, err
 	}
 	res.Duration = opts.Now().Sub(start)
+	if opts.GroupCommit {
+		w.gc = newGroupCommitter(w)
+	}
 	return w, res, nil
 }
 
@@ -282,14 +314,35 @@ func (w *WAL) append(payloads [][]byte, batch bool) error {
 	return nil
 }
 
-// Append writes one record. Durability follows the fsync policy.
-func (w *WAL) Append(payload []byte) error { return w.append([][]byte{payload}, false) }
+// Append writes one record. Durability follows the fsync policy. With
+// group commit enabled, concurrent Appends coalesce into one write and
+// one fsync; each call still returns only after the fsync covering its
+// record (policy permitting).
+func (w *WAL) Append(payload []byte) error {
+	if w.gc != nil {
+		if len(payload) > w.opts.MaxRecordBytes {
+			return fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, len(payload), w.opts.MaxRecordBytes)
+		}
+		return w.gc.submit([][]byte{payload}, false)
+	}
+	return w.append([][]byte{payload}, false)
+}
 
 // AppendBatch writes the payloads as consecutive records in one write
 // call; under FsyncOnBatch the batch is synced before returning.
 func (w *WAL) AppendBatch(payloads [][]byte) error {
 	if len(payloads) == 0 {
 		return nil
+	}
+	if w.gc != nil {
+		// Size-check here, not in the committer: an oversized record must
+		// fail its own caller, never an innocent group member.
+		for _, p := range payloads {
+			if len(p) > w.opts.MaxRecordBytes {
+				return fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, len(p), w.opts.MaxRecordBytes)
+			}
+		}
+		return w.gc.submit(payloads, true)
 	}
 	return w.append(payloads, true)
 }
@@ -468,8 +521,14 @@ func (w *WAL) Rotate() error {
 	return w.rotateLocked()
 }
 
-// Close syncs and closes the active segment. Close is idempotent.
+// Close syncs and closes the active segment. Close is idempotent. With
+// group commit enabled the committer is drained first — queued appends
+// are committed, not dropped — before the segment is sealed.
 func (w *WAL) Close() error {
+	if w.gc != nil {
+		// Outside w.mu: the committer's final groups need the lock.
+		w.gc.stop()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -553,6 +612,24 @@ func (w *WAL) Pending() int {
 
 // Appended returns the number of records appended since Open.
 func (w *WAL) Appended() int64 { return w.appended.Load() }
+
+// GroupCommitEnabled reports whether appends go through the group
+// committer.
+func (w *WAL) GroupCommitEnabled() bool { return w.gc != nil }
+
+// GroupCommits returns the number of successful group commits since
+// Open (0 when group commit is disabled). Appended()/GroupCommits() is
+// the amortization ratio.
+func (w *WAL) GroupCommits() int64 { return w.groupCommits.Load() }
+
+// GroupQueueDepth returns the number of callers waiting on the group
+// committer (0 when group commit is disabled).
+func (w *WAL) GroupQueueDepth() int {
+	if w.gc == nil {
+		return 0
+	}
+	return w.gc.depth()
+}
 
 // Syncs returns the number of successful fsyncs since Open.
 func (w *WAL) Syncs() int64 { return w.syncs.Load() }
