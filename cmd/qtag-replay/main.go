@@ -14,19 +14,29 @@
 // replaying into a server that already holds part of the journal is
 // safe.
 //
+// -report switches the output to the streaming campaign viewability
+// report: the journal is replayed through the same aggregation
+// accumulators qtag-server feeds at ingest time (per campaign × format
+// viewed / not-viewed / not-measured splits, viewability rates, dwell
+// quantiles), proving the aggregates rebuild from the WAL alone.
+// -report-json emits the same report as JSON for piping.
+//
 // Usage:
 //
 //	qtag-replay -journal beacons.jsonl                # print stats
 //	qtag-replay -journal beacons.wal                  # WAL directory
+//	qtag-replay -journal beacons.wal -report          # viewability report
 //	qtag-replay -journal beacons.jsonl -server URL    # re-submit over HTTP
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"qtag/internal/aggregate"
 	"qtag/internal/analytics"
 	"qtag/internal/beacon"
 	"qtag/internal/report"
@@ -35,6 +45,8 @@ import (
 func main() {
 	journalPath := flag.String("journal", "", "journal to read: a JSONL file or a WAL directory (required)")
 	serverURL := flag.String("server", "", "collection server to re-submit events to")
+	reportMode := flag.Bool("report", false, "print the streaming campaign viewability report rebuilt from the journal")
+	reportJSON := flag.Bool("report-json", false, "like -report, but emit JSON")
 	flag.Parse()
 	if *journalPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: qtag-replay -journal <beacons.jsonl | wal-dir> [-server URL]")
@@ -47,6 +59,11 @@ func main() {
 	}
 
 	store := beacon.NewStore()
+	// Rebuild the streaming aggregates alongside the store: the observer
+	// fires once per first-seen event during replay, exactly as it does
+	// at ingest time, so -report proves the WAL alone reproduces them.
+	agg := aggregate.New(aggregate.Options{TTL: -1})
+	store.SetObserver(agg.Observe)
 	var sink beacon.Sink = store
 	if *serverURL != "" {
 		sink = beacon.Tee(store, &beacon.HTTPSink{BaseURL: *serverURL, Retries: 2})
@@ -93,10 +110,22 @@ func main() {
 			fmt.Printf("skipped %d malformed lines\n", st.Skipped)
 		}
 	}
+	if *reportJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report.ViewabilityReport{Campaigns: agg.Snapshot()}); err != nil {
+			log.Fatalf("encode report: %v", err)
+		}
+		return
+	}
 	fmt.Printf("replayed %d events from %s\n", replayed, *journalPath)
 	fmt.Println()
 	if *serverURL != "" {
 		fmt.Printf("re-submitted to %s\n\n", *serverURL)
+	}
+	if *reportMode {
+		fmt.Print(report.Text(agg.Snapshot()))
+		return
 	}
 
 	ids := store.CampaignIDs()

@@ -6,6 +6,8 @@
 //	POST /v1/events               ingest one event or a JSON array
 //	GET  /v1/stats                global measured/viewability rates
 //	GET  /v1/campaigns/{id}/stats per-campaign rates
+//	GET  /report                  streaming campaign viewability report
+//	                              (JSON; ?format=prom for Prometheus text)
 //	GET  /metrics                 Prometheus text-format metrics
 //	GET  /healthz                 liveness
 //	GET  /debug/pprof/*           profiling (only with -pprof)
@@ -20,7 +22,19 @@
 //	            [-group-commit-max-wait 0] [-durable-sync]
 //	            [-journal beacons.jsonl]
 //	            [-shed-pending 10000] [-retry-after 2s]
+//	            [-report-ttl 15m] [-report-sweep-every 1m]
+//	            [-report-window 1m] [-report-windows 60]
 //	            [-log-level info] [-pprof]
+//
+// GET /report serves per-campaign × per-format viewed / not-viewed /
+// not-measured splits, viewability rates and in-view dwell histograms
+// from streaming accumulators updated at ingest time — it never scans
+// the raw event store. The accumulators are fed by the store's
+// first-seen-event hook, so they inherit ingest idempotency and are
+// rebuilt deterministically by the WAL replay on boot. Per-impression
+// working state is evicted after -report-ttl idle time (sweep cadence
+// -report-sweep-every) so report memory stays bounded under unbounded
+// traffic; campaign totals are never evicted.
 //
 // The in-memory store is sharded by impression-id hash (-ingest-shards,
 // rounded to a power of two) so concurrent ingestion contends per shard,
@@ -64,8 +78,10 @@ import (
 	"syscall"
 	"time"
 
+	"qtag/internal/aggregate"
 	"qtag/internal/analytics"
 	"qtag/internal/beacon"
+	"qtag/internal/report"
 	"qtag/internal/wal"
 )
 
@@ -96,6 +112,10 @@ func main() {
 	shedPending := flag.Int("shed-pending", 0, "shed ingestion with 503 when this many journal events await flush (0 = disabled)")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on shed responses")
 	queueCap := flag.Int("queue-cap", 4096, "durability queue capacity (events)")
+	reportTTL := flag.Duration("report-ttl", 15*time.Minute, "evict idle per-impression aggregation state after this long (<0 disables)")
+	reportSweep := flag.Duration("report-sweep-every", time.Minute, "aggregation eviction sweep cadence (0 disables)")
+	reportWindow := flag.Duration("report-window", time.Minute, "rollup window width on GET /report")
+	reportWindows := flag.Int("report-windows", 60, "rollup windows retained on GET /report")
 	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
@@ -118,6 +138,16 @@ func main() {
 	}
 
 	store := beacon.NewStoreWithShards(*ingestShards)
+	// The streaming aggregation layer observes every first-seen event the
+	// store accepts. It must attach before WAL/journal replay below so
+	// boot recovery rebuilds the /report accumulators too.
+	agg := aggregate.New(aggregate.Options{
+		Shards:     *ingestShards,
+		TTL:        *reportTTL,
+		Window:     *reportWindow,
+		MaxWindows: *reportWindows,
+	})
+	store.SetObserver(agg.Observe)
 	var wj *beacon.WALJournal
 	if *walDir != "" {
 		policy, err := wal.ParseFsyncPolicy(*fsyncMode)
@@ -205,6 +235,8 @@ func main() {
 	server.SetMaxBodyBytes(*maxBodyBytes)
 	server.Mount("GET /v1/breakdown", analytics.Handler(store))
 	server.Mount("GET /v1/timeseries", analytics.Handler(store))
+	server.Mount("GET /report", report.Handler(agg, nil))
+	agg.RegisterMetrics(server.Metrics())
 	queue.RegisterMetrics(server.Metrics())
 	breaker.RegisterMetrics(server.Metrics())
 	if journal != nil {
@@ -286,6 +318,19 @@ func main() {
 					"rejected", server.Rejected(),
 					"campaigns", len(store.CampaignIDs()),
 					"queue_depth", queue.Depth())
+			}
+		}()
+	}
+
+	if *reportSweep > 0 && *reportTTL >= 0 {
+		go func() {
+			ticker := time.NewTicker(*reportSweep)
+			defer ticker.Stop()
+			for now := range ticker.C {
+				if n := agg.Sweep(now); n > 0 {
+					logger.Debug("aggregate sweep",
+						"evicted", n, "open", agg.OpenImpressions())
+				}
 			}
 		}()
 	}

@@ -1,0 +1,499 @@
+// Package aggregate maintains streaming per-campaign viewability
+// accumulators — the campaign-level product the paper's §4–§5 report:
+// for every campaign × ad format, how many impressions were viewed,
+// measured-but-not-viewed, and not measured by each solution, plus
+// in-view dwell-time histograms from paired in-view/out-of-view beacons.
+//
+// The aggregator is fed by the beacon store's first-seen-event observer
+// (Store.SetObserver), so it inherits the store's idempotency: duplicate
+// beacons, HTTP retries and overlapping WAL replays never reach it, and
+// rebuilding it from a WAL replay on boot reproduces exactly the state a
+// continuously-running process would hold. Every update is incremental —
+// serving a report never scans raw events — and per-impression working
+// state is evicted on a TTL so memory stays bounded under unbounded
+// traffic while the campaign counters keep their all-time totals.
+//
+// Classification per impression and source s (mirrors §6's definitions):
+//
+//	viewed        ≥1 in-view event from s
+//	not-viewed    ≥1 loaded event from s, no in-view
+//	not-measured  everything else (no loaded check-in from s)
+//
+// The three buckets partition the campaign's distinct impressions, so
+// viewed + not-viewed + not-measured = impressions always holds — even
+// across evictions. The streaming state is proven equivalent to a batch
+// recompute over the raw event set by the property tests in this
+// package (see Recompute).
+package aggregate
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qtag/internal/beacon"
+	"qtag/internal/obs"
+)
+
+// Options tunes an Aggregator. The zero value picks sensible defaults.
+type Options struct {
+	// Shards is the impression-state partition count, rounded up to a
+	// power of two (default 16, matching the beacon store).
+	Shards int
+	// TTL evicts an impression's working state after this much arrival-
+	// clock idle time (default 15m; <0 disables eviction, 0 means the
+	// default). Campaign counters are never evicted — only the per-
+	// impression dedup/pairing state is. TTL must exceed the longest
+	// served→last-beacon gap or a late beacon re-opens the impression and
+	// counts it again.
+	TTL time.Duration
+	// Window is the rollup window width (default 1m).
+	Window time.Duration
+	// MaxWindows bounds retained rollup windows (default 60).
+	MaxWindows int
+	// DwellBounds are the dwell histogram bucket upper bounds in seconds
+	// (default obs.DwellBuckets).
+	DwellBounds []float64
+	// Now is the arrival clock used for TTL accounting and window
+	// assignment (default time.Now). Tests inject a fake.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.TTL == 0 {
+		o.TTL = 15 * time.Minute
+	}
+	if o.Window <= 0 {
+		o.Window = time.Minute
+	}
+	if o.MaxWindows <= 0 {
+		o.MaxWindows = 60
+	}
+	if o.DwellBounds == nil {
+		o.DwellBounds = obs.DwellBuckets
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// srcState is one solution's progress on one open impression.
+type srcState struct {
+	loaded bool
+	viewed bool
+	// inAt / outAt hold unpaired in-view / out-of-view timestamps by
+	// cycle Seq; a completed pair is folded into the dwell histogram and
+	// deleted, so these stay tiny.
+	inAt  map[int]time.Time
+	outAt map[int]time.Time
+}
+
+// impression is the bounded working state for one (campaign, impression
+// id): enough to classify status transitions and pair dwell cycles,
+// nothing more. It is dropped by TTL eviction once the impression goes
+// idle; the campaign counters it contributed to stay.
+type impression struct {
+	format    string // current format bucket (see formatBucket)
+	served    bool
+	lastTouch time.Time // arrival clock, drives TTL eviction
+	sources   map[beacon.Source]*srcState
+}
+
+// aggShard is one lock-striped partition of the open-impression map.
+type aggShard struct {
+	mu   sync.Mutex
+	open map[string]*impression
+}
+
+// rowKey addresses one campaign × format accumulator row.
+type rowKey struct {
+	Campaign string
+	Format   string
+}
+
+// srcCounts are one row's per-solution status counters. notViewed is
+// maintained with decrements (loaded-then-in-view moves the impression
+// from not-viewed to viewed), so it is not monotonic — it is a gauge of
+// the current classification, not an event count.
+type srcCounts struct {
+	measured  int64 // impressions with a loaded check-in
+	viewed    int64 // impressions with an in-view
+	notViewed int64 // loaded but (so far) no in-view
+}
+
+// row is one campaign × format accumulator.
+type row struct {
+	impressions int64 // distinct impressions observed
+	served      int64 // impressions with a served event
+	src         map[beacon.Source]*srcCounts
+}
+
+// dwellKey addresses one campaign × source dwell histogram. Dwell is
+// not sliced by format: an impression may migrate format buckets when a
+// late event carries a different format, and histograms cannot be
+// un-observed.
+type dwellKey struct {
+	Campaign string
+	Source   string
+}
+
+// campShard is one lock-striped partition of the campaign table. A
+// campaign's rows and dwell histograms all live in one shard, so a
+// format migration is atomic under a single lock.
+type campShard struct {
+	mu    sync.Mutex
+	rows  map[rowKey]*row
+	dwell map[dwellKey]*DwellHist
+}
+
+// Aggregator is the streaming accumulator set. All methods are safe for
+// concurrent use. Feed it through beacon.Store.SetObserver so it only
+// ever sees first-seen events.
+type Aggregator struct {
+	opts   Options
+	shards []aggShard  // open impressions, by hash(campaign|impression)
+	camps  []campShard // accumulators, by hash(campaign)
+	mask   uint32
+
+	winMu   sync.Mutex
+	windows windowRing
+
+	updates   atomic.Int64 // events folded in
+	evicted   atomic.Int64 // impression states dropped by TTL
+	dwellObs  *obs.Histogram
+	dwellPair atomic.Int64 // completed in-view/out-of-view pairs
+}
+
+// New returns an empty aggregator.
+func New(opts Options) *Aggregator {
+	opts = opts.withDefaults()
+	size := 1
+	for size < opts.Shards {
+		size <<= 1
+	}
+	a := &Aggregator{
+		opts:     opts,
+		shards:   make([]aggShard, size),
+		camps:    make([]campShard, size),
+		mask:     uint32(size - 1),
+		dwellObs: obs.NewHistogram(opts.DwellBounds...),
+	}
+	for i := range a.shards {
+		a.shards[i].open = make(map[string]*impression)
+	}
+	for i := range a.camps {
+		a.camps[i].rows = make(map[rowKey]*row)
+		a.camps[i].dwell = make(map[dwellKey]*DwellHist)
+	}
+	a.windows.init(opts.Window, opts.MaxWindows)
+	return a
+}
+
+// fnv1a is the same hash the beacon store shards by, so co-sharding
+// behaves identically.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// formatBucket decides which format row an impression belongs to: the
+// lexicographically smallest non-empty format seen across its events,
+// or "" when no event carried one. The rule is order-independent, which
+// is what makes streaming aggregation equal batch recompute when events
+// of one impression disagree on format (they should not, but the wire
+// does not enforce it).
+func formatBucket(current, incoming string) string {
+	if incoming == "" {
+		return current
+	}
+	if current == "" || incoming < current {
+		return incoming
+	}
+	return current
+}
+
+// Observe folds one first-seen event into the accumulators. It is
+// designed to be installed as a beacon.Store observer: the caller
+// guarantees the event is not a duplicate, and that events of one
+// impression arrive serialized (the store's shard lock does both).
+// Events that fail validation are ignored — the store never emits them.
+func (a *Aggregator) Observe(e beacon.Event) {
+	if e.Validate() != nil {
+		return
+	}
+	now := a.opts.Now()
+	key := e.CampaignID + "|" + e.ImpressionID
+	sh := &a.shards[fnv1a(key)&a.mask]
+
+	sh.mu.Lock()
+	st, ok := sh.open[key]
+	created := !ok
+	if created {
+		st = &impression{sources: make(map[beacon.Source]*srcState)}
+		sh.open[key] = st
+	}
+	st.lastTouch = now
+
+	// Work out every transition under the impression lock, then apply
+	// them to the campaign shard (nested imp→camp lock order, always).
+	oldFormat := st.format
+	st.format = formatBucket(st.format, e.Meta.Format)
+	migrated := !created && st.format != oldFormat
+
+	cs := &a.camps[fnv1a(e.CampaignID)&a.mask]
+	cs.mu.Lock()
+	if migrated {
+		// Move the impression's pre-event contributions first; the deltas
+		// from this event then land on the new row only, never both.
+		cs.migrate(st, e.CampaignID, oldFormat, st.format)
+	}
+
+	var servedFirst, loadedFirst, viewedFirst bool
+	var dwells []time.Duration
+	switch e.Type {
+	case beacon.EventServed:
+		servedFirst = !st.served
+		st.served = true
+	case beacon.EventLoaded, beacon.EventInView, beacon.EventOutOfView:
+		src := st.sources[e.Source]
+		if src == nil {
+			src = &srcState{}
+			st.sources[e.Source] = src
+		}
+		switch e.Type {
+		case beacon.EventLoaded:
+			loadedFirst = !src.loaded
+			src.loaded = true
+		case beacon.EventInView:
+			if !src.viewed {
+				viewedFirst = true
+				src.viewed = true
+			}
+			if src.inAt == nil {
+				src.inAt = make(map[int]time.Time)
+			}
+			if _, dup := src.inAt[e.Seq]; !dup {
+				if out, ok := src.outAt[e.Seq]; ok {
+					dwells = append(dwells, dwellOf(e.At, out))
+					delete(src.outAt, e.Seq)
+				} else {
+					src.inAt[e.Seq] = e.At
+				}
+			}
+		case beacon.EventOutOfView:
+			if in, ok := src.inAt[e.Seq]; ok {
+				dwells = append(dwells, dwellOf(in, e.At))
+				delete(src.inAt, e.Seq)
+			} else {
+				if src.outAt == nil {
+					src.outAt = make(map[int]time.Time)
+				}
+				src.outAt[e.Seq] = e.At
+			}
+		}
+	}
+
+	r := cs.row(rowKey{e.CampaignID, st.format})
+	if created {
+		r.impressions++
+	}
+	if servedFirst {
+		r.served++
+	}
+	if loadedFirst || viewedFirst {
+		sc := r.srcCounts(e.Source)
+		if loadedFirst {
+			sc.measured++
+			if !st.sources[e.Source].viewed {
+				sc.notViewed++
+			}
+		}
+		if viewedFirst {
+			sc.viewed++
+			if st.sources[e.Source].loaded {
+				sc.notViewed--
+			}
+		}
+	}
+	for _, d := range dwells {
+		cs.dwellHist(dwellKey{e.CampaignID, string(e.Source)}, a.opts.DwellBounds).Observe(d)
+	}
+	cs.mu.Unlock()
+	sh.mu.Unlock()
+
+	for _, d := range dwells {
+		a.dwellObs.ObserveDuration(d)
+		a.dwellPair.Add(1)
+	}
+	a.updates.Add(1)
+	a.winMu.Lock()
+	a.windows.observe(now, e.CampaignID, created, viewedFirst)
+	a.winMu.Unlock()
+}
+
+// Windows returns the retained rollup windows, oldest first.
+func (a *Aggregator) Windows() []WindowSnapshot {
+	a.winMu.Lock()
+	defer a.winMu.Unlock()
+	return a.windows.snapshot()
+}
+
+// dwellOf is the dwell of one in-view→out-of-view cycle; negative spans
+// (client clock skew) clamp to zero so the histogram sum stays sane.
+func dwellOf(in, out time.Time) time.Duration {
+	d := out.Sub(in)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// row returns (creating if needed) the accumulator row. Caller holds
+// the shard lock.
+func (c *campShard) row(k rowKey) *row {
+	r := c.rows[k]
+	if r == nil {
+		r = &row{src: make(map[beacon.Source]*srcCounts)}
+		c.rows[k] = r
+	}
+	return r
+}
+
+// srcCounts returns (creating if needed) a row's per-source counters.
+func (r *row) srcCounts(s beacon.Source) *srcCounts {
+	sc := r.src[s]
+	if sc == nil {
+		sc = &srcCounts{}
+		r.src[s] = sc
+	}
+	return sc
+}
+
+// dwellHist returns (creating if needed) the campaign × source dwell
+// histogram. Caller holds the shard lock.
+func (c *campShard) dwellHist(k dwellKey, bounds []float64) *DwellHist {
+	h := c.dwell[k]
+	if h == nil {
+		h = NewDwellHist(bounds)
+		c.dwell[k] = h
+	}
+	return h
+}
+
+// migrate moves one impression's accumulated contributions between
+// format rows of the same campaign — triggered when a late event
+// carries a lexicographically smaller format. Caller holds the shard
+// lock; both rows live in it because they share the campaign.
+func (c *campShard) migrate(st *impression, campaign, from, to string) {
+	src := c.row(rowKey{campaign, from})
+	dst := c.row(rowKey{campaign, to})
+	src.impressions--
+	dst.impressions++
+	if st.served {
+		src.served--
+		dst.served++
+	}
+	for s, state := range st.sources {
+		if !state.loaded && !state.viewed {
+			continue
+		}
+		fc, tc := src.srcCounts(s), dst.srcCounts(s)
+		if state.loaded {
+			fc.measured--
+			tc.measured++
+		}
+		switch {
+		case state.viewed:
+			fc.viewed--
+			tc.viewed++
+		case state.loaded:
+			fc.notViewed--
+			tc.notViewed++
+		}
+	}
+	// A drained row is garbage only if nothing else contributes to it;
+	// impressions is the invariant total, so zero means empty.
+	if src.impressions == 0 {
+		delete(c.rows, rowKey{campaign, from})
+	}
+}
+
+// Sweep drops the working state of every impression idle for at least
+// the TTL as of now, returning how many were evicted. The campaign
+// counters keep their totals; only the dedup/pairing state goes, which
+// bounds memory to TTL × arrival rate open impressions. Unpaired
+// in-view cycles on an evicted impression never produce a dwell sample.
+func (a *Aggregator) Sweep(now time.Time) int {
+	if a.opts.TTL < 0 {
+		return 0
+	}
+	evicted := 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for k, st := range sh.open {
+			if now.Sub(st.lastTouch) >= a.opts.TTL {
+				delete(sh.open, k)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	a.evicted.Add(int64(evicted))
+	return evicted
+}
+
+// OpenImpressions returns how many impressions currently hold working
+// state — the quantity TTL eviction bounds.
+func (a *Aggregator) OpenImpressions() int {
+	n := 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		n += len(sh.open)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Updates returns how many first-seen events have been folded in.
+func (a *Aggregator) Updates() int64 { return a.updates.Load() }
+
+// Evicted returns how many impression states TTL eviction has dropped.
+func (a *Aggregator) Evicted() int64 { return a.evicted.Load() }
+
+// DwellPairs returns how many in-view/out-of-view cycles completed.
+func (a *Aggregator) DwellPairs() int64 { return a.dwellPair.Load() }
+
+// RegisterMetrics exports the aggregation layer on a metrics registry:
+// throughput, the memory-bounding gauges, and the global dwell
+// histogram (per-campaign dwell lives on GET /report).
+func (a *Aggregator) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("qtag_aggregate_updates_total", "First-seen events folded into the streaming accumulators.", a.updates.Load)
+	r.CounterFunc("qtag_aggregate_evicted_total", "Impression working states dropped by TTL eviction.", a.evicted.Load)
+	r.CounterFunc("qtag_aggregate_dwell_pairs_total", "Completed in-view/out-of-view dwell cycles.", a.dwellPair.Load)
+	r.GaugeFunc("qtag_aggregate_open_impressions", "Impressions currently holding working state (bounded by TTL eviction).",
+		func() float64 { return float64(a.OpenImpressions()) })
+	r.GaugeFunc("qtag_aggregate_campaign_rows", "Campaign × format accumulator rows.",
+		func() float64 { return float64(a.rowCount()) })
+	r.RegisterHistogram("qtag_aggregate_dwell_seconds", "In-view dwell per completed cycle, all campaigns.", a.dwellObs)
+}
+
+func (a *Aggregator) rowCount() int {
+	n := 0
+	for i := range a.camps {
+		cs := &a.camps[i]
+		cs.mu.Lock()
+		n += len(cs.rows)
+		cs.mu.Unlock()
+	}
+	return n
+}

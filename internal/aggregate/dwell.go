@@ -1,0 +1,108 @@
+package aggregate
+
+import (
+	"sync"
+	"time"
+)
+
+// DwellHist is a fixed-bucket dwell-time histogram with integer
+// accumulation: counts and the nanosecond sum are int64, so two
+// histograms fed the same samples in any order are exactly equal — the
+// property the streaming≡batch equivalence tests rely on, which a
+// float64 sum (addition-order dependent) could not give. Bounds are in
+// seconds with Prometheus "le" semantics. Safe for concurrent use.
+type DwellHist struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1, last is +Inf
+	sumNs  int64
+	n      int64
+}
+
+// NewDwellHist returns an empty histogram over the given upper bounds
+// (which must be sorted ascending; obs.DwellBuckets is).
+func NewDwellHist(bounds []float64) *DwellHist {
+	return &DwellHist{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one dwell sample.
+func (h *DwellHist) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := len(h.bounds)
+	for j, b := range h.bounds {
+		if s <= b {
+			i = j
+			break
+		}
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sumNs += int64(d)
+	h.n++
+	h.mu.Unlock()
+}
+
+// DwellSnapshot is a point-in-time copy of a DwellHist, shaped for JSON
+// and for exact (DeepEqual) comparison.
+type DwellSnapshot struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	// Buckets are per-bucket (non-cumulative) counts; the last entry is
+	// the +Inf overflow bucket.
+	Buckets []int64 `json:"buckets"`
+	// Bounds are the bucket upper bounds in seconds.
+	Bounds []float64 `json:"bounds"`
+}
+
+// Snapshot copies the histogram.
+func (h *DwellHist) Snapshot() DwellSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return DwellSnapshot{
+		Count:   h.n,
+		SumNs:   h.sumNs,
+		Buckets: append([]int64(nil), h.counts...),
+		Bounds:  append([]float64(nil), h.bounds...),
+	}
+}
+
+// Quantile interpolates the q-quantile (0..1) in seconds from the
+// bucket counts, the same way obs.Histogram does: linear within the
+// target bucket, with the overflow bucket reporting its lower bound.
+// Returns 0 for an empty histogram.
+func (s DwellSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Buckets {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i >= len(s.Bounds) { // +Inf bucket
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			return lo + (s.Bounds[i]-lo)*frac
+		}
+	}
+	return 0
+}
+
+// MeanSeconds returns the mean dwell in seconds (0 when empty).
+func (s DwellSnapshot) MeanSeconds() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return (time.Duration(s.SumNs) / time.Duration(s.Count)).Seconds()
+}

@@ -1,0 +1,78 @@
+package beacon_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	. "qtag/internal/beacon"
+)
+
+// TestStoreObserverFirstSeenOnly: the observer fires exactly once per
+// distinct idempotency key, never for duplicates or invalid events —
+// the contract the streaming aggregator's idempotency rests on.
+func TestStoreObserverFirstSeenOnly(t *testing.T) {
+	store := NewStore()
+	var mu sync.Mutex
+	seen := map[string]int{}
+	store.SetObserver(func(e Event) {
+		mu.Lock()
+		seen[e.Key()]++
+		mu.Unlock()
+	})
+
+	e := Event{ImpressionID: "i", CampaignID: "c", Type: EventServed}
+	if err := store.Submit(e); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		store.Submit(e) // duplicates
+	}
+	store.Submit(Event{Type: EventServed}) // invalid: no ids
+
+	if len(seen) != 1 || seen[e.Key()] != 1 {
+		t.Fatalf("observer calls = %v, want exactly one for %q", seen, e.Key())
+	}
+}
+
+// TestStoreObserverConcurrentExactlyOnce: under concurrent duplicate
+// submission across shards, every distinct key is observed exactly once
+// (the shard lock serializes observer calls per impression).
+func TestStoreObserverConcurrentExactlyOnce(t *testing.T) {
+	store := NewStore()
+	var mu sync.Mutex
+	seen := map[string]int{}
+	store.SetObserver(func(e Event) {
+		mu.Lock()
+		seen[e.Key()]++
+		mu.Unlock()
+	})
+
+	const keys, workers = 200, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				store.Submit(Event{
+					ImpressionID: fmt.Sprintf("imp-%d", i),
+					CampaignID:   "c",
+					Type:         EventServed,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != keys {
+		t.Fatalf("distinct keys observed = %d, want %d", len(seen), keys)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("key %q observed %d times", k, n)
+		}
+	}
+	if store.Len() != keys {
+		t.Fatalf("store len = %d", store.Len())
+	}
+}

@@ -36,6 +36,11 @@ type storeShard struct {
 type Store struct {
 	shards []storeShard
 	mask   uint32 // len(shards)-1; shard count is a power of two
+
+	// observer, when set, is invoked for every first-seen event while the
+	// event's shard lock is held — duplicates never reach it. See
+	// SetObserver.
+	observer func(Event)
 }
 
 // DefaultStoreShards is the shard count NewStore picks.
@@ -76,6 +81,19 @@ func NewStoreWithShards(n int) *Store {
 // Shards returns the store's shard count (always a power of two).
 func (s *Store) Shards() int { return len(s.shards) }
 
+// SetObserver installs a first-seen-event hook: fn is called exactly
+// once per distinct idempotency key, under the event's shard lock, so
+// for any one impression the calls are serialized in store-insertion
+// order and atomic with the insertion itself. Duplicate submissions
+// never fire it — an observer inherits the store's dedup for free,
+// which is what lets the streaming aggregation layer stay idempotent
+// under at-least-once beacon delivery and WAL replay.
+//
+// SetObserver must be called before the store starts ingesting (it is
+// not synchronized against concurrent Submits), and fn must not call
+// back into the store.
+func (s *Store) SetObserver(fn func(Event)) { s.observer = fn }
+
 // shardFor picks the shard for an event by FNV-1a hash of its impression
 // ID: every event of one impression (and therefore every duplicate of
 // one idempotency key) lands in the same shard.
@@ -113,6 +131,9 @@ func (s *Store) Submit(e Event) error {
 		Exchange:   e.Meta.Exchange,
 		Country:    e.Meta.Country,
 	}]++
+	if s.observer != nil {
+		s.observer(e)
+	}
 	return nil
 }
 

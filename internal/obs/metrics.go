@@ -48,6 +48,10 @@ var (
 	// SizeBuckets covers batch sizes from single events to a full queue
 	// drain at the default MaxBatch and beyond.
 	SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	// DwellBuckets covers in-view dwell times (seconds): the standard
+	// viewability thresholds sit at 1 s (display) and 2 s (video), so the
+	// buckets resolve finely around them and coarsely up to a minute.
+	DwellBuckets = []float64{.1, .25, .5, 1, 2, 5, 10, 30, 60}
 )
 
 // Histogram is a fixed-bucket histogram with cumulative-bucket export à

@@ -1,0 +1,225 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"qtag/internal/aggregate"
+)
+
+// Handler serves the streaming campaign viewability report — the
+// campaign-level product the paper's §4–§5 monetize — straight from the
+// aggregate accumulators, for mounting next to the collection API:
+//
+//	GET /report                  JSON: per campaign × format counts,
+//	                             rates, dwell histograms, rollup windows
+//	GET /report?format=prom      Prometheus text exposition of the same
+//	GET /report?windows=0        JSON without the rollup windows
+//
+// Memory per request is bounded by campaigns × formats — the raw event
+// store is never consulted, let alone scanned.
+func Handler(a *aggregate.Aggregator, now func() time.Time) http.Handler {
+	if now == nil {
+		now = time.Now
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			resp := ViewabilityReport{
+				GeneratedAt:     now().UTC(),
+				Campaigns:       a.Snapshot(),
+				OpenImpressions: a.OpenImpressions(),
+				Evicted:         a.Evicted(),
+			}
+			if r.URL.Query().Get("windows") != "0" {
+				resp.Windows = a.Windows()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(resp)
+		case "prom", "prometheus":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_, _ = w.Write([]byte(Prometheus(a.Snapshot())))
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "unknown format; want json or prom"})
+		}
+	})
+}
+
+// ViewabilityReport is the GET /report JSON payload.
+type ViewabilityReport struct {
+	GeneratedAt     time.Time                  `json:"generated_at"`
+	Campaigns       aggregate.Snapshot         `json:"campaigns"`
+	OpenImpressions int                        `json:"open_impressions"`
+	Evicted         int64                      `json:"evicted_impression_states"`
+	Windows         []aggregate.WindowSnapshot `json:"windows,omitempty"`
+}
+
+// Prometheus renders a snapshot in Prometheus text exposition format
+// (deterministic: the snapshot is already sorted).
+func Prometheus(s aggregate.Snapshot) string {
+	var b strings.Builder
+	writeHeader := func(name, help, typ string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	type series struct {
+		labels string
+		value  string
+	}
+	families := []struct {
+		name, help, typ string
+		collect         func(r aggregate.Row, src string, c aggregate.SourceCounts) (string, bool)
+	}{
+		{"qtag_report_impressions", "Distinct impressions observed per campaign and format.", "gauge",
+			func(r aggregate.Row, src string, _ aggregate.SourceCounts) (string, bool) {
+				return strconv.FormatInt(r.Impressions, 10), src == ""
+			}},
+		{"qtag_report_served", "Impressions with a served event per campaign and format.", "gauge",
+			func(r aggregate.Row, src string, _ aggregate.SourceCounts) (string, bool) {
+				return strconv.FormatInt(r.Served, 10), src == ""
+			}},
+		{"qtag_report_measured", "Impressions a solution checked in on.", "gauge",
+			func(_ aggregate.Row, src string, c aggregate.SourceCounts) (string, bool) {
+				return strconv.FormatInt(c.Measured, 10), src != ""
+			}},
+		{"qtag_report_viewed", "Impressions classified viewed by a solution.", "gauge",
+			func(_ aggregate.Row, src string, c aggregate.SourceCounts) (string, bool) {
+				return strconv.FormatInt(c.Viewed, 10), src != ""
+			}},
+		{"qtag_report_not_viewed", "Impressions measured but not viewed.", "gauge",
+			func(_ aggregate.Row, src string, c aggregate.SourceCounts) (string, bool) {
+				return strconv.FormatInt(c.NotViewed, 10), src != ""
+			}},
+		{"qtag_report_not_measured", "Impressions a solution never checked in on.", "gauge",
+			func(_ aggregate.Row, src string, c aggregate.SourceCounts) (string, bool) {
+				return strconv.FormatInt(c.NotMeasured, 10), src != ""
+			}},
+		{"qtag_report_measured_rate", "Measured / served per solution.", "gauge",
+			func(_ aggregate.Row, src string, c aggregate.SourceCounts) (string, bool) {
+				return formatFloat(c.MeasuredRate), src != ""
+			}},
+		{"qtag_report_viewability_rate", "Viewed / measured per solution — the campaign viewability rate.", "gauge",
+			func(_ aggregate.Row, src string, c aggregate.SourceCounts) (string, bool) {
+				return formatFloat(c.ViewabilityRate), src != ""
+			}},
+	}
+	for _, fam := range families {
+		var out []series
+		for _, r := range s.Rows {
+			if v, ok := fam.collect(r, "", aggregate.SourceCounts{}); ok {
+				out = append(out, series{labelSet("campaign", r.CampaignID, "format", r.Format), v})
+			}
+			for _, src := range sortedSources(r.Sources) {
+				if v, ok := fam.collect(r, src, r.Sources[src]); ok {
+					out = append(out, series{labelSet("campaign", r.CampaignID, "format", r.Format, "source", src), v})
+				}
+			}
+		}
+		if len(out) == 0 {
+			continue
+		}
+		writeHeader(fam.name, fam.help, fam.typ)
+		for _, s := range out {
+			fmt.Fprintf(&b, "%s%s %s\n", fam.name, s.labels, s.value)
+		}
+	}
+
+	if len(s.Dwell) > 0 {
+		writeHeader("qtag_report_dwell_seconds", "In-view dwell per completed in-view/out-of-view cycle.", "histogram")
+		for _, d := range s.Dwell {
+			base := []string{"campaign", d.CampaignID, "source", d.Source}
+			cum := int64(0)
+			for i, c := range d.Dwell.Buckets {
+				cum += c
+				le := "+Inf"
+				if i < len(d.Dwell.Bounds) {
+					le = formatFloat(d.Dwell.Bounds[i])
+				}
+				fmt.Fprintf(&b, "qtag_report_dwell_seconds_bucket%s %d\n",
+					labelSet(append(append([]string(nil), base...), "le", le)...), cum)
+			}
+			fmt.Fprintf(&b, "qtag_report_dwell_seconds_sum%s %s\n",
+				labelSet(base...), formatFloat(time.Duration(d.Dwell.SumNs).Seconds()))
+			fmt.Fprintf(&b, "qtag_report_dwell_seconds_count%s %d\n", labelSet(base...), d.Dwell.Count)
+		}
+	}
+	return b.String()
+}
+
+func sortedSources(m map[string]aggregate.SourceCounts) []string {
+	out := make([]string, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// labelSet renders {k="v",...} from alternating key/value arguments,
+// escaping values per the exposition format.
+func labelSet(kv ...string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Text renders the snapshot as the aligned plain-text table the cmd/
+// tools print (qtag-replay -report): one line per campaign × format ×
+// source, since the wire accepts any solution name, not just the two
+// canonical ones.
+func Text(s aggregate.Snapshot) string {
+	rows := make([][]string, 0, len(s.Rows))
+	for _, r := range s.Rows {
+		format := r.Format
+		if format == "" {
+			format = "-"
+		}
+		for _, src := range sortedSources(r.Sources) {
+			c := r.Sources[src]
+			rows = append(rows, []string{
+				r.CampaignID, format, src,
+				fmt.Sprint(r.Impressions), fmt.Sprint(r.Served),
+				fmt.Sprint(c.Viewed), fmt.Sprint(c.NotViewed), fmt.Sprint(c.NotMeasured),
+				Percent(c.ViewabilityRate),
+			})
+		}
+	}
+	var b strings.Builder
+	b.WriteString(Table(
+		[]string{"Campaign", "Format", "Source", "Impressions", "Served", "Viewed", "Not viewed", "Not measured", "Viewability"},
+		rows))
+	if len(s.Dwell) > 0 {
+		b.WriteString("\nin-view dwell (completed cycles):\n")
+		for _, d := range s.Dwell {
+			b.WriteString(fmt.Sprintf("  %-12s %-10s n=%-6d mean=%.2fs p50=%.2fs p90=%.2fs\n",
+				d.CampaignID, d.Source, d.Dwell.Count,
+				d.Dwell.MeanSeconds(), d.Dwell.Quantile(0.50), d.Dwell.Quantile(0.90)))
+		}
+	}
+	return b.String()
+}

@@ -13,7 +13,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qtag/internal/aggregate"
 	"qtag/internal/beacon"
+	"qtag/internal/report"
 	"qtag/internal/simrand"
 	"qtag/internal/wal"
 )
@@ -278,17 +280,25 @@ type IngestServerConfig struct {
 	// the WAL drains asynchronously through a QueueSink, the qtag-server
 	// default.
 	SyncDurability bool
+	// ReportTTL is the aggregation layer's impression-state TTL (0 = the
+	// aggregate default, <0 disables eviction).
+	ReportTTL time.Duration
+	// ReportSweepEvery runs a background eviction sweep at this cadence
+	// (0 = no sweeper; call Aggregate.Sweep yourself).
+	ReportSweepEvery time.Duration
 }
 
 // IngestServer is a live in-process collection server.
 type IngestServer struct {
-	URL     string
-	Store   *beacon.Store
-	Journal *beacon.WALJournal
-	Server  *beacon.Server
+	URL       string
+	Store     *beacon.Store
+	Journal   *beacon.WALJournal
+	Server    *beacon.Server
+	Aggregate *aggregate.Aggregator
 
-	httpSrv *http.Server
-	queue   *beacon.QueueSink
+	httpSrv   *http.Server
+	queue     *beacon.QueueSink
+	stopSweep chan struct{}
 }
 
 // StartIngestServer builds the configured ingest stack and serves it on
@@ -299,6 +309,11 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 	}
 	store := beacon.NewStoreWithShards(cfg.Shards)
 	is := &IngestServer{Store: store}
+	// The aggregation observer attaches before any event can reach the
+	// store — including WAL replay below — so /report rebuilds with the
+	// store on boot, exactly as qtag-server wires it.
+	is.Aggregate = aggregate.New(aggregate.Options{Shards: cfg.Shards, TTL: cfg.ReportTTL})
+	store.SetObserver(is.Aggregate.Observe)
 	var sink beacon.Sink = store
 	if cfg.WALDir != "" {
 		wj, _, err := beacon.OpenDurable(wal.Options{
@@ -320,6 +335,8 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 		}
 	}
 	is.Server = beacon.NewServerWithSink(store, sink)
+	is.Server.Mount("GET /report", report.Handler(is.Aggregate, nil))
+	is.Aggregate.RegisterMetrics(is.Server.Metrics())
 	if is.Journal != nil {
 		is.Journal.RegisterMetrics(is.Server.Metrics())
 	}
@@ -329,6 +346,21 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 			is.Journal.Close()
 		}
 		return nil, err
+	}
+	if cfg.ReportSweepEvery > 0 {
+		is.stopSweep = make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(cfg.ReportSweepEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-is.stopSweep:
+					return
+				case now := <-ticker.C:
+					is.Aggregate.Sweep(now)
+				}
+			}
+		}()
 	}
 	is.URL = "http://" + ln.Addr().String()
 	is.httpSrv = &http.Server{Handler: is.Server, ReadHeaderTimeout: 5 * time.Second}
@@ -340,11 +372,15 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 	return is, nil
 }
 
-// Close drains and shuts everything down: HTTP server, queue, WAL.
+// Close drains and shuts everything down: HTTP server, sweeper, queue,
+// WAL.
 func (s *IngestServer) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := s.httpSrv.Shutdown(ctx)
+	if s.stopSweep != nil {
+		close(s.stopSweep)
+	}
 	if s.queue != nil {
 		if qerr := s.queue.Close(ctx); err == nil {
 			err = qerr

@@ -1,0 +1,128 @@
+// Command benchgate compares a fresh `make bench` run against the
+// committed benchmark baseline (BENCH_PR4.json) and fails when any
+// ladder rung regressed beyond the tolerance — the CI tripwire that
+// keeps the PR 4 shard-scaling wins from eroding silently.
+//
+// Entries are matched by (shards, group_commit). Only throughput is
+// gated: latency percentiles on shared CI runners are too noisy to
+// gate on, but they are printed for the log. A fresh entry missing
+// from the baseline is informational; a baseline entry missing from
+// the fresh run is a failure (the ladder shrank).
+//
+// Usage:
+//
+//	go run ./scripts/benchgate.go -baseline BENCH_PR4.json -fresh bench-fresh.json [-max-regress 0.20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+type entry struct {
+	Shards      int     `json:"shards"`
+	GroupCommit bool    `json:"group_commit"`
+	Eps         float64 `json:"throughput_eps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	Accepted    int64   `json:"accepted"`
+}
+
+type benchFile struct {
+	Entries []entry `json:"entries"`
+}
+
+type rung struct {
+	Shards      int
+	GroupCommit bool
+}
+
+func load(path string) (map[rung]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark entries", path)
+	}
+	out := make(map[rung]entry, len(f.Entries))
+	for _, e := range f.Entries {
+		out[rung{e.Shards, e.GroupCommit}] = e
+	}
+	return out, nil
+}
+
+// gate compares every baseline rung against the fresh run, writing one
+// verdict line per rung to w, and reports whether any rung failed.
+func gate(w io.Writer, baseline, fresh map[rung]entry, maxRegress float64) bool {
+	// Deterministic output order: by shards, group-commit last.
+	rungs := make([]rung, 0, len(baseline))
+	for r := range baseline {
+		rungs = append(rungs, r)
+	}
+	sort.Slice(rungs, func(i, j int) bool {
+		if rungs[i].Shards != rungs[j].Shards {
+			return rungs[i].Shards < rungs[j].Shards
+		}
+		return !rungs[i].GroupCommit && rungs[j].GroupCommit
+	})
+	failed := false
+	for _, r := range rungs {
+		base := baseline[r]
+		got, ok := fresh[r]
+		if !ok {
+			fmt.Fprintf(w, "FAIL  shards=%-3d group_commit=%-5v missing from fresh run\n", r.Shards, r.GroupCommit)
+			failed = true
+			continue
+		}
+		if base.Eps <= 0 {
+			fmt.Fprintf(w, "SKIP  shards=%-3d group_commit=%-5v baseline throughput is zero\n", r.Shards, r.GroupCommit)
+			continue
+		}
+		delta := (got.Eps - base.Eps) / base.Eps
+		status := "ok  "
+		if delta < -maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(w, "%s  shards=%-3d group_commit=%-5v eps %10.0f -> %10.0f (%+6.1f%%)  p99 %.2fms -> %.2fms\n",
+			status, r.Shards, r.GroupCommit, base.Eps, got.Eps, delta*100, base.P99Ms, got.P99Ms)
+	}
+	for r := range fresh {
+		if _, ok := baseline[r]; !ok {
+			fmt.Fprintf(w, "note  shards=%-3d group_commit=%-5v new rung, no baseline\n", r.Shards, r.GroupCommit)
+		}
+	}
+	return failed
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_PR4.json", "committed baseline benchmark file")
+	freshPath := flag.String("fresh", "bench-fresh.json", "freshly produced benchmark file to gate")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated fractional throughput loss per rung")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if gate(os.Stdout, baseline, fresh, *maxRegress) {
+		fmt.Fprintf(os.Stderr, "benchgate: throughput regressed more than %.0f%% — investigate before merging, or re-baseline deliberately with `make bench`\n", *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all rungs within tolerance")
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineJSON = `{"entries":[
+	{"shards":1,"group_commit":false,"throughput_eps":4000,"p99_ms":16},
+	{"shards":4,"group_commit":true,"throughput_eps":15000,"p99_ms":6}
+]}`
+
+func TestLoad(t *testing.T) {
+	m, err := load(writeBench(t, baselineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[rung{4, true}].Eps != 15000 {
+		t.Fatalf("loaded %+v", m)
+	}
+	if _, err := load(writeBench(t, `{"entries":[]}`)); err == nil {
+		t.Fatal("empty entries must be an error")
+	}
+	if _, err := load(writeBench(t, `not json`)); err == nil {
+		t.Fatal("malformed json must be an error")
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file must be an error")
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	baseline, err := load(writeBench(t, baselineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		fresh    string
+		failed   bool
+		wantLine string
+	}{
+		{"identical", baselineJSON, false, "ok  "},
+		{"within-tolerance", `{"entries":[
+			{"shards":1,"group_commit":false,"throughput_eps":3300,"p99_ms":17},
+			{"shards":4,"group_commit":true,"throughput_eps":12500,"p99_ms":7}
+		]}`, false, "ok  "},
+		{"regressed", `{"entries":[
+			{"shards":1,"group_commit":false,"throughput_eps":4100,"p99_ms":16},
+			{"shards":4,"group_commit":true,"throughput_eps":9000,"p99_ms":12}
+		]}`, true, "FAIL"},
+		{"missing-rung", `{"entries":[
+			{"shards":1,"group_commit":false,"throughput_eps":4000,"p99_ms":16}
+		]}`, true, "missing from fresh run"},
+		{"new-rung", `{"entries":[
+			{"shards":1,"group_commit":false,"throughput_eps":4000,"p99_ms":16},
+			{"shards":4,"group_commit":true,"throughput_eps":15000,"p99_ms":6},
+			{"shards":16,"group_commit":true,"throughput_eps":16000,"p99_ms":6}
+		]}`, false, "new rung, no baseline"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh, err := load(writeBench(t, tc.fresh))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			if failed := gate(&out, baseline, fresh, 0.20); failed != tc.failed {
+				t.Fatalf("failed = %v, want %v\n%s", failed, tc.failed, out.String())
+			}
+			if !strings.Contains(out.String(), tc.wantLine) {
+				t.Fatalf("output missing %q:\n%s", tc.wantLine, out.String())
+			}
+		})
+	}
+}
+
+// Faster rungs and zero baselines never fail the gate.
+func TestGateImprovementAndZeroBaseline(t *testing.T) {
+	baseline, _ := load(writeBench(t, `{"entries":[
+		{"shards":1,"group_commit":false,"throughput_eps":0},
+		{"shards":4,"group_commit":true,"throughput_eps":10000}
+	]}`))
+	fresh, _ := load(writeBench(t, `{"entries":[
+		{"shards":1,"group_commit":false,"throughput_eps":5000},
+		{"shards":4,"group_commit":true,"throughput_eps":20000}
+	]}`))
+	var out strings.Builder
+	if gate(&out, baseline, fresh, 0.20) {
+		t.Fatalf("improvement failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP") {
+		t.Fatalf("zero baseline not skipped:\n%s", out.String())
+	}
+}
