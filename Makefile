@@ -19,7 +19,7 @@ GOVULNCHECK ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 # the committed BENCH_PR4.json baseline.
 BENCH_FRESH ?= bench-fresh.json
 
-.PHONY: all build vet test race bench cover chaos soak fuzz-smoke lint bench-gate ci
+.PHONY: all build vet test race bench cover chaos cluster-chaos soak fuzz-smoke lint bench-gate ci
 
 all: ci
 
@@ -49,6 +49,16 @@ bench:
 chaos:
 	$(GO) test -race -run 'Crash|Torn|Quarantine|ENOSPC|Snapshot|Recover|Durable|Flip' \
 		./internal/wal/... ./internal/faults/... ./internal/beacon/...
+
+# Cluster chaos: a 3-node in-process cluster (real HTTP servers, real
+# WALs, real hint journals) through the whole-node kill/restart sweep,
+# partition heal, federated degradation, and fault-injected forwarding
+# suites — all under the race detector. Proves the cluster ack
+# contract: acked-by-any-live-node ⊆ recovered-cluster-wide, zero
+# duplicates, including hinted-handoff replay.
+cluster-chaos:
+	$(GO) test -race -count=1 -run 'TestCluster|TestForwarding|TestHintLog' \
+		./internal/cluster/...
 
 # Concurrency soak: the sharded store + group-commit WAL driven through
 # the full HTTP server by concurrent clients, with store/WAL/counter

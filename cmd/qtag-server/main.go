@@ -9,7 +9,11 @@
 //	GET  /report                  streaming campaign viewability report
 //	                              (JSON; ?format=prom for Prometheus text)
 //	GET  /metrics                 Prometheus text-format metrics
-//	GET  /healthz                 liveness
+//	GET  /healthz                 liveness (200 from the moment the
+//	                              socket binds, including during WAL
+//	                              boot replay)
+//	GET  /readyz                  readiness (503 during boot replay and
+//	                              while the handoff backlog is high)
 //	GET  /debug/pprof/*           profiling (only with -pprof)
 //
 // Usage:
@@ -24,7 +28,18 @@
 //	            [-shed-pending 10000] [-retry-after 2s]
 //	            [-report-ttl 15m] [-report-sweep-every 1m]
 //	            [-report-window 1m] [-report-windows 60]
+//	            [-node-id n0] [-peers n1=http://...,n2=http://...]
+//	            [-handoff-dir hints] [-probe-every 1s]
+//	            [-ready-hint-backlog 10000]
 //	            [-log-level info] [-pprof]
+//
+// Cluster mode (-peers, with -node-id and -handoff-dir) runs several
+// qtag-servers as one coordinator-free cluster: a consistent-hash ring
+// over impression IDs names each beacon's owner node, non-owners
+// forward, and unreachable owners degrade to durable hinted handoff
+// replayed on recovery. GET /report?federated=1 merges every reachable
+// node's snapshot and names unreachable ones in "degraded". See
+// DESIGN.md §12.
 //
 // GET /report serves per-campaign × per-format viewed / not-viewed /
 // not-measured splits, viewability rates and in-view dwell histograms
@@ -68,19 +83,25 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"qtag/internal/aggregate"
 	"qtag/internal/analytics"
 	"qtag/internal/beacon"
+	"qtag/internal/cluster"
 	"qtag/internal/report"
 	"qtag/internal/wal"
 )
@@ -89,6 +110,65 @@ import (
 func parseLogLevel(s string) (slog.Level, error) {
 	var lvl slog.Level
 	return lvl, lvl.UnmarshalText([]byte(s))
+}
+
+// parsePeers parses the -peers flag: "id=url,id=url". IDs must be
+// unique and URLs non-empty.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad peer %q; want id=url", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q", id)
+		}
+		peers[id] = url
+	}
+	return peers, nil
+}
+
+// handlerSwap atomically swaps the live handler: the boot handler
+// (liveness yes, readiness no) serves while WAL replay runs, then the
+// full stack takes over. This is what splits liveness from readiness at
+// boot — the process answers /healthz the instant the socket binds,
+// but /readyz stays 503 until recovery completes.
+type handlerSwap struct{ v atomic.Value }
+
+func (h *handlerSwap) Set(next http.Handler) { h.v.Store(&next) }
+func (h *handlerSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*h.v.Load().(*http.Handler)).ServeHTTP(w, r)
+}
+
+// bootHandler answers probes during WAL boot replay: alive, not ready,
+// everything else 503 with Retry-After.
+func bootHandler() http.Handler {
+	mux := http.NewServeMux()
+	writeStatus := func(w http.ResponseWriter, code int, body map[string]string) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(body)
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeStatus(w, http.StatusOK, map[string]string{"status": "booting"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		writeStatus(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "unready", "reason": "wal boot replay in progress",
+		})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeStatus(w, http.StatusServiceUnavailable, map[string]string{
+			"error": "booting: wal replay in progress",
+		})
+	})
+	return mux
 }
 
 func main() {
@@ -118,6 +198,11 @@ func main() {
 	reportWindows := flag.Int("report-windows", 60, "rollup windows retained on GET /report")
 	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	nodeID := flag.String("node-id", "", "this node's cluster id (cluster mode; requires -peers)")
+	peersFlag := flag.String("peers", "", "cluster peers as id=url,id=url (enables cluster mode)")
+	handoffDir := flag.String("handoff-dir", "", "hinted-handoff journal directory (required in cluster mode)")
+	probeEvery := flag.Duration("probe-every", time.Second, "peer health probe interval (cluster mode)")
+	readyBacklog := flag.Int64("ready-hint-backlog", 10000, "report unready when the handoff backlog exceeds this (0 disables)")
 	flag.Parse()
 
 	lvl, err := parseLogLevel(*logLevel)
@@ -136,6 +221,49 @@ func main() {
 		slog.Error("-durable-sync requires -wal-dir (synchronous durability needs a crash-safe journal)")
 		os.Exit(2)
 	}
+	var peers map[string]string
+	if *peersFlag != "" {
+		var perr error
+		peers, perr = parsePeers(*peersFlag)
+		if perr != nil {
+			slog.Error("bad -peers", "err", perr)
+			os.Exit(2)
+		}
+		if *nodeID == "" {
+			slog.Error("-peers requires -node-id")
+			os.Exit(2)
+		}
+		if *handoffDir == "" {
+			slog.Error("-peers requires -handoff-dir (hinted handoff needs a durable journal)")
+			os.Exit(2)
+		}
+		if _, clash := peers[*nodeID]; clash {
+			slog.Error("-peers must not contain this node's own -node-id", "node_id", *nodeID)
+			os.Exit(2)
+		}
+	}
+
+	// The shutdown context exists before anything else so it can be
+	// threaded into every retrying client (forwarders abort their
+	// backoff schedules the moment SIGTERM lands) and so boot replay
+	// itself is interruptible.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Bind and serve immediately: the boot handler answers liveness from
+	// the first instant while /readyz stays 503 until WAL replay (below)
+	// completes and the real stack is swapped in. Orchestrators can tell
+	// "slow boot" from "dead process" during long recoveries.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		slog.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	swap := &handlerSwap{}
+	swap.Set(bootHandler())
+	httpServer := &http.Server{Handler: swap, ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.Serve(ln) }()
 
 	store := beacon.NewStoreWithShards(*ingestShards)
 	// The streaming aggregation layer observes every first-seen event the
@@ -228,14 +356,48 @@ func main() {
 	} else {
 		sink = beacon.Tee(store, queue)
 	}
+	// In cluster mode the routing node slots between the HTTP layer and
+	// the local durable chain: owner-local beacons fall through to the
+	// chain unchanged; remote-owned ones forward to their owner or
+	// degrade to hinted handoff.
+	var node *cluster.Node
+	if peers != nil {
+		node, err = cluster.NewNode(cluster.Config{
+			Self:             *nodeID,
+			Peers:            peers,
+			Local:            sink,
+			HandoffDir:       *handoffDir,
+			ProbeEvery:       *probeEvery,
+			ReadyHintBacklog: *readyBacklog,
+			BaseContext:      func() context.Context { return ctx },
+		})
+		if err != nil {
+			logger.Error("cluster node", "err", err)
+			os.Exit(1)
+		}
+		sink = node
+		logger.Info("cluster mode", "node_id", *nodeID, "peers", len(peers), "handoff_dir", *handoffDir)
+	}
 	// Stamp receive time onto beacons that arrive without one (browsers
-	// with broken clocks, legacy pixels).
+	// with broken clocks, legacy pixels). In cluster mode the stamp
+	// lands at the first node that sees the beacon, before any forward,
+	// so the owner records the original arrival time.
 	sink = &beacon.StampSink{Next: sink, Now: time.Now}
 	server := beacon.NewServerWithSink(store, sink)
 	server.SetMaxBodyBytes(*maxBodyBytes)
 	server.Mount("GET /v1/breakdown", analytics.Handler(store))
 	server.Mount("GET /v1/timeseries", analytics.Handler(store))
-	server.Mount("GET /report", report.Handler(agg, nil))
+	if node != nil {
+		server.Mount("GET /report", cluster.FederatedHandler(agg, cluster.FederationConfig{
+			Self:  *nodeID,
+			Peers: peers,
+		}))
+		server.SetReadiness(node.Readiness())
+		node.RegisterMetrics(server.Metrics())
+		server.AddHealthMetric("hint_backlog", func() int64 { return node.Stats().HintBacklog })
+	} else {
+		server.Mount("GET /report", report.Handler(agg, nil))
+	}
 	agg.RegisterMetrics(server.Metrics())
 	queue.RegisterMetrics(server.Metrics())
 	breaker.RegisterMetrics(server.Metrics())
@@ -287,11 +449,6 @@ func main() {
 	}
 	if *statsKey != "" {
 		handler = beacon.AuthStats(handler, *statsKey)
-	}
-	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	if *logEvery > 0 {
@@ -353,14 +510,14 @@ func main() {
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	errCh := make(chan error, 1)
-	go func() {
-		logger.Info("qtag-server listening", "addr", *addr)
-		errCh <- httpServer.ListenAndServe()
-	}()
+	// Recovery is done and the full stack is assembled: swap out the
+	// boot handler. From here /readyz answers from the real server
+	// (cluster backlog checks included) and ingest is open.
+	if node != nil {
+		node.Start()
+	}
+	swap.Set(handler)
+	logger.Info("qtag-server ready", "addr", *addr)
 
 	select {
 	case <-ctx.Done():
@@ -377,10 +534,17 @@ func main() {
 		}
 	}
 	// Graceful drain, in dependency order: every in-flight request has
-	// completed (Shutdown returned), so drain the durability queue into
-	// the journal, then flush + fsync + close the journal — a SIGTERM
-	// must not tear the last beacons. Close is idempotent; the deferred
-	// Close becomes a no-op.
+	// completed (Shutdown returned), so stop the cluster layer (probe
+	// loop halts, in-flight hint drains finish, hint WALs fsync and
+	// close — the shutdown context already aborted forwarder retries),
+	// then drain the durability queue into the journal, then flush +
+	// fsync + close the journal — a SIGTERM must not tear the last
+	// beacons. Close is idempotent; the deferred Close becomes a no-op.
+	if node != nil {
+		if err := node.Close(); err != nil {
+			logger.Warn("cluster close", "err", err)
+		}
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	if err := queue.Close(drainCtx); err != nil {
 		logger.Warn("queue drain", "err", err)

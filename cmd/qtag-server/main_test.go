@@ -1,0 +1,72 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("n1=http://a:1, n2=http://b:2 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers["n1"] != "http://a:1" || peers["n2"] != "http://b:2" {
+		t.Fatalf("parsed %v", peers)
+	}
+	for _, bad := range []string{"n1", "=http://a", "n1=", "n1=http://a,n1=http://b"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Fatalf("parsePeers(%q) accepted", bad)
+		}
+	}
+	if empty, err := parsePeers(""); err != nil || len(empty) != 0 {
+		t.Fatalf("empty flag parsed to %v, %v", empty, err)
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	if _, err := parseLogLevel("debug"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseLogLevel("nonsense"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+// The boot handler must answer liveness 200 and readiness 503 the
+// moment the socket binds, shed everything else with Retry-After, and
+// the swap must atomically hand the same connections to the real stack.
+func TestBootHandlerAndSwap(t *testing.T) {
+	var swap handlerSwap
+	swap.Set(bootHandler())
+	srv := httptest.NewServer(&swap)
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if got := get("/healthz").StatusCode; got != http.StatusOK {
+		t.Fatalf("/healthz during boot = %d, want 200", got)
+	}
+	if got := get("/readyz").StatusCode; got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during boot = %d, want 503", got)
+	}
+	resp := get("/v1/events")
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("ingest during boot = %d (Retry-After %q), want 503 with hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	swap.Set(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	if got := get("/v1/events").StatusCode; got != http.StatusTeapot {
+		t.Fatalf("post-swap status = %d, want the real stack", got)
+	}
+}

@@ -139,7 +139,7 @@ func runBench(outPath string, workers, events, batchSize, gcMaxBatch int, gcMaxW
 		MinSpeedup16:        3,
 		Out:                 os.Stdout,
 	})
-	if len(rep.Entries) == 3 { // a complete ladder is worth recording even if the floor failed
+	if len(rep.Entries) == 4 { // a complete ladder is worth recording even if the floor failed
 		if werr := rep.WriteJSON(outPath); werr != nil && err == nil {
 			err = werr
 		}

@@ -1,0 +1,24 @@
+package beacon
+
+// This file is the shared addressing layer's primitive: the one hash
+// decision every routing level of the system agrees on. The in-process
+// Store shards by it, and the cluster layer's consistent-hash ring
+// (internal/cluster.Ring) places both its virtual nodes and its keys
+// with it, so "which shard" and "which node" are answers derived from
+// the same function of the same ImpressionID. It lives in this package
+// (rather than internal/cluster, where the ring is) only because of
+// import direction: the store is below the cluster layer.
+
+// HashID is the FNV-1a (32-bit) hash of an impression ID — the routing
+// decision shared by store shard selection and cluster node selection.
+// Every event of one impression (and therefore every duplicate of one
+// idempotency key) hashes identically, which is what makes both levels
+// of routing stable under at-least-once delivery.
+func HashID(id string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return h
+}

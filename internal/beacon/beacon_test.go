@@ -268,6 +268,46 @@ func TestServerHealthz(t *testing.T) {
 	}
 }
 
+func TestServerReadyz(t *testing.T) {
+	s := NewServer(NewStore())
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	readyz := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct{ Status, Reason string }
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body.Reason
+	}
+
+	// No check installed: always ready.
+	if code, _ := readyz(); code != http.StatusOK {
+		t.Fatalf("default readyz = %d, want 200", code)
+	}
+	// An installed failing check flips readiness — liveness untouched.
+	s.SetReadiness(func() error { return errors.New("wal boot replay in progress") })
+	code, reason := readyz()
+	if code != http.StatusServiceUnavailable || !strings.Contains(reason, "replay") {
+		t.Fatalf("unready readyz = %d (reason %q), want 503 with the reason", code, reason)
+	}
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("liveness followed readiness down: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	// Boot code swaps the check once recovery completes.
+	s.SetReadiness(func() error { return nil })
+	if code, _ := readyz(); code != http.StatusOK {
+		t.Fatalf("ready readyz = %d, want 200", code)
+	}
+}
+
 func TestHTTPSinkRetries(t *testing.T) {
 	store := NewStore()
 	var failures int

@@ -79,6 +79,13 @@ type HTTPSink struct {
 	// deterministic source (e.g. simrand.RNG.Float64) to make retry
 	// schedules replayable; nil applies the full undithered delay.
 	Jitter func() float64
+	// BaseContext, when set, supplies the context every submission runs
+	// under: each request attempt derives its per-attempt timeout from
+	// it, and the backoff sleeps between attempts abort as soon as it is
+	// cancelled. Wire a server's shutdown context here so SIGTERM tears
+	// down in-flight retries immediately instead of waiting out the
+	// backoff schedule. nil means context.Background().
+	BaseContext func() context.Context
 	// Sleep is the delay function; time.Sleep when nil (tests inject a
 	// recorder or no-op).
 	Sleep func(time.Duration)
@@ -148,14 +155,31 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 		client = http.DefaultClient
 	}
 	url := h.BaseURL + "/v1/events"
+	ctx := context.Background()
+	if h.BaseContext != nil {
+		if c := h.BaseContext(); c != nil {
+			ctx = c
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt <= h.Retries; attempt++ {
 		if attempt > 0 {
 			h.retried.Add(1)
-			h.sleep(h.backoff(attempt, lastErr))
+			if err := h.sleep(ctx, h.backoff(attempt, lastErr)); err != nil {
+				// Shutdown (or caller cancellation) aborts the retry loop
+				// mid-backoff. The error is retryable — a QueueSink above
+				// keeps the events for the journal drain — but this
+				// submission is over now, not after the schedule runs out.
+				h.failed.Add(1)
+				return fmt.Errorf("beacon: submit aborted: %w (last error: %v)", err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			h.failed.Add(1)
+			return fmt.Errorf("beacon: submit aborted: %w (last error: %v)", err, lastErr)
 		}
 		start := time.Now()
-		status, respBody, retryAfter, err := h.post(client, url, body)
+		status, respBody, retryAfter, err := h.post(ctx, client, url, body)
 		h.latency.get().ObserveDuration(time.Since(start))
 		if err != nil {
 			lastErr = err
@@ -191,9 +215,9 @@ func (h *HTTPSink) trace(events []Event, stage obs.Stage) {
 	}
 }
 
-// post performs one attempt under the per-request timeout.
-func (h *HTTPSink) post(client *http.Client, url string, body []byte) (status int, respBody []byte, retryAfter time.Duration, err error) {
-	ctx := context.Background()
+// post performs one attempt under the per-request timeout, derived from
+// the submission's base context so shutdown aborts the attempt too.
+func (h *HTTPSink) post(ctx context.Context, client *http.Client, url string, body []byte) (status int, respBody []byte, retryAfter time.Duration, err error) {
 	timeout := h.Timeout
 	if timeout == 0 {
 		timeout = DefaultTimeout
@@ -265,15 +289,29 @@ func (h *HTTPSink) backoff(attempt int, lastErr error) time.Duration {
 	return delay
 }
 
-func (h *HTTPSink) sleep(d time.Duration) {
+// sleep waits out a backoff delay, returning early with the context's
+// error when it is cancelled first. An injected Sleep (tests, virtual
+// clocks) is used as-is — determinism beats cancellation there — but a
+// pre-cancelled context still short-circuits it.
+func (h *HTTPSink) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if d <= 0 {
-		return
+		return nil
 	}
 	if h.Sleep != nil {
 		h.Sleep(d)
-		return
+		return nil
 	}
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // parseRetryAfter decodes a Retry-After header value. Only the

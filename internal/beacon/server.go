@@ -21,6 +21,7 @@ import (
 //	GET  /v1/stats               global measured/viewability rates per source
 //	GET  /v1/campaigns/{id}/stats  per-campaign rates
 //	GET  /healthz                liveness probe
+//	GET  /readyz                 readiness probe (see SetReadiness)
 //
 // Ingestion is idempotent (see Store.Submit), so tags may retry beacons
 // freely.
@@ -43,6 +44,9 @@ type Server struct {
 
 	healthMu     sync.Mutex
 	healthExtras []healthMetric
+
+	readyMu sync.Mutex
+	ready   func() error
 }
 
 // healthMetric is one operator-registered /healthz gauge.
@@ -80,6 +84,7 @@ func NewServerWithSink(store *Store, sink Sink) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/stats", s.handleCampaignStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	return s
 }
@@ -132,6 +137,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.healthMu.Unlock()
 	writeJSON(w, http.StatusOK, payload)
+}
+
+// SetReadiness installs the readiness check behind GET /readyz.
+// Liveness (/healthz) answers "is the process up" and never flips on
+// load; readiness answers "should traffic be routed here right now" —
+// a load balancer or cluster peer consults it so it never sends
+// beacons to a node that would shed them (WAL boot replay still
+// running, hinted-handoff drain backlog over its threshold, overload
+// shedding active). fn returning nil means ready; a non-nil error is
+// reported as the 503 reason. fn must be safe for concurrent use; a
+// nil fn (the default) reports always-ready.
+//
+// SetReadiness is safe to call concurrently and after the server has
+// started serving — boot code flips from a "replaying" check to the
+// steady-state one once recovery completes.
+func (s *Server) SetReadiness(fn func() error) {
+	s.readyMu.Lock()
+	s.ready = fn
+	s.readyMu.Unlock()
+}
+
+// handleReadyz reports readiness: 200 when the readiness check passes
+// (or none is installed), 503 with the reason otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.readyMu.Lock()
+	fn := s.ready
+	s.readyMu.Unlock()
+	if fn != nil {
+		if err := fn(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "unready",
+				"reason": err.Error(),
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // ServeHTTP implements http.Handler.

@@ -94,17 +94,13 @@ func (s *Store) Shards() int { return len(s.shards) }
 // back into the store.
 func (s *Store) SetObserver(fn func(Event)) { s.observer = fn }
 
-// shardFor picks the shard for an event by FNV-1a hash of its impression
-// ID: every event of one impression (and therefore every duplicate of
-// one idempotency key) lands in the same shard.
+// shardFor picks the shard for an event via the shared addressing hash
+// (HashID): every event of one impression (and therefore every
+// duplicate of one idempotency key) lands in the same shard. The same
+// hash drives node selection in internal/cluster, so in-process and
+// cross-node routing never disagree about an impression.
 func (s *Store) shardFor(e Event) *storeShard {
-	h := uint32(2166136261)
-	id := e.ImpressionID
-	for i := 0; i < len(id); i++ {
-		h ^= uint32(id[i])
-		h *= 16777619
-	}
-	return &s.shards[h&s.mask]
+	return &s.shards[HashID(e.ImpressionID)&s.mask]
 }
 
 // Submit validates and stores the event. Duplicate submissions (same

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerState is a peer's health as seen by the local failure detector.
+type PeerState int
+
+const (
+	// PeerAlive: the last probe (or no probe yet — nodes start
+	// optimistic) succeeded. Beacons forward directly.
+	PeerAlive PeerState = iota
+	// PeerSuspect: at least SuspectAfter consecutive probes failed.
+	// Forwards still attempt delivery (the breaker decides), but the
+	// node is on notice.
+	PeerSuspect
+	// PeerDead: at least DeadAfter consecutive probes failed. Forwards
+	// skip the network entirely and journal straight to hinted handoff.
+	PeerDead
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// DetectorConfig tunes the failure detector.
+type DetectorConfig struct {
+	// ProbeTimeout bounds each /healthz request (default 2s).
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive-failure count that demotes a peer
+	// from alive to suspect (default 1).
+	SuspectAfter int
+	// DeadAfter is the consecutive-failure count that demotes a peer to
+	// dead (default 3). Must be >= SuspectAfter.
+	DeadAfter int
+	// Transport, when set, replaces http.DefaultTransport for probes —
+	// the fault suites inject partitions here.
+	Transport http.RoundTripper
+}
+
+func (c *DetectorConfig) defaults() {
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.DeadAfter < c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 2
+	}
+}
+
+// Detector probes peers' /healthz endpoints and maintains the
+// alive/suspect/dead state machine per peer. It is deliberately
+// synchronous at its core: Tick runs exactly one probe round (all
+// peers, in parallel) and returns when every state is settled, which is
+// what lets the fault suites drive it deterministically; Run is just
+// Tick on a timer.
+//
+// State transitions are monotonic within a failure streak
+// (alive→suspect→dead as consecutive failures accumulate) and any
+// single success resets straight to alive. The recovery edge
+// (suspect/dead → alive) fires the OnRecover callback — that is the
+// hook hinted-handoff replay hangs off.
+type Detector struct {
+	cfg    DetectorConfig
+	client *http.Client
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+
+	// onRecover is called (outside the detector lock, from Tick's
+	// goroutine) each time a peer transitions back to alive from
+	// suspect or dead.
+	onRecover func(peerID string)
+	// onChange is called on every state transition, for metrics/logs.
+	onChange func(peerID string, from, to PeerState)
+
+	probes   int64 // total probes sent (under mu)
+	failures int64 // total failed probes (under mu)
+}
+
+type peerHealth struct {
+	url      string
+	state    PeerState
+	failures int // consecutive
+}
+
+// NewDetector builds a detector over the given peers (id → base URL).
+// All peers start alive: a freshly joined node should try the network
+// before writing hints.
+func NewDetector(peers map[string]string, cfg DetectorConfig) *Detector {
+	cfg.defaults()
+	d := &Detector{
+		cfg:   cfg,
+		peers: make(map[string]*peerHealth, len(peers)),
+		client: &http.Client{
+			Timeout:   cfg.ProbeTimeout,
+			Transport: cfg.Transport,
+		},
+	}
+	for id, url := range peers {
+		d.peers[id] = &peerHealth{url: url, state: PeerAlive}
+	}
+	return d
+}
+
+// OnRecover installs the recovery callback. Must be set before the
+// probe loop starts.
+func (d *Detector) OnRecover(fn func(peerID string)) { d.onRecover = fn }
+
+// OnChange installs the transition callback. Must be set before the
+// probe loop starts.
+func (d *Detector) OnChange(fn func(peerID string, from, to PeerState)) { d.onChange = fn }
+
+// State returns the current state of a peer (PeerDead for unknown IDs:
+// an unknown peer is not a delivery target).
+func (d *Detector) State(peerID string) PeerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p, ok := d.peers[peerID]; ok {
+		return p.state
+	}
+	return PeerDead
+}
+
+// States returns a snapshot of all peer states.
+func (d *Detector) States() map[string]PeerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]PeerState, len(d.peers))
+	for id, p := range d.peers {
+		out[id] = p.state
+	}
+	return out
+}
+
+// Probes returns (total probes, total failures) since construction.
+func (d *Detector) Probes() (int64, int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.probes, d.failures
+}
+
+// Tick runs one synchronous probe round: every peer is probed in
+// parallel, states are updated, and transition callbacks fire before
+// Tick returns. Deterministic drivers (tests) call it directly; Run
+// calls it on a timer.
+func (d *Detector) Tick(ctx context.Context) {
+	d.mu.Lock()
+	ids := make([]string, 0, len(d.peers))
+	urls := make([]string, 0, len(d.peers))
+	for id, p := range d.peers {
+		ids = append(ids, id)
+		urls = append(urls, p.url)
+	}
+	d.mu.Unlock()
+	// Probe in a fixed order so callback sequences are reproducible.
+	sort.Sort(&byID{ids, urls})
+
+	results := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = d.probe(ctx, urls[i])
+		}(i)
+	}
+	wg.Wait()
+
+	type transition struct {
+		id       string
+		from, to PeerState
+	}
+	var trans []transition
+	d.mu.Lock()
+	for i, id := range ids {
+		p := d.peers[id]
+		d.probes++
+		from := p.state
+		if results[i] == nil {
+			p.failures = 0
+			p.state = PeerAlive
+		} else {
+			d.failures++
+			p.failures++
+			switch {
+			case p.failures >= d.cfg.DeadAfter:
+				p.state = PeerDead
+			case p.failures >= d.cfg.SuspectAfter:
+				p.state = PeerSuspect
+			}
+		}
+		if p.state != from {
+			trans = append(trans, transition{id, from, p.state})
+		}
+	}
+	d.mu.Unlock()
+
+	for _, tr := range trans {
+		if d.onChange != nil {
+			d.onChange(tr.id, tr.from, tr.to)
+		}
+		if tr.to == PeerAlive && d.onRecover != nil {
+			d.onRecover(tr.id)
+		}
+	}
+}
+
+func (d *Detector) probe(ctx context.Context, baseURL string) error {
+	ctx, cancel := context.WithTimeout(ctx, d.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: probe status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Run calls Tick every interval until ctx is cancelled.
+func (d *Detector) Run(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			d.Tick(ctx)
+		}
+	}
+}
+
+// byID sorts parallel id/url slices by id.
+type byID struct {
+	ids  []string
+	urls []string
+}
+
+func (s *byID) Len() int           { return len(s.ids) }
+func (s *byID) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *byID) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.urls[i], s.urls[j] = s.urls[j], s.urls[i]
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyPeer is an httptest server whose /healthz can be switched
+// between healthy and failing.
+type flakyPeer struct {
+	srv  *httptest.Server
+	down atomic.Bool
+}
+
+func newFlakyPeer(t *testing.T) *flakyPeer {
+	t.Helper()
+	p := &flakyPeer{}
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if p.down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func TestDetectorStateMachine(t *testing.T) {
+	peer := newFlakyPeer(t)
+	d := NewDetector(map[string]string{"p": peer.srv.URL}, DetectorConfig{
+		ProbeTimeout: time.Second,
+		SuspectAfter: 1,
+		DeadAfter:    3,
+	})
+
+	var transitions []string
+	d.OnChange(func(id string, from, to PeerState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+	recovered := 0
+	d.OnRecover(func(id string) { recovered++ })
+
+	ctx := context.Background()
+	if got := d.State("p"); got != PeerAlive {
+		t.Fatalf("initial state = %v, want alive (optimistic start)", got)
+	}
+	d.Tick(ctx)
+	if got := d.State("p"); got != PeerAlive {
+		t.Fatalf("after healthy probe = %v, want alive", got)
+	}
+
+	peer.down.Store(true)
+	d.Tick(ctx)
+	if got := d.State("p"); got != PeerSuspect {
+		t.Fatalf("after 1 failure = %v, want suspect", got)
+	}
+	d.Tick(ctx)
+	if got := d.State("p"); got != PeerSuspect {
+		t.Fatalf("after 2 failures = %v, want still suspect", got)
+	}
+	d.Tick(ctx)
+	if got := d.State("p"); got != PeerDead {
+		t.Fatalf("after 3 failures = %v, want dead", got)
+	}
+
+	// One success resets straight to alive and fires the recovery hook.
+	peer.down.Store(false)
+	d.Tick(ctx)
+	if got := d.State("p"); got != PeerAlive {
+		t.Fatalf("after recovery probe = %v, want alive", got)
+	}
+	if recovered != 1 {
+		t.Fatalf("OnRecover fired %d times, want 1", recovered)
+	}
+	want := []string{"alive->suspect", "suspect->dead", "dead->alive"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+
+	probes, failures := d.Probes()
+	if probes != 5 || failures != 3 {
+		t.Fatalf("probes/failures = %d/%d, want 5/3", probes, failures)
+	}
+}
+
+func TestDetectorUnreachablePeerGoesDead(t *testing.T) {
+	// A peer whose socket refuses connections (not just 5xx) must follow
+	// the same path to dead.
+	d := NewDetector(map[string]string{"gone": "http://127.0.0.1:1"}, DetectorConfig{
+		ProbeTimeout: 200 * time.Millisecond,
+		SuspectAfter: 1,
+		DeadAfter:    2,
+	})
+	ctx := context.Background()
+	d.Tick(ctx)
+	d.Tick(ctx)
+	if got := d.State("gone"); got != PeerDead {
+		t.Fatalf("unreachable peer = %v, want dead", got)
+	}
+	states := d.States()
+	if states["gone"] != PeerDead {
+		t.Fatalf("States() = %v", states)
+	}
+	// Unknown peers read as dead: never a delivery target.
+	if got := d.State("never-heard-of-it"); got != PeerDead {
+		t.Fatalf("unknown peer = %v, want dead", got)
+	}
+}

@@ -1,0 +1,206 @@
+package cluster
+
+// Satellite coverage: the internal/faults HTTP RoundTripper driving the
+// peer-forwarding path. Each test wires a fault profile under a Node's
+// forwarders and asserts the degradation contract: breaker state
+// transitions happen when they should, and every beacon the node acks
+// while the network misbehaves is either delivered or journaled to
+// hinted handoff — never dropped.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"qtag/internal/beacon"
+	"qtag/internal/faults"
+	"qtag/internal/simrand"
+)
+
+// newFaultyNode builds a node whose forwards to one real peer pass
+// through a faults.RoundTripper with the given profile.
+func newFaultyNode(t *testing.T, p faults.Profile, seed uint64, cfgTweak func(*Config)) (*Node, *beacon.Store, *faults.RoundTripper) {
+	t.Helper()
+	peerStore, peerURL := startPeerServer(t)
+	rt := faults.NewRoundTripper(nil, simrand.New(seed).Fork("forward-faults"), p)
+	rt.SetSleep(nil) // count injected latency, don't pay it
+	cfg := Config{
+		Self:           "a",
+		Peers:          map[string]string{"b": peerURL},
+		Local:          beacon.NewStore(),
+		HandoffDir:     t.TempDir(),
+		Transport:      rt,
+		ForwardTimeout: time.Second,
+		ForwardRetries: 1,
+		Jitter:         simrand.New(seed).Fork("jitter").Float64,
+	}
+	if cfgTweak != nil {
+		cfgTweak(&cfg)
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n, peerStore, rt
+}
+
+func TestForwardingUnderInjected5xxBurst(t *testing.T) {
+	// Every request 503s: the breaker must open after Threshold
+	// consecutive failures, and every single submission must still be
+	// acked — journaled as a hint once forwarding fails.
+	n, peerStore, rt := newFaultyNode(t, faults.Profile{Error: 1.0}, 7, func(c *Config) {
+		c.BreakerThreshold = 3
+		c.BreakerCooldown = time.Hour // stay open for the test's duration
+	})
+
+	keys := keysOwnedBy(t, n.Ring(), "b", 10)
+	for _, k := range keys {
+		if err := n.Submit(nodeEvent(k)); err != nil {
+			t.Fatalf("submit %s not acked under 5xx burst: %v", k, err)
+		}
+	}
+	if got := n.BreakerState("b"); got != beacon.BreakerOpen {
+		t.Fatalf("breaker = %v after sustained 5xx, want open", got)
+	}
+	if got := n.Stats().Hinted; got != 10 {
+		t.Fatalf("hinted = %d, want all 10", got)
+	}
+	if peerStore.Len() != 0 {
+		t.Fatalf("peer store holds %d despite total 5xx", peerStore.Len())
+	}
+	if rt.Stats().Errored == 0 {
+		t.Fatal("fault layer injected nothing; test wired wrong")
+	}
+	// Once the breaker is open, submissions skip the wire entirely: the
+	// injected-error count must stop growing.
+	before := rt.Stats().Errored
+	for _, k := range keysOwnedBy(t, n.Ring(), "b", 20)[10:] {
+		if err := n.Submit(nodeEvent(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := rt.Stats().Errored; after != before {
+		t.Fatalf("open breaker still sent %d requests", after-before)
+	}
+}
+
+func TestForwardingUnderConnectionDrops(t *testing.T) {
+	// A full partition (every connection dropped before reaching the
+	// peer): same contract as 5xx — breaker opens, everything hints.
+	n, peerStore, _ := newFaultyNode(t, faults.Profile{Drop: 1.0}, 11, func(c *Config) {
+		c.BreakerThreshold = 2
+		c.BreakerCooldown = time.Hour
+	})
+	keys := keysOwnedBy(t, n.Ring(), "b", 6)
+	for _, k := range keys {
+		if err := n.Submit(nodeEvent(k)); err != nil {
+			t.Fatalf("submit under partition not acked: %v", err)
+		}
+	}
+	if got := n.BreakerState("b"); got != beacon.BreakerOpen {
+		t.Fatalf("breaker = %v, want open", got)
+	}
+	if got := n.Stats().HintBacklog; got != 6 {
+		t.Fatalf("backlog = %d, want 6", got)
+	}
+	if peerStore.Len() != 0 {
+		t.Fatalf("peer store holds %d under total partition", peerStore.Len())
+	}
+}
+
+func TestForwardingRecoversAfterFaultsClear(t *testing.T) {
+	// Intermittent faults (40% failures): with a retry budget the node
+	// delivers what it can, hints the rest, and the breaker stays
+	// closed because successes keep interrupting the failure streaks.
+	// Afterwards the drain path clears the backlog through the now-
+	// healthy wire and nothing is lost or duplicated.
+	n, peerStore, _ := newFaultyNode(t, faults.Profile{Error: 0.4}, 23, func(c *Config) {
+		c.BreakerThreshold = 50 // don't trip during the lossy phase
+		c.ForwardRetries = 2
+	})
+	keys := keysOwnedBy(t, n.Ring(), "b", 40)
+	for _, k := range keys {
+		if err := n.Submit(nodeEvent(k)); err != nil {
+			t.Fatalf("submit %s: %v", k, err)
+		}
+	}
+	st := n.Stats()
+	if st.Forwarded+st.Hinted != 40 {
+		t.Fatalf("forwarded %d + hinted %d != 40 acked", st.Forwarded, st.Hinted)
+	}
+	if st.Forwarded == 0 {
+		t.Fatal("nothing forwarded at 60% success; profile wired wrong")
+	}
+
+	// Drain whatever hinted. DrainNow goes through the same faulty
+	// transport, so allow several rounds.
+	deadline := time.Now().Add(10 * time.Second)
+	for n.Stats().HintBacklog > 0 && time.Now().Before(deadline) {
+		n.DrainNow("b")
+	}
+	if got := n.Stats().HintBacklog; got != 0 {
+		t.Fatalf("backlog never drained: %d", got)
+	}
+	// Exactly-once cluster-wide: the peer's idempotent store holds each
+	// impression once, no matter how many times faults forced retries
+	// and redeliveries.
+	if peerStore.Len() != 40 {
+		t.Fatalf("peer store holds %d, want exactly 40", peerStore.Len())
+	}
+}
+
+func TestForwardingAmbiguousPartialFailureNoDuplicates(t *testing.T) {
+	// The nastiest mode: the request lands, the response is lost. The
+	// forwarder must retry (or hint) — and the peer's dedup must absorb
+	// the redelivery so the beacon still counts exactly once.
+	n, peerStore, rt := newFaultyNode(t, faults.Profile{Partial: 0.5}, 31, func(c *Config) {
+		c.ForwardRetries = 4
+		c.BreakerThreshold = 100
+	})
+	keys := keysOwnedBy(t, n.Ring(), "b", 30)
+	for _, k := range keys {
+		if err := n.Submit(nodeEvent(k)); err != nil {
+			t.Fatalf("submit %s: %v", k, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for n.Stats().HintBacklog > 0 && time.Now().Before(deadline) {
+		n.DrainNow("b")
+	}
+	if got := n.Stats().HintBacklog; got != 0 {
+		t.Fatalf("backlog never drained: %d", got)
+	}
+	if rt.Stats().Partial == 0 {
+		t.Fatal("no partial failures injected; test wired wrong")
+	}
+	if peerStore.Len() != 30 {
+		t.Fatalf("peer store holds %d, want exactly 30 (dedup under at-least-once)", peerStore.Len())
+	}
+}
+
+func TestForwardingRetryAfterHonoured(t *testing.T) {
+	// Injected 429s carry Retry-After; the forwarder's recorded sleeps
+	// must reflect the header rather than the tiny exponential base.
+	peerURL := "http://127.0.0.1:1" // never reached; every request 429s
+	rt := faults.NewRoundTripper(http.DefaultTransport, simrand.New(3).Fork("ra"),
+		faults.Profile{Error: 1.0, ErrorCode: 429, RetryAfter: 2 * time.Second})
+	var slept []time.Duration
+	sink := &beacon.HTTPSink{
+		BaseURL: peerURL,
+		Client:  &http.Client{Transport: rt},
+		Retries: 2,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := sink.Submit(nodeEvent("imp-ra")); err == nil {
+		t.Fatal("expected failure after retries")
+	}
+	if len(slept) != 2 {
+		t.Fatalf("recorded %d sleeps, want 2", len(slept))
+	}
+	for _, d := range slept {
+		if d < 2*time.Second {
+			t.Fatalf("backoff %v ignored Retry-After of 2s", d)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package cluster is the coordinator-free multi-node layer for the
+// beacon ingest server. Any node accepts any beacon; a consistent-hash
+// ring over impression IDs (the same FNV decision the in-process store
+// shards by — beacon.HashID) names the single owner node, and
+// non-owners relay the beacon there. When the owner is unreachable the
+// relay degrades to hinted handoff: the beacon is journaled durably
+// under a per-peer WAL namespace and replayed once the owner's health
+// probe recovers. Because every store in the cluster is idempotent on
+// the event key, at-least-once redelivery across all of these paths
+// (forward retries, hint replays, crash-recovered hints) collapses to
+// exactly-once counting — the invariant the fault suites assert:
+// acked-by-any-live-node ⊆ recovered-cluster-wide, zero duplicates.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"qtag/internal/beacon"
+)
+
+// DefaultReplicas is the virtual-node count per physical node. 64
+// points per node keeps the expected ownership imbalance across a
+// handful of nodes within a few percent while the ring stays small
+// enough that rebuilding it on membership change is trivial.
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring: a sorted circle of
+// virtual-node points, each owned by a physical node ID. Key lookup
+// walks clockwise to the first point at or after the key's hash.
+// Immutability is what makes it safe to share between the ingest hot
+// path and the prober without locks — membership changes build a new
+// Ring.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint32
+	node string
+}
+
+// NewRing builds a ring over the given node IDs with replicas virtual
+// nodes each (DefaultReplicas when replicas <= 0). Node IDs must be
+// non-empty and unique; order does not matter — any permutation of the
+// same membership yields an identical ring, which is what lets every
+// node compute ownership independently and agree.
+func NewRing(nodeIDs []string, replicas int) (*Ring, error) {
+	if len(nodeIDs) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(nodeIDs))
+	nodes := make([]string, 0, len(nodeIDs))
+	for _, id := range nodeIDs {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty node id")
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", id)
+		}
+		seen[id] = true
+		nodes = append(nodes, id)
+	}
+	sort.Strings(nodes)
+	points := make([]ringPoint, 0, len(nodes)*replicas)
+	for _, id := range nodes {
+		for i := 0; i < replicas; i++ {
+			points = append(points, ringPoint{
+				hash: mix32(beacon.HashID(id + "#" + strconv.Itoa(i))),
+				node: id,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// Tie-break on node ID so colliding points still order
+		// deterministically on every node.
+		return points[i].node < points[j].node
+	})
+	return &Ring{points: points, nodes: nodes}, nil
+}
+
+// mix32 is a murmur3-style finalizer over the shared FNV hash. FNV-1a
+// diffuses its last few input bytes poorly (each byte gets only one
+// multiply), so the near-identical vnode labels ("n0#0", "n0#1", …)
+// land in clumps and ownership skews badly without it. The ring's
+// identity with the store's addressing is preserved: both start from
+// the one shared beacon.HashID; the mix is a bijection applied
+// consistently to both sides of the ring comparison, so equal
+// impressions still map to equal positions.
+func mix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// Owner returns the node ID owning the given key (an impression ID):
+// the first virtual node clockwise from the key's ring position
+// (mix32 ∘ beacon.HashID — see mix32).
+func (r *Ring) Owner(key string) string {
+	h := mix32(beacon.HashID(key))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point back to the start of the circle
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's member IDs, sorted. The slice is shared;
+// callers must not mutate it.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Size returns the number of physical nodes.
+func (r *Ring) Size() int { return len(r.nodes) }

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"qtag/internal/beacon"
+)
+
+func TestRingMembershipOrderIrrelevant(t *testing.T) {
+	a, err := NewRing([]string{"n0", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n2", "n0", "n1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("imp-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %s: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingOwnershipStableAcrossLookups(t *testing.T) {
+	r, err := NewRing([]string{"n0", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("imp-%d", i)
+		first := r.Owner(key)
+		for j := 0; j < 3; j++ {
+			if got := r.Owner(key); got != first {
+				t.Fatalf("owner of %s flapped: %s then %s", key, first, got)
+			}
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing([]string{"n0", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("imp-%08d", i))]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes own keys: %v", len(counts), counts)
+	}
+	for id, c := range counts {
+		frac := float64(c) / n
+		// With 64 vnodes per node the observed share should be within a
+		// loose band around 1/3; a node outside [15%, 55%] means the ring
+		// placement is broken, not merely unlucky.
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of keys: %v", id, frac*100, counts)
+		}
+	}
+}
+
+func TestRingMinimalReshuffleOnMembershipChange(t *testing.T) {
+	// Consistent hashing's point: adding a node moves only the keys the
+	// new node takes over, roughly 1/(n+1) of them — never a wholesale
+	// reshuffle like mod-N would.
+	before, _ := NewRing([]string{"n0", "n1", "n2"}, 0)
+	after, _ := NewRing([]string{"n0", "n1", "n2", "n3"}, 0)
+	const n = 20000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("imp-%08d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != oa {
+			if oa != "n3" {
+				t.Fatalf("key %s moved between pre-existing nodes: %s -> %s", key, ob, oa)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / n
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("%.1f%% of keys moved on node add; want roughly 25%%", frac*100)
+	}
+}
+
+func TestRingSharesStoreHash(t *testing.T) {
+	// The ring and the store must hash an impression identically — the
+	// shared addressing layer's contract. Same hash in means duplicate
+	// events of one impression dedup on one node in one shard.
+	key := "impression-xyz"
+	if beacon.HashID(key) != beacon.HashID(key) {
+		t.Fatal("HashID not deterministic")
+	}
+	r, _ := NewRing([]string{"solo"}, 0)
+	if got := r.Owner(key); got != "solo" {
+		t.Fatalf("single-node ring owner = %q, want solo", got)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty node id accepted")
+	}
+}

@@ -36,6 +36,7 @@ type BenchOptions struct {
 type BenchEntry struct {
 	Shards      int     `json:"shards"`
 	GroupCommit bool    `json:"group_commit"`
+	Forwarding  bool    `json:"forwarding,omitempty"`
 	Eps         float64 `json:"throughput_eps"`
 	P50Ms       float64 `json:"p50_ms"`
 	P99Ms       float64 `json:"p99_ms"`
@@ -65,8 +66,11 @@ type BenchLadderReport struct {
 // path (fsync=always, sync durability) across the shard/group-commit
 // ladder: the 1-shard no-group-commit row is the seed per-record-fsync
 // behavior, the 4- and 16-shard group-commit rows are the scaled ingest
-// path. Every row uses a fresh WAL directory and a fresh in-process
-// server; numbers are measured, never modeled.
+// path, and the forwarding row repeats the 16-shard configuration with
+// a two-node cluster in front (about half the events forward to a peer
+// before acking) to price the peer-routing overhead. Every row uses a
+// fresh WAL directory and a fresh in-process server; numbers are
+// measured, never modeled.
 func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 	var rep BenchLadderReport
 	o := LoadOptions{Workers: opts.Workers, Events: opts.Events, BatchSize: opts.BatchSize, Seed: 2019}.withDefaults()
@@ -94,17 +98,22 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 	defer os.RemoveAll(tmpRoot)
 
 	cases := []struct {
-		shards int
-		gc     bool
+		shards     int
+		gc         bool
+		forwarding bool
 	}{
-		{1, false}, // the seed: single lock, one fsync per record
-		{4, true},
-		{16, true},
+		{1, false, false}, // the seed: single lock, one fsync per record
+		{4, true, false},
+		{16, true, false},
+		// The cluster tax: same stack, but the loaded node owns only
+		// ~half the ring — the rest forwards over HTTP to a second
+		// full-durability node before acking.
+		{16, true, true},
 	}
 	for i, c := range cases {
 		var best LoadReport
 		for r := 0; r < reps; r++ {
-			srv, err := StartIngestServer(IngestServerConfig{
+			base := IngestServerConfig{
 				Shards:              c.shards,
 				WALDir:              filepath.Join(tmpRoot, fmt.Sprintf("wal-%d-%d", i, r)),
 				Fsync:               wal.FsyncAlways,
@@ -112,14 +121,36 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 				GroupCommitMaxBatch: opts.GroupCommitMaxBatch,
 				GroupCommitMaxWait:  opts.GroupCommitMaxWait,
 				SyncDurability:      true,
-			})
+			}
+			var peer *IngestServer
+			if c.forwarding {
+				peerCfg := base
+				peerCfg.WALDir = filepath.Join(tmpRoot, fmt.Sprintf("wal-%d-%d-peer", i, r))
+				p, err := StartIngestServer(peerCfg)
+				if err != nil {
+					return rep, err
+				}
+				peer = p
+				base.ClusterSelf = "bench-a"
+				base.ClusterPeers = map[string]string{"bench-b": peer.URL}
+				base.ClusterHandoffDir = filepath.Join(tmpRoot, fmt.Sprintf("hints-%d-%d", i, r))
+			}
+			srv, err := StartIngestServer(base)
 			if err != nil {
+				if peer != nil {
+					peer.Close()
+				}
 				return rep, err
 			}
 			lr, err := RunLoad(srv.URL, LoadOptions{
 				Workers: o.Workers, Events: o.Events, BatchSize: o.BatchSize, Seed: 2019,
 			})
 			cerr := srv.Close()
+			if peer != nil {
+				if perr := peer.Close(); cerr == nil {
+					cerr = perr
+				}
+			}
 			if err != nil {
 				return rep, fmt.Errorf("shards=%d: %w", c.shards, err)
 			}
@@ -133,10 +164,11 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 				best = lr
 			}
 		}
-		fmt.Fprintf(out, "shards=%-2d group-commit=%-5v  %s\n", c.shards, c.gc, best)
+		fmt.Fprintf(out, "shards=%-2d group-commit=%-5v forwarding=%-5v  %s\n", c.shards, c.gc, c.forwarding, best)
 		rep.Entries = append(rep.Entries, BenchEntry{
 			Shards:      c.shards,
 			GroupCommit: c.gc,
+			Forwarding:  c.forwarding,
 			Eps:         best.Eps,
 			P50Ms:       float64(best.P50) / float64(time.Millisecond),
 			P99Ms:       float64(best.P99) / float64(time.Millisecond),

@@ -9,7 +9,7 @@ import (
 	"time"
 )
 
-// TestRunBenchLadderSmall runs the full three-row ladder with a tiny
+// TestRunBenchLadderSmall runs the full four-row ladder with a tiny
 // event count — this is a correctness test of the harness (fresh WAL
 // dir per row, clean runs, report shape, JSON output), not a
 // performance assertion, so MinSpeedup16 stays 0.
@@ -26,15 +26,16 @@ func TestRunBenchLadderSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 3 {
-		t.Fatalf("ladder produced %d rows, want 3", len(rep.Entries))
+	if len(rep.Entries) != 4 {
+		t.Fatalf("ladder produced %d rows, want 4", len(rep.Entries))
 	}
-	wantShards := []int{1, 4, 16}
-	wantGC := []bool{false, true, true}
+	wantShards := []int{1, 4, 16, 16}
+	wantGC := []bool{false, true, true, true}
+	wantFwd := []bool{false, false, false, true}
 	for i, e := range rep.Entries {
-		if e.Shards != wantShards[i] || e.GroupCommit != wantGC[i] {
-			t.Fatalf("row %d = shards=%d gc=%v, want shards=%d gc=%v",
-				i, e.Shards, e.GroupCommit, wantShards[i], wantGC[i])
+		if e.Shards != wantShards[i] || e.GroupCommit != wantGC[i] || e.Forwarding != wantFwd[i] {
+			t.Fatalf("row %d = shards=%d gc=%v fwd=%v, want shards=%d gc=%v fwd=%v",
+				i, e.Shards, e.GroupCommit, e.Forwarding, wantShards[i], wantGC[i], wantFwd[i])
 		}
 		if e.Accepted != 120 {
 			t.Fatalf("row %d accepted %d events, want 120", i, e.Accepted)
@@ -65,7 +66,7 @@ func TestRunBenchLadderSmall(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Entries) != 3 || back.Entries[2].Shards != 16 {
+	if len(back.Entries) != 4 || back.Entries[2].Shards != 16 || !back.Entries[3].Forwarding {
 		t.Fatalf("report did not round-trip: %+v", back)
 	}
 }
@@ -86,7 +87,7 @@ func TestRunBenchLadderSpeedupFloor(t *testing.T) {
 	if !strings.Contains(err.Error(), "below the") {
 		t.Fatalf("unexpected gate error: %v", err)
 	}
-	if len(rep.Entries) != 3 {
+	if len(rep.Entries) != 4 {
 		t.Fatalf("gate failure must still return the full ladder, got %d rows", len(rep.Entries))
 	}
 }

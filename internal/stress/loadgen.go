@@ -15,6 +15,7 @@ import (
 
 	"qtag/internal/aggregate"
 	"qtag/internal/beacon"
+	"qtag/internal/cluster"
 	"qtag/internal/report"
 	"qtag/internal/simrand"
 	"qtag/internal/wal"
@@ -286,6 +287,13 @@ type IngestServerConfig struct {
 	// ReportSweepEvery runs a background eviction sweep at this cadence
 	// (0 = no sweeper; call Aggregate.Sweep yourself).
 	ReportSweepEvery time.Duration
+	// ClusterSelf / ClusterPeers / ClusterHandoffDir layer a cluster
+	// router over the sink: events whose ring owner is a peer forward
+	// over HTTP instead of landing locally. Used by the forwarding rung
+	// of the benchmark ladder to price peer routing.
+	ClusterSelf       string
+	ClusterPeers      map[string]string
+	ClusterHandoffDir string
 }
 
 // IngestServer is a live in-process collection server.
@@ -298,6 +306,7 @@ type IngestServer struct {
 
 	httpSrv   *http.Server
 	queue     *beacon.QueueSink
+	node      *cluster.Node
 	stopSweep chan struct{}
 }
 
@@ -333,6 +342,23 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 			is.queue = beacon.NewQueueSink(wj, beacon.QueueOptions{})
 			sink = beacon.Tee(store, is.queue)
 		}
+	}
+	if len(cfg.ClusterPeers) > 0 {
+		node, err := cluster.NewNode(cluster.Config{
+			Self:       cfg.ClusterSelf,
+			Peers:      cfg.ClusterPeers,
+			Local:      sink,
+			HandoffDir: cfg.ClusterHandoffDir,
+		})
+		if err != nil {
+			if is.Journal != nil {
+				is.Journal.Close()
+			}
+			return nil, err
+		}
+		is.node = node
+		node.Start()
+		sink = node
 	}
 	is.Server = beacon.NewServerWithSink(store, sink)
 	is.Server.Mount("GET /report", report.Handler(is.Aggregate, nil))
@@ -378,6 +404,11 @@ func (s *IngestServer) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := s.httpSrv.Shutdown(ctx)
+	if s.node != nil {
+		if nerr := s.node.Close(); err == nil {
+			err = nerr
+		}
+	}
 	if s.stopSweep != nil {
 		close(s.stopSweep)
 	}

@@ -3,7 +3,7 @@
 // ladder rung regressed beyond the tolerance — the CI tripwire that
 // keeps the PR 4 shard-scaling wins from eroding silently.
 //
-// Entries are matched by (shards, group_commit). Only throughput is
+// Entries are matched by (shards, group_commit, forwarding). Only throughput is
 // gated: latency percentiles on shared CI runners are too noisy to
 // gate on, but they are printed for the log. A fresh entry missing
 // from the baseline is informational; a baseline entry missing from
@@ -26,6 +26,7 @@ import (
 type entry struct {
 	Shards      int     `json:"shards"`
 	GroupCommit bool    `json:"group_commit"`
+	Forwarding  bool    `json:"forwarding"`
 	Eps         float64 `json:"throughput_eps"`
 	P50Ms       float64 `json:"p50_ms"`
 	P99Ms       float64 `json:"p99_ms"`
@@ -39,6 +40,7 @@ type benchFile struct {
 type rung struct {
 	Shards      int
 	GroupCommit bool
+	Forwarding  bool
 }
 
 func load(path string) (map[rung]entry, error) {
@@ -55,7 +57,7 @@ func load(path string) (map[rung]entry, error) {
 	}
 	out := make(map[rung]entry, len(f.Entries))
 	for _, e := range f.Entries {
-		out[rung{e.Shards, e.GroupCommit}] = e
+		out[rung{e.Shards, e.GroupCommit, e.Forwarding}] = e
 	}
 	return out, nil
 }
@@ -72,19 +74,22 @@ func gate(w io.Writer, baseline, fresh map[rung]entry, maxRegress float64) bool 
 		if rungs[i].Shards != rungs[j].Shards {
 			return rungs[i].Shards < rungs[j].Shards
 		}
-		return !rungs[i].GroupCommit && rungs[j].GroupCommit
+		if rungs[i].GroupCommit != rungs[j].GroupCommit {
+			return !rungs[i].GroupCommit
+		}
+		return !rungs[i].Forwarding && rungs[j].Forwarding
 	})
 	failed := false
 	for _, r := range rungs {
 		base := baseline[r]
 		got, ok := fresh[r]
 		if !ok {
-			fmt.Fprintf(w, "FAIL  shards=%-3d group_commit=%-5v missing from fresh run\n", r.Shards, r.GroupCommit)
+			fmt.Fprintf(w, "FAIL  shards=%-3d group_commit=%-5v forwarding=%-5v missing from fresh run\n", r.Shards, r.GroupCommit, r.Forwarding)
 			failed = true
 			continue
 		}
 		if base.Eps <= 0 {
-			fmt.Fprintf(w, "SKIP  shards=%-3d group_commit=%-5v baseline throughput is zero\n", r.Shards, r.GroupCommit)
+			fmt.Fprintf(w, "SKIP  shards=%-3d group_commit=%-5v forwarding=%-5v baseline throughput is zero\n", r.Shards, r.GroupCommit, r.Forwarding)
 			continue
 		}
 		delta := (got.Eps - base.Eps) / base.Eps
@@ -93,12 +98,12 @@ func gate(w io.Writer, baseline, fresh map[rung]entry, maxRegress float64) bool 
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Fprintf(w, "%s  shards=%-3d group_commit=%-5v eps %10.0f -> %10.0f (%+6.1f%%)  p99 %.2fms -> %.2fms\n",
-			status, r.Shards, r.GroupCommit, base.Eps, got.Eps, delta*100, base.P99Ms, got.P99Ms)
+		fmt.Fprintf(w, "%s  shards=%-3d group_commit=%-5v forwarding=%-5v eps %10.0f -> %10.0f (%+6.1f%%)  p99 %.2fms -> %.2fms\n",
+			status, r.Shards, r.GroupCommit, r.Forwarding, base.Eps, got.Eps, delta*100, base.P99Ms, got.P99Ms)
 	}
 	for r := range fresh {
 		if _, ok := baseline[r]; !ok {
-			fmt.Fprintf(w, "note  shards=%-3d group_commit=%-5v new rung, no baseline\n", r.Shards, r.GroupCommit)
+			fmt.Fprintf(w, "note  shards=%-3d group_commit=%-5v forwarding=%-5v new rung, no baseline\n", r.Shards, r.GroupCommit, r.Forwarding)
 		}
 	}
 	return failed

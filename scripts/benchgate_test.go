@@ -26,7 +26,7 @@ func TestLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(m) != 2 || m[rung{4, true}].Eps != 15000 {
+	if len(m) != 2 || m[rung{4, true, false}].Eps != 15000 {
 		t.Fatalf("loaded %+v", m)
 	}
 	if _, err := load(writeBench(t, `{"entries":[]}`)); err == nil {
@@ -82,6 +82,31 @@ func TestGateVerdicts(t *testing.T) {
 				t.Fatalf("output missing %q:\n%s", tc.wantLine, out.String())
 			}
 		})
+	}
+}
+
+// The forwarding flag is part of the rung identity: a plain 16-shard
+// run must not satisfy a forwarding baseline rung.
+func TestGateForwardingRungIsDistinct(t *testing.T) {
+	baseline, err := load(writeBench(t, `{"entries":[
+		{"shards":16,"group_commit":true,"throughput_eps":16000,"p99_ms":6},
+		{"shards":16,"group_commit":true,"forwarding":true,"throughput_eps":8000,"p99_ms":12}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := load(writeBench(t, `{"entries":[
+		{"shards":16,"group_commit":true,"throughput_eps":16000,"p99_ms":6}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if !gate(&out, baseline, fresh, 0.20) {
+		t.Fatalf("missing forwarding rung passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "forwarding=true  missing from fresh run") {
+		t.Fatalf("verdict does not name the forwarding rung:\n%s", out.String())
 	}
 }
 
