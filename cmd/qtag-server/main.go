@@ -15,6 +15,10 @@
 //	GET  /readyz                  readiness (503 during boot replay and
 //	                              while the handoff backlog is high)
 //	GET  /debug/pprof/*           profiling (only with -pprof)
+//	GET  /debug/traces            recent distributed traces (only with
+//	                              -trace-sample > 0); ?trace=<id> for one
+//	                              trace's full span tree, else summaries
+//	                              filtered by ?min_ms= ?error=1 ?campaign=
 //
 // Usage:
 //
@@ -31,7 +35,20 @@
 //	            [-node-id n0] [-peers n1=http://...,n2=http://...]
 //	            [-handoff-dir hints] [-probe-every 1s]
 //	            [-ready-hint-backlog 10000]
+//	            [-trace-sample 0.01] [-trace-buffer 4096]
+//	            [-slow-request 250ms] [-access-log]
+//	            [-metrics-exemplars]
 //	            [-log-level info] [-pprof]
+//
+// Distributed tracing (-trace-sample > 0) propagates W3C traceparent
+// context across every hop a beacon takes — ingest, peer forwards,
+// hinted handoff and its drain replay, federated report fan-outs — and
+// retains completed spans in a bounded in-memory ring served by
+// GET /debug/traces. Sampling is head-based at the trace root; errored
+// spans are always recorded. -slow-request and -access-log add request
+// log lines carrying the trace id (cluster health probes are excluded),
+// and -metrics-exemplars attaches trace-id exemplars to ingest latency
+// histogram buckets in /metrics. See DESIGN.md §13.
 //
 // Cluster mode (-peers, with -node-id and -handoff-dir) runs several
 // qtag-servers as one coordinator-free cluster: a consistent-hash ring
@@ -102,7 +119,9 @@ import (
 	"qtag/internal/analytics"
 	"qtag/internal/beacon"
 	"qtag/internal/cluster"
+	"qtag/internal/obs"
 	"qtag/internal/report"
+	"qtag/internal/version"
 	"qtag/internal/wal"
 )
 
@@ -203,6 +222,11 @@ func main() {
 	handoffDir := flag.String("handoff-dir", "", "hinted-handoff journal directory (required in cluster mode)")
 	probeEvery := flag.Duration("probe-every", time.Second, "peer health probe interval (cluster mode)")
 	readyBacklog := flag.Int64("ready-hint-backlog", 10000, "report unready when the handoff backlog exceeds this (0 disables)")
+	traceSample := flag.Float64("trace-sample", 0, "head sampling rate for distributed tracing in [0,1] (0 disables; errored spans always recorded)")
+	traceBuffer := flag.Int("trace-buffer", obs.DefaultSpanBuffer, "completed spans retained in the in-memory ring behind /debug/traces")
+	slowRequest := flag.Duration("slow-request", 0, "log requests slower than this, with their trace id (0 disables)")
+	accessLog := flag.Bool("access-log", false, "log every request: method, path, status, bytes, duration, trace id")
+	metricsExemplars := flag.Bool("metrics-exemplars", false, "attach OpenMetrics trace-id exemplars to /metrics histogram buckets")
 	flag.Parse()
 
 	lvl, err := parseLogLevel(*logLevel)
@@ -219,6 +243,10 @@ func main() {
 	}
 	if *durableSync && *walDir == "" {
 		slog.Error("-durable-sync requires -wal-dir (synchronous durability needs a crash-safe journal)")
+		os.Exit(2)
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		slog.Error("-trace-sample must be in [0,1]", "value", *traceSample)
 		os.Exit(2)
 	}
 	var peers map[string]string
@@ -356,6 +384,23 @@ func main() {
 	} else {
 		sink = beacon.Tee(store, queue)
 	}
+	// Distributed tracing: one tracer feeds every layer (HTTP ingest,
+	// cluster routing, federated reports) and records completed spans
+	// into a bounded ring behind /debug/traces.
+	var tracer *obs.Tracer
+	var spanStore *obs.SpanStore
+	if *traceSample > 0 {
+		traceNode := *nodeID
+		if traceNode == "" {
+			traceNode = "qtag-server"
+		}
+		spanStore = obs.NewSpanStore(*traceBuffer)
+		tracer = obs.NewTracer(obs.TracerConfig{
+			Node:       traceNode,
+			SampleRate: *traceSample,
+			Store:      spanStore,
+		})
+	}
 	// In cluster mode the routing node slots between the HTTP layer and
 	// the local durable chain: owner-local beacons fall through to the
 	// chain unchanged; remote-owned ones forward to their owner or
@@ -369,6 +414,7 @@ func main() {
 			HandoffDir:       *handoffDir,
 			ProbeEvery:       *probeEvery,
 			ReadyHintBacklog: *readyBacklog,
+			Tracer:           tracer,
 			BaseContext:      func() context.Context { return ctx },
 		})
 		if err != nil {
@@ -388,16 +434,28 @@ func main() {
 	server.Mount("GET /v1/breakdown", analytics.Handler(store))
 	server.Mount("GET /v1/timeseries", analytics.Handler(store))
 	if node != nil {
-		server.Mount("GET /report", cluster.FederatedHandler(agg, cluster.FederationConfig{
-			Self:  *nodeID,
-			Peers: peers,
-		}))
+		server.Mount("GET /report", obs.TraceMiddleware(tracer, "report",
+			cluster.FederatedHandler(agg, cluster.FederationConfig{
+				Self:   *nodeID,
+				Peers:  peers,
+				Tracer: tracer,
+			})))
 		server.SetReadiness(node.Readiness())
 		node.RegisterMetrics(server.Metrics())
 		server.AddHealthMetric("hint_backlog", func() int64 { return node.Stats().HintBacklog })
 	} else {
-		server.Mount("GET /report", report.Handler(agg, nil))
+		server.Mount("GET /report", obs.TraceMiddleware(tracer, "report", report.Handler(agg, nil)))
 	}
+	if tracer != nil {
+		server.SetTracer(tracer)
+		spanStore.RegisterMetrics(server.Metrics())
+		server.Mount("GET /debug/traces", obs.TracesHandler(spanStore))
+		logger.Info("tracing enabled", "sample", *traceSample, "buffer", *traceBuffer)
+	}
+	if *metricsExemplars {
+		server.Metrics().SetExemplars(true)
+	}
+	obs.RegisterBuildInfo(server.Metrics(), version.Version, *nodeID)
 	agg.RegisterMetrics(server.Metrics())
 	queue.RegisterMetrics(server.Metrics())
 	breaker.RegisterMetrics(server.Metrics())
@@ -450,6 +508,15 @@ func main() {
 	if *statsKey != "" {
 		handler = beacon.AuthStats(handler, *statsKey)
 	}
+	// Access/slow-request logging wraps outermost so it records the final
+	// status of every middleware below it. Cluster health probes are
+	// excluded by their User-Agent; AccessLog is a no-op pass-through
+	// when both switches are off.
+	handler = beacon.AccessLog(handler, beacon.AccessLogOptions{
+		Logger:        logger,
+		LogAll:        *accessLog,
+		SlowThreshold: *slowRequest,
+	})
 
 	if *logEvery > 0 {
 		go func() {
@@ -517,7 +584,7 @@ func main() {
 		node.Start()
 	}
 	swap.Set(handler)
-	logger.Info("qtag-server ready", "addr", *addr)
+	logger.Info("qtag-server ready", "addr", *addr, "version", version.Version)
 
 	select {
 	case <-ctx.Done():

@@ -15,9 +15,11 @@
 //
 // Bench mode — the PR acceptance benchmark: fsync=always synchronous
 // durability at {1 shard, no group commit} vs {4, 16 shards with group
-// commit}, written to a JSON report:
+// commit}, plus the forwarding rung (two-node cluster) and the tracing
+// rungs (distributed tracing at 1% and 100% head sampling), written to
+// a JSON report:
 //
-//	qtag-stress -load -bench-out BENCH_PR4.json [-workers 8] [-events 5000]
+//	qtag-stress -load -bench-out BENCH_PR7.json [-workers 8] [-events 5000]
 package main
 
 import (
@@ -139,7 +141,7 @@ func runBench(outPath string, workers, events, batchSize, gcMaxBatch int, gcMaxW
 		MinSpeedup16:        3,
 		Out:                 os.Stdout,
 	})
-	if len(rep.Entries) == 4 { // a complete ladder is worth recording even if the floor failed
+	if len(rep.Entries) == 6 { // a complete ladder is worth recording even if the floor failed
 		if werr := rep.WriteJSON(outPath); werr != nil && err == nil {
 			err = werr
 		}

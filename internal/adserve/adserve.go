@@ -217,7 +217,7 @@ type Deliverer struct {
 	// Tracer, when set, records lifecycle spans for every delivered
 	// impression (served log, tag start, tag failures) and is handed to
 	// each tag runtime so tags can record their own stages.
-	Tracer *obs.Tracer
+	Tracer *obs.LifecycleTracer
 }
 
 // Delivery is the result of delivering one impression.

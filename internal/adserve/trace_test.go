@@ -18,7 +18,7 @@ func TestDeliverTraces(t *testing.T) {
 	x := NewExchange("mopub")
 	x.Register(&stubBidder{name: "dsp", price: 1, tags: []adtag.Tag{qtag.New(qtag.Config{})}})
 	store := beacon.NewStore()
-	tr := obs.NewTracer(simclock.Epoch)
+	tr := obs.NewLifecycleTracer(simclock.Epoch)
 	d := &Deliverer{Exchange: x, ServerSink: store, TagSink: store, Tracer: tr}
 	clock, _, page, slot := newPage(t, chrome())
 	clock.Advance(200 * time.Millisecond)
@@ -59,7 +59,7 @@ func TestDeliverTraces(t *testing.T) {
 func TestDeliverTracesTagLoadFailure(t *testing.T) {
 	x := NewExchange("axonix")
 	x.Register(&stubBidder{name: "dsp", price: 1, tags: []adtag.Tag{qtag.New(qtag.Config{})}})
-	tr := obs.NewTracer(simclock.Epoch)
+	tr := obs.NewLifecycleTracer(simclock.Epoch)
 	store := beacon.NewStore()
 	d := &Deliverer{
 		Exchange: x, ServerSink: store, TagSink: store, Tracer: tr,

@@ -70,7 +70,7 @@ type Runtime struct {
 	clock      *simclock.Clock
 	sink       beacon.Sink
 	impression Impression
-	tracer     *obs.Tracer
+	tracer     *obs.LifecycleTracer
 
 	observers []*browser.PaintObserver
 	timers    []*simclock.Timer
@@ -95,7 +95,7 @@ func (rt *Runtime) Impression() Impression { return rt.impression }
 
 // SetTracer attaches a lifecycle tracer; subsequent Trace calls record
 // spans for this impression. A nil tracer disables tracing (the default).
-func (rt *Runtime) SetTracer(t *obs.Tracer) { rt.tracer = t }
+func (rt *Runtime) SetTracer(t *obs.LifecycleTracer) { rt.tracer = t }
 
 // Trace records a lifecycle span for this impression at the current
 // virtual time. It is a no-op without an attached tracer, so tags can

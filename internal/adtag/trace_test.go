@@ -14,7 +14,7 @@ func TestRuntimeTrace(t *testing.T) {
 	// Without a tracer, Trace is a safe no-op.
 	e.rt.Trace(obs.StageTagStart, "untracked")
 
-	tr := obs.NewTracer(simclock.Epoch)
+	tr := obs.NewLifecycleTracer(simclock.Epoch)
 	e.rt.SetTracer(tr)
 	e.clock.Advance(1500 * time.Millisecond)
 	e.rt.Trace(obs.StageClassified, "pixels=25")

@@ -92,7 +92,14 @@ type HTTPSink struct {
 	// Tracer, when set, records a delivered (or dropped) lifecycle span
 	// for every event in a batch once the server acknowledges (or
 	// permanently rejects) it.
-	Tracer *obs.Tracer
+	Tracer *obs.LifecycleTracer
+	// Spans, when set, wraps every batch submission in a distributed
+	// "sink.deliver" span parented on the batch's first traced event (or
+	// rooting a new trace when none carries context), and injects the
+	// span's traceparent on the outbound request so the receiving server
+	// continues the same trace. Even without Spans, a traced batch still
+	// propagates its own context on the wire.
+	Spans *obs.Tracer
 
 	retried   atomic.Int64
 	delivered atomic.Int64
@@ -161,6 +168,19 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 			ctx = c
 		}
 	}
+	// The outbound traceparent: the delivery span when one is minted,
+	// otherwise the batch's own trace context passed through verbatim.
+	// The span survives the whole retry loop, so a storm of attempts is
+	// one span with a retries attribute, not N disconnected spans.
+	traceparent := firstTrace(events)
+	sp := h.Spans.StartSpanParent(traceparent, "sink.deliver")
+	if sp != nil {
+		sp.SetAttr("events", strconv.Itoa(len(events)))
+		if tp := sp.TraceParent(); tp != "" {
+			traceparent = tp
+		}
+	}
+	defer sp.End()
 	var lastErr error
 	for attempt := 0; attempt <= h.Retries; attempt++ {
 		if attempt > 0 {
@@ -171,15 +191,17 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 				// keeps the events for the journal drain — but this
 				// submission is over now, not after the schedule runs out.
 				h.failed.Add(1)
+				sp.SetError("aborted: " + err.Error())
 				return fmt.Errorf("beacon: submit aborted: %w (last error: %v)", err, lastErr)
 			}
 		}
 		if err := ctx.Err(); err != nil {
 			h.failed.Add(1)
+			sp.SetError("aborted: " + err.Error())
 			return fmt.Errorf("beacon: submit aborted: %w (last error: %v)", err, lastErr)
 		}
 		start := time.Now()
-		status, respBody, retryAfter, err := h.post(ctx, client, url, body)
+		status, respBody, retryAfter, err := h.post(ctx, client, url, body, traceparent)
 		h.latency.get().ObserveDuration(time.Since(start))
 		if err != nil {
 			lastErr = err
@@ -188,6 +210,9 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 		if status == http.StatusAccepted {
 			h.delivered.Add(1)
 			h.trace(events, obs.StageDelivered)
+			if attempt > 0 {
+				sp.SetAttr("retries", strconv.Itoa(attempt))
+			}
 			return nil
 		}
 		lastErr = &statusError{status: status, body: respBody, retryAfter: retryAfter}
@@ -198,10 +223,24 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 		// the request and rejected it.
 		h.failed.Add(1)
 		h.trace(events, obs.StageDropped)
+		sp.SetError(lastErr.Error())
 		return &PermanentError{Err: lastErr}
 	}
 	h.failed.Add(1)
+	sp.SetError(fmt.Sprintf("exhausted %d attempts: %v", h.Retries+1, lastErr))
 	return fmt.Errorf("beacon: submit failed after %d attempts: %w", h.Retries+1, lastErr)
+}
+
+// firstTrace returns the first non-empty per-event trace context in the
+// batch. Batches are grouped per originating request upstream, so the
+// first traced event speaks for the batch.
+func firstTrace(events []Event) string {
+	for _, e := range events {
+		if e.Trace != "" {
+			return e.Trace
+		}
+	}
+	return ""
 }
 
 // trace records a lifecycle span per event when a tracer is attached.
@@ -217,7 +256,7 @@ func (h *HTTPSink) trace(events []Event, stage obs.Stage) {
 
 // post performs one attempt under the per-request timeout, derived from
 // the submission's base context so shutdown aborts the attempt too.
-func (h *HTTPSink) post(ctx context.Context, client *http.Client, url string, body []byte) (status int, respBody []byte, retryAfter time.Duration, err error) {
+func (h *HTTPSink) post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string) (status int, respBody []byte, retryAfter time.Duration, err error) {
 	timeout := h.Timeout
 	if timeout == 0 {
 		timeout = DefaultTimeout
@@ -232,6 +271,9 @@ func (h *HTTPSink) post(ctx context.Context, client *http.Client, url string, bo
 		return 0, nil, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(obs.TraceParentHeader, traceparent)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, nil, 0, err

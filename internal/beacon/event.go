@@ -80,6 +80,12 @@ type Event struct {
 	Seq int `json:"seq,omitempty"`
 	// Meta carries slicing attributes.
 	Meta Meta `json:"meta,omitempty"`
+	// Trace is the W3C traceparent of the distributed-tracing span that
+	// last handled this event, so the trace survives hops that outlive
+	// any single HTTP request: queue requeues, hinted-handoff WAL
+	// records, drain replay. It is not part of the idempotency Key and
+	// never affects dedup or aggregation.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Validation errors.

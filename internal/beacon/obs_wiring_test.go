@@ -107,7 +107,7 @@ func TestOverloadGuardRegisterMetrics(t *testing.T) {
 func TestQueueTracerRecordsFlushes(t *testing.T) {
 	store := NewStore()
 	q := NewQueueSink(store, QueueOptions{})
-	tr := obs.NewTracer(obsEpoch)
+	tr := obs.NewLifecycleTracer(obsEpoch)
 	q.SetTracer(tr)
 	if err := q.Submit(mkEvent("i1")); err != nil {
 		t.Fatal(err)
@@ -132,7 +132,7 @@ func TestQueueTracerRecordsPermanentDrops(t *testing.T) {
 		return &PermanentError{Err: errors.New("rejected")}
 	})
 	q := NewQueueSink(permanent, QueueOptions{})
-	tr := obs.NewTracer(obsEpoch)
+	tr := obs.NewLifecycleTracer(obsEpoch)
 	q.SetTracer(tr)
 	if err := q.Submit(mkEvent("i1")); err != nil {
 		t.Fatal(err)
@@ -151,7 +151,7 @@ func TestQueueTracerRecordsBatchDrops(t *testing.T) {
 		return &PermanentError{Err: errors.New("rejected")}
 	})
 	q := NewQueueSink(permanent, QueueOptions{})
-	tr := obs.NewTracer(obsEpoch)
+	tr := obs.NewLifecycleTracer(obsEpoch)
 	q.SetTracer(tr)
 	if err := q.Submit(mkEvent("i1")); err != nil {
 		t.Fatal(err)
@@ -198,7 +198,7 @@ func TestHTTPSinkTracer(t *testing.T) {
 	collector := httptest.NewServer(NewServer(store))
 	defer collector.Close()
 
-	tr := obs.NewTracer(obsEpoch)
+	tr := obs.NewLifecycleTracer(obsEpoch)
 	sink := &HTTPSink{BaseURL: collector.URL, Tracer: tr}
 	if err := sink.SubmitBatch([]Event{mkEvent("i1"), mkEvent("i2")}); err != nil {
 		t.Fatal(err)
@@ -214,7 +214,7 @@ func TestHTTPSinkTracer(t *testing.T) {
 	}
 
 	// A permanent rejection records dropped spans.
-	trBad := obs.NewTracer(obsEpoch)
+	trBad := obs.NewLifecycleTracer(obsEpoch)
 	bad := &HTTPSink{BaseURL: collector.URL, Tracer: trBad}
 	if err := bad.SubmitBatch([]Event{{ImpressionID: "ix", CampaignID: "c1", Type: "bogus", At: obsEpoch}}); err == nil {
 		t.Fatal("bogus event accepted")

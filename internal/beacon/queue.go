@@ -95,7 +95,7 @@ type QueueSink struct {
 	flushBatch   *obs.Histogram
 	flushLatency *obs.Histogram
 	now          func() time.Time
-	tracer       atomic.Pointer[obs.Tracer]
+	tracer       atomic.Pointer[obs.LifecycleTracer]
 }
 
 // NewQueueSink wraps next and starts the drain goroutine. Call Close to
@@ -326,7 +326,7 @@ func (s QueueStats) String() string {
 // dropped) event records a span with the event's own timestamp, so the
 // trace stream stays virtual-clock-driven even though flushing happens
 // on a background goroutine.
-func (q *QueueSink) SetTracer(tr *obs.Tracer) { q.tracer.Store(tr) }
+func (q *QueueSink) SetTracer(tr *obs.LifecycleTracer) { q.tracer.Store(tr) }
 
 // FlushLatency exposes the per-flush downstream delivery latency
 // histogram.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,10 @@ type Server struct {
 	reg           *obs.Registry
 	ingestLatency *obs.Histogram
 	now           func() time.Time
+
+	// tracer is the distributed tracer for ingest requests; nil (the
+	// default) keeps the pre-tracing behavior: latency histograms only.
+	tracer atomic.Pointer[obs.Tracer]
 
 	healthMu     sync.Mutex
 	healthExtras []healthMetric
@@ -79,8 +84,8 @@ func NewServerWithSink(store *Store, sink Sink) *Server {
 		func() float64 { return float64(len(store.CampaignIDs())) })
 	s.ingestLatency = s.reg.Histogram("qtag_ingest_latency_seconds",
 		"Wall time spent handling one /v1/events ingestion request.", obs.LatencyBuckets)
-	s.mux.HandleFunc("POST /v1/events", s.timed(s.handleEvents))
-	s.mux.HandleFunc("GET /v1/events", s.timed(s.handlePixelEvent))
+	s.mux.HandleFunc("POST /v1/events", s.instrument("ingest.events", s.handleEvents))
+	s.mux.HandleFunc("GET /v1/events", s.instrument("ingest.pixel", s.handlePixelEvent))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/stats", s.handleCampaignStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -98,12 +103,44 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // histogram (tests).
 func (s *Server) SetClock(now func() time.Time) { s.now = now }
 
-// timed wraps an ingestion handler with the handler-latency histogram.
-func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+// SetTracer installs the distributed tracer for the ingestion routes.
+// Each /v1/events request then runs inside a span that continues the
+// caller's traceparent (or roots a new trace), and sampled traces stamp
+// their context into every accepted event so downstream hops — queue,
+// forwarder, hinted handoff — stay on the same trace. Safe to call
+// concurrently with serving; nil uninstalls.
+func (s *Server) SetTracer(t *obs.Tracer) { s.tracer.Store(t) }
+
+// instrument wraps an ingestion handler with the handler-latency
+// histogram and, when a tracer is installed, a server span named op.
+// The span rides the request context (obs.SpanFromContext); sampled
+// requests also pin their trace ID to the latency histogram bucket as
+// an OpenMetrics exemplar.
+func (s *Server) instrument(op string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.now()
-		h(w, r)
-		s.ingestLatency.ObserveDuration(s.now().Sub(start))
+		tr := s.tracer.Load()
+		if tr == nil {
+			h(w, r)
+			s.ingestLatency.ObserveDuration(s.now().Sub(start))
+			return
+		}
+		sp := tr.StartSpanParent(r.Header.Get(obs.TraceParentHeader), op)
+		r.Header.Set(obs.TraceParentHeader, sp.TraceParent())
+		w.Header().Set(obs.TraceIDResponseHeader, sp.Context().TraceID.String())
+		rec := &responseRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r.WithContext(obs.ContextWithSpan(r.Context(), sp)))
+		elapsed := s.now().Sub(start)
+		if sp.Sampled() {
+			s.ingestLatency.ObserveExemplar(elapsed.Seconds(), sp.Context().TraceID.String(), s.now())
+		} else {
+			s.ingestLatency.ObserveDuration(elapsed)
+		}
+		sp.SetAttr("http.status", strconv.Itoa(rec.status))
+		if rec.status >= 500 {
+			sp.SetError("http status " + strconv.Itoa(rec.status))
+		}
+		sp.End()
 	}
 }
 
@@ -243,6 +280,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				Error:    verr.Error(),
 			})
 			return
+		}
+	}
+	if sp := obs.SpanFromContext(r.Context()); sp != nil {
+		sp.SetAttr("events", strconv.Itoa(len(events)))
+		if len(events) > 0 {
+			sp.SetAttr("campaign", events[0].CampaignID)
+		}
+		// Only sampled traces stamp context into events — unsampled
+		// traces would pay propagation cost for spans nobody records.
+		if tp := sp.TraceParent(); sp.Sampled() && tp != "" {
+			for i := range events {
+				if events[i].Trace == "" {
+					events[i].Trace = tp
+				}
+			}
 		}
 	}
 	resp := ingestResponse{}

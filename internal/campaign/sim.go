@@ -216,7 +216,7 @@ type Result struct {
 	Impressions []ImpressionRecord
 	// Trace is the merged per-impression lifecycle trace when
 	// Config.TraceLifecycle is set; nil otherwise.
-	Trace *obs.Tracer
+	Trace *obs.LifecycleTracer
 }
 
 // Simulator runs the production-deployment simulation.
@@ -294,7 +294,7 @@ func (s *Simulator) Run() *Result {
 		workers = len(specs)
 	}
 	records := make([][]ImpressionRecord, len(specs))
-	tracers := make([]*obs.Tracer, len(specs))
+	tracers := make([]*obs.LifecycleTracer, len(specs))
 	if workers <= 1 {
 		for i, spec := range specs {
 			res.Campaigns[i], records[i], tracers[i] = s.runCampaign(spec, rngs[i])
@@ -323,7 +323,7 @@ func (s *Simulator) Run() *Result {
 	if s.cfg.TraceLifecycle {
 		// Merge the per-campaign tracers in campaign order: the combined
 		// span stream is identical at any worker count.
-		res.Trace = obs.NewTracer(simclock.Epoch)
+		res.Trace = obs.NewLifecycleTracer(simclock.Epoch)
 		res.Trace.Merge(tracers...)
 	}
 	return res
@@ -332,7 +332,7 @@ func (s *Simulator) Run() *Result {
 // runCampaign delivers and measures every impression of one campaign.
 // It is safe to call concurrently for distinct campaigns: the only shared
 // state it touches is the thread-safe beacon sink.
-func (s *Simulator) runCampaign(spec Spec, rng *simrand.RNG) (CampaignResult, []ImpressionRecord, *obs.Tracer) {
+func (s *Simulator) runCampaign(spec Spec, rng *simrand.RNG) (CampaignResult, []ImpressionRecord, *obs.LifecycleTracer) {
 	tags := []adtag.Tag{qtag.New(qtag.Config{})}
 	if spec.Both {
 		tags = append(tags, commercial.New(commercial.Config{}))
@@ -348,11 +348,11 @@ func (s *Simulator) runCampaign(spec Spec, rng *simrand.RNG) (CampaignResult, []
 	// Each campaign records into its own tracer so the merged stream is
 	// deterministic at any parallelism. Tracing wraps the sinks without
 	// consuming any RNG, so traced and untraced runs are bit-identical.
-	var tracer *obs.Tracer
+	var tracer *obs.LifecycleTracer
 	serverSink := s.sink
 	tagSink := s.sink
 	if s.cfg.TraceLifecycle {
-		tracer = obs.NewTracer(simclock.Epoch)
+		tracer = obs.NewLifecycleTracer(simclock.Epoch)
 		serverSink = &ackSink{next: s.sink, tr: tracer}
 		tagSink = &ackSink{next: s.sink, tr: tracer}
 	}
@@ -405,7 +405,7 @@ func (s *Simulator) runCampaign(spec Spec, rng *simrand.RNG) (CampaignResult, []
 // left the tag but never reached the store.
 type enqueueSink struct {
 	next beacon.Sink
-	tr   *obs.Tracer
+	tr   *obs.LifecycleTracer
 }
 
 // Submit implements beacon.Sink.
@@ -427,7 +427,7 @@ func (s *enqueueSink) Submit(e beacon.Event) error {
 // delivery span was silently lost in transit (a fault-profile drop).
 type ackSink struct {
 	next beacon.Sink
-	tr   *obs.Tracer
+	tr   *obs.LifecycleTracer
 }
 
 // Submit implements beacon.Sink.
@@ -443,7 +443,7 @@ const sessionPageOrigin = dom.Origin("https://publisher.example")
 
 // runImpression simulates one served ad: environment draw, delivery
 // through an exchange, the user's session, and ground-truth tracking.
-func (s *Simulator) runImpression(spec Spec, platform *dsp.DSP, rng *simrand.RNG, serverSink, tagSink beacon.Sink, tracer *obs.Tracer, out *CampaignResult) (ImpressionRecord, bool) {
+func (s *Simulator) runImpression(spec Spec, platform *dsp.DSP, rng *simrand.RNG, serverSink, tagSink beacon.Sink, tracer *obs.LifecycleTracer, out *CampaignResult) (ImpressionRecord, bool) {
 	envClass := spec.Mix.Draw(rng)
 	model := s.cfg.EnvModels[envClass]
 	prof := model.Profile(rng)

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"qtag/internal/version"
 )
 
 // PeerState is a peer's health as seen by the local failure detector.
@@ -230,6 +232,9 @@ func (d *Detector) probe(ctx context.Context, baseURL string) error {
 	if err != nil {
 		return err
 	}
+	// Probes identify themselves so access logs and traffic accounting
+	// can tell cluster-internal health checks from real clients.
+	req.Header.Set("User-Agent", version.ProbeUserAgent())
 	resp, err := d.client.Do(req)
 	if err != nil {
 		return err

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"qtag/internal/aggregate"
+	"qtag/internal/obs"
 	"qtag/internal/report"
 )
 
@@ -44,6 +46,10 @@ type FederationConfig struct {
 	Transport http.RoundTripper
 	// Now is the report clock (time.Now when nil).
 	Now func() time.Time
+	// Tracer, when set, wraps each federated fan-out in a
+	// "report.federate" span with one "federate.fetch" child per peer,
+	// and injects the child's traceparent on the peer request.
+	Tracer *obs.Tracer
 }
 
 // FederatedHandler wraps the plain single-node report handler: without
@@ -87,6 +93,16 @@ func (h *federatedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The fan-out span continues the request's server span when the
+	// report route is mounted behind obs.TraceMiddleware, else the raw
+	// inbound traceparent, else roots a new trace.
+	parent := obs.SpanFromContext(r.Context()).Context()
+	if !parent.Valid() {
+		parent, _ = obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader))
+	}
+	fsp := h.cfg.Tracer.StartSpan(parent, "report.federate")
+	defer fsp.End()
+
 	type peerResult struct {
 		id   string
 		rep  report.ViewabilityReport
@@ -99,7 +115,13 @@ func (h *federatedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(id, url string) {
 			defer wg.Done()
-			rep, err := h.fetch(r.Context(), url)
+			psp := h.cfg.Tracer.StartSpan(fsp.Context(), "federate.fetch")
+			psp.SetAttr("peer", id)
+			rep, err := h.fetch(r.Context(), url, psp.TraceParent())
+			if err != nil {
+				psp.SetError(err.Error())
+			}
+			psp.End()
 			mu.Lock()
 			results = append(results, peerResult{id: id, rep: rep, err: err})
 			mu.Unlock()
@@ -132,21 +154,28 @@ func (h *federatedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(out.Nodes)
 	sort.Strings(out.Degraded)
 	out.Campaigns = aggregate.Merge(snaps...)
+	fsp.SetAttr("peers", strconv.Itoa(len(h.cfg.Peers)))
+	fsp.SetAttr("degraded", strconv.Itoa(len(out.Degraded)))
 	if len(out.Degraded) > 0 {
 		h.partial.Add(1)
+		fsp.SetError(fmt.Sprintf("%d of %d peers degraded", len(out.Degraded), len(h.cfg.Peers)))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
 }
 
-// fetch pulls one peer's plain report under the per-peer deadline.
-func (h *federatedHandler) fetch(ctx context.Context, baseURL string) (report.ViewabilityReport, error) {
+// fetch pulls one peer's plain report under the per-peer deadline,
+// propagating the fetch span's traceparent when tracing is active.
+func (h *federatedHandler) fetch(ctx context.Context, baseURL, traceparent string) (report.ViewabilityReport, error) {
 	var rep report.ViewabilityReport
 	ctx, cancel := context.WithTimeout(ctx, h.cfg.PerPeerTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/report?windows=0", nil)
 	if err != nil {
 		return rep, err
+	}
+	if traceparent != "" {
+		req.Header.Set(obs.TraceParentHeader, traceparent)
 	}
 	resp, err := h.client.Do(req)
 	if err != nil {

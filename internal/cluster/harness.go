@@ -13,6 +13,7 @@ import (
 	"qtag/internal/aggregate"
 	"qtag/internal/beacon"
 	"qtag/internal/faults"
+	"qtag/internal/obs"
 	"qtag/internal/wal"
 )
 
@@ -120,6 +121,14 @@ type HarnessConfig struct {
 	// BELOW the partitioner — the seam for faults.NewRoundTripper
 	// profiles (injected timeouts, 5xx bursts).
 	FaultTransport func(next http.RoundTripper) http.RoundTripper
+	// SpanStore, when set, enables distributed tracing on every node.
+	// The store is shared cluster-wide — the in-process stand-in for a
+	// central collector — so spans recorded by a node survive its Kill,
+	// and a trace that crosses nodes lands in one place for assertions.
+	SpanStore *obs.SpanStore
+	// TraceSample is the head sampling rate when SpanStore is set
+	// (default 1.0 — propagation tests want every trace).
+	TraceSample float64
 }
 
 func (c *HarnessConfig) defaults() error {
@@ -152,6 +161,9 @@ func (c *HarnessConfig) defaults() error {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 100 * time.Millisecond
+	}
+	if c.SpanStore != nil && c.TraceSample == 0 {
+		c.TraceSample = 1
 	}
 	return nil
 }
@@ -244,6 +256,14 @@ func (h *Harness) boot(hn *HarnessNode, ln net.Listener) error {
 	if h.cfg.FaultTransport != nil {
 		transport = h.Net.TransportWith(hn.ID, h.cfg.FaultTransport)
 	}
+	var tracer *obs.Tracer
+	if h.cfg.SpanStore != nil {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			Node:       hn.ID,
+			SampleRate: h.cfg.TraceSample,
+			Store:      h.cfg.SpanStore,
+		})
+	}
 	node, err := NewNode(Config{
 		Self:             hn.ID,
 		Peers:            peers,
@@ -258,6 +278,7 @@ func (h *Harness) boot(hn *HarnessNode, ln net.Listener) error {
 		BreakerThreshold: h.cfg.BreakerThreshold,
 		BreakerCooldown:  h.cfg.BreakerCooldown,
 		ReadyHintBacklog: h.cfg.ReadyHintBacklog,
+		Tracer:           tracer,
 		Transport:        transport,
 	})
 	if err != nil {
@@ -267,10 +288,12 @@ func (h *Harness) boot(hn *HarnessNode, ln net.Listener) error {
 
 	srv := beacon.NewServerWithSink(store, node)
 	srv.SetReadiness(node.Readiness())
+	srv.SetTracer(tracer)
 	srv.Mount("GET /report", FederatedHandler(agg, FederationConfig{
 		Self:      hn.ID,
 		Peers:     peers,
 		Transport: transport,
+		Tracer:    tracer,
 	}))
 	node.RegisterMetrics(srv.Metrics())
 

@@ -62,6 +62,13 @@ type Config struct {
 	// reports itself unready (0 disables the check).
 	ReadyHintBacklog int64
 
+	// Tracer, when set, records a distributed span per routing decision
+	// for traced events (cluster.forward, handoff.hint, handoff.drain,
+	// store.apply) and threads the trace context through forwards, hint
+	// WAL records, and drain replay, so a beacon's whole cluster journey
+	// is one connected trace. Nil disables cluster-layer tracing.
+	Tracer *obs.Tracer
+
 	// Transport, when set, replaces the default transport for forwards
 	// and probes — the fault suites inject partitions and fault
 	// RoundTrippers here.
@@ -178,6 +185,7 @@ func NewNode(cfg Config) (*Node, error) {
 			Timeout:     cfg.ForwardTimeout,
 			Jitter:      cfg.Jitter,
 			BaseContext: cfg.BaseContext,
+			Spans:       cfg.Tracer,
 		}
 		n.links[id] = &peerLink{
 			id:      id,
@@ -224,32 +232,68 @@ func (n *Node) Hints() *HintLog { return n.hints }
 func (n *Node) Submit(e beacon.Event) error {
 	owner := n.ring.Owner(e.ImpressionID)
 	if owner == n.cfg.Self {
+		sp := n.span(e, "store.apply")
 		if err := n.cfg.Local.Submit(e); err != nil {
+			sp.SetError(err.Error())
+			sp.End()
 			return err
 		}
+		sp.End()
 		n.localAccepted.Add(1)
 		return nil
 	}
 	link := n.links[owner]
 	if n.detector.State(owner) != PeerDead {
-		err := link.breaker.Submit(e)
+		fe := e
+		fsp := n.span(e, "cluster.forward")
+		if fsp != nil {
+			fsp.SetAttr("peer", owner)
+			fe.Trace = fsp.TraceParent()
+		}
+		err := link.breaker.Submit(fe)
 		if err == nil {
+			fsp.End()
 			n.forwarded.Add(1)
 			return nil
 		}
+		fsp.SetError(err.Error())
+		fsp.End()
 		if beacon.IsPermanent(err) {
 			return err
 		}
 		n.forwardErrors.Add(1)
+		// The hint below parents on the failed forward span, keeping the
+		// causal chain forward-failed → hinted in one trace branch.
+		e = fe
 	}
 	// Owner unreachable (dead, breaker open, or retries exhausted):
 	// degrade to hinted handoff. The append is durable before we return,
 	// so the ack holds across a local crash.
+	hsp := n.span(e, "handoff.hint")
+	if hsp != nil {
+		hsp.SetAttr("peer", owner)
+		// Persist the hint span's context with the record: the drain —
+		// minutes or a restart later — replays as this span's child.
+		e.Trace = hsp.TraceParent()
+	}
 	if err := n.hints.Append(owner, e); err != nil {
+		hsp.SetError(err.Error())
+		hsp.End()
 		return fmt.Errorf("cluster: hint %s: %w", owner, err)
 	}
+	hsp.End()
 	n.hinted.Add(1)
 	return nil
+}
+
+// span opens a child span continuing a traced event's context. Untraced
+// events — and nodes without a tracer — cost nothing and return nil
+// (every *obs.Span method is nil-safe).
+func (n *Node) span(e beacon.Event, name string) *obs.Span {
+	if n.cfg.Tracer == nil || e.Trace == "" {
+		return nil
+	}
+	return n.cfg.Tracer.StartSpanParent(e.Trace, name)
 }
 
 // Start launches the probe/drain loop. Safe to skip for single-node.
@@ -312,11 +356,39 @@ func (n *Node) kickDrain(peerID string) {
 // breaker would reject most of the batch). Errors abort the drain;
 // whatever was not delivered stays pending for the next probe round.
 func (n *Node) drain(link *peerLink) {
-	_, err := n.hints.Drain(link.id, func(events []beacon.Event) error {
-		return link.sink.SubmitBatch(events)
-	})
+	_, err := n.hints.Drain(link.id, n.drainForward(link))
 	if err != nil {
 		n.drainErrors.Add(1)
+	}
+}
+
+// drainForward builds the hint-replay delivery function for one peer.
+// Each traced hint replays inside a "handoff.drain" span that parents
+// on the hint span persisted in the WAL record, relinking the delayed
+// replay to the beacon's original trace.
+func (n *Node) drainForward(link *peerLink) func([]beacon.Event) error {
+	return func(events []beacon.Event) error {
+		var spans []*obs.Span
+		if n.cfg.Tracer != nil {
+			spans = make([]*obs.Span, 0, len(events))
+			for i := range events {
+				if events[i].Trace == "" {
+					continue
+				}
+				sp := n.cfg.Tracer.StartSpanParent(events[i].Trace, "handoff.drain")
+				sp.SetAttr("peer", link.id)
+				events[i].Trace = sp.TraceParent()
+				spans = append(spans, sp)
+			}
+		}
+		err := link.sink.SubmitBatch(events)
+		for _, sp := range spans {
+			if err != nil {
+				sp.SetError(err.Error())
+			}
+			sp.End()
+		}
+		return err
 	}
 }
 
@@ -326,9 +398,7 @@ func (n *Node) DrainNow(peerID string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("cluster: unknown peer %q", peerID)
 	}
-	return n.hints.Drain(peerID, func(events []beacon.Event) error {
-		return link.sink.SubmitBatch(events)
-	})
+	return n.hints.Drain(peerID, n.drainForward(link))
 }
 
 // Readiness returns the node's readiness check for Server.SetReadiness:

@@ -1,0 +1,17 @@
+package obs
+
+import "runtime"
+
+// RegisterBuildInfo exposes the conventional constant-1 build-identity
+// gauge, so dashboards and alerts can pivot any other series on the
+// code version and node that produced it:
+//
+//	qtag_build_info{version="v1.2.3",go_version="go1.23.0",node_id="a"} 1
+func RegisterBuildInfo(reg *Registry, version, nodeID string) {
+	labels := Labels{{Name: "version", Value: version}, {Name: "go_version", Value: runtime.Version()}}
+	if nodeID != "" {
+		labels = append(labels, Label{Name: "node_id", Value: nodeID})
+	}
+	reg.GaugeFunc("qtag_build_info", "Constant 1, labeled with the build's version, Go toolchain, and node identity.",
+		func() float64 { return 1 }, labels...)
+}

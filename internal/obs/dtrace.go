@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file is the distributed-tracing layer: real-clock spans that
+// cross process boundaries via the W3C trace-context `traceparent`
+// header. It is distinct from the sim-side LifecycleTracer (trace.go),
+// which records virtual-clock impression lifecycles: a lifecycle span
+// answers "what happened to impression X", a distributed span answers
+// "where did request Y spend its time across the cluster".
+
+// TraceParentHeader is the W3C trace-context request header.
+const TraceParentHeader = "traceparent"
+
+// TraceIDResponseHeader carries the server-assigned trace ID back to
+// the caller so a client can correlate its ack with /debug/traces.
+const TraceIDResponseHeader = "Trace-Id"
+
+// FlagSampled is the W3C trace-flags bit meaning "recorded upstream".
+const FlagSampled byte = 0x01
+
+// TraceID is a 16-byte W3C trace identifier.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is an 8-byte W3C span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated part of a span: everything a remote
+// hop needs to parent its own spans onto the same trace.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// Valid reports whether the context identifies a real span.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Sampled reports whether the trace was selected for recording at the
+// root. Error spans are recorded regardless (see Span.End).
+func (sc SpanContext) Sampled() bool { return sc.Flags&FlagSampled != 0 }
+
+// TraceParent encodes the context in W3C version-00 form:
+// 00-<32 hex traceid>-<16 hex spanid>-<2 hex flags>. Invalid contexts
+// encode as "" so callers can stamp headers/fields unconditionally.
+func (sc SpanContext) TraceParent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%s-%02x", sc.TraceID, sc.SpanID, sc.Flags)
+}
+
+// ParseTraceParent decodes a W3C traceparent value. Unknown versions
+// are accepted if they carry the version-00 prefix fields (per spec),
+// except the reserved version ff. All-zero trace or span IDs are
+// rejected, as is anything malformed.
+func ParseTraceParent(s string) (SpanContext, error) {
+	var sc SpanContext
+	if len(s) < 55 {
+		return sc, fmt.Errorf("traceparent: too short (%d bytes)", len(s))
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, fmt.Errorf("traceparent: bad field separators")
+	}
+	ver, err := hex.DecodeString(s[0:2])
+	if err != nil {
+		return sc, fmt.Errorf("traceparent: bad version: %w", err)
+	}
+	if ver[0] == 0xff {
+		return sc, fmt.Errorf("traceparent: reserved version ff")
+	}
+	if ver[0] == 0 && len(s) != 55 {
+		return sc, fmt.Errorf("traceparent: version 00 must be 55 bytes, got %d", len(s))
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(s[3:35])); err != nil {
+		return sc, fmt.Errorf("traceparent: bad trace-id: %w", err)
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(s[36:52])); err != nil {
+		return sc, fmt.Errorf("traceparent: bad parent-id: %w", err)
+	}
+	flags, err := hex.DecodeString(s[53:55])
+	if err != nil {
+		return sc, fmt.Errorf("traceparent: bad flags: %w", err)
+	}
+	sc.Flags = flags[0]
+	if sc.TraceID.IsZero() || sc.SpanID.IsZero() {
+		return sc, fmt.Errorf("traceparent: all-zero id")
+	}
+	return sc, nil
+}
+
+// Attr is one span attribute. A small slice beats a map for the 1–3
+// attrs a hot-path span carries.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// TracerConfig configures NewTracer. Zero values are usable: no store
+// (spans are timed but never retained), sample rate 0 (only error
+// spans record), real clock, process-global RNG.
+type TracerConfig struct {
+	// Node labels every recorded span with the emitting node's identity.
+	Node string
+	// SampleRate is the head-based probability, at trace-root creation,
+	// that the whole trace is recorded. <=0 never samples, >=1 always.
+	SampleRate float64
+	// Store receives finished spans. Nil disables retention (error
+	// spans included) but not propagation.
+	Store *SpanStore
+	// Now overrides the clock (tests). Defaults to time.Now, whose
+	// monotonic reading makes durations immune to wall-clock steps.
+	Now func() time.Time
+	// Rand overrides ID/sampling randomness (tests). Must be safe for
+	// concurrent use. Defaults to math/rand/v2's global generator.
+	Rand func() uint64
+}
+
+// Tracer mints spans. A nil *Tracer is a valid no-op: StartSpan
+// returns nil and every *Span method tolerates a nil receiver, so
+// call sites need no "tracing enabled?" branches.
+type Tracer struct {
+	node      string
+	store     *SpanStore
+	now       func() time.Time
+	rand      func() uint64
+	threshold uint64 // sample iff rand() < threshold
+}
+
+// NewTracer builds a Tracer from cfg.
+func NewTracer(cfg TracerConfig) *Tracer {
+	t := &Tracer{node: cfg.Node, store: cfg.Store, now: cfg.Now, rand: cfg.Rand}
+	if t.now == nil {
+		t.now = time.Now
+	}
+	if t.rand == nil {
+		t.rand = rand.Uint64
+	}
+	switch {
+	case cfg.SampleRate >= 1:
+		t.threshold = math.MaxUint64
+	case cfg.SampleRate > 0:
+		t.threshold = uint64(cfg.SampleRate * float64(1<<63) * 2)
+	}
+	return t
+}
+
+// sampled draws the head-based sampling decision for a new root.
+func (t *Tracer) sampled() bool {
+	if t.threshold == math.MaxUint64 {
+		return true
+	}
+	if t.threshold == 0 {
+		return false
+	}
+	return t.rand() < t.threshold
+}
+
+// newTraceID / newSpanID mint non-zero random IDs.
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		a, b := t.rand(), t.rand()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+			id[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		a := t.rand()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+		}
+	}
+	return id
+}
+
+// StartSpan opens a span. A valid parent continues that trace (and
+// inherits its sampling decision); an invalid parent starts a new
+// root, drawing a fresh sampling decision. Always End() the result.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tracer: t, name: name, start: t.now()}
+	if parent.Valid() {
+		sp.ctx.TraceID = parent.TraceID
+		sp.ctx.Flags = parent.Flags
+		sp.parent = parent.SpanID
+	} else {
+		sp.ctx.TraceID = t.newTraceID()
+		if t.sampled() {
+			sp.ctx.Flags = FlagSampled
+		}
+	}
+	sp.ctx.SpanID = t.newSpanID()
+	return sp
+}
+
+// StartSpanParent is StartSpan with the parent given as a traceparent
+// string (e.g. straight from a header or an Event.Trace field); a
+// malformed or empty value starts a new root.
+func (t *Tracer) StartSpanParent(traceparent, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	parent, _ := ParseTraceParent(traceparent)
+	return t.StartSpan(parent, name)
+}
+
+// Span is one timed operation. Methods are safe on a nil receiver and
+// safe for concurrent use; End is idempotent.
+type Span struct {
+	tracer *Tracer
+	name   string
+	start  time.Time
+	ctx    SpanContext
+	parent SpanID
+
+	mu    sync.Mutex
+	attrs []Attr
+	err   string
+	ended bool
+}
+
+// Context returns the span's propagation context (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// TraceParent is shorthand for Context().TraceParent(); "" for nil.
+func (s *Span) TraceParent() string {
+	if s == nil {
+		return ""
+	}
+	return s.ctx.TraceParent()
+}
+
+// Sampled reports the trace's head-based sampling decision.
+func (s *Span) Sampled() bool { return s != nil && s.ctx.Sampled() }
+
+// SetAttr attaches a key/value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. Errored spans are retained even in
+// unsampled traces so failures are never invisible.
+func (s *Span) SetError(msg string) {
+	if s == nil || msg == "" {
+		return
+	}
+	s.mu.Lock()
+	s.err = msg
+	s.mu.Unlock()
+}
+
+// End closes the span, computing its monotonic duration, and hands it
+// to the tracer's store when the trace is sampled or the span errored.
+// Second and later calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.tracer.now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	err := s.err
+	attrs := s.attrs
+	s.mu.Unlock()
+	if s.tracer.store == nil || (!s.ctx.Sampled() && err == "") {
+		return
+	}
+	rec := SpanRecord{
+		TraceID:  s.ctx.TraceID.String(),
+		SpanID:   s.ctx.SpanID.String(),
+		Name:     s.name,
+		Node:     s.tracer.node,
+		Start:    s.start,
+		Duration: end.Sub(s.start),
+		Error:    err,
+		Attrs:    attrs,
+	}
+	if !s.parent.IsZero() {
+		rec.ParentID = s.parent.String()
+	}
+	s.tracer.store.Add(rec)
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan stashes sp in ctx for downstream handlers.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext retrieves the span placed by ContextWithSpan, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// TraceMiddleware wraps next so every request runs inside a span named
+// name: the span continues an inbound traceparent (or roots a new
+// trace), is reachable via SpanFromContext, and the request's
+// traceparent header is rewritten to the new span so naive proxying of
+// headers downstream still yields correct parentage. The response
+// carries Trace-Id for client-side correlation, and status >= 500
+// marks the span errored. A nil tracer returns next unchanged.
+func TraceMiddleware(t *Tracer, name string, next http.Handler) http.Handler {
+	if t == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp := t.StartSpanParent(r.Header.Get(TraceParentHeader), name)
+		defer sp.End()
+		r.Header.Set(TraceParentHeader, sp.TraceParent())
+		w.Header().Set(TraceIDResponseHeader, sp.Context().TraceID.String())
+		sw := &statusCapture{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ContextWithSpan(r.Context(), sp)))
+		sp.SetAttr("http.status", fmt.Sprintf("%d", sw.status))
+		if sw.status >= 500 {
+			sp.SetError(fmt.Sprintf("http status %d", sw.status))
+		}
+	})
+}
+
+// statusCapture records the response status code for span attributes.
+type statusCapture struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (s *statusCapture) WriteHeader(code int) {
+	if !s.wrote {
+		s.status = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusCapture) Write(p []byte) (int, error) {
+	s.wrote = true
+	return s.ResponseWriter.Write(p)
+}

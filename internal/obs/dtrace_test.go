@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedRand returns a deterministic, non-zero uint64 stream.
+func fixedRand() func() uint64 {
+	var n uint64
+	return func() uint64 {
+		n += 0x9e3779b97f4a7c15
+		return n
+	}
+}
+
+func testTracer(store *SpanStore, rate float64) *Tracer {
+	return NewTracer(TracerConfig{Node: "n1", SampleRate: rate, Store: store, Rand: fixedRand()})
+}
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tr := testTracer(nil, 1)
+	sp := tr.StartSpan(SpanContext{}, "root")
+	tp := sp.TraceParent()
+	if len(tp) != 55 || !strings.HasPrefix(tp, "00-") {
+		t.Fatalf("traceparent %q malformed", tp)
+	}
+	got, err := ParseTraceParent(tp)
+	if err != nil {
+		t.Fatalf("ParseTraceParent(%q): %v", tp, err)
+	}
+	if got != sp.Context() {
+		t.Fatalf("round trip: got %+v want %+v", got, sp.Context())
+	}
+	if !got.Sampled() {
+		t.Fatal("rate-1 root must be sampled")
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // reserved version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e473X-00f067aa0ba902b7-01",
+		"00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceParent(s); err == nil {
+			t.Errorf("ParseTraceParent(%q) accepted, want error", s)
+		}
+	}
+	// A future version with trailing fields parses (spec: best-effort).
+	ok := "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-whatever"
+	if _, err := ParseTraceParent(ok); err != nil {
+		t.Errorf("ParseTraceParent(%q): %v", ok, err)
+	}
+}
+
+func TestChildSpanInheritsTraceAndSampling(t *testing.T) {
+	store := NewSpanStore(16)
+	tr := testTracer(store, 1)
+	root := tr.StartSpan(SpanContext{}, "root")
+	child := tr.StartSpan(root.Context(), "child")
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child must share the trace id")
+	}
+	if child.Context().SpanID == root.Context().SpanID {
+		t.Fatal("child must have a fresh span id")
+	}
+	if !child.Sampled() {
+		t.Fatal("child must inherit the sampled flag")
+	}
+	child.End()
+	root.End()
+	spans := store.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("stored %d spans, want 2", len(spans))
+	}
+	if spans[0].ParentID != root.Context().SpanID.String() {
+		t.Fatalf("child parent = %q, want root span id %s", spans[0].ParentID, root.Context().SpanID)
+	}
+	if spans[1].ParentID != "" {
+		t.Fatalf("root parent = %q, want empty", spans[1].ParentID)
+	}
+}
+
+func TestSamplingRateZeroKeepsOnlyErrors(t *testing.T) {
+	store := NewSpanStore(16)
+	tr := testTracer(store, 0)
+	ok := tr.StartSpan(SpanContext{}, "ok")
+	if ok.Sampled() {
+		t.Fatal("rate-0 root must not be sampled")
+	}
+	ok.End()
+	bad := tr.StartSpan(SpanContext{}, "bad")
+	bad.SetError("boom")
+	bad.End()
+	spans := store.Snapshot()
+	if len(spans) != 1 || spans[0].Name != "bad" || spans[0].Error != "boom" {
+		t.Fatalf("stored %+v, want only the errored span", spans)
+	}
+}
+
+func TestSamplingRateIsProbabilistic(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 0.25, Rand: fixedRand()})
+	sampled := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if tr.StartSpan(SpanContext{}, "x").Sampled() {
+			sampled++
+		}
+	}
+	frac := float64(sampled) / n
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("sampled fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestNilTracerAndNilSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan(SpanContext{}, "x")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetError("e")
+	sp.End()
+	if sp.TraceParent() != "" || sp.Sampled() || sp.Context().Valid() {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	if tr.StartSpanParent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "x") != nil {
+		t.Fatal("nil tracer StartSpanParent must return nil")
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	store := NewSpanStore(16)
+	tr := testTracer(store, 1)
+	sp := tr.StartSpan(SpanContext{}, "once")
+	sp.End()
+	sp.End()
+	sp.End()
+	if got := store.Len(); got != 1 {
+		t.Fatalf("stored %d spans, want 1", got)
+	}
+}
+
+func TestSpanDurationIsMonotonic(t *testing.T) {
+	now := time.Now()
+	clock := now
+	tr := NewTracer(TracerConfig{
+		SampleRate: 1,
+		Store:      NewSpanStore(4),
+		Rand:       fixedRand(),
+		Now:        func() time.Time { clock = clock.Add(5 * time.Millisecond); return clock },
+	})
+	sp := tr.StartSpan(SpanContext{}, "timed")
+	sp.End()
+	rec := tr.store.Snapshot()[0]
+	if rec.Duration != 5*time.Millisecond {
+		t.Fatalf("duration %v, want 5ms", rec.Duration)
+	}
+}
+
+func TestStartSpanParentMalformedStartsNewRoot(t *testing.T) {
+	tr := testTracer(nil, 1)
+	sp := tr.StartSpanParent("garbage", "x")
+	if !sp.Context().Valid() {
+		t.Fatal("must mint a fresh valid context")
+	}
+	if sp.Context().TraceID.IsZero() {
+		t.Fatal("trace id must be non-zero")
+	}
+}
+
+func TestTraceMiddleware(t *testing.T) {
+	store := NewSpanStore(16)
+	tr := testTracer(store, 1)
+	var inner *Span
+	var innerTP string
+	h := TraceMiddleware(tr, "http.test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner = SpanFromContext(r.Context())
+		innerTP = r.Header.Get(TraceParentHeader)
+		w.WriteHeader(http.StatusAccepted)
+	}))
+
+	// Continues an inbound traceparent.
+	parent := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req := httptest.NewRequest(http.MethodPost, "/v1/events", nil)
+	req.Header.Set(TraceParentHeader, parent)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if inner == nil {
+		t.Fatal("span missing from request context")
+	}
+	if got := inner.Context().TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id %s, want inherited", got)
+	}
+	if innerTP != inner.TraceParent() {
+		t.Fatalf("request traceparent %q not rewritten to the server span %q", innerTP, inner.TraceParent())
+	}
+	if got := rr.Header().Get(TraceIDResponseHeader); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("Trace-Id response header %q", got)
+	}
+	recs := store.Snapshot()
+	if len(recs) != 1 || recs[0].Attr("http.status") != "202" {
+		t.Fatalf("stored %+v, want one span with status 202", recs)
+	}
+
+	// 5xx marks the span errored even without sampling.
+	store2 := NewSpanStore(16)
+	tr2 := testTracer(store2, 0)
+	h2 := TraceMiddleware(tr2, "http.test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	rr2 := httptest.NewRecorder()
+	h2.ServeHTTP(rr2, httptest.NewRequest(http.MethodGet, "/x", nil))
+	recs2 := store2.Snapshot()
+	if len(recs2) != 1 || recs2[0].Error == "" {
+		t.Fatalf("stored %+v, want one errored span", recs2)
+	}
+
+	// Nil tracer returns next unchanged.
+	next := http.NotFoundHandler()
+	if TraceMiddleware(nil, "x", next) == nil {
+		t.Fatal("nil tracer must pass through")
+	}
+}

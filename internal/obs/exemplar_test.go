@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObserveExemplarCountsAndStores(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	h.ObserveExemplar(0.05, "deadbeefdeadbeefdeadbeefdeadbeef", time.Unix(1700000000, 0))
+	h.ObserveExemplar(0.05, "", time.Time{}) // counted, no exemplar
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.Exemplars[1] == nil || s.Exemplars[1].TraceID != "deadbeefdeadbeefdeadbeefdeadbeef" {
+		t.Fatalf("bucket 0.1 exemplar = %+v", s.Exemplars[1])
+	}
+	if s.Exemplars[0] != nil || s.Exemplars[2] != nil || s.Exemplars[3] != nil {
+		t.Fatalf("unexpected exemplars in other buckets: %+v", s.Exemplars)
+	}
+	// Last write wins within a bucket.
+	h.ObserveExemplar(0.09, "cafecafecafecafecafecafecafecafe", time.Unix(1700000001, 0))
+	if got := h.Snapshot().Exemplars[1].TraceID; got != "cafecafecafecafecafecafecafecafe" {
+		t.Fatalf("exemplar not replaced: %s", got)
+	}
+}
+
+func TestPrometheusExemplarRendering(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("qtag_test_latency_seconds", "test", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "deadbeefdeadbeefdeadbeefdeadbeef", time.Unix(1700000000, 500_000_000))
+
+	// Default: plain 0.0.4 text, no exemplar suffixes.
+	if out := reg.Render(); strings.Contains(out, "# {") {
+		t.Fatalf("exemplars leaked into default output:\n%s", out)
+	}
+
+	reg.SetExemplars(true)
+	out := reg.Render()
+	want := `qtag_test_latency_seconds_bucket{le="0.1"} 1 # {trace_id="deadbeefdeadbeefdeadbeefdeadbeef"} 0.05 1700000000.500`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exemplar line missing.\nwant substring: %s\ngot:\n%s", want, out)
+	}
+	// Buckets without exemplars render bare.
+	if !strings.Contains(out, "qtag_test_latency_seconds_bucket{le=\"1\"} 1\n") {
+		t.Fatalf("bare bucket line missing:\n%s", out)
+	}
+
+	reg.SetExemplars(false)
+	if out := reg.Render(); strings.Contains(out, "# {") {
+		t.Fatalf("exemplars must toggle off:\n%s", out)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "v1.2.3", "node-a")
+	out := reg.Render()
+	want := `qtag_build_info{version="v1.2.3",go_version="` + runtime.Version() + `",node_id="node-a"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("build info missing.\nwant: %s\ngot:\n%s", want, out)
+	}
+	// Empty node id omits the label.
+	reg2 := NewRegistry()
+	RegisterBuildInfo(reg2, "dev", "")
+	if strings.Contains(reg2.Render(), "node_id") {
+		t.Fatalf("node_id label must be omitted when empty:\n%s", reg2.Render())
+	}
+}

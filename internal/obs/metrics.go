@@ -60,10 +60,20 @@ var (
 // that boundary's bucket). The zero value is not usable; construct with
 // NewHistogram. Safe for concurrent use.
 type Histogram struct {
-	bounds  []float64
-	counts  []int64 // len(bounds)+1; last is +Inf, accessed atomically
-	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits of the running sum
+	bounds    []float64
+	counts    []int64 // len(bounds)+1; last is +Inf, accessed atomically
+	count     atomic.Int64
+	sumBits   atomic.Uint64 // float64 bits of the running sum
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one concrete observation — and the trace that caused
+// it — to a histogram bucket, so a scrape of qtag_ingest_latency can
+// jump straight to /debug/traces?trace=<id> for a slow request.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	At      time.Time
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds.
@@ -81,7 +91,11 @@ func NewHistogram(bounds ...float64) *Histogram {
 			uniq = append(uniq, v)
 		}
 	}
-	return &Histogram{bounds: uniq, counts: make([]int64, len(uniq)+1)}
+	return &Histogram{
+		bounds:    uniq,
+		counts:    make([]int64, len(uniq)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(uniq)+1),
+	}
 }
 
 // Observe records one value. NaN observations are ignored — they would
@@ -105,6 +119,20 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveExemplar records a value like Observe and, when traceID is
+// non-empty, remembers it as the bucket's exemplar (last write wins).
+func (h *Histogram) ObserveExemplar(v float64, traceID string, at time.Time) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, At: at})
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -118,6 +146,9 @@ type HistogramSnapshot struct {
 	Counts []int64
 	Count  int64
 	Sum    float64
+	// Exemplars holds one entry per bucket (nil when the bucket never saw
+	// an exemplar observation); the final entry is the +Inf bucket's.
+	Exemplars []*Exemplar
 }
 
 // Snapshot copies the histogram's state. The bucket counts and the total
@@ -132,6 +163,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = atomic.LoadInt64(&h.counts[i])
+	}
+	s.Exemplars = make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	return s
 }

@@ -25,6 +25,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		return renderLabels(entries[i].labels) < renderLabels(entries[j].labels)
 	})
+	exemplars := r.emitExemplars.Load()
 	var b strings.Builder
 	lastFamily := ""
 	for _, e := range entries {
@@ -45,10 +46,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			cum := s.Cumulative()
 			for i, bound := range s.Bounds {
 				le := append(e.labels.clone(), Label{"le", formatFloat(bound)})
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", e.name, renderLabels(le), cum[i])
+				fmt.Fprintf(&b, "%s_bucket%s %d%s\n", e.name, renderLabels(le), cum[i], renderExemplar(s, i, exemplars))
 			}
 			inf := append(e.labels.clone(), Label{"le", "+Inf"})
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", e.name, renderLabels(inf), cum[len(cum)-1])
+			fmt.Fprintf(&b, "%s_bucket%s %d%s\n", e.name, renderLabels(inf), cum[len(cum)-1], renderExemplar(s, len(s.Bounds), exemplars))
 			fmt.Fprintf(&b, "%s_sum%s %s\n", e.name, renderLabels(e.labels), formatFloat(s.Sum))
 			fmt.Fprintf(&b, "%s_count%s %d\n", e.name, renderLabels(e.labels), s.Count)
 		}
@@ -71,6 +72,24 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", contentType)
 		_ = r.WritePrometheus(w)
 	})
+}
+
+// renderExemplar renders the OpenMetrics exemplar suffix for bucket i
+// (` # {trace_id="..."} <value> <unix seconds>`), or "" when exemplars
+// are disabled or the bucket has none.
+func renderExemplar(s HistogramSnapshot, i int, enabled bool) string {
+	if !enabled || i >= len(s.Exemplars) {
+		return ""
+	}
+	ex := s.Exemplars[i]
+	if ex == nil {
+		return ""
+	}
+	ts := ""
+	if !ex.At.IsZero() {
+		ts = " " + strconv.FormatFloat(float64(ex.At.UnixNano())/1e9, 'f', 3, 64)
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s%s", ex.TraceID, formatFloat(ex.Value), ts)
 }
 
 // renderLabels renders {a="b",c="d"}, or "" for an empty set.

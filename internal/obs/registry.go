@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // Label is one constant name/value pair attached to a metric series.
@@ -54,10 +55,18 @@ type entry struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries []*entry
+
+	emitExemplars atomic.Bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
+
+// SetExemplars toggles OpenMetrics exemplar suffixes on histogram
+// bucket lines in the text export. Off by default: exemplars are an
+// OpenMetrics extension, and strict 0.0.4 text-format parsers may
+// reject them.
+func (r *Registry) SetExemplars(on bool) { r.emitExemplars.Store(on) }
 
 func (r *Registry) add(e *entry) {
 	r.mu.Lock()

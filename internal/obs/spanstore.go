@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span as retained by the SpanStore and
+// exported on /debug/traces. IDs are lowercase hex.
+type SpanRecord struct {
+	TraceID  string        `json:"trace_id"`
+	SpanID   string        `json:"span_id"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Name     string        `json:"name"`
+	Node     string        `json:"node,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Error    string        `json:"error,omitempty"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Attr lookup by key; "" when absent.
+func (r SpanRecord) Attr(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// DefaultSpanBuffer is the SpanStore capacity when none is given.
+const DefaultSpanBuffer = 4096
+
+// SpanStore is a bounded ring buffer of finished spans: the newest
+// Cap records win, older ones are overwritten. It is the in-process
+// stand-in for a trace collector — cheap enough to keep on at all
+// times, bounded so a retry storm cannot eat the heap.
+type SpanStore struct {
+	mu      sync.Mutex
+	buf     []SpanRecord
+	next    int
+	full    bool
+	added   uint64
+	evicted uint64
+}
+
+// NewSpanStore returns a store retaining the newest capacity spans
+// (DefaultSpanBuffer when capacity <= 0).
+func NewSpanStore(capacity int) *SpanStore {
+	if capacity <= 0 {
+		capacity = DefaultSpanBuffer
+	}
+	return &SpanStore{buf: make([]SpanRecord, 0, capacity)}
+}
+
+// Add retains rec, evicting the oldest record once full.
+func (s *SpanStore) Add(rec SpanRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.added++
+	if !s.full {
+		s.buf = append(s.buf, rec)
+		if len(s.buf) == cap(s.buf) {
+			s.full = true
+		}
+		return
+	}
+	s.buf[s.next] = rec
+	s.next = (s.next + 1) % len(s.buf)
+	s.evicted++
+}
+
+// Len returns the number of retained spans.
+func (s *SpanStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Stats returns total spans ever added and how many were evicted by
+// the ring wrapping — the buffer-sizing signal for /metrics.
+func (s *SpanStore) Stats() (added, evicted uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.added, s.evicted
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (s *SpanStore) Snapshot() []SpanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SpanRecord, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Trace returns the retained spans of one trace, oldest first.
+func (s *SpanStore) Trace(traceID string) []SpanRecord {
+	var out []SpanRecord
+	for _, rec := range s.Snapshot() {
+		if rec.TraceID == traceID {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// RegisterMetrics exposes the store's occupancy on reg.
+func (s *SpanStore) RegisterMetrics(reg *Registry) {
+	reg.GaugeFunc("qtag_trace_spans_stored", "Spans currently retained in the trace ring buffer.",
+		func() float64 { return float64(s.Len()) })
+	reg.CounterFunc("qtag_trace_spans_evicted_total", "Spans overwritten by the trace ring buffer wrapping.",
+		func() int64 { _, ev := s.Stats(); return int64(ev) })
+}
+
+// traceSummary is one row of the /debug/traces listing.
+type traceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	Campaign   string    `json:"campaign,omitempty"`
+	Nodes      []string  `json:"nodes,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Error      bool      `json:"error"`
+}
+
+// TracesHandler serves GET /debug/traces from store.
+//
+//	?trace=<32-hex id>   full span list for one trace
+//	?min_ms=<float>      only traces at least this long
+//	?error=1             only traces containing an errored span
+//	?campaign=<id>       only traces touching this campaign
+//	?limit=<n>           at most n summaries (default 50)
+//
+// Listings are newest-first by trace start time.
+func TracesHandler(store *SpanStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		q := r.URL.Query()
+		if id := q.Get("trace"); id != "" {
+			spans := store.Trace(id)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"trace_id": id,
+				"spans":    spans,
+			})
+			return
+		}
+		minMs, _ := strconv.ParseFloat(q.Get("min_ms"), 64)
+		onlyErr := q.Get("error") == "1" || q.Get("error") == "true"
+		campaign := q.Get("campaign")
+		limit := 50
+		if v, err := strconv.Atoi(q.Get("limit")); err == nil && v > 0 {
+			limit = v
+		}
+
+		sums := summarize(store.Snapshot())
+		out := make([]traceSummary, 0, len(sums))
+		for _, ts := range sums {
+			if ts.DurationMs < minMs {
+				continue
+			}
+			if onlyErr && !ts.Error {
+				continue
+			}
+			if campaign != "" && ts.Campaign != campaign {
+				continue
+			}
+			out = append(out, ts)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+		if len(out) > limit {
+			out = out[:limit]
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"count":  len(out),
+			"traces": out,
+		})
+	})
+}
+
+// summarize folds a span snapshot into one summary per trace. The
+// root is the span with no parent when retained, otherwise the
+// earliest span; the trace duration spans min start to max end.
+func summarize(spans []SpanRecord) []traceSummary {
+	type acc struct {
+		sum      traceSummary
+		earliest time.Time
+		latest   time.Time
+		rooted   bool
+		nodes    map[string]struct{}
+	}
+	byTrace := map[string]*acc{}
+	for _, sp := range spans {
+		a := byTrace[sp.TraceID]
+		if a == nil {
+			a = &acc{nodes: map[string]struct{}{}}
+			a.sum.TraceID = sp.TraceID
+			a.sum.Root = sp.Name
+			a.earliest = sp.Start
+			a.latest = sp.Start.Add(sp.Duration)
+			byTrace[sp.TraceID] = a
+		}
+		a.sum.Spans++
+		if sp.Error != "" {
+			a.sum.Error = true
+		}
+		if sp.Node != "" {
+			a.nodes[sp.Node] = struct{}{}
+		}
+		if c := sp.Attr("campaign"); c != "" && a.sum.Campaign == "" {
+			a.sum.Campaign = c
+		}
+		if sp.ParentID == "" && !a.rooted {
+			a.rooted = true
+			a.sum.Root = sp.Name
+		}
+		if sp.Start.Before(a.earliest) {
+			a.earliest = sp.Start
+			if !a.rooted {
+				a.sum.Root = sp.Name
+			}
+		}
+		if end := sp.Start.Add(sp.Duration); end.After(a.latest) {
+			a.latest = end
+		}
+	}
+	out := make([]traceSummary, 0, len(byTrace))
+	for _, a := range byTrace {
+		a.sum.Start = a.earliest
+		a.sum.DurationMs = float64(a.latest.Sub(a.earliest)) / float64(time.Millisecond)
+		for n := range a.nodes {
+			a.sum.Nodes = append(a.sum.Nodes, n)
+		}
+		sort.Strings(a.sum.Nodes)
+		out = append(out, a.sum)
+	}
+	return out
+}

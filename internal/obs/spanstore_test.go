@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func rec(trace, span, parent, name string, start time.Time, dur time.Duration) SpanRecord {
+	return SpanRecord{TraceID: trace, SpanID: span, ParentID: parent, Name: name, Start: start, Duration: dur}
+}
+
+func TestSpanStoreRingEviction(t *testing.T) {
+	s := NewSpanStore(3)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		s.Add(rec(fmt.Sprintf("t%d", i), "s", "", "n", base, 0))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	snap := s.Snapshot()
+	if snap[0].TraceID != "t2" || snap[2].TraceID != "t4" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	added, evicted := s.Stats()
+	if added != 5 || evicted != 2 {
+		t.Fatalf("stats added=%d evicted=%d, want 5/2", added, evicted)
+	}
+}
+
+func TestSpanStoreTraceLookup(t *testing.T) {
+	s := NewSpanStore(8)
+	base := time.Now()
+	s.Add(rec("aaa", "1", "", "root", base, time.Millisecond))
+	s.Add(rec("bbb", "2", "", "other", base, time.Millisecond))
+	s.Add(rec("aaa", "3", "1", "child", base, time.Millisecond))
+	got := s.Trace("aaa")
+	if len(got) != 2 || got[0].SpanID != "1" || got[1].SpanID != "3" {
+		t.Fatalf("Trace(aaa) = %+v", got)
+	}
+}
+
+func TestSpanStoreDefaultCapacity(t *testing.T) {
+	s := NewSpanStore(0)
+	if cap(s.buf) != DefaultSpanBuffer {
+		t.Fatalf("cap = %d, want %d", cap(s.buf), DefaultSpanBuffer)
+	}
+}
+
+// tracesGet hits the handler and decodes the JSON body into out.
+func tracesGet(t *testing.T, h http.Handler, url string, out any) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, url, nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, rr.Code, rr.Body.String())
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+type tracesPage struct {
+	Count  int `json:"count"`
+	Traces []struct {
+		TraceID    string   `json:"trace_id"`
+		Root       string   `json:"root"`
+		Campaign   string   `json:"campaign"`
+		Nodes      []string `json:"nodes"`
+		DurationMs float64  `json:"duration_ms"`
+		Spans      int      `json:"spans"`
+		Error      bool     `json:"error"`
+	} `json:"traces"`
+}
+
+func TestTracesHandlerListingAndFilters(t *testing.T) {
+	s := NewSpanStore(32)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// Trace "slow": 2 spans across two nodes, 40ms, campaign camp-9.
+	slow := rec("f00d000000000000000000000000slow", "a1", "", "ingest", base.Add(time.Second), 40*time.Millisecond)
+	slow.Node = "node-a"
+	slow.Attrs = []Attr{{Key: "campaign", Value: "camp-9"}}
+	s.Add(slow)
+	slowChild := rec("f00d000000000000000000000000slow", "a2", "a1", "forward", base.Add(time.Second), 10*time.Millisecond)
+	slowChild.Node = "node-b"
+	s.Add(slowChild)
+
+	// Trace "fast": 1 span, 1ms, errored, newer.
+	fast := rec("f00d000000000000000000000000fast", "b1", "", "ingest", base.Add(2*time.Second), time.Millisecond)
+	fast.Error = "boom"
+	s.Add(fast)
+
+	h := TracesHandler(s)
+
+	var page tracesPage
+	tracesGet(t, h, "/debug/traces", &page)
+	if page.Count != 2 {
+		t.Fatalf("count = %d, want 2", page.Count)
+	}
+	// Newest first.
+	if page.Traces[0].TraceID != "f00d000000000000000000000000fast" {
+		t.Fatalf("order wrong: %+v", page.Traces)
+	}
+	if got := page.Traces[1]; got.Spans != 2 || got.Root != "ingest" || got.Campaign != "camp-9" ||
+		len(got.Nodes) != 2 || got.DurationMs != 40 {
+		t.Fatalf("slow summary wrong: %+v", got)
+	}
+
+	tracesGet(t, h, "/debug/traces?min_ms=20", &page)
+	if page.Count != 1 || page.Traces[0].Campaign != "camp-9" {
+		t.Fatalf("min_ms filter: %+v", page)
+	}
+	tracesGet(t, h, "/debug/traces?error=1", &page)
+	if page.Count != 1 || !page.Traces[0].Error {
+		t.Fatalf("error filter: %+v", page)
+	}
+	tracesGet(t, h, "/debug/traces?campaign=camp-9", &page)
+	if page.Count != 1 || page.Traces[0].Spans != 2 {
+		t.Fatalf("campaign filter: %+v", page)
+	}
+	tracesGet(t, h, "/debug/traces?limit=1", &page)
+	if page.Count != 1 {
+		t.Fatalf("limit: %+v", page)
+	}
+
+	var one struct {
+		TraceID string       `json:"trace_id"`
+		Spans   []SpanRecord `json:"spans"`
+	}
+	tracesGet(t, h, "/debug/traces?trace=f00d000000000000000000000000slow", &one)
+	if len(one.Spans) != 2 || one.Spans[1].ParentID != "a1" {
+		t.Fatalf("single-trace view: %+v", one)
+	}
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/debug/traces", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST = %d, want 405", rr.Code)
+	}
+}
+
+func TestSpanStoreMetrics(t *testing.T) {
+	s := NewSpanStore(2)
+	reg := NewRegistry()
+	s.RegisterMetrics(reg)
+	s.Add(rec("t1", "s1", "", "a", time.Now(), 0))
+	s.Add(rec("t2", "s2", "", "b", time.Now(), 0))
+	s.Add(rec("t3", "s3", "", "c", time.Now(), 0))
+	vals := reg.Values()
+	if vals["qtag_trace_spans_stored"] != 2 {
+		t.Fatalf("stored gauge = %v", vals["qtag_trace_spans_stored"])
+	}
+	if vals["qtag_trace_spans_evicted_total"] != 1 {
+		t.Fatalf("evicted counter = %v", vals["qtag_trace_spans_evicted_total"])
+	}
+}

@@ -50,10 +50,10 @@ var stageOrder = []Stage{
 	StageTransition, StageEnqueued, StageFlushed, StageDelivered, StageDropped,
 }
 
-// Span is one recorded lifecycle step. At is an offset from the tracer's
+// LifecycleSpan is one recorded lifecycle step. At is an offset from the tracer's
 // epoch — virtual time when the recording clock is a simclock, so span
 // streams are bit-identical across runs.
-type Span struct {
+type LifecycleSpan struct {
 	Impression string
 	Campaign   string
 	Stage      Stage
@@ -62,7 +62,7 @@ type Span struct {
 }
 
 // String renders one span as a log-friendly line.
-func (s Span) String() string {
+func (s LifecycleSpan) String() string {
 	d := ""
 	if s.Detail != "" {
 		d = " " + s.Detail
@@ -70,57 +70,57 @@ func (s Span) String() string {
 	return fmt.Sprintf("%-12s t=%-12s camp=%s imp=%s%s", s.Stage, s.At, s.Campaign, s.Impression, d)
 }
 
-// Tracer accumulates lifecycle spans. It is safe for concurrent use; for
+// LifecycleTracer accumulates lifecycle spans. It is safe for concurrent use; for
 // deterministic output across worker counts, give each deterministic
 // unit of work (a campaign) its own tracer and Merge them in a fixed
 // order afterwards.
-type Tracer struct {
+type LifecycleTracer struct {
 	epoch time.Time
 
 	mu    sync.Mutex
-	spans []Span
+	spans []LifecycleSpan
 }
 
-// NewTracer returns a tracer whose Record timestamps are measured as
+// NewLifecycleTracer returns a tracer whose Record timestamps are measured as
 // offsets from epoch (typically simclock.Epoch). A zero epoch records
 // all spans at offset 0 unless recorded via RecordSpan.
-func NewTracer(epoch time.Time) *Tracer { return &Tracer{epoch: epoch} }
+func NewLifecycleTracer(epoch time.Time) *LifecycleTracer { return &LifecycleTracer{epoch: epoch} }
 
 // Record appends a span, converting the absolute timestamp to an offset
 // from the tracer's epoch. Zero timestamps record as offset 0.
-func (t *Tracer) Record(impression, campaign string, stage Stage, at time.Time, detail string) {
+func (t *LifecycleTracer) Record(impression, campaign string, stage Stage, at time.Time, detail string) {
 	var off time.Duration
 	if !at.IsZero() && !t.epoch.IsZero() {
 		off = at.Sub(t.epoch)
 	}
-	t.RecordSpan(Span{Impression: impression, Campaign: campaign, Stage: stage, At: off, Detail: detail})
+	t.RecordSpan(LifecycleSpan{Impression: impression, Campaign: campaign, Stage: stage, At: off, Detail: detail})
 }
 
 // RecordSpan appends a fully-formed span.
-func (t *Tracer) RecordSpan(s Span) {
+func (t *LifecycleTracer) RecordSpan(s LifecycleSpan) {
 	t.mu.Lock()
 	t.spans = append(t.spans, s)
 	t.mu.Unlock()
 }
 
 // Len returns the number of recorded spans.
-func (t *Tracer) Len() int {
+func (t *LifecycleTracer) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.spans)
 }
 
 // Spans returns a copy of the recorded spans in recording order.
-func (t *Tracer) Spans() []Span {
+func (t *LifecycleTracer) Spans() []LifecycleSpan {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]Span(nil), t.spans...)
+	return append([]LifecycleSpan(nil), t.spans...)
 }
 
 // Merge appends the spans of others, in argument order, to t. Merging
 // per-campaign tracers in campaign order yields a deterministic combined
 // stream regardless of how many workers recorded them.
-func (t *Tracer) Merge(others ...*Tracer) {
+func (t *LifecycleTracer) Merge(others ...*LifecycleTracer) {
 	for _, o := range others {
 		if o == nil {
 			continue
@@ -136,7 +136,7 @@ func (t *Tracer) Merge(others ...*Tracer) {
 // per-stage counts in canonical stage order (extra stages follow,
 // sorted). Two runs that measured the same impressions the same way
 // produce byte-identical summaries.
-func (t *Tracer) Summary() string {
+func (t *LifecycleTracer) Summary() string {
 	spans := t.Spans()
 	byStage := map[Stage]int{}
 	imps := map[string]struct{}{}

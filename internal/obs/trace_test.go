@@ -9,7 +9,7 @@ import (
 var epoch = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
 
 func TestTracerRecordOffsets(t *testing.T) {
-	tr := NewTracer(epoch)
+	tr := NewLifecycleTracer(epoch)
 	tr.Record("imp-1", "camp-1", StageServed, epoch.Add(250*time.Millisecond), "x")
 	tr.Record("imp-1", "camp-1", StageEnqueued, time.Time{}, "") // zero time → offset 0
 	spans := tr.Spans()
@@ -25,21 +25,21 @@ func TestTracerRecordOffsets(t *testing.T) {
 }
 
 func TestTracerMergeOrderAndSummaryDeterminism(t *testing.T) {
-	mk := func() (*Tracer, *Tracer) {
-		a := NewTracer(epoch)
+	mk := func() (*LifecycleTracer, *LifecycleTracer) {
+		a := NewLifecycleTracer(epoch)
 		a.Record("a-1", "camp-a", StageServed, epoch, "ex")
 		a.Record("a-1", "camp-a", StageEnqueued, epoch.Add(time.Second), "qtag:loaded")
-		b := NewTracer(epoch)
+		b := NewLifecycleTracer(epoch)
 		b.Record("b-1", "camp-b", StageServed, epoch, "ex")
 		b.Record("b-1", "camp-b", StageDropped, epoch.Add(2*time.Second), "fault")
 		return a, b
 	}
 
 	a1, b1 := mk()
-	m1 := NewTracer(epoch)
+	m1 := NewLifecycleTracer(epoch)
 	m1.Merge(a1, nil, b1) // nil tracers are skipped
 	a2, b2 := mk()
-	m2 := NewTracer(epoch)
+	m2 := NewLifecycleTracer(epoch)
 	m2.Merge(a2, nil, b2)
 
 	if m1.Len() != 4 {
@@ -51,7 +51,7 @@ func TestTracerMergeOrderAndSummaryDeterminism(t *testing.T) {
 
 	// Merge order is part of the stream: swapping it changes the checksum.
 	a3, b3 := mk()
-	m3 := NewTracer(epoch)
+	m3 := NewLifecycleTracer(epoch)
 	m3.Merge(b3, a3)
 	if m1.Summary() == m3.Summary() {
 		t.Fatal("merge order must be reflected in the summary checksum")
@@ -59,7 +59,7 @@ func TestTracerMergeOrderAndSummaryDeterminism(t *testing.T) {
 }
 
 func TestSummaryContents(t *testing.T) {
-	tr := NewTracer(epoch)
+	tr := NewLifecycleTracer(epoch)
 	tr.Record("i1", "c1", StageServed, epoch, "")
 	tr.Record("i1", "c1", StageTagStart, epoch, "")
 	tr.Record("i2", "c1", StageServed, epoch, "")
@@ -79,9 +79,9 @@ func TestSummaryContents(t *testing.T) {
 }
 
 func TestSummaryChecksumSensitivity(t *testing.T) {
-	one := NewTracer(epoch)
+	one := NewLifecycleTracer(epoch)
 	one.Record("i1", "c1", StageServed, epoch, "a")
-	two := NewTracer(epoch)
+	two := NewLifecycleTracer(epoch)
 	two.Record("i1", "c1", StageServed, epoch, "b") // only the detail differs
 	if one.Summary() == two.Summary() {
 		t.Fatal("checksum must cover span details")

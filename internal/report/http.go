@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"qtag/internal/aggregate"
+	"qtag/internal/obs"
 )
 
 // Handler serves the streaming campaign viewability report — the
@@ -28,6 +29,10 @@ func Handler(a *aggregate.Aggregator, now func() time.Time) http.Handler {
 		now = time.Now
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// When the route is mounted behind obs.TraceMiddleware, annotate
+		// the request's span with the report's shape; SpanFromContext is
+		// nil-safe, so untraced deployments pay nothing here.
+		sp := obs.SpanFromContext(r.Context())
 		switch r.URL.Query().Get("format") {
 		case "", "json":
 			resp := ViewabilityReport{
@@ -39,6 +44,8 @@ func Handler(a *aggregate.Aggregator, now func() time.Time) http.Handler {
 			if r.URL.Query().Get("windows") != "0" {
 				resp.Windows = a.Windows()
 			}
+			sp.SetAttr("report.campaign_rows", strconv.Itoa(len(resp.Campaigns.Rows)))
+			sp.SetAttr("report.open_impressions", strconv.Itoa(resp.OpenImpressions))
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(resp)
 		case "prom", "prometheus":

@@ -37,6 +37,7 @@ type BenchEntry struct {
 	Shards      int     `json:"shards"`
 	GroupCommit bool    `json:"group_commit"`
 	Forwarding  bool    `json:"forwarding,omitempty"`
+	TraceSample float64 `json:"trace_sample,omitempty"`
 	Eps         float64 `json:"throughput_eps"`
 	P50Ms       float64 `json:"p50_ms"`
 	P99Ms       float64 `json:"p99_ms"`
@@ -60,6 +61,12 @@ type BenchLadderReport struct {
 	Entries      []BenchEntry `json:"entries"`
 	Speedup4Vs1  float64      `json:"speedup_4_vs_1"`
 	Speedup16Vs1 float64      `json:"speedup_16_vs_1"`
+	// TraceOverhead1Pct / TraceOverhead100Pct are the fractional
+	// throughput cost of distributed tracing at 1% and 100% head
+	// sampling versus the identical untraced 16-shard rung (0.03 =
+	// 3% slower). Negative values are run-to-run noise.
+	TraceOverhead1Pct   float64 `json:"trace_overhead_1pct"`
+	TraceOverhead100Pct float64 `json:"trace_overhead_100pct"`
 }
 
 // RunBenchLadder measures ingest throughput with the WAL on the request
@@ -68,7 +75,9 @@ type BenchLadderReport struct {
 // behavior, the 4- and 16-shard group-commit rows are the scaled ingest
 // path, and the forwarding row repeats the 16-shard configuration with
 // a two-node cluster in front (about half the events forward to a peer
-// before acking) to price the peer-routing overhead. Every row uses a
+// before acking) to price the peer-routing overhead. The tracing rows
+// repeat the 16-shard configuration with distributed tracing at 1% and
+// 100% head sampling to price the observability tax. Every row uses a
 // fresh WAL directory and a fresh in-process server; numbers are
 // measured, never modeled.
 func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
@@ -101,14 +110,21 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 		shards     int
 		gc         bool
 		forwarding bool
+		trace      float64
 	}{
-		{1, false, false}, // the seed: single lock, one fsync per record
-		{4, true, false},
-		{16, true, false},
+		{1, false, false, 0}, // the seed: single lock, one fsync per record
+		{4, true, false, 0},
+		{16, true, false, 0},
 		// The cluster tax: same stack, but the loaded node owns only
 		// ~half the ring — the rest forwards over HTTP to a second
 		// full-durability node before acking.
-		{16, true, true},
+		{16, true, true, 0},
+		// The tracing tax: the scaled ingest rung with distributed
+		// tracing enabled at production (1%) and worst-case (100%)
+		// head sampling — every request roots a span either way; the
+		// rate decides how many are recorded into the ring.
+		{16, true, false, 0.01},
+		{16, true, false, 1.0},
 	}
 	for i, c := range cases {
 		var best LoadReport
@@ -121,6 +137,7 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 				GroupCommitMaxBatch: opts.GroupCommitMaxBatch,
 				GroupCommitMaxWait:  opts.GroupCommitMaxWait,
 				SyncDurability:      true,
+				TraceSample:         c.trace,
 			}
 			var peer *IngestServer
 			if c.forwarding {
@@ -164,11 +181,12 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 				best = lr
 			}
 		}
-		fmt.Fprintf(out, "shards=%-2d group-commit=%-5v forwarding=%-5v  %s\n", c.shards, c.gc, c.forwarding, best)
+		fmt.Fprintf(out, "shards=%-2d group-commit=%-5v forwarding=%-5v trace=%-4v  %s\n", c.shards, c.gc, c.forwarding, c.trace, best)
 		rep.Entries = append(rep.Entries, BenchEntry{
 			Shards:      c.shards,
 			GroupCommit: c.gc,
 			Forwarding:  c.forwarding,
+			TraceSample: c.trace,
 			Eps:         best.Eps,
 			P50Ms:       float64(best.P50) / float64(time.Millisecond),
 			P99Ms:       float64(best.P99) / float64(time.Millisecond),
@@ -180,8 +198,32 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 		rep.Speedup4Vs1 = rep.Entries[1].Eps / base
 		rep.Speedup16Vs1 = rep.Entries[2].Eps / base
 	}
+	// Price tracing against the identical untraced rung.
+	var untraced, traced1, traced100 float64
+	for _, e := range rep.Entries {
+		if e.Shards == 16 && e.GroupCommit && !e.Forwarding {
+			switch e.TraceSample {
+			case 0:
+				untraced = e.Eps
+			case 0.01:
+				traced1 = e.Eps
+			case 1.0:
+				traced100 = e.Eps
+			}
+		}
+	}
+	if untraced > 0 {
+		if traced1 > 0 {
+			rep.TraceOverhead1Pct = 1 - traced1/untraced
+		}
+		if traced100 > 0 {
+			rep.TraceOverhead100Pct = 1 - traced100/untraced
+		}
+	}
 	fmt.Fprintf(out, "speedup: 4 shards %.2fx, 16 shards %.2fx vs 1 shard\n",
 		rep.Speedup4Vs1, rep.Speedup16Vs1)
+	fmt.Fprintf(out, "tracing overhead vs untraced 16-shard rung: %.1f%% at 1%% sampling, %.1f%% at 100%%\n",
+		rep.TraceOverhead1Pct*100, rep.TraceOverhead100Pct*100)
 	if opts.MinSpeedup16 > 0 && rep.Speedup16Vs1 < opts.MinSpeedup16 {
 		return rep, fmt.Errorf("16-shard speedup %.2fx below the %.1fx floor",
 			rep.Speedup16Vs1, opts.MinSpeedup16)

@@ -9,7 +9,7 @@ import (
 	"time"
 )
 
-// TestRunBenchLadderSmall runs the full four-row ladder with a tiny
+// TestRunBenchLadderSmall runs the full six-row ladder with a tiny
 // event count — this is a correctness test of the harness (fresh WAL
 // dir per row, clean runs, report shape, JSON output), not a
 // performance assertion, so MinSpeedup16 stays 0.
@@ -26,16 +26,17 @@ func TestRunBenchLadderSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 4 {
-		t.Fatalf("ladder produced %d rows, want 4", len(rep.Entries))
+	if len(rep.Entries) != 6 {
+		t.Fatalf("ladder produced %d rows, want 6", len(rep.Entries))
 	}
-	wantShards := []int{1, 4, 16, 16}
-	wantGC := []bool{false, true, true, true}
-	wantFwd := []bool{false, false, false, true}
+	wantShards := []int{1, 4, 16, 16, 16, 16}
+	wantGC := []bool{false, true, true, true, true, true}
+	wantFwd := []bool{false, false, false, true, false, false}
+	wantTrace := []float64{0, 0, 0, 0, 0.01, 1.0}
 	for i, e := range rep.Entries {
-		if e.Shards != wantShards[i] || e.GroupCommit != wantGC[i] || e.Forwarding != wantFwd[i] {
-			t.Fatalf("row %d = shards=%d gc=%v fwd=%v, want shards=%d gc=%v fwd=%v",
-				i, e.Shards, e.GroupCommit, e.Forwarding, wantShards[i], wantGC[i], wantFwd[i])
+		if e.Shards != wantShards[i] || e.GroupCommit != wantGC[i] || e.Forwarding != wantFwd[i] || e.TraceSample != wantTrace[i] {
+			t.Fatalf("row %d = shards=%d gc=%v fwd=%v trace=%v, want shards=%d gc=%v fwd=%v trace=%v",
+				i, e.Shards, e.GroupCommit, e.Forwarding, e.TraceSample, wantShards[i], wantGC[i], wantFwd[i], wantTrace[i])
 		}
 		if e.Accepted != 120 {
 			t.Fatalf("row %d accepted %d events, want 120", i, e.Accepted)
@@ -53,6 +54,9 @@ func TestRunBenchLadderSmall(t *testing.T) {
 	if !strings.Contains(progress.String(), "speedup:") {
 		t.Fatalf("progress output missing summary line:\n%s", progress.String())
 	}
+	if !strings.Contains(progress.String(), "tracing overhead") {
+		t.Fatalf("progress output missing tracing overhead line:\n%s", progress.String())
+	}
 
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := rep.WriteJSON(path); err != nil {
@@ -66,7 +70,7 @@ func TestRunBenchLadderSmall(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Entries) != 4 || back.Entries[2].Shards != 16 || !back.Entries[3].Forwarding {
+	if len(back.Entries) != 6 || back.Entries[2].Shards != 16 || !back.Entries[3].Forwarding || back.Entries[5].TraceSample != 1.0 {
 		t.Fatalf("report did not round-trip: %+v", back)
 	}
 }
@@ -87,7 +91,7 @@ func TestRunBenchLadderSpeedupFloor(t *testing.T) {
 	if !strings.Contains(err.Error(), "below the") {
 		t.Fatalf("unexpected gate error: %v", err)
 	}
-	if len(rep.Entries) != 4 {
+	if len(rep.Entries) != 6 {
 		t.Fatalf("gate failure must still return the full ladder, got %d rows", len(rep.Entries))
 	}
 }

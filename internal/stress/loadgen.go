@@ -16,6 +16,7 @@ import (
 	"qtag/internal/aggregate"
 	"qtag/internal/beacon"
 	"qtag/internal/cluster"
+	"qtag/internal/obs"
 	"qtag/internal/report"
 	"qtag/internal/simrand"
 	"qtag/internal/wal"
@@ -294,6 +295,13 @@ type IngestServerConfig struct {
 	ClusterSelf       string
 	ClusterPeers      map[string]string
 	ClusterHandoffDir string
+	// TraceSample > 0 enables distributed tracing on the ingest path at
+	// that head sampling rate — the tracing rungs of the benchmark
+	// ladder price its overhead at 1% and 100%.
+	TraceSample float64
+	// TraceBuffer is the span ring capacity (obs.DefaultSpanBuffer when
+	// zero).
+	TraceBuffer int
 }
 
 // IngestServer is a live in-process collection server.
@@ -303,6 +311,7 @@ type IngestServer struct {
 	Journal   *beacon.WALJournal
 	Server    *beacon.Server
 	Aggregate *aggregate.Aggregator
+	Spans     *obs.SpanStore // non-nil when TraceSample > 0
 
 	httpSrv   *http.Server
 	queue     *beacon.QueueSink
@@ -343,12 +352,30 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 			sink = beacon.Tee(store, is.queue)
 		}
 	}
+	var tracer *obs.Tracer
+	if cfg.TraceSample > 0 {
+		buf := cfg.TraceBuffer
+		if buf <= 0 {
+			buf = obs.DefaultSpanBuffer
+		}
+		name := cfg.ClusterSelf
+		if name == "" {
+			name = "bench"
+		}
+		is.Spans = obs.NewSpanStore(buf)
+		tracer = obs.NewTracer(obs.TracerConfig{
+			Node:       name,
+			SampleRate: cfg.TraceSample,
+			Store:      is.Spans,
+		})
+	}
 	if len(cfg.ClusterPeers) > 0 {
 		node, err := cluster.NewNode(cluster.Config{
 			Self:       cfg.ClusterSelf,
 			Peers:      cfg.ClusterPeers,
 			Local:      sink,
 			HandoffDir: cfg.ClusterHandoffDir,
+			Tracer:     tracer,
 		})
 		if err != nil {
 			if is.Journal != nil {
@@ -361,6 +388,9 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 		sink = node
 	}
 	is.Server = beacon.NewServerWithSink(store, sink)
+	if tracer != nil {
+		is.Server.SetTracer(tracer)
+	}
 	is.Server.Mount("GET /report", report.Handler(is.Aggregate, nil))
 	is.Aggregate.RegisterMetrics(is.Server.Metrics())
 	if is.Journal != nil {

@@ -1,0 +1,20 @@
+// Package version holds the build-time version stamp shared by every
+// binary and by cluster probe traffic. The variable is overridden at
+// link time by the Makefile:
+//
+//	go build -ldflags "-X qtag/internal/version.Version=$(VERSION)"
+package version
+
+// Version is the build's human-readable identity (git describe output
+// in Makefile builds). "dev" means an unstamped `go build` / `go test`.
+var Version = "dev"
+
+// ProbeUserAgentPrefix identifies cluster-internal health probes; it is
+// matched as a prefix so mixed-version clusters still recognize each
+// other's probes.
+const ProbeUserAgentPrefix = "qtag-probe/"
+
+// ProbeUserAgent is the User-Agent the failure detector sends on
+// /healthz probes, distinct from real traffic so probe requests can be
+// excluded from ingest histograms and access logs.
+func ProbeUserAgent() string { return ProbeUserAgentPrefix + Version }

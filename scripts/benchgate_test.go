@@ -26,7 +26,7 @@ func TestLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(m) != 2 || m[rung{4, true, false}].Eps != 15000 {
+	if len(m) != 2 || m[rung{4, true, false, 0}].Eps != 15000 {
 		t.Fatalf("loaded %+v", m)
 	}
 	if _, err := load(writeBench(t, `{"entries":[]}`)); err == nil {
@@ -105,8 +105,46 @@ func TestGateForwardingRungIsDistinct(t *testing.T) {
 	if !gate(&out, baseline, fresh, 0.20) {
 		t.Fatalf("missing forwarding rung passed the gate:\n%s", out.String())
 	}
-	if !strings.Contains(out.String(), "forwarding=true  missing from fresh run") {
+	if !strings.Contains(out.String(), "forwarding=true  trace=0    missing from fresh run") {
 		t.Fatalf("verdict does not name the forwarding rung:\n%s", out.String())
+	}
+}
+
+// Traced rungs are part of the rung identity (a traced run must not
+// satisfy an untraced baseline) but their throughput is informational:
+// recorded-span cost is too noisy to gate.
+func TestGateTracedRungsAreInformational(t *testing.T) {
+	baseline, err := load(writeBench(t, `{"entries":[
+		{"shards":16,"group_commit":true,"throughput_eps":16000,"p99_ms":6},
+		{"shards":16,"group_commit":true,"trace_sample":1,"throughput_eps":12000,"p99_ms":9}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := load(writeBench(t, `{"entries":[
+		{"shards":16,"group_commit":true,"throughput_eps":16000,"p99_ms":6},
+		{"shards":16,"group_commit":true,"trace_sample":1,"throughput_eps":5000,"p99_ms":30}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if gate(&out, baseline, fresh, 0.20) {
+		t.Fatalf("regressed traced rung failed the gate; it must be informational:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "info") {
+		t.Fatalf("traced rung not reported as info:\n%s", out.String())
+	}
+	// A traced baseline rung missing entirely is still a shrunken ladder.
+	fresh2, err := load(writeBench(t, `{"entries":[
+		{"shards":16,"group_commit":true,"throughput_eps":16000,"p99_ms":6}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if !gate(&out, baseline, fresh2, 0.20) {
+		t.Fatalf("missing traced rung passed the gate:\n%s", out.String())
 	}
 }
 
