@@ -21,10 +21,10 @@ STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 # Where bench-gate writes the fresh benchmark run it compares against
-# the committed BENCH_PR7.json baseline.
+# the committed BENCH_PR8.json baseline.
 BENCH_FRESH ?= bench-fresh.json
 
-.PHONY: all build vet test race bench cover chaos cluster-chaos trace-chaos soak fuzz-smoke lint bench-gate ci
+.PHONY: all build vet test race bench cover chaos cluster-chaos trace-chaos overload-chaos soak fuzz-smoke lint bench-gate ci
 
 all: ci
 
@@ -46,7 +46,7 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkStore|BenchmarkWALAppend' -benchmem ./internal/beacon
 	$(GO) run ./cmd/qtag-stress -load -workers 32 -events 8000 \
-		-group-commit-max-wait 500us -bench-out BENCH_PR7.json
+		-group-commit-max-wait 500us -bench-out BENCH_PR8.json
 
 # Crash-safety sweep: the WAL, the crash-point harness, and the
 # durability layer's torn-write / page-cache-loss / bit-rot / ENOSPC
@@ -74,6 +74,15 @@ cluster-chaos:
 trace-chaos:
 	$(GO) test -race -count=1 -run 'TestTracePropagation' \
 		./internal/cluster/...
+
+# Overload chaos: the 3-node harness under a 10× concurrency ramp with
+# concurrent partition-heal drain storms and /report + /debug hammers,
+# under the race detector. Proves the admission contract: zero
+# acked-beacon loss, goodput held within a fixed band of baseline,
+# low-priority classes shed first, and every node back to /readyz 200
+# within a bounded window once the load subsides.
+overload-chaos:
+	$(GO) test -race -count=1 -run 'TestOverload' ./internal/cluster/...
 
 # Concurrency soak: the sharded store + group-commit WAL driven through
 # the full HTTP server by concurrent clients, with store/WAL/counter
@@ -116,15 +125,15 @@ lint:
 	fi
 
 # Throughput regression gate: re-run the shard-scaling benchmark ladder
-# and fail if any sampling-off rung lost more than 20% events/sec
-# against the committed BENCH_PR7.json baseline (traced rungs are
-# reported, not gated). Benchmarks are noisy on shared runners, so this
-# runs as a scheduled/manual CI job, not per-PR; the committed baseline
-# is only ever updated deliberately (make bench).
+# and fail if any sampling-off non-overload rung lost more than 20%
+# events/sec against the committed BENCH_PR8.json baseline (traced and
+# overload rungs are reported, not gated). Benchmarks are noisy on
+# shared runners, so this runs as a scheduled/manual CI job, not per-PR;
+# the committed baseline is only ever updated deliberately (make bench).
 bench-gate:
 	$(GO) run ./cmd/qtag-stress -load -workers 32 -events 8000 \
 		-group-commit-max-wait 500us -bench-out $(BENCH_FRESH)
-	$(GO) run ./scripts/benchgate.go -baseline BENCH_PR7.json -fresh $(BENCH_FRESH)
+	$(GO) run ./scripts/benchgate.go -baseline BENCH_PR8.json -fresh $(BENCH_FRESH)
 
 # The blocking pipeline: correctness, analysis, coverage, crash-safety,
 # trace propagation. soak and fuzz-smoke run as a separate non-blocking

@@ -30,8 +30,13 @@
 //	            [-group-commit-max-wait 0] [-durable-sync]
 //	            [-journal beacons.jsonl]
 //	            [-shed-pending 10000] [-retry-after 2s]
+//	            [-admission] [-admission-min-inflight 0]
+//	            [-admission-max-inflight 0] [-admission-recovery-hold 2s]
+//	            [-disk-low-bytes 0] [-disk-shed-bytes 0]
+//	            [-disk-readonly-bytes 0] [-disk-check-every 2s]
 //	            [-report-ttl 15m] [-report-sweep-every 1m]
 //	            [-report-window 1m] [-report-windows 60]
+//	            [-report-max-open 0]
 //	            [-node-id n0] [-peers n1=http://...,n2=http://...]
 //	            [-handoff-dir hints] [-probe-every 1s]
 //	            [-ready-hint-backlog 10000]
@@ -90,7 +95,26 @@
 // fail into the circuit breaker, ingestion keeps running from memory,
 // and the qtag_wal_disk_full gauge raises the alarm.
 //
-// With durability configured and -shed-pending, the server sheds
+// Overload control (-admission, on by default) guards every request
+// behind an adaptive concurrency limiter: a gradient controller tracks
+// observed ingest latency against its moving minimum and shrinks the
+// in-flight limit when the node slows down, instead of waiting for a
+// static backlog threshold to trip. Requests are classified — live
+// ingest > hinted-handoff drain replays > federated /report fan-outs >
+// /debug endpoints — and lower classes are shed first (503 +
+// Retry-After), so a drain storm after a partition heals can never
+// starve fresh beacons. Clients may stamp X-Qtag-Budget-Ms with their
+// remaining deadline; requests that cannot finish in budget are
+// rejected with 408 before any WAL append. -shed-pending remains the
+// hard backstop on the unflushed backlog, and the -disk-*-bytes
+// watermarks degrade the node as WAL disk space runs out: low relaxes
+// fsync to batch, shed stops new ingest, read-only refuses all writes.
+// Degraded modes surface on /readyz (503 while browned-out/read-only)
+// and /healthz, and as qtag_admission_* / qtag_watermark_* metrics.
+// -admission=false restores the legacy static -shed-pending guard
+// alone. See DESIGN.md §14.
+//
+// With -admission=false and -shed-pending, the server sheds
 // ingestion (503 + Retry-After) while the unflushed backlog exceeds the
 // threshold, and /healthz reports the shed count and backlog. On
 // SIGINT/SIGTERM the HTTP server drains, the queue flushes into the
@@ -115,6 +139,7 @@ import (
 	"syscall"
 	"time"
 
+	"qtag/internal/admission"
 	"qtag/internal/aggregate"
 	"qtag/internal/analytics"
 	"qtag/internal/beacon"
@@ -208,8 +233,17 @@ func main() {
 	statsKey := flag.String("stats-key", "", "operator bearer token protecting the stats endpoints (empty = open)")
 	ingestRate := flag.Float64("ingest-rate", 0, "per-client ingestion rate limit in req/s (0 = unlimited)")
 	ingestBurst := flag.Float64("ingest-burst", 50, "per-client ingestion burst")
-	shedPending := flag.Int("shed-pending", 0, "shed ingestion with 503 when this many journal events await flush (0 = disabled)")
+	shedPending := flag.Int("shed-pending", 0, "shed ingestion with 503 when this many journal events await flush (0 = disabled; the hard backstop behind -admission)")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on shed responses")
+	admissionOn := flag.Bool("admission", true, "adaptive admission control: gradient concurrency limiter, priority classes and degraded modes (false restores the legacy static -shed-pending guard)")
+	admMinInflight := flag.Int("admission-min-inflight", 0, "adaptive concurrency limit floor (0 = package default)")
+	admMaxInflight := flag.Int("admission-max-inflight", 0, "adaptive concurrency limit ceiling (0 = package default)")
+	admRecoveryHold := flag.Duration("admission-recovery-hold", 2*time.Second, "calm period before a browned-out node reports healthy again")
+	diskLowBytes := flag.Int64("disk-low-bytes", 0, "WAL-disk low watermark: relax fsync to batch below this free space (0 disables; needs -wal-dir)")
+	diskShedBytes := flag.Int64("disk-shed-bytes", 0, "WAL-disk shed watermark: stop admitting new ingest below this free space (0 disables)")
+	diskReadOnlyBytes := flag.Int64("disk-readonly-bytes", 0, "WAL-disk read-only watermark: refuse all writes below this free space (0 disables)")
+	diskCheckEvery := flag.Duration("disk-check-every", 2*time.Second, "free-space probe cadence for the disk watermarks")
+	reportMaxOpen := flag.Int("report-max-open", 0, "cap open per-impression aggregation states; past it the coldest is evicted, totals frozen (0 = unbounded)")
 	queueCap := flag.Int("queue-cap", 4096, "durability queue capacity (events)")
 	reportTTL := flag.Duration("report-ttl", 15*time.Minute, "evict idle per-impression aggregation state after this long (<0 disables)")
 	reportSweep := flag.Duration("report-sweep-every", time.Minute, "aggregation eviction sweep cadence (0 disables)")
@@ -302,6 +336,7 @@ func main() {
 		TTL:        *reportTTL,
 		Window:     *reportWindow,
 		MaxWindows: *reportWindows,
+		MaxOpen:    *reportMaxOpen,
 	})
 	store.SetObserver(agg.Observe)
 	var wj *beacon.WALJournal
@@ -486,16 +521,95 @@ func main() {
 	case journal != nil:
 		backlog = func() int { return journal.Pending() }
 	}
-	var guard *beacon.OverloadGuard
-	if backlog != nil && *shedPending > 0 {
+	// shedCount reports total shed requests for the final stats line,
+	// whichever guard variant is active.
+	var shedCount func() int64
+	if *admissionOn {
+		acfg := admission.Config{
+			Limiter: admission.LimiterConfig{
+				MinLimit: *admMinInflight,
+				MaxLimit: *admMaxInflight,
+			},
+			RetryAfter:   *retryAfter,
+			RecoveryHold: *admRecoveryHold,
+		}
+		if backlog != nil && *shedPending > 0 {
+			threshold := *shedPending
+			acfg.Backstop = func() bool { return backlog() >= threshold }
+		}
+		if wj != nil && (*diskLowBytes > 0 || *diskShedBytes > 0 || *diskReadOnlyBytes > 0) {
+			// Below the low watermark, trade fsync latency for headroom
+			// (batch coalesces syncs); restore the configured policy once
+			// the disk recovers. The shed/read-only levels feed the
+			// controller's mode machine through acfg.Watermark.
+			basePolicy := wj.FsyncPolicy()
+			wm, err := admission.NewWatermark(admission.WatermarkConfig{
+				Dir:           *walDir,
+				LowBytes:      *diskLowBytes,
+				ShedBytes:     *diskShedBytes,
+				ReadOnlyBytes: *diskReadOnlyBytes,
+				CheckEvery:    *diskCheckEvery,
+				OnChange: func(from, to admission.Level) {
+					if to >= admission.LevelLow && from < admission.LevelLow {
+						wj.SetFsyncPolicy(wal.FsyncOnBatch)
+					} else if to < admission.LevelLow && from >= admission.LevelLow {
+						wj.SetFsyncPolicy(basePolicy)
+					}
+					logger.Warn("wal disk watermark", "from", from, "to", to)
+				},
+			})
+			if err != nil {
+				logger.Error("disk watermark", "err", err)
+				os.Exit(2)
+			}
+			wm.Start()
+			defer wm.Close()
+			wm.RegisterMetrics(server.Metrics())
+			acfg.Watermark = wm
+		}
+		ctrl := admission.NewController(acfg)
+		ctrl.RegisterMetrics(server.Metrics())
+		server.AddHealthMetric("shed", ctrl.TotalShed)
+		server.AddHealthMetric("admission_mode", func() int64 { return int64(ctrl.Mode()) })
+		if backlog != nil {
+			server.AddHealthMetric("journal_pending", func() int64 { return int64(backlog()) })
+		}
+		// Readiness composes: the cluster node's own checks (when
+		// clustered) first, then the admission mode — a browned-out or
+		// read-only node must drop out of the load balancer even if its
+		// handoff backlog looks fine.
+		var nodeReady func() error
+		if node != nil {
+			nodeReady = node.Readiness()
+		}
+		server.SetReadiness(func() error {
+			if nodeReady != nil {
+				if err := nodeReady(); err != nil {
+					return err
+				}
+			}
+			if !ctrl.Ready() {
+				return fmt.Errorf("admission: node is %s", ctrl.Mode())
+			}
+			return nil
+		})
+		handler = ctrl.Middleware(handler)
+		shedCount = ctrl.TotalShed
+		logger.Info("admission control enabled",
+			"min_inflight", *admMinInflight, "max_inflight", *admMaxInflight,
+			"backstop_pending", *shedPending, "recovery_hold", *admRecoveryHold)
+	} else if backlog != nil && *shedPending > 0 {
+		// Legacy static guard, kept for -admission=false: shed on the
+		// journal backlog threshold alone.
 		threshold := *shedPending
-		guard = beacon.NewOverloadGuard(handler, func() bool {
+		guard := beacon.NewOverloadGuard(handler, func() bool {
 			return backlog() >= threshold
 		}, *retryAfter)
 		guard.RegisterMetrics(server.Metrics())
 		server.AddHealthMetric("shed", guard.Shed)
 		server.AddHealthMetric("journal_pending", func() int64 { return int64(backlog()) })
 		handler = guard
+		shedCount = guard.Shed
 	}
 	if wj != nil {
 		server.AddHealthMetric("wal_disk_full", func() int64 {
@@ -639,8 +753,8 @@ func main() {
 		}
 	}
 	shed := int64(0)
-	if guard != nil {
-		shed = guard.Shed()
+	if shedCount != nil {
+		shed = shedCount()
 	}
 	qs := queue.Stats()
 	logger.Info("final",

@@ -15,11 +15,12 @@
 //
 // Bench mode — the PR acceptance benchmark: fsync=always synchronous
 // durability at {1 shard, no group commit} vs {4, 16 shards with group
-// commit}, plus the forwarding rung (two-node cluster) and the tracing
-// rungs (distributed tracing at 1% and 100% head sampling), written to
-// a JSON report:
+// commit}, plus the forwarding rung (two-node cluster), the tracing
+// rungs (distributed tracing at 1% and 100% head sampling) and the
+// overload rung (admission-controlled stack at 10× concurrency),
+// written to a JSON report:
 //
-//	qtag-stress -load -bench-out BENCH_PR7.json [-workers 8] [-events 5000]
+//	qtag-stress -load -bench-out BENCH_PR8.json [-workers 8] [-events 5000]
 package main
 
 import (
@@ -141,7 +142,7 @@ func runBench(outPath string, workers, events, batchSize, gcMaxBatch int, gcMaxW
 		MinSpeedup16:        3,
 		Out:                 os.Stdout,
 	})
-	if len(rep.Entries) == 6 { // a complete ladder is worth recording even if the floor failed
+	if len(rep.Entries) == 7 { // a complete ladder is worth recording even if the floor failed
 		if werr := rep.WriteJSON(outPath); werr != nil && err == nil {
 			err = werr
 		}

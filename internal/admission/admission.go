@@ -1,0 +1,156 @@
+// Package admission is the collection server's overload-control layer:
+// an adaptive concurrency limiter driven by observed ingest latency, a
+// priority-class scheme that sheds background work before fresh beacons,
+// a degraded-mode state machine fed by resource watermarks (WAL disk
+// space), and deadline propagation so the pipeline stops spending fsyncs
+// and forwards on requests whose client has already given up.
+//
+// The layer replaces the static journal-backlog threshold as the primary
+// overload signal: instead of a single tunable that is wrong on every
+// other machine, the limiter learns the ingest path's achievable
+// concurrency from the latency gradient (short-term EWMA vs. a moving
+// minimum) and sheds — lowest priority class first — only when latency
+// says the node is past its knee. The backlog guard survives as a hard
+// backstop behind the limiter.
+//
+// Priority classes, highest first:
+//
+//	live      fresh beacons on POST/GET /v1/events — the reason the
+//	          service exists; always gets the full concurrency limit
+//	drain     hinted-handoff replays from peers (X-Qtag-Class: drain) —
+//	          durable on the sender, so shedding them loses nothing
+//	federate  GET /report fan-in and dashboards — partial reports degrade
+//	          gracefully (the "degraded" field exists for this)
+//	debug     GET /debug/* — always the first to go
+//
+// /healthz, /readyz, /metrics and the stats endpoints are never gated:
+// operators and the failure detector need them exactly when the node is
+// struggling.
+package admission
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Class is a request's admission priority.
+type Class int
+
+// Classes in descending priority order. The integer order matters:
+// metrics and shed accounting index by it.
+const (
+	ClassLive Class = iota
+	ClassDrain
+	ClassFederate
+	ClassDebug
+	numClasses
+)
+
+// String implements fmt.Stringer (the metric label values).
+func (c Class) String() string {
+	switch c {
+	case ClassLive:
+		return "live"
+	case ClassDrain:
+		return "drain"
+	case ClassFederate:
+		return "federate"
+	case ClassDebug:
+		return "debug"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Fraction is the share of the adaptive concurrency limit a class may
+// use. Live traffic gets the whole limit; lower classes saturate — and
+// therefore shed — progressively earlier as inflight load grows, which
+// is what keeps a post-partition drain storm from starving fresh ingest.
+func (c Class) Fraction() float64 {
+	switch c {
+	case ClassLive:
+		return 1.0
+	case ClassDrain:
+		return 0.5
+	case ClassFederate:
+		return 0.35
+	default:
+		return 0.25
+	}
+}
+
+// Wire headers.
+const (
+	// ClassHeader marks a request's admission class. Only "drain" is
+	// meaningful on the wire today: hinted-handoff replays mark
+	// themselves so the receiver can shed them before live beacons
+	// (requests without the header default by path — see Classify).
+	ClassHeader = "X-Qtag-Class"
+	// BudgetHeader carries the client's remaining per-request budget in
+	// integer milliseconds. Relative, not absolute: no clock agreement
+	// between client and server is assumed (the same reason gRPC and
+	// W3C use relative timeouts). The server rejects requests whose
+	// budget is already spent before any WAL append, and cluster
+	// forwards re-stamp the decremented remainder.
+	BudgetHeader = "X-Qtag-Budget-Ms"
+)
+
+// ParseClass maps a header value onto a class; unknown values (and the
+// empty string) are live — a request that does not identify itself gets
+// the default, highest-priority treatment its path implies.
+func ParseClass(s string) Class {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "drain":
+		return ClassDrain
+	case "federate":
+		return ClassFederate
+	case "debug":
+		return ClassDebug
+	default:
+		return ClassLive
+	}
+}
+
+// Classify maps a request onto its admission class and reports whether
+// the request is gated at all. Health, readiness, metrics and the stats
+// endpoints are never gated.
+func Classify(r *http.Request) (Class, bool) {
+	switch {
+	case r.URL.Path == "/v1/events":
+		if ParseClass(r.Header.Get(ClassHeader)) == ClassDrain {
+			return ClassDrain, true
+		}
+		return ClassLive, true
+	case r.URL.Path == "/report":
+		return ClassFederate, true
+	case strings.HasPrefix(r.URL.Path, "/debug/"):
+		return ClassDebug, true
+	default:
+		return ClassLive, false
+	}
+}
+
+// ParseBudget reads the remaining-budget header. ok reports whether the
+// header was present; err is non-nil when it was present but malformed.
+// A zero or negative budget is valid input and means the request is
+// already doomed.
+func ParseBudget(h http.Header) (budget time.Duration, ok bool, err error) {
+	raw := h.Get(BudgetHeader)
+	if raw == "" {
+		return 0, false, nil
+	}
+	ms, perr := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
+	if perr != nil {
+		return 0, true, fmt.Errorf("admission: bad %s %q: want integer milliseconds", BudgetHeader, raw)
+	}
+	return time.Duration(ms) * time.Millisecond, true, nil
+}
+
+// FormatBudget renders a budget for the wire, rounding down to whole
+// milliseconds (a sub-millisecond remainder is as good as spent).
+func FormatBudget(d time.Duration) string {
+	return strconv.FormatInt(int64(d/time.Millisecond), 10)
+}

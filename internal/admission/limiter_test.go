@@ -1,0 +1,160 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manual clock for deterministic limiter tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestLimiterDefaults(t *testing.T) {
+	l := NewLimiter(LimiterConfig{})
+	if got := l.Limit(); got != 16 {
+		t.Fatalf("default initial limit = %v, want 16 (4×MinLimit)", got)
+	}
+	if !l.Acquire(1.0) {
+		t.Fatal("fresh limiter refused the first request")
+	}
+	l.Release(time.Millisecond, true)
+	if l.Inflight() != 0 {
+		t.Fatalf("inflight = %d after release, want 0", l.Inflight())
+	}
+}
+
+func TestLimiterAcquireRespectsFraction(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{MinLimit: 4, MaxLimit: 64, InitialLimit: 8, Now: clk.now})
+	// Debug fraction 0.25 of limit 8 = 2 slots.
+	if !l.Acquire(0.25) || !l.Acquire(0.25) {
+		t.Fatal("debug class should get 2 of 8 slots")
+	}
+	if l.Acquire(0.25) {
+		t.Fatal("third debug acquire should shed at fraction 0.25")
+	}
+	// Live still has headroom at the same instant.
+	if !l.Acquire(1.0) {
+		t.Fatal("live class starved while limit has headroom")
+	}
+}
+
+func TestLimiterGradientDecreasesUnderLatencyInflation(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{MinLimit: 2, MaxLimit: 128, InitialLimit: 32, Now: clk.now})
+	// Establish a fast baseline.
+	for i := 0; i < 20; i++ {
+		if !l.Acquire(1.0) {
+			t.Fatalf("acquire %d refused at baseline", i)
+		}
+		l.Release(1*time.Millisecond, true)
+	}
+	base := l.Limit()
+	// Latency inflates 20×: the gradient must cut the limit.
+	for i := 0; i < 50; i++ {
+		if !l.Acquire(1.0) {
+			break // shedding is fine; keep feeding what's admitted
+		}
+		l.Release(20*time.Millisecond, true)
+	}
+	if got := l.Limit(); got >= base {
+		t.Fatalf("limit %v did not decrease from %v under 20× latency", got, base)
+	}
+}
+
+func TestLimiterAdditiveIncreaseWhenUtilized(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{MinLimit: 2, MaxLimit: 128, InitialLimit: 4, Now: clk.now})
+	// Keep the limiter saturated with healthy latency: limit should grow.
+	for i := 0; i < 100; i++ {
+		var held int
+		for l.Acquire(1.0) {
+			held++
+		}
+		for j := 0; j < held; j++ {
+			l.Release(time.Millisecond, true)
+		}
+	}
+	if got := l.Limit(); got <= 4 {
+		t.Fatalf("limit %v did not grow under healthy saturation", got)
+	}
+}
+
+func TestLimiterFloorAndCeiling(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{MinLimit: 3, MaxLimit: 5, InitialLimit: 4, Now: clk.now})
+	// Hammer with terrible latency: floor holds.
+	l.Release(time.Microsecond, true) // fast baseline sample (no acquire needed for the math)
+	for i := 0; i < 200; i++ {
+		if l.Acquire(1.0) {
+			l.Release(time.Second, true)
+		}
+	}
+	if got := l.Limit(); got != 3 {
+		t.Fatalf("limit = %v under sustained overload, want floor 3", got)
+	}
+	// Recover with fast latency while saturated: ceiling holds.
+	for i := 0; i < 500; i++ {
+		var held int
+		for l.Acquire(1.0) {
+			held++
+		}
+		for j := 0; j < held; j++ {
+			l.Release(time.Microsecond, true)
+		}
+	}
+	if got := l.Limit(); got > 5 {
+		t.Fatalf("limit = %v, want ceiling 5", got)
+	}
+}
+
+func TestLimiterMinRTTRebaselinesAfterWindow(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{MinLimit: 2, MaxLimit: 64, InitialLimit: 8,
+		MinRTTWindow: time.Second, Now: clk.now})
+	if l.Acquire(1.0) {
+		l.Release(1*time.Millisecond, true)
+	}
+	if got := l.MinRTT(); got != 0.001 {
+		t.Fatalf("minRTT = %v, want 0.001", got)
+	}
+	// The disk permanently slowed to 3ms. After the window expires the
+	// baseline must drift upward (bounded at 2× per window) instead of
+	// treating 3ms as overload forever.
+	clk.advance(2 * time.Second)
+	if l.Acquire(1.0) {
+		l.Release(3*time.Millisecond, true)
+	}
+	if got := l.MinRTT(); got != 0.002 { // 2× the stale 1ms baseline
+		t.Fatalf("rebaselined minRTT = %v, want 0.002 (doubling bound)", got)
+	}
+	clk.advance(2 * time.Second)
+	if l.Acquire(1.0) {
+		l.Release(3*time.Millisecond, true)
+	}
+	if got := l.MinRTT(); got != 0.003 { // next window reaches the true new floor
+		t.Fatalf("rebaselined minRTT = %v, want 0.003", got)
+	}
+}
+
+func TestLimiterErrorsDoNotTeachTheGradient(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{MinLimit: 2, MaxLimit: 64, InitialLimit: 8, Now: clk.now})
+	if l.Acquire(1.0) {
+		l.Release(time.Millisecond, true)
+	}
+	before := l.Limit()
+	for i := 0; i < 50; i++ {
+		if l.Acquire(1.0) {
+			l.Release(5*time.Second, false) // observe=false: failed request
+		}
+	}
+	if got := l.Limit(); got != before {
+		t.Fatalf("limit moved %v→%v on unobserved (error) samples", before, got)
+	}
+}

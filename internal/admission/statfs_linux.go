@@ -1,0 +1,16 @@
+//go:build linux
+
+package admission
+
+import "syscall"
+
+// platformStatfs reports free (available to unprivileged writers) and
+// total bytes for the filesystem holding dir.
+func platformStatfs(dir string) (free, total int64, err error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, 0, err
+	}
+	bsize := int64(st.Bsize)
+	return int64(st.Bavail) * bsize, int64(st.Blocks) * bsize, nil
+}

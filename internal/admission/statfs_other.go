@@ -1,0 +1,10 @@
+//go:build !linux
+
+package admission
+
+// platformStatfs has no binding off Linux; the watermark counts the
+// probe error and holds LevelOK, i.e. disk watermarks quietly disable
+// themselves rather than guessing.
+func platformStatfs(dir string) (free, total int64, err error) {
+	return 0, 0, ErrStatfsUnsupported
+}

@@ -51,6 +51,14 @@ type Options struct {
 	Window time.Duration
 	// MaxWindows bounds retained rollup windows (default 60).
 	MaxWindows int
+	// MaxOpen caps the total number of open impression working states
+	// across all shards (0: unbounded, the default). When an insert
+	// pushes past the cap, the least-recently-touched impression in the
+	// same shard is evicted immediately — pressure eviction raises the
+	// same frozen-totals semantics as TTL eviction, just early, so the
+	// aggregator degrades measurement fidelity instead of growing until
+	// the kernel OOM-kills the whole node.
+	MaxOpen int
 	// DwellBounds are the dwell histogram bucket upper bounds in seconds
 	// (default obs.DwellBuckets).
 	DwellBounds []float64
@@ -162,10 +170,12 @@ type Aggregator struct {
 	winMu   sync.Mutex
 	windows windowRing
 
-	updates   atomic.Int64 // events folded in
-	evicted   atomic.Int64 // impression states dropped by TTL
-	dwellObs  *obs.Histogram
-	dwellPair atomic.Int64 // completed in-view/out-of-view pairs
+	updates    atomic.Int64 // events folded in
+	evicted    atomic.Int64 // impression states dropped (TTL + pressure)
+	pressureEv atomic.Int64 // the subset evicted by the MaxOpen cap
+	openCount  atomic.Int64 // open impression states, across all shards
+	dwellObs   *obs.Histogram
+	dwellPair  atomic.Int64 // completed in-view/out-of-view pairs
 }
 
 // New returns an empty aggregator.
@@ -327,6 +337,12 @@ func (a *Aggregator) Observe(e beacon.Event) {
 		cs.dwellHist(dwellKey{e.CampaignID, string(e.Source)}, a.opts.DwellBounds).Observe(d)
 	}
 	cs.mu.Unlock()
+	if created {
+		a.openCount.Add(1)
+		if a.opts.MaxOpen > 0 && a.openCount.Load() > int64(a.opts.MaxOpen) {
+			a.evictColdestLocked(sh, key)
+		}
+	}
 	sh.mu.Unlock()
 
 	for _, d := range dwells {
@@ -337,6 +353,33 @@ func (a *Aggregator) Observe(e beacon.Event) {
 	a.winMu.Lock()
 	a.windows.observe(now, e.CampaignID, created, viewedFirst)
 	a.winMu.Unlock()
+}
+
+// evictColdestLocked drops the least-recently-touched impression in sh,
+// sparing keep (the state that just went over the cap — evicting the
+// one impression we know is active would be pure churn). Caller holds
+// sh.mu. The scan is per shard, so the cap is enforced approximately:
+// a shard holding only the active key evicts nothing this round, and
+// the working set converges back under MaxOpen as traffic spreads over
+// the shards. Frozen-totals semantics match TTL eviction exactly.
+func (a *Aggregator) evictColdestLocked(sh *aggShard, keep string) {
+	var coldest string
+	var coldestAt time.Time
+	for k, st := range sh.open {
+		if k == keep {
+			continue
+		}
+		if coldest == "" || st.lastTouch.Before(coldestAt) {
+			coldest, coldestAt = k, st.lastTouch
+		}
+	}
+	if coldest == "" {
+		return
+	}
+	delete(sh.open, coldest)
+	a.openCount.Add(-1)
+	a.evicted.Add(1)
+	a.pressureEv.Add(1)
 }
 
 // Windows returns the retained rollup windows, oldest first.
@@ -448,6 +491,7 @@ func (a *Aggregator) Sweep(now time.Time) int {
 		sh.mu.Unlock()
 	}
 	a.evicted.Add(int64(evicted))
+	a.openCount.Add(-int64(evicted))
 	return evicted
 }
 
@@ -467,8 +511,13 @@ func (a *Aggregator) OpenImpressions() int {
 // Updates returns how many first-seen events have been folded in.
 func (a *Aggregator) Updates() int64 { return a.updates.Load() }
 
-// Evicted returns how many impression states TTL eviction has dropped.
+// Evicted returns how many impression states eviction has dropped
+// (TTL sweeps plus MaxOpen pressure evictions).
 func (a *Aggregator) Evicted() int64 { return a.evicted.Load() }
+
+// PressureEvicted returns the subset of evictions forced by the MaxOpen
+// working-set cap rather than the TTL sweep.
+func (a *Aggregator) PressureEvicted() int64 { return a.pressureEv.Load() }
 
 // DwellPairs returns how many in-view/out-of-view cycles completed.
 func (a *Aggregator) DwellPairs() int64 { return a.dwellPair.Load() }
@@ -479,6 +528,7 @@ func (a *Aggregator) DwellPairs() int64 { return a.dwellPair.Load() }
 func (a *Aggregator) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("qtag_aggregate_updates_total", "First-seen events folded into the streaming accumulators.", a.updates.Load)
 	r.CounterFunc("qtag_aggregate_evicted_total", "Impression working states dropped by TTL eviction.", a.evicted.Load)
+	r.CounterFunc("qtag_aggregate_pressure_evicted_total", "Impression working states evicted early by the MaxOpen cap.", a.pressureEv.Load)
 	r.CounterFunc("qtag_aggregate_dwell_pairs_total", "Completed in-view/out-of-view dwell cycles.", a.dwellPair.Load)
 	r.GaugeFunc("qtag_aggregate_open_impressions", "Impressions currently holding working state (bounded by TTL eviction).",
 		func() float64 { return float64(a.OpenImpressions()) })

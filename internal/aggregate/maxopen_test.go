@@ -1,0 +1,100 @@
+package aggregate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qtag/internal/beacon"
+)
+
+// TestMaxOpenPressureEviction proves the working-set cap: inserts past
+// MaxOpen evict the coldest impression in the shard instead of growing,
+// the pressure-evicted counter attributes them, and campaign totals are
+// frozen (not rolled back) exactly like TTL eviction.
+func TestMaxOpenPressureEviction(t *testing.T) {
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	a := New(Options{
+		Shards:  1, // one shard so the per-shard coldest scan is global
+		MaxOpen: 8,
+		Now:     func() time.Time { return clock },
+	})
+	for i := 0; i < 50; i++ {
+		clock = clock.Add(time.Second) // strictly increasing lastTouch
+		a.Observe(beacon.Event{
+			ImpressionID: fmt.Sprintf("imp-%03d", i),
+			CampaignID:   "c1",
+			Type:         beacon.EventServed,
+			At:           clock,
+		})
+	}
+	if got := a.OpenImpressions(); got > 8 {
+		t.Fatalf("open impressions = %d, want ≤ MaxOpen 8", got)
+	}
+	if got := a.PressureEvicted(); got != 42 {
+		t.Fatalf("pressure evicted = %d, want 42 (50 inserts − 8 cap)", got)
+	}
+	if got := a.Evicted(); got != 42 {
+		t.Fatalf("Evicted = %d, want pressure evictions included (42)", got)
+	}
+	// Totals are frozen, not rolled back: all 50 impressions counted.
+	if imps := campaignImpressions(a, "c1"); imps != 50 {
+		t.Fatalf("campaign impressions = %d, want 50 despite eviction", imps)
+	}
+}
+
+// campaignImpressions sums a campaign's impression count across formats.
+func campaignImpressions(a *Aggregator, id string) int64 {
+	var n int64
+	for _, row := range a.Snapshot().Rows {
+		if row.CampaignID == id {
+			n += row.Impressions
+		}
+	}
+	return n
+}
+
+// TestMaxOpenZeroUnbounded: the default keeps today's behavior.
+func TestMaxOpenZeroUnbounded(t *testing.T) {
+	a := New(Options{Shards: 1})
+	for i := 0; i < 100; i++ {
+		a.Observe(beacon.Event{
+			ImpressionID: fmt.Sprintf("imp-%03d", i),
+			CampaignID:   "c1",
+			Type:         beacon.EventServed,
+			At:           time.Unix(int64(i), 0),
+		})
+	}
+	if got := a.OpenImpressions(); got != 100 {
+		t.Fatalf("open impressions = %d, want 100 (unbounded)", got)
+	}
+	if got := a.PressureEvicted(); got != 0 {
+		t.Fatalf("pressure evicted = %d, want 0", got)
+	}
+}
+
+// TestMaxOpenSpareActive: the impression that just went over the cap is
+// never its own victim.
+func TestMaxOpenSpareActive(t *testing.T) {
+	clock := time.Unix(0, 0)
+	a := New(Options{Shards: 1, MaxOpen: 1, Now: func() time.Time { return clock }})
+	a.Observe(beacon.Event{ImpressionID: "old", CampaignID: "c1",
+		Type: beacon.EventServed, At: clock})
+	clock = clock.Add(time.Second)
+	a.Observe(beacon.Event{ImpressionID: "new", CampaignID: "c1",
+		Type: beacon.EventServed, At: clock})
+	if got := a.OpenImpressions(); got != 1 {
+		t.Fatalf("open impressions = %d, want 1", got)
+	}
+	// A follow-up on "new" must not re-create it (it survived).
+	before := a.Updates()
+	clock = clock.Add(time.Second)
+	a.Observe(beacon.Event{ImpressionID: "new", CampaignID: "c1",
+		Source: beacon.SourceQTag, Type: beacon.EventLoaded, At: clock})
+	if a.Updates() != before+1 {
+		t.Fatal("follow-up event not folded")
+	}
+	if imps := campaignImpressions(a, "c1"); imps != 2 { // "old" frozen + "new" live, no re-count
+		t.Fatalf("campaign impressions = %d, want 2", imps)
+	}
+}

@@ -13,8 +13,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qtag/internal/admission"
 	"qtag/internal/obs"
 )
+
+// errDoomed marks a submission abandoned because the batch's propagated
+// deadline was already spent before an attempt could be sent. It is
+// wrapped in PermanentError: the client that cared about this work has
+// given up, so retrying is pure waste.
+var errDoomed = errors.New("beacon: deadline budget spent before send")
 
 // PermanentError marks a delivery failure that retrying cannot heal —
 // the server received and understood the request and refused it (a 4xx
@@ -100,6 +107,11 @@ type HTTPSink struct {
 	// continues the same trace. Even without Spans, a traced batch still
 	// propagates its own context on the wire.
 	Spans *obs.Tracer
+	// Class, when set, stamps the admission class header (X-Qtag-Class)
+	// on every request so the receiving server can prioritize under
+	// overload. The hinted-handoff drainer marks its replay sinks
+	// "drain"; empty means the server classifies by path (live).
+	Class string
 
 	retried   atomic.Int64
 	delivered atomic.Int64
@@ -181,6 +193,10 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 		}
 	}
 	defer sp.End()
+	// The tightest per-event deadline bounds the whole retry loop: once
+	// it passes, whoever submitted these events has stopped waiting, so
+	// further attempts (and the receiver's fsyncs) would be pure waste.
+	deadline := batchDeadline(events)
 	var lastErr error
 	for attempt := 0; attempt <= h.Retries; attempt++ {
 		if attempt > 0 {
@@ -200,8 +216,14 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 			sp.SetError("aborted: " + err.Error())
 			return fmt.Errorf("beacon: submit aborted: %w (last error: %v)", err, lastErr)
 		}
+		if !deadline.IsZero() && !deadline.After(time.Now()) {
+			h.failed.Add(1)
+			h.trace(events, obs.StageDropped)
+			sp.SetError(errDoomed.Error())
+			return &PermanentError{Err: fmt.Errorf("%w (last error: %v)", errDoomed, lastErr)}
+		}
 		start := time.Now()
-		status, respBody, retryAfter, err := h.post(ctx, client, url, body, traceparent)
+		status, respBody, retryAfter, err := h.post(ctx, client, url, body, traceparent, deadline)
 		h.latency.get().ObserveDuration(time.Since(start))
 		if err != nil {
 			lastErr = err
@@ -231,6 +253,21 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 	return fmt.Errorf("beacon: submit failed after %d attempts: %w", h.Retries+1, lastErr)
 }
 
+// batchDeadline returns the earliest non-zero per-event deadline — the
+// remaining-budget bound the whole batch must honor (zero: none set).
+func batchDeadline(events []Event) time.Time {
+	var d time.Time
+	for _, e := range events {
+		if e.Deadline.IsZero() {
+			continue
+		}
+		if d.IsZero() || e.Deadline.Before(d) {
+			d = e.Deadline
+		}
+	}
+	return d
+}
+
 // firstTrace returns the first non-empty per-event trace context in the
 // batch. Batches are grouped per originating request upstream, so the
 // first traced event speaks for the batch.
@@ -255,15 +292,26 @@ func (h *HTTPSink) trace(events []Event, stage obs.Stage) {
 }
 
 // post performs one attempt under the per-request timeout, derived from
-// the submission's base context so shutdown aborts the attempt too.
-func (h *HTTPSink) post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string) (status int, respBody []byte, retryAfter time.Duration, err error) {
+// the submission's base context so shutdown aborts the attempt too. The
+// attempt advertises its remaining budget (X-Qtag-Budget-Ms): the
+// per-attempt timeout, further clipped by the batch's propagated
+// deadline when one is set — so the server can refuse doomed work
+// before spending WAL bandwidth on it, and cluster forwards naturally
+// hand peers the decremented remainder.
+func (h *HTTPSink) post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string, deadline time.Time) (status int, respBody []byte, retryAfter time.Duration, err error) {
 	timeout := h.Timeout
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
-	if timeout > 0 {
+	budget := timeout
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); budget <= 0 || rem < budget {
+			budget = rem
+		}
+	}
+	if budget > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
@@ -271,6 +319,12 @@ func (h *HTTPSink) post(ctx context.Context, client *http.Client, url string, bo
 		return 0, nil, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if budget > 0 {
+		req.Header.Set(admission.BudgetHeader, admission.FormatBudget(budget))
+	}
+	if h.Class != "" {
+		req.Header.Set(admission.ClassHeader, h.Class)
+	}
 	if traceparent != "" {
 		req.Header.Set(obs.TraceParentHeader, traceparent)
 	}

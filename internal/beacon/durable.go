@@ -256,6 +256,13 @@ func (j *WALJournal) Flush() error { return j.w.Sync() }
 // Sync forces everything appended so far to stable storage.
 func (j *WALJournal) Sync() error { return j.w.Sync() }
 
+// SetFsyncPolicy switches the underlying WAL's durability policy at
+// runtime (disk-watermark degradation: always → batch under low space).
+func (j *WALJournal) SetFsyncPolicy(p wal.FsyncPolicy) { j.w.SetFsyncPolicy(p) }
+
+// FsyncPolicy reports the WAL's currently active durability policy.
+func (j *WALJournal) FsyncPolicy() wal.FsyncPolicy { return j.w.FsyncPolicyNow() }
+
 // DiskFull reports whether the most recent append or sync hit an
 // out-of-space error.
 func (j *WALJournal) DiskFull() bool { return j.w.DiskFull() }

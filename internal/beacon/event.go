@@ -86,6 +86,15 @@ type Event struct {
 	// records, drain replay. It is not part of the idempotency Key and
 	// never affects dedup or aggregation.
 	Trace string `json:"trace,omitempty"`
+	// Deadline is the absolute instant after which the submitting
+	// client no longer cares about this event's outcome, derived from
+	// the X-Qtag-Budget-Ms request header. Ephemeral by design
+	// (json:"-"): it never reaches the WAL, snapshots, or hint records —
+	// replayed and drained work is background work with no waiting
+	// client, so it carries no deadline. HTTPSink decrements the
+	// remaining budget when forwarding to peers; a zero Deadline means
+	// "no deadline".
+	Deadline time.Time `json:"-"`
 }
 
 // Validation errors.

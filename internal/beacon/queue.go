@@ -89,6 +89,14 @@ type QueueSink struct {
 	failed   atomic.Int64
 	retried  atomic.Int64
 
+	// dropped, split by reason for the labeled metric series:
+	// droppedOverflow counts ErrQueueFull rejects, droppedShutdown
+	// counts closed-queue submits plus buffers abandoned at Close
+	// deadline. Permanent downstream rejections are tracked by failed.
+	// droppedOverflow + droppedShutdown == dropped, always.
+	droppedOverflow atomic.Int64
+	droppedShutdown atomic.Int64
+
 	// Flush instrumentation: batch size and downstream delivery latency
 	// per flush attempt. Always collected (the cost is one atomic add per
 	// flush); export them by registering the queue on an obs.Registry.
@@ -125,11 +133,13 @@ func (q *QueueSink) Submit(e Event) error {
 	if q.closed {
 		q.mu.Unlock()
 		q.dropped.Add(1)
+		q.droppedShutdown.Add(1)
 		return ErrQueueClosed
 	}
 	if len(q.buf) >= q.opts.Capacity {
 		q.mu.Unlock()
 		q.dropped.Add(1)
+		q.droppedOverflow.Add(1)
 		return ErrQueueFull
 	}
 	q.buf = append(q.buf, e)
@@ -163,6 +173,7 @@ func (q *QueueSink) Close(ctx context.Context) error {
 		q.buf = nil
 		q.mu.Unlock()
 		q.dropped.Add(int64(abandoned))
+		q.droppedShutdown.Add(int64(abandoned))
 		return fmt.Errorf("beacon: queue closed with %d undelivered events: %w", abandoned, ctx.Err())
 	}
 }
@@ -339,6 +350,16 @@ func (q *QueueSink) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(q.Depth()) })
 	r.CounterFunc("qtag_queue_enqueued_total", "Events accepted into the queue buffer.", q.enqueued.Load)
 	r.CounterFunc("qtag_queue_dropped_total", "Events lost to overflow, closed-queue submits, or an abandoned drain.", q.dropped.Load)
+	// The same losses, split by reason. The unlabeled total above is kept
+	// for dashboard compatibility; permanent-error mirrors
+	// qtag_queue_failed_total under the shared dropped-by-reason name so
+	// one query surfaces every way an event leaves the queue undelivered.
+	r.CounterFunc("qtag_queue_dropped_total", "Events dropped because the buffer was at capacity.",
+		q.droppedOverflow.Load, obs.Label{Name: "reason", Value: "overflow"})
+	r.CounterFunc("qtag_queue_dropped_total", "Events dropped at shutdown: closed-queue submits and abandoned drains.",
+		q.droppedShutdown.Load, obs.Label{Name: "reason", Value: "shutdown"})
+	r.CounterFunc("qtag_queue_dropped_total", "Events the downstream permanently rejected.",
+		q.failed.Load, obs.Label{Name: "reason", Value: "permanent-error"})
 	r.CounterFunc("qtag_queue_flushed_total", "Events delivered downstream.", q.flushed.Load)
 	r.CounterFunc("qtag_queue_failed_total", "Events the downstream permanently rejected.", q.failed.Load)
 	r.CounterFunc("qtag_queue_retries_total", "Flush attempts that failed retryably and were re-queued.", q.retried.Load)

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qtag/internal/admission"
 	"qtag/internal/obs"
 )
 
@@ -33,6 +34,7 @@ type Server struct {
 	accepted  atomic.Int64
 	rejected  atomic.Int64
 	oversized atomic.Int64
+	doomed    atomic.Int64 // requests refused because their budget was already spent
 	maxBody   atomic.Int64 // request-body cap for POST /v1/events
 
 	// reg is the server's metrics registry, exported at GET /metrics in
@@ -78,6 +80,7 @@ func NewServerWithSink(store *Store, sink Sink) *Server {
 	s.reg.CounterFunc("qtag_ingest_accepted_total", "Events accepted by the collection endpoints.", s.accepted.Load)
 	s.reg.CounterFunc("qtag_ingest_rejected_total", "Events refused by validation.", s.rejected.Load)
 	s.reg.CounterFunc("qtag_ingest_oversized_total", "Requests refused because the body exceeded the size limit.", s.oversized.Load)
+	s.reg.CounterFunc("qtag_ingest_doomed_total", "Requests refused before any WAL work because their deadline budget was already spent.", s.doomed.Load)
 	s.reg.GaugeFunc("qtag_store_events", "Distinct events held by the in-memory store.",
 		func() float64 { return float64(store.Len()) })
 	s.reg.GaugeFunc("qtag_store_campaigns", "Distinct campaigns observed by the store.",
@@ -248,12 +251,36 @@ func (s *Server) SetMaxBodyBytes(n int64) {
 // body-size limit.
 func (s *Server) Oversized() int64 { return s.oversized.Load() }
 
+// Doomed returns the number of requests refused because their deadline
+// budget was already spent on arrival.
+func (s *Server) Doomed() int64 { return s.doomed.Load() }
+
 // handleEvents ingests one event or a JSON array. A batch is applied
 // atomically with respect to validation: every event is validated before
 // any is submitted, so a malformed or invalid entry rejects the whole
 // request (422) and the store is untouched — a retrying client never
 // has to reason about which half of its batch landed.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	// Deadline propagation: a client (or forwarding peer) may stamp its
+	// remaining per-request budget. A request whose budget is already
+	// spent is doomed — the caller has given up — so refuse it here,
+	// before any decode, store or WAL work is spent on it. The deadline
+	// is re-checked against the server clock only at arrival; in-flight
+	// queueing after this point is bounded by the handler itself.
+	budget, hasBudget, berr := admission.ParseBudget(r.Header)
+	if berr != nil {
+		httpError(w, http.StatusBadRequest, berr.Error())
+		return
+	}
+	var deadline time.Time
+	if hasBudget {
+		if budget <= 0 {
+			s.doomed.Add(1)
+			httpError(w, http.StatusRequestTimeout, "deadline budget already spent")
+			return
+		}
+		deadline = s.now().Add(budget)
+	}
 	limit := s.maxBody.Load()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
@@ -295,6 +322,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 					events[i].Trace = tp
 				}
 			}
+		}
+	}
+	if !deadline.IsZero() {
+		// Carry the remaining budget with each event so downstream hops
+		// (cluster forwards) can decrement it — and a last-instant doom
+		// check guards the expensive Submit path itself.
+		if !deadline.After(s.now()) {
+			s.doomed.Add(1)
+			httpError(w, http.StatusRequestTimeout, "deadline budget spent before durable apply")
+			return
+		}
+		for i := range events {
+			events[i].Deadline = deadline
 		}
 	}
 	resp := ingestResponse{}

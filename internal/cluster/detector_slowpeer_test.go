@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDetectorSlowPeerTimesOutByProbeDeadline covers the failure mode a
+// hard-down peer never shows: a peer whose /healthz accepts the
+// connection and then hangs. The probe must be cut by its own deadline
+// — Tick returns within roughly ProbeTimeout, not the wall-stall of the
+// hung handler — and the suspect→dead progression is driven by those
+// timed-out probes exactly like refused connections.
+func TestDetectorSlowPeerTimesOutByProbeDeadline(t *testing.T) {
+	var hang atomic.Bool
+	hang.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hang.Load() {
+			// Hold the request open until the prober gives up: the
+			// model of a wedged-but-listening peer.
+			<-r.Context().Done()
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	const probeTimeout = 80 * time.Millisecond
+	d := NewDetector(map[string]string{"slow": srv.URL}, DetectorConfig{
+		ProbeTimeout: probeTimeout,
+		SuspectAfter: 1,
+		DeadAfter:    2,
+	})
+
+	// Round 1: the hung probe must be bounded by the probe deadline.
+	start := time.Now()
+	d.Tick(context.Background())
+	if elapsed := time.Since(start); elapsed > 10*probeTimeout {
+		t.Fatalf("Tick stalled %v on a hung peer; want ~ProbeTimeout (%v)", elapsed, probeTimeout)
+	}
+	if got := d.State("slow"); got != PeerSuspect {
+		t.Fatalf("after 1 timed-out probe: state = %v, want suspect", got)
+	}
+
+	// Round 2: still hanging → dead, again without wall-stalling.
+	start = time.Now()
+	d.Tick(context.Background())
+	if elapsed := time.Since(start); elapsed > 10*probeTimeout {
+		t.Fatalf("Tick stalled %v on round 2", elapsed)
+	}
+	if got := d.State("slow"); got != PeerDead {
+		t.Fatalf("after 2 timed-out probes: state = %v, want dead", got)
+	}
+	if probes, failures := d.Probes(); probes != 2 || failures != 2 {
+		t.Fatalf("probes/failures = %d/%d, want 2/2 (timeouts count as failures)", probes, failures)
+	}
+
+	// The peer un-wedges: one healthy probe resets straight to alive.
+	hang.Store(false)
+	d.Tick(context.Background())
+	if got := d.State("slow"); got != PeerAlive {
+		t.Fatalf("after recovery probe: state = %v, want alive", got)
+	}
+}

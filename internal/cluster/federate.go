@@ -104,9 +104,9 @@ func (h *federatedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer fsp.End()
 
 	type peerResult struct {
-		id   string
-		rep  report.ViewabilityReport
-		err  error
+		id  string
+		rep report.ViewabilityReport
+		err error
 	}
 	results := make([]peerResult, 0, len(h.cfg.Peers))
 	var mu sync.Mutex

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"qtag/internal/admission"
 	"qtag/internal/aggregate"
 	"qtag/internal/beacon"
 	"qtag/internal/faults"
@@ -129,6 +130,28 @@ type HarnessConfig struct {
 	// TraceSample is the head sampling rate when SpanStore is set
 	// (default 1.0 — propagation tests want every trace).
 	TraceSample float64
+	// Admission gates every node's HTTP stack behind an adaptive
+	// admission controller — the same wiring qtag-server uses — so the
+	// overload sweeps exercise priority shedding and degraded-mode
+	// recovery on real sockets.
+	Admission bool
+	// AdmissionLimiter tunes each node's limiter when Admission is set;
+	// zero fields take the admission package defaults.
+	AdmissionLimiter admission.LimiterConfig
+	// AdmissionBacklog, when non-zero with Admission, is the
+	// journal-backlog hard backstop: fresh ingest sheds once a node's
+	// unsynced WAL backlog exceeds it, whatever the limiter thinks.
+	// Negative values trip it permanently (fault-injection tests).
+	AdmissionBacklog int64
+	// AdmissionRecoveryHold is how long a node must stay pressure-free
+	// before browned-out recovers (default per admission.Config).
+	AdmissionRecoveryHold time.Duration
+	// AdmissionRetryAfter is the Retry-After hint on shed responses
+	// (default per admission.Config). Forwarding origins honor it as
+	// their retry backoff, so a shedding peer's hint directly sets how
+	// long an admitted forward occupies its origin's admission slot —
+	// overload sweeps shrink it so forwards fail fast into handoff.
+	AdmissionRetryAfter time.Duration
 }
 
 func (c *HarnessConfig) defaults() error {
@@ -173,11 +196,12 @@ type HarnessNode struct {
 	ID  string
 	URL string
 
-	Store   *beacon.Store
-	Agg     *aggregate.Aggregator
-	Journal *beacon.WALJournal
-	Node    *Node
-	Server  *beacon.Server
+	Store     *beacon.Store
+	Agg       *aggregate.Aggregator
+	Journal   *beacon.WALJournal
+	Node      *Node
+	Server    *beacon.Server
+	Admission *admission.Controller // nil unless HarnessConfig.Admission
 
 	addr    string // stable across restarts
 	walDir  string
@@ -297,8 +321,37 @@ func (h *Harness) boot(hn *HarnessNode, ln net.Listener) error {
 	}))
 	node.RegisterMetrics(srv.Metrics())
 
+	handler := http.Handler(srv)
+	if h.cfg.Admission {
+		acfg := admission.Config{
+			Limiter:      h.cfg.AdmissionLimiter,
+			RecoveryHold: h.cfg.AdmissionRecoveryHold,
+			RetryAfter:   h.cfg.AdmissionRetryAfter,
+		}
+		if h.cfg.AdmissionBacklog != 0 {
+			limit := h.cfg.AdmissionBacklog
+			acfg.Backstop = func() bool { return int64(wj.Pending()) > limit }
+		}
+		ctrl := admission.NewController(acfg)
+		ctrl.RegisterMetrics(srv.Metrics())
+		// /readyz reflects both hint backlog and admission mode: a
+		// browned-out or read-only node tells the balancer to route away.
+		nodeReady := node.Readiness()
+		srv.SetReadiness(func() error {
+			if err := nodeReady(); err != nil {
+				return err
+			}
+			if !ctrl.Ready() {
+				return fmt.Errorf("admission: node is %s", ctrl.Mode())
+			}
+			return nil
+		})
+		handler = ctrl.Middleware(srv)
+		hn.Admission = ctrl
+	}
+
 	hn.Store, hn.Agg, hn.Journal, hn.Node, hn.Server = store, agg, wj, node, srv
-	hn.httpSrv = &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	hn.httpSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	hn.alive = true
 	node.Start()
 	go func() {
@@ -332,7 +385,7 @@ func (h *Harness) Kill(i int) error {
 	hn.httpSrv.Close()
 	hn.Node.Close()
 	err := hn.Journal.Close()
-	hn.Store, hn.Agg, hn.Journal, hn.Node, hn.Server = nil, nil, nil, nil, nil
+	hn.Store, hn.Agg, hn.Journal, hn.Node, hn.Server, hn.Admission = nil, nil, nil, nil, nil, nil
 	return err
 }
 

@@ -117,12 +117,17 @@ func (c *Config) defaults() error {
 }
 
 // peerLink is everything the node holds per peer: the retrying HTTP
-// forwarder, the breaker guarding it, and the drain-in-flight latch.
+// forwarder, the breaker guarding it, the drain-class replay forwarder,
+// and the drain-in-flight latch. drainSink is a separate sink so hint
+// replays arrive marked X-Qtag-Class: drain — the receiving node's
+// admission controller sheds them before fresh ingest when saturated,
+// which keeps a partition-heal drain storm from starving live traffic.
 type peerLink struct {
-	id       string
-	sink     *beacon.HTTPSink
-	breaker  *beacon.CircuitBreaker
-	draining atomic.Bool
+	id        string
+	sink      *beacon.HTTPSink
+	drainSink *beacon.HTTPSink
+	breaker   *beacon.CircuitBreaker
+	draining  atomic.Bool
 }
 
 // Node is one member of the cluster: a beacon.Sink that routes every
@@ -187,10 +192,21 @@ func NewNode(cfg Config) (*Node, error) {
 			BaseContext: cfg.BaseContext,
 			Spans:       cfg.Tracer,
 		}
+		drainSink := &beacon.HTTPSink{
+			BaseURL:     url,
+			Client:      &http.Client{Transport: cfg.Transport},
+			Retries:     cfg.ForwardRetries,
+			Timeout:     cfg.ForwardTimeout,
+			Jitter:      cfg.Jitter,
+			BaseContext: cfg.BaseContext,
+			Spans:       cfg.Tracer,
+			Class:       "drain",
+		}
 		n.links[id] = &peerLink{
-			id:      id,
-			sink:    sink,
-			breaker: beacon.NewCircuitBreaker(sink, cfg.BreakerThreshold, cfg.BreakerCooldown),
+			id:        id,
+			sink:      sink,
+			drainSink: drainSink,
+			breaker:   beacon.NewCircuitBreaker(sink, cfg.BreakerThreshold, cfg.BreakerCooldown),
 		}
 	}
 	n.detector = NewDetector(cfg.Peers, DetectorConfig{
@@ -381,7 +397,7 @@ func (n *Node) drainForward(link *peerLink) func([]beacon.Event) error {
 				spans = append(spans, sp)
 			}
 		}
-		err := link.sink.SubmitBatch(events)
+		err := link.drainSink.SubmitBatch(events)
 		for _, sp := range spans {
 			if err != nil {
 				sp.SetError(err.Error())

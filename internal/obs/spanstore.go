@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -156,11 +158,33 @@ func TracesHandler(store *SpanStore) http.Handler {
 			})
 			return
 		}
-		minMs, _ := strconv.ParseFloat(q.Get("min_ms"), 64)
+		// Malformed filters are a caller bug and answer 400 — a silent
+		// fallback to the defaults would make a typo'd query look like
+		// "no slow traces exist".
+		var minMs float64
+		if raw := q.Get("min_ms"); raw != "" {
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				w.WriteHeader(http.StatusBadRequest)
+				_ = json.NewEncoder(w).Encode(map[string]string{
+					"error": fmt.Sprintf("bad min_ms %q: want a non-negative number of milliseconds", raw),
+				})
+				return
+			}
+			minMs = v
+		}
 		onlyErr := q.Get("error") == "1" || q.Get("error") == "true"
 		campaign := q.Get("campaign")
 		limit := 50
-		if v, err := strconv.Atoi(q.Get("limit")); err == nil && v > 0 {
+		if raw := q.Get("limit"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v <= 0 {
+				w.WriteHeader(http.StatusBadRequest)
+				_ = json.NewEncoder(w).Encode(map[string]string{
+					"error": fmt.Sprintf("bad limit %q: want a positive integer", raw),
+				})
+				return
+			}
 			limit = v
 		}
 

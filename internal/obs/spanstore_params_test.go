@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestTracesHandlerRejectsMalformedParams: non-numeric (or out-of-range)
+// min_ms/limit answer 400 with a JSON error body instead of silently
+// falling back to defaults.
+func TestTracesHandlerRejectsMalformedParams(t *testing.T) {
+	h := TracesHandler(NewSpanStore(8))
+	bad := []string{
+		"/debug/traces?min_ms=abc",
+		"/debug/traces?min_ms=", // empty value after '=' is still absent
+		"/debug/traces?min_ms=-3",
+		"/debug/traces?min_ms=NaN",
+		"/debug/traces?min_ms=Inf",
+		"/debug/traces?limit=abc",
+		"/debug/traces?limit=0",
+		"/debug/traces?limit=-5",
+		"/debug/traces?limit=1.5",
+		"/debug/traces?min_ms=abc&limit=10",
+	}
+	for _, url := range bad {
+		if url == "/debug/traces?min_ms=" {
+			continue // covered in the good list below
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", url, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Fatalf("%s: content-type = %q, want JSON", url, ct)
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+			t.Fatalf("%s: body %q is not a JSON error envelope", url, rec.Body.String())
+		}
+	}
+
+	good := []string{
+		"/debug/traces",
+		"/debug/traces?min_ms=",
+		"/debug/traces?limit=",
+		"/debug/traces?min_ms=0",
+		"/debug/traces?min_ms=2.5&limit=10",
+	}
+	for _, url := range good {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d, want 200", url, rec.Code)
+		}
+	}
+}

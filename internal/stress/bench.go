@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"qtag/internal/admission"
 	"qtag/internal/wal"
 )
 
@@ -38,6 +39,13 @@ type BenchEntry struct {
 	GroupCommit bool    `json:"group_commit"`
 	Forwarding  bool    `json:"forwarding,omitempty"`
 	TraceSample float64 `json:"trace_sample,omitempty"`
+	// Overload marks the admission rung: 10× the ladder's standard
+	// concurrency against an admission-controlled server whose limit
+	// ceiling is pinned at the standard concurrency. Eps is then
+	// goodput (accepted work), and ShedRate the fraction of requests
+	// answered 503.
+	Overload    bool    `json:"overload,omitempty"`
+	ShedRate    float64 `json:"shed_rate,omitempty"`
 	Eps         float64 `json:"throughput_eps"`
 	P50Ms       float64 `json:"p50_ms"`
 	P99Ms       float64 `json:"p99_ms"`
@@ -77,9 +85,11 @@ type BenchLadderReport struct {
 // a two-node cluster in front (about half the events forward to a peer
 // before acking) to price the peer-routing overhead. The tracing rows
 // repeat the 16-shard configuration with distributed tracing at 1% and
-// 100% head sampling to price the observability tax. Every row uses a
-// fresh WAL directory and a fresh in-process server; numbers are
-// measured, never modeled.
+// 100% head sampling to price the observability tax, and the overload
+// row drives the admission-controlled stack at 10× concurrency to price
+// goodput and shed rate past the knee. Every row uses a fresh WAL
+// directory and a fresh in-process server; numbers are measured, never
+// modeled.
 func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 	var rep BenchLadderReport
 	o := LoadOptions{Workers: opts.Workers, Events: opts.Events, BatchSize: opts.BatchSize, Seed: 2019}.withDefaults()
@@ -111,20 +121,27 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 		gc         bool
 		forwarding bool
 		trace      float64
+		overload   bool
 	}{
-		{1, false, false, 0}, // the seed: single lock, one fsync per record
-		{4, true, false, 0},
-		{16, true, false, 0},
+		{1, false, false, 0, false}, // the seed: single lock, one fsync per record
+		{4, true, false, 0, false},
+		{16, true, false, 0, false},
 		// The cluster tax: same stack, but the loaded node owns only
 		// ~half the ring — the rest forwards over HTTP to a second
 		// full-durability node before acking.
-		{16, true, true, 0},
+		{16, true, true, 0, false},
 		// The tracing tax: the scaled ingest rung with distributed
 		// tracing enabled at production (1%) and worst-case (100%)
 		// head sampling — every request roots a span either way; the
 		// rate decides how many are recorded into the ring.
-		{16, true, false, 0.01},
-		{16, true, false, 1.0},
+		{16, true, false, 0.01, false},
+		{16, true, false, 1.0, false},
+		// The overload rung (informational): the scaled configuration
+		// fronted by the admission controller, driven at 10× the ladder's
+		// standard concurrency with the concurrency ceiling pinned at the
+		// standard worker count. Prices goodput, shed rate and p99 under a
+		// sustained ramp instead of pretending overload cannot happen.
+		{16, true, false, 0, true},
 	}
 	for i, c := range cases {
 		var best LoadReport
@@ -138,6 +155,16 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 				GroupCommitMaxWait:  opts.GroupCommitMaxWait,
 				SyncDurability:      true,
 				TraceSample:         c.trace,
+			}
+			if c.overload {
+				base.Admission = true
+				// Pin the ceiling at the standard worker count so the 10×
+				// ramp below is guaranteed past the knee.
+				base.AdmissionLimiter = admission.LimiterConfig{
+					MinLimit:     o.Workers / 2,
+					MaxLimit:     o.Workers,
+					InitialLimit: o.Workers,
+				}
 			}
 			var peer *IngestServer
 			if c.forwarding {
@@ -159,9 +186,14 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 				}
 				return rep, err
 			}
-			lr, err := RunLoad(srv.URL, LoadOptions{
+			lo := LoadOptions{
 				Workers: o.Workers, Events: o.Events, BatchSize: o.BatchSize, Seed: 2019,
-			})
+			}
+			if c.overload {
+				lo.Workers = o.Workers * 10
+				lo.TolerateShed = true
+			}
+			lr, err := RunLoad(srv.URL, lo)
 			cerr := srv.Close()
 			if peer != nil {
 				if perr := peer.Close(); cerr == nil {
@@ -174,19 +206,36 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 			if cerr != nil {
 				return rep, fmt.Errorf("shards=%d close: %w", c.shards, cerr)
 			}
-			if lr.Errors > 0 || lr.Accepted != int64(o.Events) {
+			// The overload rung sheds by design, so accepted < Events is
+			// its expected outcome — but it must still accept something
+			// and stay error-free.
+			if lr.Errors > 0 {
+				return rep, fmt.Errorf("shards=%d: dirty run: %s", c.shards, lr)
+			}
+			if c.overload {
+				if lr.Accepted == 0 {
+					return rep, fmt.Errorf("overload rung accepted nothing: %s", lr)
+				}
+			} else if lr.Accepted != int64(o.Events) {
 				return rep, fmt.Errorf("shards=%d: dirty run: %s", c.shards, lr)
 			}
 			if lr.Eps > best.Eps {
 				best = lr
 			}
 		}
-		fmt.Fprintf(out, "shards=%-2d group-commit=%-5v forwarding=%-5v trace=%-4v  %s\n", c.shards, c.gc, c.forwarding, c.trace, best)
+		fmt.Fprintf(out, "shards=%-2d group-commit=%-5v forwarding=%-5v trace=%-4v overload=%-5v  %s\n",
+			c.shards, c.gc, c.forwarding, c.trace, c.overload, best)
+		entryShedRate := 0.0
+		if best.Requests > 0 {
+			entryShedRate = float64(best.Shed) / float64(best.Requests)
+		}
 		rep.Entries = append(rep.Entries, BenchEntry{
 			Shards:      c.shards,
 			GroupCommit: c.gc,
 			Forwarding:  c.forwarding,
 			TraceSample: c.trace,
+			Overload:    c.overload,
+			ShedRate:    entryShedRate,
 			Eps:         best.Eps,
 			P50Ms:       float64(best.P50) / float64(time.Millisecond),
 			P99Ms:       float64(best.P99) / float64(time.Millisecond),
@@ -201,7 +250,7 @@ func RunBenchLadder(opts BenchOptions) (BenchLadderReport, error) {
 	// Price tracing against the identical untraced rung.
 	var untraced, traced1, traced100 float64
 	for _, e := range rep.Entries {
-		if e.Shards == 16 && e.GroupCommit && !e.Forwarding {
+		if e.Shards == 16 && e.GroupCommit && !e.Forwarding && !e.Overload {
 			switch e.TraceSample {
 			case 0:
 				untraced = e.Eps

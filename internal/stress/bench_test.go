@@ -9,7 +9,7 @@ import (
 	"time"
 )
 
-// TestRunBenchLadderSmall runs the full six-row ladder with a tiny
+// TestRunBenchLadderSmall runs the full seven-row ladder with a tiny
 // event count — this is a correctness test of the harness (fresh WAL
 // dir per row, clean runs, report shape, JSON output), not a
 // performance assertion, so MinSpeedup16 stays 0.
@@ -26,19 +26,28 @@ func TestRunBenchLadderSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 6 {
-		t.Fatalf("ladder produced %d rows, want 6", len(rep.Entries))
+	if len(rep.Entries) != 7 {
+		t.Fatalf("ladder produced %d rows, want 7", len(rep.Entries))
 	}
-	wantShards := []int{1, 4, 16, 16, 16, 16}
-	wantGC := []bool{false, true, true, true, true, true}
-	wantFwd := []bool{false, false, false, true, false, false}
-	wantTrace := []float64{0, 0, 0, 0, 0.01, 1.0}
+	wantShards := []int{1, 4, 16, 16, 16, 16, 16}
+	wantGC := []bool{false, true, true, true, true, true, true}
+	wantFwd := []bool{false, false, false, true, false, false, false}
+	wantTrace := []float64{0, 0, 0, 0, 0.01, 1.0, 0}
+	wantOverload := []bool{false, false, false, false, false, false, true}
 	for i, e := range rep.Entries {
-		if e.Shards != wantShards[i] || e.GroupCommit != wantGC[i] || e.Forwarding != wantFwd[i] || e.TraceSample != wantTrace[i] {
-			t.Fatalf("row %d = shards=%d gc=%v fwd=%v trace=%v, want shards=%d gc=%v fwd=%v trace=%v",
-				i, e.Shards, e.GroupCommit, e.Forwarding, e.TraceSample, wantShards[i], wantGC[i], wantFwd[i], wantTrace[i])
+		if e.Shards != wantShards[i] || e.GroupCommit != wantGC[i] || e.Forwarding != wantFwd[i] ||
+			e.TraceSample != wantTrace[i] || e.Overload != wantOverload[i] {
+			t.Fatalf("row %d = shards=%d gc=%v fwd=%v trace=%v overload=%v, want shards=%d gc=%v fwd=%v trace=%v overload=%v",
+				i, e.Shards, e.GroupCommit, e.Forwarding, e.TraceSample, e.Overload,
+				wantShards[i], wantGC[i], wantFwd[i], wantTrace[i], wantOverload[i])
 		}
-		if e.Accepted != 120 {
+		if e.Overload {
+			// The overload rung sheds by design: it must accept some
+			// events but may not accept them all.
+			if e.Accepted <= 0 || e.Accepted > 120 {
+				t.Fatalf("overload row accepted %d events, want 1..120", e.Accepted)
+			}
+		} else if e.Accepted != 120 {
 			t.Fatalf("row %d accepted %d events, want 120", i, e.Accepted)
 		}
 		if e.Eps <= 0 || e.DurationSec <= 0 {
@@ -70,7 +79,8 @@ func TestRunBenchLadderSmall(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Entries) != 6 || back.Entries[2].Shards != 16 || !back.Entries[3].Forwarding || back.Entries[5].TraceSample != 1.0 {
+	if len(back.Entries) != 7 || back.Entries[2].Shards != 16 || !back.Entries[3].Forwarding ||
+		back.Entries[5].TraceSample != 1.0 || !back.Entries[6].Overload {
 		t.Fatalf("report did not round-trip: %+v", back)
 	}
 }
@@ -91,7 +101,7 @@ func TestRunBenchLadderSpeedupFloor(t *testing.T) {
 	if !strings.Contains(err.Error(), "below the") {
 		t.Fatalf("unexpected gate error: %v", err)
 	}
-	if len(rep.Entries) != 6 {
+	if len(rep.Entries) != 7 {
 		t.Fatalf("gate failure must still return the full ladder, got %d rows", len(rep.Entries))
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qtag/internal/admission"
 	"qtag/internal/aggregate"
 	"qtag/internal/beacon"
 	"qtag/internal/cluster"
@@ -45,6 +46,11 @@ type LoadOptions struct {
 	InViewRate float64
 	// Seed makes the generated traffic deterministic per worker.
 	Seed uint64
+	// TolerateShed counts 503/429 answers as shed load instead of
+	// errors — the expected outcome when driving an admission-controlled
+	// server past its limit. Shed requests are not retried; their events
+	// simply never count as accepted.
+	TolerateShed bool
 	// Client overrides the HTTP client (default: pooled transport sized
 	// to Workers).
 	Client *http.Client
@@ -76,6 +82,7 @@ type LoadReport struct {
 	Requests   int64         `json:"requests"`
 	Accepted   int64         `json:"accepted"`
 	Rejected   int64         `json:"rejected"`
+	Shed       int64         `json:"shed,omitempty"` // 503/429 answers under TolerateShed
 	Errors     int64         `json:"errors"`
 	Duration   time.Duration `json:"duration_ns"`
 	Eps        float64       `json:"throughput_eps"` // accepted events per second
@@ -87,11 +94,11 @@ type LoadReport struct {
 
 // String implements fmt.Stringer.
 func (r LoadReport) String() string {
-	return fmt.Sprintf("load: %d events / %d reqs over %d workers in %v — %.0f ev/s, p50=%v p90=%v p99=%v max=%v (accepted=%d rejected=%d errors=%d)",
+	return fmt.Sprintf("load: %d events / %d reqs over %d workers in %v — %.0f ev/s, p50=%v p90=%v p99=%v max=%v (accepted=%d rejected=%d shed=%d errors=%d)",
 		r.Events, r.Requests, r.Workers, r.Duration.Round(time.Millisecond), r.Eps,
 		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.MaxLatency.Round(time.Microsecond),
-		r.Accepted, r.Rejected, r.Errors)
+		r.Accepted, r.Rejected, r.Shed, r.Errors)
 }
 
 // genEvents produces one worker's deterministic mixed traffic: for each
@@ -152,7 +159,7 @@ func RunLoad(baseURL string, opts LoadOptions) (LoadReport, error) {
 	}
 	url := baseURL + "/v1/events"
 
-	var requests, accepted, rejected, httpErrs atomic.Int64
+	var requests, accepted, rejected, shed, httpErrs atomic.Int64
 	latencies := make([][]time.Duration, opts.Workers)
 	var wg sync.WaitGroup
 	var firstErr atomic.Value
@@ -201,6 +208,12 @@ func RunLoad(baseURL string, opts LoadOptions) (LoadReport, error) {
 					firstErr.CompareAndSwap(nil, err)
 					continue
 				}
+				if opts.TolerateShed && (resp.StatusCode == http.StatusServiceUnavailable ||
+					resp.StatusCode == http.StatusTooManyRequests) {
+					resp.Body.Close()
+					shed.Add(1)
+					continue
+				}
 				var ir struct {
 					Accepted int `json:"accepted"`
 					Rejected int `json:"rejected"`
@@ -232,6 +245,7 @@ func RunLoad(baseURL string, opts LoadOptions) (LoadReport, error) {
 		Requests: requests.Load(),
 		Accepted: accepted.Load(),
 		Rejected: rejected.Load(),
+		Shed:     shed.Load(),
 		Errors:   httpErrs.Load(),
 		Duration: elapsed,
 	}
@@ -302,6 +316,13 @@ type IngestServerConfig struct {
 	// TraceBuffer is the span ring capacity (obs.DefaultSpanBuffer when
 	// zero).
 	TraceBuffer int
+	// Admission fronts the server with the adaptive admission controller
+	// (the qtag-server production wiring); drive it with
+	// LoadOptions.TolerateShed to measure goodput under overload.
+	Admission bool
+	// AdmissionLimiter tunes the controller when Admission is set; zero
+	// fields take the admission package defaults.
+	AdmissionLimiter admission.LimiterConfig
 }
 
 // IngestServer is a live in-process collection server.
@@ -311,7 +332,8 @@ type IngestServer struct {
 	Journal   *beacon.WALJournal
 	Server    *beacon.Server
 	Aggregate *aggregate.Aggregator
-	Spans     *obs.SpanStore // non-nil when TraceSample > 0
+	Spans     *obs.SpanStore        // non-nil when TraceSample > 0
+	Admission *admission.Controller // non-nil when cfg.Admission
 
 	httpSrv   *http.Server
 	queue     *beacon.QueueSink
@@ -418,8 +440,14 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 			}
 		}()
 	}
+	handler := http.Handler(is.Server)
+	if cfg.Admission {
+		is.Admission = admission.NewController(admission.Config{Limiter: cfg.AdmissionLimiter})
+		is.Admission.RegisterMetrics(is.Server.Metrics())
+		handler = is.Admission.Middleware(is.Server)
+	}
 	is.URL = "http://" + ln.Addr().String()
-	is.httpSrv = &http.Server{Handler: is.Server, ReadHeaderTimeout: 5 * time.Second}
+	is.httpSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if serr := is.httpSrv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
 			_ = serr // listener closed under us; Close reports what matters

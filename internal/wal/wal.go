@@ -436,6 +436,25 @@ func (w *WAL) syncLocked() error {
 	return nil
 }
 
+// SetFsyncPolicy switches the durability policy at runtime. The
+// admission layer's disk watermark uses this to degrade fsync=always to
+// fsync=batch when free space runs low (fewer barriers, less write
+// amplification) and to restore the original policy once space is
+// reclaimed. Safe under concurrent appends: append reads the policy
+// under the same mutex.
+func (w *WAL) SetFsyncPolicy(p FsyncPolicy) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.opts.Fsync = p
+}
+
+// FsyncPolicyNow reports the currently active durability policy.
+func (w *WAL) FsyncPolicyNow() FsyncPolicy {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.opts.Fsync
+}
+
 // Sync forces everything appended so far to stable storage.
 func (w *WAL) Sync() error {
 	w.mu.Lock()

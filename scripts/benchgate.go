@@ -4,12 +4,12 @@
 // keeps the PR 4 shard-scaling wins from eroding silently.
 //
 // Entries are matched by (shards, group_commit, forwarding,
-// trace_sample). Only throughput is gated, and only on the
-// sampling-off rungs: latency percentiles and traced-rung throughput
-// on shared CI runners are too noisy to gate on, but both are printed
-// for the log. A fresh entry missing from the baseline is
-// informational; a baseline entry missing from the fresh run is a
-// failure (the ladder shrank).
+// trace_sample, overload). Only throughput is gated, and only on the
+// sampling-off non-overload rungs: latency percentiles, traced-rung
+// throughput and overload-rung goodput on shared CI runners are too
+// noisy to gate on, but all are printed for the log. A fresh entry
+// missing from the baseline is informational; a baseline entry missing
+// from the fresh run is a failure (the ladder shrank).
 //
 // Usage:
 //
@@ -30,6 +30,8 @@ type entry struct {
 	GroupCommit bool    `json:"group_commit"`
 	Forwarding  bool    `json:"forwarding"`
 	TraceSample float64 `json:"trace_sample"`
+	Overload    bool    `json:"overload"`
+	ShedRate    float64 `json:"shed_rate"`
 	Eps         float64 `json:"throughput_eps"`
 	P50Ms       float64 `json:"p50_ms"`
 	P99Ms       float64 `json:"p99_ms"`
@@ -45,10 +47,12 @@ type rung struct {
 	GroupCommit bool
 	Forwarding  bool
 	TraceSample float64
+	Overload    bool
 }
 
 func (r rung) String() string {
-	return fmt.Sprintf("shards=%-3d group_commit=%-5v forwarding=%-5v trace=%-4v", r.Shards, r.GroupCommit, r.Forwarding, r.TraceSample)
+	return fmt.Sprintf("shards=%-3d group_commit=%-5v forwarding=%-5v trace=%-4v overload=%-5v",
+		r.Shards, r.GroupCommit, r.Forwarding, r.TraceSample, r.Overload)
 }
 
 func load(path string) (map[rung]entry, error) {
@@ -65,7 +69,7 @@ func load(path string) (map[rung]entry, error) {
 	}
 	out := make(map[rung]entry, len(f.Entries))
 	for _, e := range f.Entries {
-		out[rung{e.Shards, e.GroupCommit, e.Forwarding, e.TraceSample}] = e
+		out[rung{e.Shards, e.GroupCommit, e.Forwarding, e.TraceSample, e.Overload}] = e
 	}
 	return out, nil
 }
@@ -88,7 +92,10 @@ func gate(w io.Writer, baseline, fresh map[rung]entry, maxRegress float64) bool 
 		if rungs[i].Forwarding != rungs[j].Forwarding {
 			return !rungs[i].Forwarding
 		}
-		return rungs[i].TraceSample < rungs[j].TraceSample
+		if rungs[i].TraceSample != rungs[j].TraceSample {
+			return rungs[i].TraceSample < rungs[j].TraceSample
+		}
+		return !rungs[i].Overload
 	})
 	failed := false
 	for _, r := range rungs {
@@ -106,16 +113,21 @@ func gate(w io.Writer, baseline, fresh map[rung]entry, maxRegress float64) bool 
 		delta := (got.Eps - base.Eps) / base.Eps
 		status := "ok  "
 		switch {
-		case r.TraceSample > 0:
-			// Traced rungs exist to publish the tracing tax, not to gate
-			// it: recorded-span cost varies too much run to run.
+		case r.TraceSample > 0 || r.Overload:
+			// Traced and overload rungs exist to publish the tracing tax
+			// and the overload goodput/shed profile, not to gate them:
+			// recorded-span cost and shed timing vary too much run to run.
 			status = "info"
 		case delta < -maxRegress:
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Fprintf(w, "%s  %s eps %10.0f -> %10.0f (%+6.1f%%)  p99 %.2fms -> %.2fms\n",
+		line := fmt.Sprintf("%s  %s eps %10.0f -> %10.0f (%+6.1f%%)  p99 %.2fms -> %.2fms",
 			status, r, base.Eps, got.Eps, delta*100, base.P99Ms, got.P99Ms)
+		if r.Overload {
+			line += fmt.Sprintf("  shed %.0f%% -> %.0f%%", base.ShedRate*100, got.ShedRate*100)
+		}
+		fmt.Fprintln(w, line)
 	}
 	for r := range fresh {
 		if _, ok := baseline[r]; !ok {

@@ -26,7 +26,7 @@ func TestLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(m) != 2 || m[rung{4, true, false, 0}].Eps != 15000 {
+	if len(m) != 2 || m[rung{4, true, false, 0, false}].Eps != 15000 {
 		t.Fatalf("loaded %+v", m)
 	}
 	if _, err := load(writeBench(t, `{"entries":[]}`)); err == nil {
@@ -105,7 +105,7 @@ func TestGateForwardingRungIsDistinct(t *testing.T) {
 	if !gate(&out, baseline, fresh, 0.20) {
 		t.Fatalf("missing forwarding rung passed the gate:\n%s", out.String())
 	}
-	if !strings.Contains(out.String(), "forwarding=true  trace=0    missing from fresh run") {
+	if !strings.Contains(out.String(), "forwarding=true  trace=0    overload=false missing from fresh run") {
 		t.Fatalf("verdict does not name the forwarding rung:\n%s", out.String())
 	}
 }
@@ -145,6 +145,45 @@ func TestGateTracedRungsAreInformational(t *testing.T) {
 	out.Reset()
 	if !gate(&out, baseline, fresh2, 0.20) {
 		t.Fatalf("missing traced rung passed the gate:\n%s", out.String())
+	}
+}
+
+// Overload rungs are part of the rung identity (an overload run must
+// not satisfy a plain baseline rung) but their goodput is
+// informational: shed timing under a deliberate ramp is too noisy to
+// gate, and the rung exists to publish the profile.
+func TestGateOverloadRungIsInformational(t *testing.T) {
+	baseline, err := load(writeBench(t, `{"entries":[
+		{"shards":16,"group_commit":true,"throughput_eps":16000,"p99_ms":6},
+		{"shards":16,"group_commit":true,"overload":true,"shed_rate":0.5,"throughput_eps":9000,"p99_ms":20}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := load(writeBench(t, `{"entries":[
+		{"shards":16,"group_commit":true,"throughput_eps":16000,"p99_ms":6},
+		{"shards":16,"group_commit":true,"overload":true,"shed_rate":0.8,"throughput_eps":2000,"p99_ms":60}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if gate(&out, baseline, fresh, 0.20) {
+		t.Fatalf("regressed overload rung failed the gate; it must be informational:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "info") || !strings.Contains(out.String(), "shed 50% -> 80%") {
+		t.Fatalf("overload rung not reported as info with shed rates:\n%s", out.String())
+	}
+	// A missing overload baseline rung is still a shrunken ladder.
+	fresh2, err := load(writeBench(t, `{"entries":[
+		{"shards":16,"group_commit":true,"throughput_eps":16000,"p99_ms":6}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if !gate(&out, baseline, fresh2, 0.20) {
+		t.Fatalf("missing overload rung passed the gate:\n%s", out.String())
 	}
 }
 
