@@ -21,11 +21,22 @@
 // quantiles), proving the aggregates rebuild from the WAL alone.
 // -report-json emits the same report as JSON for piping.
 //
+// -detect additionally rebuilds the streaming fraud scores
+// (internal/detect) from the journal and appends them to the -report
+// output (and the "fraud" object of -report-json). The journal records
+// every accepted submission, duplicates included, so replay reproduces
+// the duplicate-flood scores a live server computed; a torn tail only
+// costs the unreadable records, never the scores for what was read.
+// One caveat: a WAL snapshot stores the deduplicated store state, so
+// duplicate counts for records the snapshot covers are compacted away
+// (DESIGN.md §15).
+//
 // Usage:
 //
 //	qtag-replay -journal beacons.jsonl                # print stats
 //	qtag-replay -journal beacons.wal                  # WAL directory
 //	qtag-replay -journal beacons.wal -report          # viewability report
+//	qtag-replay -journal beacons.wal -report -detect  # + fraud scores
 //	qtag-replay -journal beacons.jsonl -server URL    # re-submit over HTTP
 package main
 
@@ -39,6 +50,7 @@ import (
 	"qtag/internal/aggregate"
 	"qtag/internal/analytics"
 	"qtag/internal/beacon"
+	"qtag/internal/detect"
 	"qtag/internal/report"
 )
 
@@ -47,6 +59,7 @@ func main() {
 	serverURL := flag.String("server", "", "collection server to re-submit events to")
 	reportMode := flag.Bool("report", false, "print the streaming campaign viewability report rebuilt from the journal")
 	reportJSON := flag.Bool("report-json", false, "like -report, but emit JSON")
+	detectMode := flag.Bool("detect", false, "rebuild the streaming fraud scores too; printed with -report, embedded in -report-json")
 	flag.Parse()
 	if *journalPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: qtag-replay -journal <beacons.jsonl | wal-dir> [-server URL]")
@@ -63,7 +76,17 @@ func main() {
 	// fires once per first-seen event during replay, exactly as it does
 	// at ingest time, so -report proves the WAL alone reproduces them.
 	agg := aggregate.New(aggregate.Options{TTL: -1})
-	store.SetObserver(agg.Observe)
+	store.AddObserver(agg.Observe)
+	// The fraud layer hooks both seams: first-seen events and duplicate
+	// submissions. The journal holds every accepted submission, so the
+	// store's idempotent replay routes repeats to the duplicate hook and
+	// the flood scores come back exactly as the live server saw them.
+	var det *detect.Detector
+	if *detectMode {
+		det = detect.New(detect.Options{TTL: -1})
+		store.AddObserver(det.Observe)
+		store.AddDupObserver(det.ObserveDup)
+	}
 	var sink beacon.Sink = store
 	if *serverURL != "" {
 		sink = beacon.Tee(store, &beacon.HTTPSink{BaseURL: *serverURL, Retries: 2})
@@ -111,9 +134,14 @@ func main() {
 		}
 	}
 	if *reportJSON {
+		out := report.ViewabilityReport{Campaigns: agg.Snapshot()}
+		if det != nil {
+			fraud := det.Snapshot()
+			out.Fraud = &fraud
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report.ViewabilityReport{Campaigns: agg.Snapshot()}); err != nil {
+		if err := enc.Encode(out); err != nil {
 			log.Fatalf("encode report: %v", err)
 		}
 		return
@@ -125,6 +153,10 @@ func main() {
 	}
 	if *reportMode {
 		fmt.Print(report.Text(agg.Snapshot()))
+		if det != nil {
+			fmt.Println()
+			fmt.Print(det.Snapshot().Text())
+		}
 		return
 	}
 

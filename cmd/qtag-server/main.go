@@ -37,6 +37,8 @@
 //	            [-report-ttl 15m] [-report-sweep-every 1m]
 //	            [-report-window 1m] [-report-windows 60]
 //	            [-report-max-open 0]
+//	            [-detect] [-detect-ttl 15m] [-detect-max-open 0]
+//	            [-detect-flag-threshold 0.5]
 //	            [-node-id n0] [-peers n1=http://...,n2=http://...]
 //	            [-handoff-dir hints] [-probe-every 1s]
 //	            [-ready-hint-backlog 10000]
@@ -72,6 +74,22 @@
 // working state is evicted after -report-ttl idle time (sweep cadence
 // -report-sweep-every) so report memory stays bounded under unbounded
 // traffic; campaign totals are never evicted.
+//
+// Fraud detection (-detect) attaches the streaming anomaly layer of
+// internal/detect to the same store hooks that feed the aggregates:
+// per-campaign × source fraud scores (beacon-rate anomalies, impossible
+// dwell histograms, lifecycle sequencing violations, duplicate floods,
+// geometry anomalies) appear in the "fraud" object of GET /report and
+// as qtag_detect_* metrics. The detector sees duplicate submissions via
+// the store's duplicate hook and is rebuilt by WAL boot replay exactly
+// like the aggregates — the WAL journals every accepted submission,
+// duplicates included. (WAL snapshots hold the deduplicated store
+// state, so duplicate counts older than the newest snapshot are
+// compacted away on restart; see DESIGN.md §15.) Its per-impression
+// state shares the report
+// sweeper cadence; -detect-ttl and -detect-max-open bound its memory
+// the way -report-ttl / -report-max-open bound the aggregates. See
+// DESIGN.md §15 for the threat model.
 //
 // The in-memory store is sharded by impression-id hash (-ingest-shards,
 // rounded to a power of two) so concurrent ingestion contends per shard,
@@ -144,6 +162,7 @@ import (
 	"qtag/internal/analytics"
 	"qtag/internal/beacon"
 	"qtag/internal/cluster"
+	"qtag/internal/detect"
 	"qtag/internal/obs"
 	"qtag/internal/report"
 	"qtag/internal/version"
@@ -249,6 +268,10 @@ func main() {
 	reportSweep := flag.Duration("report-sweep-every", time.Minute, "aggregation eviction sweep cadence (0 disables)")
 	reportWindow := flag.Duration("report-window", time.Minute, "rollup window width on GET /report")
 	reportWindows := flag.Int("report-windows", 60, "rollup windows retained on GET /report")
+	detectOn := flag.Bool("detect", false, "streaming fraud detection: per-campaign anomaly scores on GET /report and qtag_detect_* metrics")
+	detectTTL := flag.Duration("detect-ttl", 15*time.Minute, "evict idle per-impression detection state after this long (<0 disables; needs -detect)")
+	detectMaxOpen := flag.Int("detect-max-open", 0, "cap open per-impression detection states; past it the coldest is evicted (0 = unbounded)")
+	detectFlagThreshold := flag.Float64("detect-flag-threshold", 0, "composite score at which a campaign is flagged fraudulent (0 = package default)")
 	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	nodeID := flag.String("node-id", "", "this node's cluster id (cluster mode; requires -peers)")
@@ -338,7 +361,21 @@ func main() {
 		MaxWindows: *reportWindows,
 		MaxOpen:    *reportMaxOpen,
 	})
-	store.SetObserver(agg.Observe)
+	store.AddObserver(agg.Observe)
+	// The fraud layer hooks both observer seams — first-seen events and
+	// duplicate submissions — and, like the aggregates, must attach
+	// before WAL replay so boot recovery rebuilds its scores.
+	var det *detect.Detector
+	if *detectOn {
+		det = detect.New(detect.Options{
+			Shards:        *ingestShards,
+			TTL:           *detectTTL,
+			MaxOpen:       *detectMaxOpen,
+			FlagThreshold: *detectFlagThreshold,
+		})
+		store.AddObserver(det.Observe)
+		store.AddDupObserver(det.ObserveDup)
+	}
 	var wj *beacon.WALJournal
 	if *walDir != "" {
 		policy, err := wal.ParseFsyncPolicy(*fsyncMode)
@@ -479,7 +516,9 @@ func main() {
 		node.RegisterMetrics(server.Metrics())
 		server.AddHealthMetric("hint_backlog", func() int64 { return node.Stats().HintBacklog })
 	} else {
-		server.Mount("GET /report", obs.TraceMiddleware(tracer, "report", report.Handler(agg, nil)))
+		// Fraud scores ride the plain single-node report; the federated
+		// merge above stays aggregate-only (scores are per-node state).
+		server.Mount("GET /report", obs.TraceMiddleware(tracer, "report", report.HandlerWithDetect(agg, det, nil)))
 	}
 	if tracer != nil {
 		server.SetTracer(tracer)
@@ -492,6 +531,11 @@ func main() {
 	}
 	obs.RegisterBuildInfo(server.Metrics(), version.Version, *nodeID)
 	agg.RegisterMetrics(server.Metrics())
+	if det != nil {
+		det.RegisterMetrics(server.Metrics())
+		logger.Info("fraud detection enabled",
+			"ttl", *detectTTL, "max_open", *detectMaxOpen)
+	}
 	queue.RegisterMetrics(server.Metrics())
 	breaker.RegisterMetrics(server.Metrics())
 	if journal != nil {
@@ -668,6 +712,12 @@ func main() {
 				if n := agg.Sweep(now); n > 0 {
 					logger.Debug("aggregate sweep",
 						"evicted", n, "open", agg.OpenImpressions())
+				}
+				if det != nil {
+					if n := det.Sweep(now); n > 0 {
+						logger.Debug("detect sweep",
+							"evicted", n, "open", det.OpenImpressions())
+					}
 				}
 			}
 		}()

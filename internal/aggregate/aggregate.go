@@ -5,7 +5,7 @@
 // in-view dwell-time histograms from paired in-view/out-of-view beacons.
 //
 // The aggregator is fed by the beacon store's first-seen-event observer
-// (Store.SetObserver), so it inherits the store's idempotency: duplicate
+// (Store.AddObserver), so it inherits the store's idempotency: duplicate
 // beacons, HTTP retries and overlapping WAL replays never reach it, and
 // rebuilding it from a WAL replay on boot reproduces exactly the state a
 // continuously-running process would hold. Every update is incremental —
@@ -159,7 +159,7 @@ type campShard struct {
 }
 
 // Aggregator is the streaming accumulator set. All methods are safe for
-// concurrent use. Feed it through beacon.Store.SetObserver so it only
+// concurrent use. Feed it through beacon.Store.AddObserver so it only
 // ever sees first-seen events.
 type Aggregator struct {
 	opts   Options

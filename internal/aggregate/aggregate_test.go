@@ -32,7 +32,7 @@ var t0 = time.Unix(1500000000, 0).UTC()
 // aggregator — the production wiring.
 func feed(a *Aggregator, events ...beacon.Event) {
 	store := beacon.NewStore()
-	store.SetObserver(a.Observe)
+	store.AddObserver(a.Observe)
 	for _, e := range events {
 		_ = store.Submit(e)
 	}
@@ -175,7 +175,7 @@ func TestTTLEvictionBoundsMemoryAndFreezesTotals(t *testing.T) {
 	clk := &fakeClock{t: t0}
 	a := newTestAgg(clk, 10*time.Minute)
 	store := beacon.NewStore()
-	store.SetObserver(a.Observe)
+	store.AddObserver(a.Observe)
 	for i := 0; i < 500; i++ {
 		imp := "imp-" + string(rune('a'+i%26)) + "-" + time.Duration(i).String()
 		store.Submit(ev(imp, "c", "", beacon.EventServed, 0, "", t0))

@@ -121,7 +121,7 @@ func TestStreamingBatchEquivalence(t *testing.T) {
 			opts := testOpts(shards)
 			a := New(opts)
 			store := beacon.NewStore()
-			store.SetObserver(a.Observe)
+			store.AddObserver(a.Observe)
 			for _, e := range stream {
 				if err := store.Submit(e); err != nil {
 					t.Fatalf("submit: %v", err)
@@ -142,7 +142,7 @@ func TestStreamingEquivalenceConcurrent(t *testing.T) {
 		opts := testOpts(shards)
 		a := New(opts)
 		store := beacon.NewStore()
-		store.SetObserver(a.Observe)
+		store.AddObserver(a.Observe)
 		const workers = 8
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -174,7 +174,7 @@ func TestStreamingEquivalenceDuplicateDelivery(t *testing.T) {
 	opts := testOpts(4)
 	a := New(opts)
 	store := beacon.NewStore()
-	store.SetObserver(a.Observe)
+	store.AddObserver(a.Observe)
 	for _, e := range stream {
 		store.Submit(e)
 	}
@@ -204,7 +204,7 @@ func TestStreamingEquivalenceCrashRecovery(t *testing.T) {
 
 	a1 := New(opts)
 	store1 := beacon.NewStore()
-	store1.SetObserver(a1.Observe)
+	store1.AddObserver(a1.Observe)
 	wj, _, err := beacon.OpenDurable(wal.Options{Dir: dir, Fsync: wal.FsyncAlways}, store1)
 	if err != nil {
 		t.Fatalf("open durable: %v", err)
@@ -230,7 +230,7 @@ func TestStreamingEquivalenceCrashRecovery(t *testing.T) {
 
 	a2 := New(opts)
 	store2 := beacon.NewStore()
-	store2.SetObserver(a2.Observe) // before replay, as in cmd/qtag-server
+	store2.AddObserver(a2.Observe) // before replay, as in cmd/qtag-server
 	wj2, rec, err := beacon.OpenDurable(wal.Options{Dir: dir, Fsync: wal.FsyncAlways}, store2)
 	if err != nil {
 		t.Fatalf("reopen durable: %v", err)
@@ -249,4 +249,48 @@ func TestStreamingEquivalenceCrashRecovery(t *testing.T) {
 		t.Fatalf("rebuilt aggregates != pre-crash aggregates\n got: %+v\nwant: %+v", got, preCrash)
 	}
 	assertEquivalent(t, "crash-recovery", a2, store2, opts)
+}
+
+// TestStreamingEquivalenceSecondObserver: attaching another observer
+// alongside the aggregator (as qtag-server does with internal/detect)
+// must not perturb the aggregates — the fan-out delivers the identical
+// first-seen stream to both, and the second hook sees every distinct
+// event exactly once.
+func TestStreamingEquivalenceSecondObserver(t *testing.T) {
+	stream := aggStream(0xcafe, 1100)
+	opts := testOpts(8)
+	a := New(opts)
+	store := beacon.NewStore()
+	store.AddObserver(a.Observe)
+	var mu sync.Mutex
+	counts := map[string]int{}
+	store.AddObserver(func(e beacon.Event) {
+		mu.Lock()
+		counts[e.Key()]++
+		mu.Unlock()
+	})
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(stream); i += workers {
+				store.Submit(stream[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range stream { // duplicate pass: neither observer fires again
+		store.Submit(e)
+	}
+	if len(counts) != store.Len() {
+		t.Fatalf("second observer saw %d distinct events, store holds %d", len(counts), store.Len())
+	}
+	for k, n := range counts {
+		if n != 1 {
+			t.Fatalf("second observer saw %q %d times", k, n)
+		}
+	}
+	assertEquivalent(t, "second-observer", a, store, opts)
 }

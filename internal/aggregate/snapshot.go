@@ -150,7 +150,7 @@ func Recompute(events []beacon.Event, opts Options) *Aggregator {
 	opts.TTL = -1
 	agg := New(opts)
 	store := beacon.NewStore()
-	store.SetObserver(agg.Observe)
+	store.AddObserver(agg.Observe)
 	for _, e := range events {
 		_ = store.Submit(e) // invalid events are skipped, as at ingest
 	}

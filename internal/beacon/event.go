@@ -60,6 +60,11 @@ type Meta struct {
 	Format   string `json:"format,omitempty"`
 	Country  string `json:"country,omitempty"`
 	Exchange string `json:"exchange,omitempty"`
+	// Slot is the publisher placement the creative rendered in. Honest
+	// inventory spreads impressions over many placements; ad stacking
+	// concentrates simultaneous in-views onto one, which is what the
+	// geometry detector in internal/detect keys on. Optional on the wire.
+	Slot string `json:"slot,omitempty"`
 }
 
 // Event is one beacon message.

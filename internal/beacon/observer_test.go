@@ -15,7 +15,7 @@ func TestStoreObserverFirstSeenOnly(t *testing.T) {
 	store := NewStore()
 	var mu sync.Mutex
 	seen := map[string]int{}
-	store.SetObserver(func(e Event) {
+	store.AddObserver(func(e Event) {
 		mu.Lock()
 		seen[e.Key()]++
 		mu.Unlock()
@@ -42,7 +42,7 @@ func TestStoreObserverConcurrentExactlyOnce(t *testing.T) {
 	store := NewStore()
 	var mu sync.Mutex
 	seen := map[string]int{}
-	store.SetObserver(func(e Event) {
+	store.AddObserver(func(e Event) {
 		mu.Lock()
 		seen[e.Key()]++
 		mu.Unlock()
@@ -74,5 +74,100 @@ func TestStoreObserverConcurrentExactlyOnce(t *testing.T) {
 	}
 	if store.Len() != keys {
 		t.Fatalf("store len = %d", store.Len())
+	}
+}
+
+// TestStoreAddObserverFanOut: multiple observers each see every
+// first-seen event exactly once, in registration order, and a
+// duplicate submission reaches none of them.
+func TestStoreAddObserverFanOut(t *testing.T) {
+	store := NewStore()
+	var order []string
+	store.AddObserver(func(e Event) { order = append(order, "first:"+e.Key()) })
+	store.AddObserver(func(e Event) { order = append(order, "second:"+e.Key()) })
+
+	e := Event{ImpressionID: "i", CampaignID: "c", Type: EventServed}
+	if err := store.Submit(e); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	store.Submit(e) // duplicate: neither observer fires
+
+	want := []string{"first:" + e.Key(), "second:" + e.Key()}
+	if len(order) != len(want) || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("fan-out order = %v, want %v", order, want)
+	}
+}
+
+// TestStoreDupObserver: the duplicate hook fires exactly for absorbed
+// duplicates — never for first-seen or invalid events — so first-seen
+// and duplicate hooks partition every valid submission.
+func TestStoreDupObserver(t *testing.T) {
+	store := NewStore()
+	var mu sync.Mutex
+	first, dups := 0, 0
+	store.AddObserver(func(Event) { mu.Lock(); first++; mu.Unlock() })
+	store.AddDupObserver(func(Event) { mu.Lock(); dups++; mu.Unlock() })
+
+	e := Event{ImpressionID: "i", CampaignID: "c", Type: EventServed}
+	if err := store.Submit(e); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		store.Submit(e)
+	}
+	store.Submit(Event{Type: EventServed}) // invalid: reaches neither hook
+
+	if first != 1 || dups != 4 {
+		t.Fatalf("first=%d dups=%d, want 1 and 4", first, dups)
+	}
+}
+
+// TestStoreDupObserverConcurrent: under concurrent duplicate pressure,
+// first-seen + duplicate hook counts always sum to the number of valid
+// submissions — nothing double-fires, nothing is lost.
+func TestStoreDupObserverConcurrent(t *testing.T) {
+	store := NewStore()
+	var mu sync.Mutex
+	first, dups := 0, 0
+	store.AddObserver(func(Event) { mu.Lock(); first++; mu.Unlock() })
+	store.AddDupObserver(func(Event) { mu.Lock(); dups++; mu.Unlock() })
+
+	const keys, workers = 100, 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				store.Submit(Event{
+					ImpressionID: fmt.Sprintf("imp-%d", i),
+					CampaignID:   "c",
+					Type:         EventServed,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if first != keys {
+		t.Fatalf("first-seen observations = %d, want %d", first, keys)
+	}
+	if first+dups != keys*workers {
+		t.Fatalf("first+dups = %d, want %d", first+dups, keys*workers)
+	}
+}
+
+// TestStoreSetObserverReplaces: the deprecated SetObserver wrapper
+// replaces the whole observer set, preserving its historical
+// "single observer" semantics for existing callers.
+func TestStoreSetObserverReplaces(t *testing.T) {
+	store := NewStore()
+	var calls []string
+	store.AddObserver(func(Event) { calls = append(calls, "old") })
+	//lint:ignore SA1019 the deprecated wrapper's replace semantics are exactly what this test covers
+	store.SetObserver(func(Event) { calls = append(calls, "new") })
+
+	store.Submit(Event{ImpressionID: "i", CampaignID: "c", Type: EventServed})
+	if len(calls) != 1 || calls[0] != "new" {
+		t.Fatalf("calls = %v, want just the replacement observer", calls)
 	}
 }

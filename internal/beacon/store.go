@@ -37,10 +37,15 @@ type Store struct {
 	shards []storeShard
 	mask   uint32 // len(shards)-1; shard count is a power of two
 
-	// observer, when set, is invoked for every first-seen event while the
-	// event's shard lock is held — duplicates never reach it. See
-	// SetObserver.
-	observer func(Event)
+	// observers are invoked, in registration order, for every first-seen
+	// event while the event's shard lock is held — duplicates never reach
+	// them. See AddObserver.
+	observers []func(Event)
+	// dupObservers are invoked, in registration order, for every
+	// duplicate submission (same idempotency key as a stored event),
+	// under the same shard lock. First-seen events never reach them; the
+	// two hook sets partition every valid submission. See AddDupObserver.
+	dupObservers []func(Event)
 }
 
 // DefaultStoreShards is the shard count NewStore picks.
@@ -81,18 +86,41 @@ func NewStoreWithShards(n int) *Store {
 // Shards returns the store's shard count (always a power of two).
 func (s *Store) Shards() int { return len(s.shards) }
 
-// SetObserver installs a first-seen-event hook: fn is called exactly
+// AddObserver appends a first-seen-event hook: fn is called exactly
 // once per distinct idempotency key, under the event's shard lock, so
 // for any one impression the calls are serialized in store-insertion
 // order and atomic with the insertion itself. Duplicate submissions
 // never fire it — an observer inherits the store's dedup for free,
-// which is what lets the streaming aggregation layer stay idempotent
-// under at-least-once beacon delivery and WAL replay.
+// which is what lets the streaming aggregation and fraud-detection
+// layers stay idempotent under at-least-once beacon delivery and WAL
+// replay. Multiple observers fan out in registration order on every
+// first-seen event; each sees exactly the same event stream.
 //
-// SetObserver must be called before the store starts ingesting (it is
+// AddObserver must be called before the store starts ingesting (it is
 // not synchronized against concurrent Submits), and fn must not call
 // back into the store.
-func (s *Store) SetObserver(fn func(Event)) { s.observer = fn }
+func (s *Store) AddObserver(fn func(Event)) { s.observers = append(s.observers, fn) }
+
+// SetObserver replaces the whole first-seen observer set with fn —
+// the pre-fan-out API, kept as a compatibility wrapper.
+//
+// Deprecated: use AddObserver, which composes instead of replacing.
+func (s *Store) SetObserver(fn func(Event)) { s.observers = []func(Event){fn} }
+
+// AddDupObserver appends a duplicate-submission hook: fn is called,
+// under the event's shard lock, every time a valid submission is
+// absorbed as a duplicate of an already-stored event. First-seen
+// events never fire it. Idempotent delivery makes duplicates invisible
+// to counters by design, so this hook is the only place duplicate
+// *pressure* — HTTP retry storms, bot farms replaying captured beacons
+// — is observable; internal/detect feeds its flood detector from it.
+// The server journals every accepted submission (not just first-seen
+// ones), so a WAL replay into an empty store re-fires dup hooks for
+// the same submissions and duplicate statistics rebuild with the rest.
+//
+// Like AddObserver, it must be registered before ingest starts and fn
+// must not call back into the store.
+func (s *Store) AddDupObserver(fn func(Event)) { s.dupObservers = append(s.dupObservers, fn) }
 
 // shardFor picks the shard for an event via the shared addressing hash
 // (HashID): every event of one impression (and therefore every
@@ -115,6 +143,9 @@ func (s *Store) Submit(e Event) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, dup := sh.events[key]; dup {
+		for _, fn := range s.dupObservers {
+			fn(e)
+		}
 		return nil
 	}
 	sh.events[key] = e
@@ -127,8 +158,8 @@ func (s *Store) Submit(e Event) error {
 		Exchange:   e.Meta.Exchange,
 		Country:    e.Meta.Country,
 	}]++
-	if s.observer != nil {
-		s.observer(e)
+	for _, fn := range s.observers {
+		fn(e)
 	}
 	return nil
 }

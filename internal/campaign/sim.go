@@ -109,6 +109,13 @@ type Config struct {
 	// merged in campaign order — traces are byte-identical at any
 	// Parallelism. Off by default to keep big runs lean.
 	TraceLifecycle bool
+	// Adversaries adds deterministic adversarial traffic actors (bot
+	// replay farms, ad stacking, hidden iframes, spoofed in-views,
+	// duplicate floods — see ActorKind) running after the organic
+	// campaigns, against the same sink. With TraceLifecycle set, every
+	// actor impression carries its ground-truth fraud tag in
+	// Result.Trace, which is what the detection harness scores against.
+	Adversaries []ActorSpec
 }
 
 func (c Config) withDefaults() Config {
@@ -320,11 +327,26 @@ func (s *Simulator) Run() *Result {
 	for _, recs := range records {
 		res.Impressions = append(res.Impressions, recs...)
 	}
+
+	// Adversarial actors run after the organic campaigns, in spec
+	// order, each on its own RNG fork — bit-identical at any
+	// Parallelism, like everything else.
+	advTracers := make([]*obs.LifecycleTracer, 0, len(s.cfg.Adversaries))
+	for _, adv := range s.cfg.Adversaries {
+		var tr *obs.LifecycleTracer
+		if s.cfg.TraceLifecycle {
+			tr = obs.NewLifecycleTracer(simclock.Epoch)
+			advTracers = append(advTracers, tr)
+		}
+		RunActor(adv, s.rng, s.sink, tr)
+	}
+
 	if s.cfg.TraceLifecycle {
 		// Merge the per-campaign tracers in campaign order: the combined
 		// span stream is identical at any worker count.
 		res.Trace = obs.NewLifecycleTracer(simclock.Epoch)
 		res.Trace.Merge(tracers...)
+		res.Trace.Merge(advTracers...)
 	}
 	return res
 }

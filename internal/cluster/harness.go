@@ -264,7 +264,7 @@ func StartHarness(cfg HarnessConfig) (*Harness, error) {
 func (h *Harness) boot(hn *HarnessNode, ln net.Listener) error {
 	store := beacon.NewStoreWithShards(beacon.DefaultStoreShards)
 	agg := aggregate.New(aggregate.Options{})
-	store.SetObserver(agg.Observe)
+	store.AddObserver(agg.Observe)
 	wj, _, err := beacon.OpenDurable(wal.Options{Dir: hn.walDir, Fsync: wal.FsyncAlways}, store)
 	if err != nil {
 		return fmt.Errorf("cluster: boot %s wal: %w", hn.ID, err)

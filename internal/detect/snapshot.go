@@ -1,0 +1,275 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qtag/internal/beacon"
+)
+
+// ScoreRow is one campaign × solution line of the fraud report. Score
+// is the composite (the max of the per-detector contributions);
+// Flagged applies the threshold and the MinEvents volume gate.
+type ScoreRow struct {
+	CampaignID  string             `json:"campaign_id"`
+	Source      string             `json:"source"`
+	Events      int64              `json:"events"`
+	Dups        int64              `json:"dups"`
+	Impressions int64              `json:"impressions"`
+	Score       float64            `json:"score"`
+	Flagged     bool               `json:"flagged"`
+	Contribs    map[string]float64 `json:"contributions"`
+}
+
+// Snapshot is the detector's full deterministic state: rows sorted by
+// (campaign, source), plus the distinct flagged campaign ids. Two
+// detectors fed the same deduplicated event set plus the same
+// duplicate submissions — in any order, at any concurrency, across
+// any crash/WAL-replay boundary — produce DeepEqual snapshots (no
+// eviction having fired), which is the property the fraud-chaos suite
+// pins down.
+type Snapshot struct {
+	Rows []ScoreRow `json:"rows"`
+	// Flagged is the sorted set of campaigns with ≥1 flagged row.
+	Flagged []string `json:"flagged_campaigns,omitempty"`
+}
+
+// Snapshot scores every live row. Scores are computed here, from the
+// commutative counters, never during ingest — so they inherit the
+// counters' order-insensitivity.
+func (d *Detector) Snapshot() Snapshot {
+	var snap Snapshot
+	flagged := map[string]bool{}
+	for i := range d.camps {
+		cs := &d.camps[i]
+		cs.mu.Lock()
+		for k, r := range cs.rows {
+			sr := d.score(k, r)
+			if sr.Flagged {
+				flagged[k.Campaign] = true
+			}
+			snap.Rows = append(snap.Rows, sr)
+		}
+		cs.mu.Unlock()
+	}
+	sort.Slice(snap.Rows, func(i, j int) bool {
+		a, b := snap.Rows[i], snap.Rows[j]
+		if a.CampaignID != b.CampaignID {
+			return a.CampaignID < b.CampaignID
+		}
+		return a.Source < b.Source
+	})
+	for c := range flagged {
+		snap.Flagged = append(snap.Flagged, c)
+	}
+	sort.Strings(snap.Flagged)
+	return snap
+}
+
+// score derives one row's contributions. Caller holds the row shard
+// lock.
+func (d *Detector) score(k rowKey, r *row) ScoreRow {
+	o := d.opts
+	c := map[string]float64{
+		DetectorRate:      rateScore(r, o),
+		DetectorDwell:     dwellScore(r),
+		DetectorSequence:  sequenceScore(r),
+		DetectorDuplicate: duplicateScore(r),
+		DetectorGeometry:  geometryScore(r),
+	}
+	composite := 0.0
+	for _, v := range c {
+		if v > composite {
+			composite = v
+		}
+	}
+	return ScoreRow{
+		CampaignID:  k.Campaign,
+		Source:      k.Source,
+		Events:      r.events,
+		Dups:        r.dups,
+		Impressions: r.impressions,
+		Score:       composite,
+		Flagged:     composite >= o.FlagThreshold && r.events+r.dups >= o.MinEvents,
+		Contribs:    c,
+	}
+}
+
+// clamp01 bounds a ramp into [0,1]; NaN (0/0 ramps) clamps to 0.
+func clamp01(v float64) float64 {
+	if !(v > 0) { // catches NaN too
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ramp maps v linearly from [lo,hi] onto [0,1].
+func ramp(v, lo, hi float64) float64 { return clamp01((v - lo) / (hi - lo)) }
+
+// rateScore: the admission limiter's EWMA-vs-baseline gradient
+// restated in event time. The absolute term fires when the peak
+// bucket exceeds plausible human arrival rates outright; the relative
+// term fires when the peak gradients far past the row's own mean
+// bucket — a burst inside otherwise-calm traffic.
+func rateScore(r *row, o Options) float64 {
+	if r.events == 0 {
+		return 0
+	}
+	var peak int64
+	for _, c := range r.slots {
+		if c > peak {
+			peak = c
+		}
+	}
+	bucketSec := o.RateBucket.Seconds()
+	peakRate := float64(peak) / bucketSec
+	absolute := ramp(peakRate, o.RateBaseline, o.RateMax)
+
+	// Mean events per *slot*: aliasing folds the observed bucket span
+	// into the ring, so the honest mean is events / min(span, slots).
+	span := float64(r.maxB) - float64(r.minB) + 1
+	if s := float64(len(r.slots)); span > s {
+		span = s
+	}
+	mean := float64(r.events) / span
+	burst := ramp(float64(peak)/mean, o.BurstTolerance, o.BurstMax)
+	if burst > absolute {
+		return burst
+	}
+	return absolute
+}
+
+// dwellScore: share of completed dwell cycles massed at ~0 (hidden or
+// stuffed inventory reporting instant visibility loss) or at exactly
+// the viewability threshold (scripted beacons emitting the minimum
+// dwell the standard requires). Honest dwell is broadly spread.
+func dwellScore(r *row) float64 {
+	if r.dwellPairs < minDwellPairs {
+		return 0
+	}
+	ratio := float64(r.dwellZero+r.dwellExact) / float64(r.dwellPairs)
+	return ramp(ratio, dwellRatioMin, dwellRatioMax)
+}
+
+// sequenceScore: lifecycle violations per impression. Spoofed beacons
+// have no real lifecycle behind them — in-view without the tag's
+// loaded check-in, solution beacons on impressions the DSP never
+// served, out-of-view with no in-view. Honest traffic under lossy
+// delivery shows a few of these; fabricated traffic is mostly these.
+func sequenceScore(r *row) float64 {
+	if r.impressions == 0 {
+		return 0
+	}
+	viol := r.seqNoLoad + r.seqNoServe + r.seqOrphanOut
+	ratio := float64(viol) / float64(r.impressions)
+	return ramp(ratio, seqRatioMin, seqRatioMax)
+}
+
+// duplicateScore: duplicate share of all submissions. Idempotent
+// ingest makes replayed beacons invisible to every counter — this is
+// the one place a replay farm's traffic shows up at all.
+func duplicateScore(r *row) float64 {
+	total := r.events + r.dups
+	if total == 0 {
+		return 0
+	}
+	ratio := float64(r.dups) / float64(total)
+	return ramp(ratio, dupRatioMin, dupRatioMax)
+}
+
+// geometryScore: degenerate creative sizes (1×1 pixel stuffing) or
+// in-views concentrated on one publisher placement (ad stacking — a
+// pile of creatives occupying a single slot, each claiming the view).
+func geometryScore(r *row) float64 {
+	var pixel float64
+	if r.sized > 0 {
+		pixel = ramp(float64(r.pixel)/float64(r.sized), pixelRatioMin, pixelRatioMax)
+	}
+	var stack float64
+	var top, total int64
+	for _, n := range r.slotViews {
+		total += n
+		if n > top {
+			top = n
+		}
+	}
+	total += r.slotOther
+	if total >= minStackViews {
+		stack = ramp(float64(top)/float64(total), stackShareMin, stackShareMax)
+	}
+	if stack > pixel {
+		return stack
+	}
+	return pixel
+}
+
+// Recompute is the batch oracle the streaming path is proven against:
+// it rebuilds a detector from scratch by pushing the raw submission
+// log — first-seen events *and* duplicates, exactly what the WAL
+// journals — through a fresh deduplicating store with the detector on
+// both hooks, the same wiring a live server uses. TTL eviction is
+// disabled (a batch recompute sees all of history at once).
+func Recompute(submissions []beacon.Event, opts Options) *Detector {
+	opts = opts.withDefaults()
+	opts.TTL = -1
+	det := New(opts)
+	store := beacon.NewStore()
+	store.AddObserver(det.Observe)
+	store.AddDupObserver(det.ObserveDup)
+	for _, e := range submissions {
+		_ = store.Submit(e) // invalid events are skipped, as at ingest
+	}
+	return det
+}
+
+// Text renders the snapshot as the aligned table qtag-replay -report
+// prints. Empty snapshots render a single line so the caller need not
+// special-case them.
+func (s Snapshot) Text() string {
+	if len(s.Rows) == 0 {
+		return "fraud: no scored rows\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-12s %8s %8s %7s  %5s  %s\n",
+		"CAMPAIGN", "SOURCE", "EVENTS", "DUPS", "SCORE", "FLAG", "TOP DETECTORS")
+	for _, r := range s.Rows {
+		flag := ""
+		if r.Flagged {
+			flag = "FLAG"
+		}
+		fmt.Fprintf(&b, "%-24s %-12s %8d %8d %7.2f  %5s  %s\n",
+			r.CampaignID, r.Source, r.Events, r.Dups, r.Score, flag, topContribs(r.Contribs))
+	}
+	if len(s.Flagged) > 0 {
+		fmt.Fprintf(&b, "flagged campaigns: %s\n", strings.Join(s.Flagged, ", "))
+	}
+	return b.String()
+}
+
+// topContribs lists the nonzero contributions, largest first, in
+// "name=0.87" form.
+func topContribs(c map[string]float64) string {
+	type kv struct {
+		k string
+		v float64
+	}
+	var parts []kv
+	for _, name := range Detectors {
+		if v := c[name]; v > 0 {
+			parts = append(parts, kv{name, v})
+		}
+	}
+	sort.SliceStable(parts, func(i, j int) bool { return parts[i].v > parts[j].v })
+	if len(parts) == 0 {
+		return "-"
+	}
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = fmt.Sprintf("%s=%.2f", p.k, p.v)
+	}
+	return strings.Join(out, " ")
+}

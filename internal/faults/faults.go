@@ -70,48 +70,58 @@ type Profile struct {
 	// returned — at-least-once clients must retry and rely on idempotent
 	// ingestion.
 	Partial float64
+	// Duplicate is the probability (Sink only) that a successfully
+	// delivered submission is immediately re-submitted — the benign
+	// at-least-once retry noise every real beacon path carries. The
+	// store absorbs the repeats; the duplicate-flood detector must NOT
+	// flag traffic at honest Duplicate rates, which is exactly what
+	// the detection harness's false-positive floor checks.
+	Duplicate float64
 }
 
 // Enabled reports whether the profile injects any fault at all.
 func (p Profile) Enabled() bool {
-	return p.Drop > 0 || p.Error > 0 || p.Latency > 0 || p.Partial > 0
+	return p.Drop > 0 || p.Error > 0 || p.Latency > 0 || p.Partial > 0 || p.Duplicate > 0
 }
 
 // String implements fmt.Stringer for log lines.
 func (p Profile) String() string {
-	return fmt.Sprintf("drop=%.3f err=%.3f latency=%s partial=%.3f", p.Drop, p.Error, p.Latency, p.Partial)
+	return fmt.Sprintf("drop=%.3f err=%.3f latency=%s partial=%.3f dup=%.3f", p.Drop, p.Error, p.Latency, p.Partial, p.Duplicate)
 }
 
 // Stats counts injected faults. All fields are atomics; one Stats may be
 // shared across several injectors to aggregate a whole run.
 type Stats struct {
-	Dropped atomic.Int64
-	Errored atomic.Int64
-	Delayed atomic.Int64
-	Partial atomic.Int64
+	Dropped    atomic.Int64
+	Errored    atomic.Int64
+	Delayed    atomic.Int64
+	Partial    atomic.Int64
+	Duplicated atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of Stats.
 type Snapshot struct {
-	Dropped int64
-	Errored int64
-	Delayed int64
-	Partial int64
+	Dropped    int64
+	Errored    int64
+	Delayed    int64
+	Partial    int64
+	Duplicated int64
 }
 
 // Snapshot returns a copy of the counters.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		Dropped: s.Dropped.Load(),
-		Errored: s.Errored.Load(),
-		Delayed: s.Delayed.Load(),
-		Partial: s.Partial.Load(),
+		Dropped:    s.Dropped.Load(),
+		Errored:    s.Errored.Load(),
+		Delayed:    s.Delayed.Load(),
+		Partial:    s.Partial.Load(),
+		Duplicated: s.Duplicated.Load(),
 	}
 }
 
 // String implements fmt.Stringer.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("dropped=%d errored=%d delayed=%d partial=%d", s.Dropped, s.Errored, s.Delayed, s.Partial)
+	return fmt.Sprintf("dropped=%d errored=%d delayed=%d partial=%d duplicated=%d", s.Dropped, s.Errored, s.Delayed, s.Partial, s.Duplicated)
 }
 
 // Sink injects faults between a tag and a beacon.Sink. It is safe for
@@ -157,6 +167,7 @@ func (s *Sink) Submit(e beacon.Event) error {
 	}
 	drop := s.rng.Bool(s.p.Drop)
 	fail := !drop && s.rng.Bool(s.p.Error)
+	dup := !drop && !fail && s.rng.Bool(s.p.Duplicate)
 	s.mu.Unlock()
 
 	if delay > 0 {
@@ -173,7 +184,16 @@ func (s *Sink) Submit(e beacon.Event) error {
 		s.stats.Errored.Add(1)
 		return ErrInjected
 	}
-	return s.next.Submit(e)
+	if err := s.next.Submit(e); err != nil {
+		return err
+	}
+	if dup {
+		// An at-least-once retry after a lost ack: the same event goes
+		// down the pipe twice and idempotent ingestion absorbs it.
+		s.stats.Duplicated.Add(1)
+		return s.next.Submit(e)
+	}
+	return nil
 }
 
 // RoundTripper injects network weather under an http.Client. Decisions

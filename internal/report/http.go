@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"qtag/internal/aggregate"
+	"qtag/internal/detect"
 	"qtag/internal/obs"
 )
 
@@ -25,6 +26,16 @@ import (
 // Memory per request is bounded by campaigns × formats — the raw event
 // store is never consulted, let alone scanned.
 func Handler(a *aggregate.Aggregator, now func() time.Time) http.Handler {
+	return HandlerWithDetect(a, nil, now)
+}
+
+// HandlerWithDetect is Handler plus the fraud layer: with a non-nil
+// detector the JSON payload gains a "fraud" object (per campaign ×
+// solution scores, per-detector contributions, flagged campaigns) and
+// the Prometheus exposition gains the qtag_detect_* families. A nil
+// detector serves the exact pre-detect schema — the golden-file test
+// pins both shapes.
+func HandlerWithDetect(a *aggregate.Aggregator, d *detect.Detector, now func() time.Time) http.Handler {
 	if now == nil {
 		now = time.Now
 	}
@@ -44,6 +55,11 @@ func Handler(a *aggregate.Aggregator, now func() time.Time) http.Handler {
 			if r.URL.Query().Get("windows") != "0" {
 				resp.Windows = a.Windows()
 			}
+			if d != nil {
+				fraud := d.Snapshot()
+				resp.Fraud = &fraud
+				sp.SetAttr("report.flagged_campaigns", strconv.Itoa(len(fraud.Flagged)))
+			}
 			sp.SetAttr("report.campaign_rows", strconv.Itoa(len(resp.Campaigns.Rows)))
 			sp.SetAttr("report.open_impressions", strconv.Itoa(resp.OpenImpressions))
 			w.Header().Set("Content-Type", "application/json")
@@ -51,6 +67,9 @@ func Handler(a *aggregate.Aggregator, now func() time.Time) http.Handler {
 		case "prom", "prometheus":
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_, _ = w.Write([]byte(Prometheus(a.Snapshot())))
+			if d != nil {
+				_, _ = w.Write([]byte(PrometheusDetect(d.Snapshot())))
+			}
 		default:
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusBadRequest)
@@ -66,6 +85,9 @@ type ViewabilityReport struct {
 	OpenImpressions int                        `json:"open_impressions"`
 	Evicted         int64                      `json:"evicted_impression_states"`
 	Windows         []aggregate.WindowSnapshot `json:"windows,omitempty"`
+	// Fraud carries the detection layer's scores when the server runs
+	// with -detect; absent otherwise.
+	Fraud *detect.Snapshot `json:"fraud,omitempty"`
 }
 
 // Prometheus renders a snapshot in Prometheus text exposition format
@@ -156,6 +178,49 @@ func Prometheus(s aggregate.Snapshot) string {
 				labelSet(base...), formatFloat(time.Duration(d.Dwell.SumNs).Seconds()))
 			fmt.Fprintf(&b, "qtag_report_dwell_seconds_count%s %d\n", labelSet(base...), d.Dwell.Count)
 		}
+	}
+	return b.String()
+}
+
+// PrometheusDetect renders a detection snapshot as the qtag_detect_*
+// per-row score families (deterministic: the snapshot is sorted). The
+// detector's own throughput/eviction counters are registered on the
+// process metrics registry instead; this covers the per-campaign view.
+func PrometheusDetect(s detect.Snapshot) string {
+	if len(s.Rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	writeHeader := func(name, help, typ string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	writeHeader("qtag_detect_score", "Composite fraud score per campaign and solution (max of detector contributions).", "gauge")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "qtag_detect_score%s %s\n", labelSet("campaign", r.CampaignID, "source", r.Source), formatFloat(r.Score))
+	}
+	writeHeader("qtag_detect_flagged", "1 when the row's composite score is at or over the flag threshold with enough volume.", "gauge")
+	for _, r := range s.Rows {
+		v := "0"
+		if r.Flagged {
+			v = "1"
+		}
+		fmt.Fprintf(&b, "qtag_detect_flagged%s %s\n", labelSet("campaign", r.CampaignID, "source", r.Source), v)
+	}
+	writeHeader("qtag_detect_contribution", "Per-detector fraud score contribution.", "gauge")
+	for _, r := range s.Rows {
+		for _, det := range detect.Detectors {
+			fmt.Fprintf(&b, "qtag_detect_contribution%s %s\n",
+				labelSet("campaign", r.CampaignID, "source", r.Source, "detector", det), formatFloat(r.Contribs[det]))
+		}
+	}
+	writeHeader("qtag_detect_row_events", "First-seen events scored per campaign and solution.", "gauge")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "qtag_detect_row_events%s %d\n", labelSet("campaign", r.CampaignID, "source", r.Source), r.Events)
+	}
+	writeHeader("qtag_detect_row_dups", "Duplicate submissions scored per campaign and solution.", "gauge")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "qtag_detect_row_dups%s %d\n", labelSet("campaign", r.CampaignID, "source", r.Source), r.Dups)
 	}
 	return b.String()
 }

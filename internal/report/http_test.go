@@ -21,7 +21,7 @@ func reportAgg(t *testing.T) *aggregate.Aggregator {
 	t.Helper()
 	a := aggregate.New(aggregate.Options{TTL: -1, Now: func() time.Time { return rt0 }})
 	store := beacon.NewStore()
-	store.SetObserver(a.Observe)
+	store.AddObserver(a.Observe)
 	events := []beacon.Event{
 		{ImpressionID: "i1", CampaignID: "camp-a", Type: beacon.EventServed, At: rt0, Meta: beacon.Meta{Format: "banner"}},
 		{ImpressionID: "i1", CampaignID: "camp-a", Source: beacon.SourceQTag, Type: beacon.EventLoaded, At: rt0, Meta: beacon.Meta{Format: "banner"}},

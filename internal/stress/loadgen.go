@@ -17,6 +17,7 @@ import (
 	"qtag/internal/aggregate"
 	"qtag/internal/beacon"
 	"qtag/internal/cluster"
+	"qtag/internal/detect"
 	"qtag/internal/obs"
 	"qtag/internal/report"
 	"qtag/internal/simrand"
@@ -323,6 +324,15 @@ type IngestServerConfig struct {
 	// AdmissionLimiter tunes the controller when Admission is set; zero
 	// fields take the admission package defaults.
 	AdmissionLimiter admission.LimiterConfig
+	// Detect attaches the streaming fraud layer on both store hooks
+	// (first-seen + duplicate) and serves its scores on GET /report —
+	// the qtag-server -detect wiring. The detection harness and chaos
+	// suites run through exactly this path.
+	Detect bool
+	// DetectOptions tunes the detector when Detect is set; zero fields
+	// take the detect package defaults. The Sweep cadence piggybacks
+	// on ReportSweepEvery.
+	DetectOptions detect.Options
 }
 
 // IngestServer is a live in-process collection server.
@@ -332,6 +342,7 @@ type IngestServer struct {
 	Journal   *beacon.WALJournal
 	Server    *beacon.Server
 	Aggregate *aggregate.Aggregator
+	Detect    *detect.Detector      // non-nil when cfg.Detect
 	Spans     *obs.SpanStore        // non-nil when TraceSample > 0
 	Admission *admission.Controller // non-nil when cfg.Admission
 
@@ -353,7 +364,19 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 	// store — including WAL replay below — so /report rebuilds with the
 	// store on boot, exactly as qtag-server wires it.
 	is.Aggregate = aggregate.New(aggregate.Options{Shards: cfg.Shards, TTL: cfg.ReportTTL})
-	store.SetObserver(is.Aggregate.Observe)
+	store.AddObserver(is.Aggregate.Observe)
+	if cfg.Detect {
+		// Both detection hooks also attach before any event or WAL
+		// replay reaches the store, so fraud scores rebuild on boot
+		// alongside the aggregates.
+		opts := cfg.DetectOptions
+		if opts.Shards == 0 {
+			opts.Shards = cfg.Shards
+		}
+		is.Detect = detect.New(opts)
+		store.AddObserver(is.Detect.Observe)
+		store.AddDupObserver(is.Detect.ObserveDup)
+	}
 	var sink beacon.Sink = store
 	if cfg.WALDir != "" {
 		wj, _, err := beacon.OpenDurable(wal.Options{
@@ -413,8 +436,11 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 	if tracer != nil {
 		is.Server.SetTracer(tracer)
 	}
-	is.Server.Mount("GET /report", report.Handler(is.Aggregate, nil))
+	is.Server.Mount("GET /report", report.HandlerWithDetect(is.Aggregate, is.Detect, nil))
 	is.Aggregate.RegisterMetrics(is.Server.Metrics())
+	if is.Detect != nil {
+		is.Detect.RegisterMetrics(is.Server.Metrics())
+	}
 	if is.Journal != nil {
 		is.Journal.RegisterMetrics(is.Server.Metrics())
 	}
@@ -436,6 +462,9 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 					return
 				case now := <-ticker.C:
 					is.Aggregate.Sweep(now)
+					if is.Detect != nil {
+						is.Detect.Sweep(now)
+					}
 				}
 			}
 		}()
