@@ -397,11 +397,17 @@ func (d *Detector) Observe(e beacon.Event) {
 			st.served = true
 			r.impressions++
 			// The served event arrived (possibly late): un-count every
-			// solution's beacons-without-served violation.
+			// solution's beacons-without-served violation. Eviction
+			// freezes, it never un-counts — so a row the MaxRows cap
+			// already dropped is left absent, not recreated and driven
+			// negative; the clamp guards the same invariant if the row
+			// was evicted and later recreated by fresh traffic.
 			for s, ss := range st.sources {
 				if ss.noServeCounted {
 					ss.noServeCounted = false
-					d.rowLocked(cs, rowKey{e.CampaignID, sourceLabel(s)}, now).seqNoServe--
+					if rr := cs.rows[rowKey{e.CampaignID, sourceLabel(s)}]; rr != nil && rr.seqNoServe > 0 {
+						rr.seqNoServe--
+					}
 				}
 			}
 		}
@@ -422,7 +428,9 @@ func (d *Detector) Observe(e beacon.Event) {
 				ss.loaded = true
 				if ss.noLoadCounted {
 					ss.noLoadCounted = false
-					r.seqNoLoad--
+					if r.seqNoLoad > 0 { // clamp: the counted row may have been evicted and recreated
+						r.seqNoLoad--
+					}
 				}
 			}
 		case beacon.EventInView:
@@ -442,7 +450,9 @@ func (d *Detector) Observe(e beacon.Event) {
 			if _, dup := ss.inAt[e.Seq]; !dup {
 				if out, ok := ss.outAt[e.Seq]; ok {
 					delete(ss.outAt, e.Seq)
-					r.seqOrphanOut--
+					if r.seqOrphanOut > 0 { // clamp: the counted row may have been evicted and recreated
+						r.seqOrphanOut--
+					}
 					r.observeDwell(dwellOf(e.At, out), d.opts)
 				} else {
 					ss.inAt[e.Seq] = e.At
@@ -670,5 +680,5 @@ func (d *Detector) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("qtag_detect_rows", "Live campaign × solution score rows.",
 		func() float64 { return float64(d.rowCount.Load()) })
 	r.GaugeFunc("qtag_detect_flagged_campaigns", "Campaigns with at least one row at or over the flag threshold.",
-		func() float64 { return float64(len(d.Snapshot().Flagged)) })
+		func() float64 { return float64(d.FlaggedCampaigns()) })
 }

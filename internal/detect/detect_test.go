@@ -102,6 +102,102 @@ func TestRateDetector(t *testing.T) {
 	}
 }
 
+// TestRateDetectorLongHonestRun: the ring aliases once the campaign
+// outlives RateSlots buckets, folding many buckets into each slot. The
+// score must normalize that accumulation away — a modest honest rate
+// sustained for many ring wraps (~10 ev/s for 16 min here, ~9,600
+// events over 15 wraps of the default 64×1s ring) stays at zero, while
+// a genuinely high sustained rate over the same aliased extent still
+// scores.
+func TestRateDetectorLongHonestRun(t *testing.T) {
+	store, det := harness(Options{})
+	const honestPerSec, honestSecs = 10, 960
+	for s := 0; s < honestSecs; s++ {
+		for j := 0; j < honestPerSec; j++ {
+			store.Submit(beacon.Event{
+				ImpressionID: fmt.Sprintf("h-%d-%d", s, j),
+				CampaignID:   "camp-long-honest",
+				Type:         beacon.EventServed,
+				At:           t0.Add(time.Duration(s)*time.Second + time.Duration(j)*100*time.Millisecond),
+			})
+		}
+	}
+	const botPerSec, botSecs = 200, 400
+	for s := 0; s < botSecs; s++ {
+		for j := 0; j < botPerSec; j++ {
+			store.Submit(beacon.Event{
+				ImpressionID: fmt.Sprintf("b-%d-%d", s, j),
+				CampaignID:   "camp-long-bot",
+				Type:         beacon.EventServed,
+				At:           t0.Add(time.Duration(s)*time.Second + time.Duration(j)*5*time.Millisecond),
+			})
+		}
+	}
+	snap := det.Snapshot()
+	honest := rowFor(t, snap, "camp-long-honest", SourceDSP)
+	if honest.Contribs[DetectorRate] != 0 || honest.Flagged {
+		t.Fatalf("long honest run tripped the rate detector: %+v", honest)
+	}
+	bot := rowFor(t, snap, "camp-long-bot", SourceDSP)
+	if bot.Contribs[DetectorRate] < 0.5 || !bot.Flagged {
+		t.Fatalf("sustained bot rate not flagged after aliasing normalization: %+v", bot)
+	}
+}
+
+// TestLateServedAfterRowEviction: a late served event must not
+// resurrect a row the MaxRows cap already dropped just to un-count its
+// frozen violations — eviction freezes, it never un-counts. With the
+// buggy resurrection the recreated row starts at seqNoServe=-1 and the
+// two fresh violations below would score (2-1)/2 → ~0.7 instead of 1.
+func TestLateServedAfterRowEviction(t *testing.T) {
+	store, det := harness(Options{Shards: 1, MaxRows: 1})
+	loaded := func(imp string) beacon.Event {
+		return beacon.Event{
+			ImpressionID: imp, CampaignID: "camp-a",
+			Source: beacon.SourceQTag, Type: beacon.EventLoaded, At: t0,
+		}
+	}
+	// Violation counted on camp-a/qtag, then the row is evicted by an
+	// unrelated campaign's row creation (MaxRows=1, single shard).
+	store.Submit(loaded("a-1"))
+	store.Submit(beacon.Event{ImpressionID: "b-1", CampaignID: "camp-b", Type: beacon.EventServed, At: t0})
+	// The served event for a-1 arrives late: its impression state still
+	// holds noServeCounted, but the counted row is gone.
+	store.Submit(beacon.Event{ImpressionID: "a-1", CampaignID: "camp-a", Type: beacon.EventServed, At: t0})
+	// Fresh violations recreate the row; they must score at full weight.
+	store.Submit(loaded("a-2"))
+	store.Submit(loaded("a-3"))
+	r := rowFor(t, det.Snapshot(), "camp-a", "qtag")
+	if r.Contribs[DetectorSequence] != 1 {
+		t.Fatalf("recreated row inherited a negative violation count: %+v", r)
+	}
+}
+
+// TestFlaggedCampaignsMatchesSnapshot: the cheap scrape-path count
+// agrees with the full snapshot's flagged set on a mixed workload.
+func TestFlaggedCampaignsMatchesSnapshot(t *testing.T) {
+	store, det := harness(Options{})
+	for i := 0; i < 60; i++ {
+		honestImpression(store, "camp-clean", i, t0.Add(time.Duration(i)*3*time.Second), 2500*time.Millisecond)
+		store.Submit(beacon.Event{
+			ImpressionID: fmt.Sprintf("spoof-%d", i), CampaignID: "camp-spoof",
+			Source: beacon.SourceQTag, Type: beacon.EventInView, At: t0.Add(time.Duration(i) * time.Second),
+		})
+		store.Submit(beacon.Event{
+			ImpressionID: fmt.Sprintf("px-%d", i), CampaignID: "camp-pixel",
+			Type: beacon.EventServed, At: t0.Add(time.Duration(i) * time.Second),
+			Meta: beacon.Meta{AdSize: "1x1"},
+		})
+	}
+	snap := det.Snapshot()
+	if got, want := det.FlaggedCampaigns(), len(snap.Flagged); got != want {
+		t.Fatalf("FlaggedCampaigns() = %d, snapshot flags %v", got, snap.Flagged)
+	}
+	if len(snap.Flagged) != 2 {
+		t.Fatalf("workload should flag exactly the two fraud campaigns, got %v", snap.Flagged)
+	}
+}
+
 // TestDwellDetector: dwell massed exactly at the viewability
 // threshold (scripted beacons) and at ~0 (hidden inventory) both
 // trip the dwell detector.

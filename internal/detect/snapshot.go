@@ -96,6 +96,45 @@ func (d *Detector) score(k rowKey, r *row) ScoreRow {
 	}
 }
 
+// flaggedLocked reports whether a row would flag, without building the
+// contribution map a full score does. Equivalent to score(k, r).Flagged
+// because the composite is the max of the contributions: some detector
+// clears the threshold iff the max does. Caller holds the row shard
+// lock.
+func (d *Detector) flaggedLocked(r *row) bool {
+	o := d.opts
+	if r.events+r.dups < o.MinEvents {
+		return false
+	}
+	t := o.FlagThreshold
+	return rateScore(r, o) >= t || duplicateScore(r) >= t || sequenceScore(r) >= t ||
+		dwellScore(r) >= t || geometryScore(r) >= t
+}
+
+// FlaggedCampaigns counts distinct campaigns with at least one flagged
+// row. It is the metrics-scrape path behind the
+// qtag_detect_flagged_campaigns gauge, so unlike Snapshot it allocates
+// no rows, sorts nothing, skips rows under the MinEvents gate outright,
+// and short-circuits campaigns already counted — each shard lock is
+// held only for the cheap threshold checks.
+func (d *Detector) FlaggedCampaigns() int {
+	flagged := map[string]bool{}
+	for i := range d.camps {
+		cs := &d.camps[i]
+		cs.mu.Lock()
+		for k, r := range cs.rows {
+			if flagged[k.Campaign] {
+				continue
+			}
+			if d.flaggedLocked(r) {
+				flagged[k.Campaign] = true
+			}
+		}
+		cs.mu.Unlock()
+	}
+	return len(flagged)
+}
+
 // clamp01 bounds a ramp into [0,1]; NaN (0/0 ramps) clamps to 0.
 func clamp01(v float64) float64 {
 	if !(v > 0) { // catches NaN too
@@ -125,17 +164,30 @@ func rateScore(r *row, o Options) float64 {
 			peak = c
 		}
 	}
+	// Once the observed bucket extent exceeds the ring, aliasing folds
+	// ~wraps distinct buckets into every slot, so the peak slot holds a
+	// lifetime accumulation, not a 1-bucket count. Normalize it back to
+	// an estimated single-bucket peak — otherwise a long-lived honest
+	// row ramps the absolute score by sheer age (64 slots × 1s wraps
+	// every minute; ~10 ev/s sustained for 15 min would read as 150/s).
+	slots := int64(len(r.slots))
+	span := r.maxB - r.minB + 1
+	wraps := (span + slots - 1) / slots
+	if wraps < 1 {
+		wraps = 1
+	}
 	bucketSec := o.RateBucket.Seconds()
-	peakRate := float64(peak) / bucketSec
+	peakRate := float64(peak) / float64(wraps) / bucketSec
 	absolute := ramp(peakRate, o.RateBaseline, o.RateMax)
 
-	// Mean events per *slot*: aliasing folds the observed bucket span
-	// into the ring, so the honest mean is events / min(span, slots).
-	span := float64(r.maxB) - float64(r.minB) + 1
-	if s := float64(len(r.slots)); span > s {
-		span = s
+	// Mean events per *slot*: the span clamps to the ring for the same
+	// aliasing reason, so the raw peak and the mean compare in the same
+	// folded space and the burst ratio needs no wrap correction.
+	spanSlots := float64(span)
+	if s := float64(slots); spanSlots > s {
+		spanSlots = s
 	}
-	mean := float64(r.events) / span
+	mean := float64(r.events) / spanSlots
 	burst := ramp(float64(peak)/mean, o.BurstTolerance, o.BurstMax)
 	if burst > absolute {
 		return burst

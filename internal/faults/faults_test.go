@@ -66,6 +66,36 @@ func TestSinkZeroProfilePassesThrough(t *testing.T) {
 	}
 }
 
+// failSecondSink delivers the first Submit of each event and errors on
+// repeats — the shape of a downstream that dedup-rejects loudly.
+type failSecondSink struct {
+	seen map[string]bool
+}
+
+func (f *failSecondSink) Submit(e beacon.Event) error {
+	if f.seen == nil {
+		f.seen = make(map[string]bool)
+	}
+	k := e.Key()
+	if f.seen[k] {
+		return faults.ErrInjected
+	}
+	f.seen[k] = true
+	return nil
+}
+
+func TestSinkDuplicateRetryFailureStaysInvisible(t *testing.T) {
+	s := faults.NewSink(&failSecondSink{}, simrand.New(7), faults.Profile{Duplicate: 1})
+	for i := 0; i < 20; i++ {
+		if err := s.Submit(ev(itoa(i))); err != nil {
+			t.Fatalf("delivered event reported error via its duplicate retry: %v", err)
+		}
+	}
+	if got := s.Stats().Duplicated; got != 20 {
+		t.Fatalf("Duplicated = %d, want 20", got)
+	}
+}
+
 func TestRoundTripperInjects5xxWithRetryAfter(t *testing.T) {
 	srv := httptest.NewServer(beacon.NewServer(beacon.NewStore()))
 	defer srv.Close()
