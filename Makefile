@@ -21,10 +21,18 @@ STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 # Where bench-gate writes the fresh benchmark run it compares against
-# the committed BENCH_PR8.json baseline.
+# the committed BENCH_PR10.json baseline.
 BENCH_FRESH ?= bench-fresh.json
 
-.PHONY: all build vet test race bench cover chaos cluster-chaos trace-chaos overload-chaos fraud-chaos soak fuzz-smoke lint bench-gate ci
+# The allocation gate: the codec/key benchmarks whose allocs/op are
+# deterministic enough to gate exactly (JSON and map benches vary across
+# Go versions and are deliberately excluded), the committed baseline,
+# and where the fresh run lands.
+ALLOC_BENCH ?= BenchmarkBinaryCodec|BenchmarkEventKey
+ALLOC_BASELINE ?= ALLOC_BASELINE.txt
+ALLOC_FRESH ?= alloc-fresh.txt
+
+.PHONY: all build vet test race bench cover chaos cluster-chaos trace-chaos overload-chaos fraud-chaos soak fuzz-smoke lint bench-gate alloc-gate alloc-baseline ci
 
 all: ci
 
@@ -40,13 +48,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Ingest benchmarks: microbenchmarks for the sharded store and the WAL
-# group committer, then the end-to-end shard-scaling ladder (full HTTP
-# server, WAL on the request path, fsync=always) written to BENCH_PR4.json.
+# Ingest benchmarks: microbenchmarks for the sharded store, the WAL
+# group committer and the binary beacon codec, then the end-to-end
+# shard-scaling ladder (full HTTP server, WAL on the request path,
+# fsync=always, JSON and binary rungs) written to BENCH_PR10.json.
 bench:
-	$(GO) test -run='^$$' -bench='BenchmarkStore|BenchmarkWALAppend' -benchmem ./internal/beacon
+	$(GO) test -run='^$$' -bench='BenchmarkStore|BenchmarkWALAppend|BenchmarkBinaryCodec|BenchmarkEventKey' -benchmem ./internal/beacon
 	$(GO) run ./cmd/qtag-stress -load -workers 32 -events 8000 \
-		-group-commit-max-wait 500us -bench-out BENCH_PR8.json
+		-group-commit-max-wait 500us -bench-out BENCH_PR10.json
 
 # Crash-safety sweep: the WAL, the crash-point harness, and the
 # durability layer's torn-write / page-cache-loss / bit-rot / ENOSPC
@@ -110,6 +119,7 @@ soak:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWALRecord -fuzztime=10s ./internal/beacon
 	$(GO) test -run='^$$' -fuzz=FuzzHandleEvents -fuzztime=10s ./internal/beacon
+	$(GO) test -run='^$$' -fuzz=FuzzBinaryCodec -fuzztime=10s ./internal/beacon
 	$(GO) test -run='^$$' -fuzz=FuzzDetectObserve -fuzztime=10s ./internal/detect
 
 cover:
@@ -138,17 +148,36 @@ lint:
 
 # Throughput regression gate: re-run the shard-scaling benchmark ladder
 # and fail if any sampling-off non-overload rung lost more than 20%
-# events/sec against the committed BENCH_PR8.json baseline (traced and
+# events/sec against the committed BENCH_PR10.json baseline (traced and
 # overload rungs are reported, not gated). Benchmarks are noisy on
 # shared runners, so this runs as a scheduled/manual CI job, not per-PR;
 # the committed baseline is only ever updated deliberately (make bench).
 bench-gate:
 	$(GO) run ./cmd/qtag-stress -load -workers 32 -events 8000 \
 		-group-commit-max-wait 500us -bench-out $(BENCH_FRESH)
-	$(GO) run ./scripts/benchgate.go -baseline BENCH_PR8.json -fresh $(BENCH_FRESH)
+	$(GO) run ./scripts/benchgate.go -baseline BENCH_PR10.json -fresh $(BENCH_FRESH)
+
+# Allocation regression gate — blocking, per-PR. Unlike nanoseconds,
+# allocs/op is deterministic (for a given Go version), so a fixed
+# -benchtime=1000x run is cheap and exact: any benchmark whose allocs/op
+# rises above the committed ALLOC_BASELINE.txt fails the build. This is
+# what keeps the zero-allocation decode path at zero.
+alloc-gate:
+	$(GO) test -run='^$$' -bench='$(ALLOC_BENCH)' -benchmem -benchtime=1000x -count=1 \
+		./internal/beacon > $(ALLOC_FRESH) || { cat $(ALLOC_FRESH); exit 1; }
+	@cat $(ALLOC_FRESH)
+	$(GO) run ./scripts/benchgate.go -allocs -baseline $(ALLOC_BASELINE) -fresh $(ALLOC_FRESH)
+
+# Deliberately refresh the committed allocation baseline (review the
+# diff before committing — an unexplained increase is a regression, not
+# a new baseline).
+alloc-baseline:
+	$(GO) test -run='^$$' -bench='$(ALLOC_BENCH)' -benchmem -benchtime=1000x -count=1 \
+		./internal/beacon > $(ALLOC_BASELINE)
+	@cat $(ALLOC_BASELINE)
 
 # The blocking pipeline: correctness, analysis, coverage, crash-safety,
-# trace propagation. soak and fuzz-smoke run as a separate non-blocking
-# CI job (see .github/workflows/ci.yml); bench-gate is scheduled/manual
-# only.
-ci: build vet lint race cover chaos trace-chaos
+# trace propagation, allocation regressions. soak and fuzz-smoke run as
+# a separate non-blocking CI job (see .github/workflows/ci.yml);
+# bench-gate is scheduled/manual only.
+ci: build vet lint race cover chaos trace-chaos alloc-gate

@@ -279,6 +279,7 @@ func main() {
 	handoffDir := flag.String("handoff-dir", "", "hinted-handoff journal directory (required in cluster mode)")
 	probeEvery := flag.Duration("probe-every", time.Second, "peer health probe interval (cluster mode)")
 	readyBacklog := flag.Int64("ready-hint-backlog", 10000, "report unready when the handoff backlog exceeds this (0 disables)")
+	binaryBeacons := flag.Bool("binary-beacons", true, "forward peer-owned beacons (and hint-drain replays) with the compact binary codec; falls back to JSON automatically against pre-binary peers")
 	traceSample := flag.Float64("trace-sample", 0, "head sampling rate for distributed tracing in [0,1] (0 disables; errored spans always recorded)")
 	traceBuffer := flag.Int("trace-buffer", obs.DefaultSpanBuffer, "completed spans retained in the in-memory ring behind /debug/traces")
 	slowRequest := flag.Duration("slow-request", 0, "log requests slower than this, with their trace id (0 disables)")
@@ -484,6 +485,7 @@ func main() {
 			Peers:            peers,
 			Local:            sink,
 			HandoffDir:       *handoffDir,
+			Binary:           *binaryBeacons,
 			ProbeEvery:       *probeEvery,
 			ReadyHintBacklog: *readyBacklog,
 			Tracer:           tracer,

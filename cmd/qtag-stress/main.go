@@ -12,15 +12,17 @@
 //	qtag-stress -load [-workers 8] [-events 20000] [-batch 1]
 //	            [-url http://host:8080] [-shards 16] [-wal-dir DIR]
 //	            [-fsync always] [-group-commit] [-sync-durability]
+//	            [-binary]
 //
 // Bench mode — the PR acceptance benchmark: fsync=always synchronous
 // durability at {1 shard, no group commit} vs {4, 16 shards with group
 // commit}, plus the forwarding rung (two-node cluster), the tracing
-// rungs (distributed tracing at 1% and 100% head sampling) and the
-// overload rung (admission-controlled stack at 10× concurrency),
-// written to a JSON report:
+// rungs (distributed tracing at 1% and 100% head sampling), the
+// overload rung (admission-controlled stack at 10× concurrency) and
+// the binary-codec rungs (compact wire format at 1 and 16 shards,
+// with codec microbench allocation counts), written to a JSON report:
 //
-//	qtag-stress -load -bench-out BENCH_PR8.json [-workers 8] [-events 5000]
+//	qtag-stress -load -bench-out BENCH_PR10.json [-workers 8] [-events 5000]
 package main
 
 import (
@@ -51,6 +53,7 @@ func main() {
 	gcMaxBatch := flag.Int("group-commit-max-batch", 256, "load: max records per group commit")
 	gcMaxWait := flag.Duration("group-commit-max-wait", 0, "load: how long to hold a group open to grow it")
 	syncDur := flag.Bool("sync-durability", true, "load: ack requests only after fsync (WAL on the request path)")
+	binary := flag.Bool("binary", false, "load: post the compact binary beacon codec instead of JSON")
 	benchOut := flag.String("bench-out", "", "load: run the shard-scaling benchmark and write the JSON report here")
 	benchReps := flag.Int("bench-reps", 3, "load: repetitions per bench configuration (best run is reported)")
 	flag.Parse()
@@ -64,7 +67,7 @@ func main() {
 			return
 		}
 		if err := runLoad(*url, *workers, *events, *batch, *shards, *walDir, *fsyncMode,
-			*groupCommit, *gcMaxBatch, *gcMaxWait, *syncDur); err != nil {
+			*groupCommit, *gcMaxBatch, *gcMaxWait, *syncDur, *binary); err != nil {
 			fmt.Fprintln(os.Stderr, "FAIL:", err)
 			os.Exit(1)
 		}
@@ -88,7 +91,7 @@ func main() {
 }
 
 func runLoad(url string, workers, events, batchSize, shards int, walDir, fsyncMode string,
-	groupCommit bool, gcMaxBatch int, gcMaxWait time.Duration, syncDur bool) error {
+	groupCommit bool, gcMaxBatch int, gcMaxWait time.Duration, syncDur, binary bool) error {
 	target := url
 	if target == "" {
 		policy, err := wal.ParseFsyncPolicy(fsyncMode)
@@ -113,7 +116,7 @@ func runLoad(url string, workers, events, batchSize, shards int, walDir, fsyncMo
 			target, shards, walDir, fsyncMode, groupCommit, syncDur)
 	}
 	rep, err := stress.RunLoad(target, stress.LoadOptions{
-		Workers: workers, Events: events, BatchSize: batchSize, Seed: 2019,
+		Workers: workers, Events: events, BatchSize: batchSize, Seed: 2019, Binary: binary,
 	})
 	fmt.Println(rep)
 	if err != nil {
@@ -140,9 +143,10 @@ func runBench(outPath string, workers, events, batchSize, gcMaxBatch int, gcMaxW
 		GroupCommitMaxBatch: gcMaxBatch,
 		GroupCommitMaxWait:  gcMaxWait,
 		MinSpeedup16:        3,
+		MinBinarySpeedup:    3,
 		Out:                 os.Stdout,
 	})
-	if len(rep.Entries) == 7 { // a complete ladder is worth recording even if the floor failed
+	if len(rep.Entries) == stress.LadderRungs { // a complete ladder is worth recording even if the floor failed
 		if werr := rep.WriteJSON(outPath); werr != nil && err == nil {
 			err = werr
 		}

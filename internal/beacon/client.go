@@ -112,12 +112,31 @@ type HTTPSink struct {
 	// overload. The hinted-handoff drainer marks its replay sinks
 	// "drain"; empty means the server classifies by path (live).
 	Class string
+	// Binary switches submissions to the compact binary beacon codec
+	// (Content-Type: application/x-qtag-binary), encoded into pooled
+	// buffers instead of json.Marshal. A server that does not speak it
+	// (a pre-binary deployment answers 400, a newer one that dropped
+	// this version answers 415) triggers an automatic, latched fallback
+	// to JSON: the batch is re-encoded and re-delivered in the same
+	// call — ingestion is idempotent, so the extra attempt is safe —
+	// and every later submission goes straight to JSON.
+	Binary bool
 
-	retried   atomic.Int64
-	delivered atomic.Int64
-	failed    atomic.Int64
-	latency   onceHistogram
+	jsonFallback atomic.Bool
+	retried      atomic.Int64
+	delivered    atomic.Int64
+	failed       atomic.Int64
+	latency      onceHistogram
 }
+
+// errBinaryNotAccepted signals, inside one SubmitBatch, that the server
+// refused the binary content type and the call should re-deliver as
+// JSON. It never escapes to callers.
+var errBinaryNotAccepted = errors.New("beacon: server refused binary codec")
+
+// FellBack reports whether a binary-mode sink has latched its JSON
+// fallback.
+func (h *HTTPSink) FellBack() bool { return h.jsonFallback.Load() }
 
 // onceHistogram lazily builds the delivery-latency histogram — HTTPSink
 // is constructed as a struct literal, so there is no constructor to hook.
@@ -165,10 +184,6 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 	if len(events) == 0 {
 		return nil
 	}
-	body, err := json.Marshal(events)
-	if err != nil {
-		return &PermanentError{Err: fmt.Errorf("beacon: encode events: %w", err)}
-	}
 	client := h.Client
 	if client == nil {
 		client = http.DefaultClient
@@ -197,6 +212,32 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 	// it passes, whoever submitted these events has stopped waiting, so
 	// further attempts (and the receiver's fsyncs) would be pure waste.
 	deadline := batchDeadline(events)
+	if h.Binary && !h.jsonFallback.Load() {
+		buf := getEncBuf()
+		body := AppendBinaryEvents((*buf)[:0], events)
+		err := h.deliver(ctx, client, url, body, BinaryContentType, traceparent, deadline, sp, events)
+		*buf = body[:0] // keep the grown capacity for the pool
+		putEncBuf(buf)
+		if !errors.Is(err, errBinaryNotAccepted) {
+			return err
+		}
+		// The server parsed the request far enough to refuse the codec —
+		// latch and re-deliver this batch as JSON.
+		h.jsonFallback.Store(true)
+		sp.SetAttr("binary_fallback", "json")
+	}
+	body, err := json.Marshal(events)
+	if err != nil {
+		return &PermanentError{Err: fmt.Errorf("beacon: encode events: %w", err)}
+	}
+	return h.deliver(ctx, client, url, body, "application/json", traceparent, deadline, sp, events)
+}
+
+// deliver runs the retry loop for one encoded body. In binary mode a
+// 415 (or a pre-binary server's 400) aborts the loop with
+// errBinaryNotAccepted — without counting a failure — so SubmitBatch
+// can fall back to JSON.
+func (h *HTTPSink) deliver(ctx context.Context, client *http.Client, url string, body []byte, contentType, traceparent string, deadline time.Time, sp *obs.Span, events []Event) error {
 	var lastErr error
 	for attempt := 0; attempt <= h.Retries; attempt++ {
 		if attempt > 0 {
@@ -223,7 +264,7 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 			return &PermanentError{Err: fmt.Errorf("%w (last error: %v)", errDoomed, lastErr)}
 		}
 		start := time.Now()
-		status, respBody, retryAfter, err := h.post(ctx, client, url, body, traceparent, deadline)
+		status, respBody, retryAfter, err := h.post(ctx, client, url, body, contentType, traceparent, deadline)
 		h.latency.get().ObserveDuration(time.Since(start))
 		if err != nil {
 			lastErr = err
@@ -240,6 +281,15 @@ func (h *HTTPSink) SubmitBatch(events []Event) error {
 		lastErr = &statusError{status: status, body: respBody, retryAfter: retryAfter}
 		if retryableStatus(status) {
 			continue
+		}
+		if contentType == BinaryContentType &&
+			(status == http.StatusUnsupportedMediaType || status == http.StatusBadRequest) {
+			// 415 is the canonical "codec not spoken"; 400 is what a
+			// pre-binary server answers when it tries to parse the binary
+			// frame as JSON. Either way the bytes are undeliverable in this
+			// encoding but the batch is not lost — signal the JSON retry
+			// instead of recording a failure.
+			return fmt.Errorf("%w: %w", errBinaryNotAccepted, lastErr)
 		}
 		// Other client errors will not heal on retry: the server parsed
 		// the request and rejected it.
@@ -298,7 +348,7 @@ func (h *HTTPSink) trace(events []Event, stage obs.Stage) {
 // deadline when one is set — so the server can refuse doomed work
 // before spending WAL bandwidth on it, and cluster forwards naturally
 // hand peers the decremented remainder.
-func (h *HTTPSink) post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string, deadline time.Time) (status int, respBody []byte, retryAfter time.Duration, err error) {
+func (h *HTTPSink) post(ctx context.Context, client *http.Client, url string, body []byte, contentType, traceparent string, deadline time.Time) (status int, respBody []byte, retryAfter time.Duration, err error) {
 	timeout := h.Timeout
 	if timeout == 0 {
 		timeout = DefaultTimeout
@@ -318,7 +368,7 @@ func (h *HTTPSink) post(ctx context.Context, client *http.Client, url string, bo
 	if err != nil {
 		return 0, nil, 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	if budget > 0 {
 		req.Header.Set(admission.BudgetHeader, admission.FormatBudget(budget))
 	}

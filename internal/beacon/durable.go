@@ -37,9 +37,13 @@ type DurableRecovery struct {
 }
 
 // WALJournal is the Journal API layered on the segmented WAL: a
-// Sink/BatchSink whose records are JSONL-encoded events, giving the
-// collection server crash-safe durability while qtag-replay keeps
-// reading the same wire format. It is safe for concurrent use.
+// Sink/BatchSink whose records are binary-codec-encoded events
+// (DESIGN.md §16), giving the collection server crash-safe durability.
+// Replay dispatches on the payload's version tag, so directories
+// written by pre-binary versions — whose records are JSONL events —
+// replay unchanged, and qtag-replay reads both. Snapshots stay JSONL
+// either way: they are line-framed store dumps, not per-event records.
+// It is safe for concurrent use.
 type WALJournal struct {
 	w   *wal.WAL
 	fs  wal.FS
@@ -115,8 +119,8 @@ func OpenDurable(opts wal.Options, store *Store) (*WALJournal, DurableRecovery, 
 		if index <= rec.SnapshotIndex {
 			return nil // already covered by the snapshot
 		}
-		var e Event
-		if err := json.Unmarshal(payload, &e); err != nil {
+		e, err := DecodeStoredEvent(payload)
+		if err != nil {
 			rec.ReplaySkipped++
 			return nil
 		}
@@ -159,34 +163,46 @@ func OpenDurable(opts wal.Options, store *Store) (*WALJournal, DurableRecovery, 
 	return j, rec, nil
 }
 
-// Submit implements Sink: the event becomes one WAL record.
+// Submit implements Sink: the event becomes one binary-codec WAL
+// record, encoded into a pooled buffer. The WAL blocks until the
+// record is written (group commit releases callers only after their
+// group's write), so returning the buffer to the pool afterwards is
+// safe.
 func (j *WALJournal) Submit(e Event) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	line, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("beacon: journal encode: %w", err)
-	}
-	return j.w.Append(line)
+	buf := getEncBuf()
+	payload := AppendBinaryEvent((*buf)[:0], e)
+	err := j.w.Append(payload)
+	*buf = payload[:0]
+	putEncBuf(buf)
+	return err
 }
 
 // SubmitBatch implements BatchSink: the batch lands as consecutive WAL
-// records in a single write, synced per the WAL's fsync policy. A
+// records in a single write, synced per the WAL's fsync policy. All
+// records encode into one pooled buffer (sliced per event afterwards —
+// appending first would invalidate earlier slices on growth). A
 // failed batch may leave a prefix behind; retrying callers re-append
 // the whole batch, which is safe because replay feeds an idempotent
 // store.
 func (j *WALJournal) SubmitBatch(events []Event) error {
-	payloads := make([][]byte, 0, len(events))
-	for _, e := range events {
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	b := (*buf)[:0]
+	offsets := make([]int, len(events)+1)
+	for i, e := range events {
 		if err := e.Validate(); err != nil {
 			return err
 		}
-		line, err := json.Marshal(e)
-		if err != nil {
-			return fmt.Errorf("beacon: journal encode: %w", err)
-		}
-		payloads = append(payloads, line)
+		b = AppendBinaryEvent(b, e)
+		offsets[i+1] = len(b)
+	}
+	*buf = b[:0]
+	payloads := make([][]byte, len(events))
+	for i := range events {
+		payloads[i] = b[offsets[i]:offsets[i+1]]
 	}
 	return j.w.AppendBatch(payloads)
 }
@@ -357,8 +373,8 @@ func ReplayWALDir(dir string, sink Sink) (DurableRecovery, error) {
 		if index <= rec.SnapshotIndex {
 			return nil
 		}
-		var e Event
-		if uerr := json.Unmarshal(payload, &e); uerr != nil {
+		e, uerr := DecodeStoredEvent(payload)
+		if uerr != nil {
 			rec.ReplaySkipped++
 			return nil
 		}

@@ -1,0 +1,132 @@
+package beacon
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// eventUTF8 reports whether every string field is valid UTF-8 — the
+// precondition for the JSON differential, since encoding/json coerces
+// invalid bytes to U+FFFD while the binary codec preserves them.
+func eventUTF8(e Event) bool {
+	for _, s := range []string{
+		e.ImpressionID, e.CampaignID, string(e.Source), string(e.Type), e.Trace,
+		e.Meta.OS, e.Meta.SiteType, e.Meta.AdSize, e.Meta.Format,
+		e.Meta.Country, e.Meta.Exchange, e.Meta.Slot,
+	} {
+		if !utf8.ValidString(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzBinaryCodec hammers the binary decoder with arbitrary bytes and
+// holds three properties:
+//
+//  1. No panic, ever — both the copying and the pooled alias decoder
+//     must reject garbage with an error, not an index fault.
+//  2. Round trip — whatever decodes must re-encode and decode back to
+//     the same events (the canonical-encoding check is deliberately
+//     omitted: varints have one encoding here, but a future version may
+//     not, and semantic equality is the contract).
+//  3. Differential vs JSON — a decodable binary batch, re-marshalled as
+//     JSON and fed through the server's JSON decode path, must yield
+//     identical events (timestamps by instant) and identical dedup
+//     keys. This is the proof that the two Content-Types are the same
+//     protocol.
+func FuzzBinaryCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{binaryBatchMagic, binaryEventVersion, 0})
+	f.Add(AppendBinaryEvents(nil, nil))
+	f.Add(AppendBinaryEvents(nil, []Event{{
+		ImpressionID: "imp-1", CampaignID: "camp-1", Type: EventServed,
+		At: time.Unix(1500000000, 123456789).UTC(),
+		Meta: Meta{OS: "android", SiteType: "news", AdSize: "300x250",
+			Format: "banner", Country: "fr", Exchange: "appnexus", Slot: "atf-1"},
+	}}))
+	f.Add(AppendBinaryEvents(nil, []Event{
+		{ImpressionID: "imp-2", CampaignID: "camp-2", Type: EventInView,
+			Source: SourceQTag, Seq: 3, At: time.Unix(1500000001, 0).UTC(),
+			Trace: "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"},
+		{ImpressionID: "imp-4", CampaignID: "camp-4",
+			Type: EventType("custom-type"), Source: Source("custom-src"), Seq: -7},
+	}))
+	f.Add(AppendBinaryEvent(nil, Event{
+		ImpressionID: "single", CampaignID: "c", Type: EventLoaded,
+		Source: SourceCommercial, At: time.Unix(1500000002, 999999999).UTC(),
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Single-record decode (the WAL payload shape) must never panic.
+		DecodeBinaryEvent(data)
+		DecodeStoredEvent(data)
+
+		events, err := DecodeBinaryEvents(data)
+		var dec BatchDecoder
+		aliased, aliasErr := dec.Decode(data)
+		if (err == nil) != (aliasErr == nil) {
+			t.Fatalf("copying and alias decoders disagree: %v vs %v", err, aliasErr)
+		}
+		if err != nil {
+			return
+		}
+		if len(events) != len(aliased) {
+			t.Fatalf("copying decoded %d events, alias %d", len(events), len(aliased))
+		}
+		for i := range events {
+			if !eventsEqual(events[i], aliased[i]) {
+				t.Fatalf("event %d: copying %+v != alias %+v", i, events[i], aliased[i])
+			}
+		}
+
+		// Round trip.
+		redecoded, err := DecodeBinaryEvents(AppendBinaryEvents(nil, events))
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if len(redecoded) != len(events) {
+			t.Fatalf("round trip: %d events became %d", len(events), len(redecoded))
+		}
+
+		// Differential vs the JSON ingest path — only inside JSON's
+		// narrower domain. The binary codec round-trips raw bytes and the
+		// full time range; encoding/json coerces invalid UTF-8 to U+FFFD
+		// and refuses years outside [0, 9999], so those inputs have no
+		// JSON twin to compare against. An empty batch has no JSON array
+		// framing to exercise either.
+		if len(events) == 0 {
+			return
+		}
+		for _, e := range events {
+			if !eventUTF8(e) {
+				return
+			}
+		}
+		body, err := json.Marshal(events)
+		if err != nil {
+			// The time package's year-range refusal; nothing else in an
+			// Event can fail to marshal.
+			return
+		}
+		viaJSON, err := decodeEvents(body)
+		if err != nil {
+			t.Fatalf("JSON path rejected re-marshalled events: %v", err)
+		}
+		if len(viaJSON) != len(events) {
+			t.Fatalf("JSON path decoded %d events, binary %d", len(viaJSON), len(events))
+		}
+		for i := range events {
+			if !eventsEqual(events[i], redecoded[i]) || !eventsEqual(events[i], viaJSON[i]) {
+				t.Fatalf("event %d diverged:\nbinary: %+v\nretrip: %+v\n  json: %+v",
+					i, events[i], redecoded[i], viaJSON[i])
+			}
+			if events[i].Key() != viaJSON[i].Key() {
+				t.Fatalf("event %d dedup key diverged: %q vs %q",
+					i, events[i].Key(), viaJSON[i].Key())
+			}
+		}
+	})
+}

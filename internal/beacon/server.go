@@ -1,6 +1,7 @@
 package beacon
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -282,22 +283,66 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		deadline = s.now().Add(budget)
 	}
 	limit := s.maxBody.Load()
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
-	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			s.oversized.Add(1)
-			httpError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("body exceeds %d bytes", limit))
+	binary := strings.HasPrefix(r.Header.Get("Content-Type"), BinaryContentType)
+	var events []Event
+	if binary {
+		// Binary path: the request body buffer is the decode arena. It is
+		// freshly allocated (never pooled) so the alias-decoded events may
+		// outlive the handler — the store retains them, and they pin the
+		// buffer via their strings, which is exactly one allocation of
+		// string memory per request. The decoder's []Event scratch IS
+		// pooled: the store copies event values on Submit, so the slice is
+		// free for reuse the moment the handler returns.
+		body, rerr := readBinaryBody(w, r, limit)
+		if rerr != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(rerr, &tooLarge) {
+				s.oversized.Add(1)
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("body exceeds %d bytes", limit))
+				return
+			}
+			httpError(w, http.StatusBadRequest, "read body: "+rerr.Error())
 			return
 		}
-		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
-		return
-	}
-	events, err := decodeEvents(body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		dec := batchDecoderPool.Get().(*BatchDecoder)
+		defer batchDecoderPool.Put(dec)
+		var derr error
+		events, derr = dec.Decode(body)
+		if derr != nil {
+			if errors.Is(derr, ErrBinaryVersion) {
+				// A codec version this server does not speak: answer 415 so
+				// the client knows to renegotiate (HTTPSink falls back to
+				// JSON), distinct from 400 for a corrupt frame it cannot fix.
+				httpError(w, http.StatusUnsupportedMediaType, derr.Error())
+				return
+			}
+			httpError(w, http.StatusBadRequest, derr.Error())
+			return
+		}
+	} else {
+		// JSON path: json.Unmarshal copies every field out of the body, so
+		// the read buffer itself can be pooled and returned immediately.
+		buf := bodyBufPool.Get().(*bytes.Buffer)
+		defer bodyBufPool.Put(buf)
+		buf.Reset()
+		if _, rerr := buf.ReadFrom(http.MaxBytesReader(w, r.Body, limit)); rerr != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(rerr, &tooLarge) {
+				s.oversized.Add(1)
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("body exceeds %d bytes", limit))
+				return
+			}
+			httpError(w, http.StatusBadRequest, "read body: "+rerr.Error())
+			return
+		}
+		var derr error
+		events, derr = decodeEvents(buf.Bytes())
+		if derr != nil {
+			httpError(w, http.StatusBadRequest, derr.Error())
+			return
+		}
 	}
 	for _, e := range events {
 		if verr := e.Validate(); verr != nil {
@@ -383,6 +428,29 @@ var transparentGIF = []byte{
 	0x00, 0x00, 0x00, 0x00, 0xff, 0xff, 0xff, 0x21, 0xf9, 0x04, 0x01, 0x00,
 	0x00, 0x00, 0x00, 0x2c, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00,
 	0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3b,
+}
+
+// bodyBufPool recycles JSON request-body read buffers. Safe only for
+// the JSON path: json.Unmarshal copies, so nothing aliases the buffer
+// after decode. The binary path must NOT use it — see readBinaryBody.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBinaryBody reads a binary request body into a fresh, exactly
+// sized, GC-owned buffer. Fresh is the point: the alias decoder slices
+// event strings straight out of this buffer and the store retains
+// them, so the buffer's lifetime must be garbage-collector-managed,
+// never pool-managed. Content-Length sizes the single allocation;
+// chunked bodies fall back to io.ReadAll growth.
+func readBinaryBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, limit)
+	if n := r.ContentLength; n > 0 && n <= limit {
+		body := make([]byte, n)
+		if _, err := io.ReadFull(rd, body); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	return io.ReadAll(rd)
 }
 
 // decodeEvents accepts either a single JSON event object or a JSON array

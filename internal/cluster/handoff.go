@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -130,21 +129,34 @@ func (h *HintLog) peer(peerID string) (*peerHints, error) {
 	return p, nil
 }
 
+// hintBufPool recycles hint-record encode buffers. The WAL blocks
+// Append until the record is durable, so the buffer is free again when
+// Append returns.
+var hintBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
 // Append durably journals a beacon for later delivery to peerID. When
 // it returns nil the hint has hit the WAL under the configured fsync
 // policy — under the FsyncAlways default the caller may ack the beacon.
+// Hints are written in the binary beacon codec; Drain dispatches on the
+// payload's version tag, so backlogs left by a pre-binary process (JSON
+// hints) still deliver after an upgrade.
 func (h *HintLog) Append(peerID string, e beacon.Event) error {
 	p, err := h.peer(peerID)
 	if err != nil {
 		return err
 	}
-	payload, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("cluster: marshal hint: %w", err)
-	}
+	buf := hintBufPool.Get().(*[]byte)
+	payload := beacon.AppendBinaryEvent((*buf)[:0], e)
 	p.mu.Lock()
 	err = p.w.Append(payload)
 	p.mu.Unlock()
+	*buf = payload[:0]
+	hintBufPool.Put(buf)
 	if err != nil {
 		return fmt.Errorf("cluster: append hint for %s: %w", peerID, err)
 	}
@@ -248,8 +260,12 @@ func (h *HintLog) Drain(peerID string, forward func([]beacon.Event) error) (int,
 		if index <= low || index > cut {
 			return nil
 		}
-		var e beacon.Event
-		if err := json.Unmarshal(payload, &e); err != nil {
+		// DecodeStoredEvent copies the event's strings out of the scan
+		// buffer — required, because wal.Scan reuses that buffer while the
+		// batch accumulates across records — and accepts both the binary
+		// hints this version writes and JSON hints from an older process.
+		e, err := beacon.DecodeStoredEvent(payload)
+		if err != nil {
 			// A corrupt hint is unrecoverable; dropping it is the only
 			// option that lets the rest of the backlog deliver. The WAL
 			// layer's checksums make this a torn-write artifact, not a

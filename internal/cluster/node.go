@@ -69,6 +69,15 @@ type Config struct {
 	// is one connected trace. Nil disables cluster-layer tracing.
 	Tracer *obs.Tracer
 
+	// Binary, when set, encodes peer forwards and hint-drain replays
+	// with the compact binary beacon codec instead of JSON. Peers that
+	// do not speak it trigger HTTPSink's latched JSON fallback, so a
+	// mixed-version cluster keeps flowing during a rolling upgrade.
+	// Hint WAL records are written in the binary codec regardless —
+	// replay dispatches on the payload version tag, so that choice never
+	// strands an old backlog.
+	Binary bool
+
 	// Transport, when set, replaces the default transport for forwards
 	// and probes — the fault suites inject partitions and fault
 	// RoundTrippers here.
@@ -191,6 +200,7 @@ func NewNode(cfg Config) (*Node, error) {
 			Jitter:      cfg.Jitter,
 			BaseContext: cfg.BaseContext,
 			Spans:       cfg.Tracer,
+			Binary:      cfg.Binary,
 		}
 		drainSink := &beacon.HTTPSink{
 			BaseURL:     url,
@@ -201,6 +211,7 @@ func NewNode(cfg Config) (*Node, error) {
 			BaseContext: cfg.BaseContext,
 			Spans:       cfg.Tracer,
 			Class:       "drain",
+			Binary:      cfg.Binary,
 		}
 		n.links[id] = &peerLink{
 			id:        id,

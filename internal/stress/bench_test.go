@@ -9,7 +9,7 @@ import (
 	"time"
 )
 
-// TestRunBenchLadderSmall runs the full seven-row ladder with a tiny
+// TestRunBenchLadderSmall runs the full nine-row ladder with a tiny
 // event count — this is a correctness test of the harness (fresh WAL
 // dir per row, clean runs, report shape, JSON output), not a
 // performance assertion, so MinSpeedup16 stays 0.
@@ -26,20 +26,24 @@ func TestRunBenchLadderSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 7 {
-		t.Fatalf("ladder produced %d rows, want 7", len(rep.Entries))
+	if len(rep.Entries) != LadderRungs {
+		t.Fatalf("ladder produced %d rows, want %d", len(rep.Entries), LadderRungs)
 	}
-	wantShards := []int{1, 4, 16, 16, 16, 16, 16}
-	wantGC := []bool{false, true, true, true, true, true, true}
-	wantFwd := []bool{false, false, false, true, false, false, false}
-	wantTrace := []float64{0, 0, 0, 0, 0.01, 1.0, 0}
-	wantOverload := []bool{false, false, false, false, false, false, true}
+	wantShards := []int{1, 4, 16, 16, 16, 16, 16, 1, 16}
+	wantGC := []bool{false, true, true, true, true, true, true, false, true}
+	wantFwd := []bool{false, false, false, true, false, false, false, false, false}
+	wantTrace := []float64{0, 0, 0, 0, 0.01, 1.0, 0, 0, 0}
+	wantOverload := []bool{false, false, false, false, false, false, true, false, false}
+	wantBinary := []bool{false, false, false, false, false, false, false, true, true}
 	for i, e := range rep.Entries {
 		if e.Shards != wantShards[i] || e.GroupCommit != wantGC[i] || e.Forwarding != wantFwd[i] ||
-			e.TraceSample != wantTrace[i] || e.Overload != wantOverload[i] {
-			t.Fatalf("row %d = shards=%d gc=%v fwd=%v trace=%v overload=%v, want shards=%d gc=%v fwd=%v trace=%v overload=%v",
-				i, e.Shards, e.GroupCommit, e.Forwarding, e.TraceSample, e.Overload,
-				wantShards[i], wantGC[i], wantFwd[i], wantTrace[i], wantOverload[i])
+			e.TraceSample != wantTrace[i] || e.Overload != wantOverload[i] || e.Binary != wantBinary[i] {
+			t.Fatalf("row %d = shards=%d gc=%v fwd=%v trace=%v overload=%v binary=%v, want shards=%d gc=%v fwd=%v trace=%v overload=%v binary=%v",
+				i, e.Shards, e.GroupCommit, e.Forwarding, e.TraceSample, e.Overload, e.Binary,
+				wantShards[i], wantGC[i], wantFwd[i], wantTrace[i], wantOverload[i], wantBinary[i])
+		}
+		if !e.Overload && e.AllocsPerEvent < 0 {
+			t.Fatalf("row %d reported negative allocs/event: %+v", i, e)
 		}
 		if e.Overload {
 			// The overload rung sheds by design: it must accept some
@@ -60,6 +64,17 @@ func TestRunBenchLadderSmall(t *testing.T) {
 	if rep.Speedup4Vs1 <= 0 || rep.Speedup16Vs1 <= 0 {
 		t.Fatalf("speedups not computed: %+v", rep)
 	}
+	if rep.BinarySpeedup1Vs1 <= 0 || rep.BinarySpeedup16Vs1 <= 0 || rep.BinaryVsJSON16 <= 0 {
+		t.Fatalf("binary speedups not computed: %+v", rep)
+	}
+	if len(rep.Codec) != 4 {
+		t.Fatalf("codec microbench rows missing, got %d, want 4", len(rep.Codec))
+	}
+	for _, c := range rep.Codec {
+		if c.Name == "" || c.NsPerOp <= 0 {
+			t.Fatalf("codec row incomplete: %+v", c)
+		}
+	}
 	if !strings.Contains(progress.String(), "speedup:") {
 		t.Fatalf("progress output missing summary line:\n%s", progress.String())
 	}
@@ -79,9 +94,13 @@ func TestRunBenchLadderSmall(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Entries) != 7 || back.Entries[2].Shards != 16 || !back.Entries[3].Forwarding ||
-		back.Entries[5].TraceSample != 1.0 || !back.Entries[6].Overload {
+	if len(back.Entries) != LadderRungs || back.Entries[2].Shards != 16 || !back.Entries[3].Forwarding ||
+		back.Entries[5].TraceSample != 1.0 || !back.Entries[6].Overload ||
+		!back.Entries[7].Binary || !back.Entries[8].Binary || back.Entries[8].Shards != 16 {
 		t.Fatalf("report did not round-trip: %+v", back)
+	}
+	if len(back.Codec) != 4 {
+		t.Fatalf("codec rows did not round-trip: %+v", back.Codec)
 	}
 }
 
@@ -101,7 +120,27 @@ func TestRunBenchLadderSpeedupFloor(t *testing.T) {
 	if !strings.Contains(err.Error(), "below the") {
 		t.Fatalf("unexpected gate error: %v", err)
 	}
-	if len(rep.Entries) != 7 {
+	if len(rep.Entries) != LadderRungs {
+		t.Fatalf("gate failure must still return the full ladder, got %d rows", len(rep.Entries))
+	}
+}
+
+// TestRunBenchLadderBinaryFloor proves the binary-codec acceptance gate
+// fires independently of the shard-scaling gate.
+func TestRunBenchLadderBinaryFloor(t *testing.T) {
+	rep, err := RunBenchLadder(BenchOptions{
+		Workers:          2,
+		Events:           40,
+		Reps:             1,
+		MinBinarySpeedup: 1e9,
+	})
+	if err == nil {
+		t.Fatal("a 1e9x binary speedup floor must fail")
+	}
+	if !strings.Contains(err.Error(), "binary") || !strings.Contains(err.Error(), "below the") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+	if len(rep.Entries) != LadderRungs {
 		t.Fatalf("gate failure must still return the full ladder, got %d rows", len(rep.Entries))
 	}
 }

@@ -52,6 +52,10 @@ type LoadOptions struct {
 	// server past its limit. Shed requests are not retried; their events
 	// simply never count as accepted.
 	TolerateShed bool
+	// Binary pre-serializes request bodies with the compact binary
+	// beacon codec and posts them as application/x-qtag-binary — the
+	// binary-codec rungs of the benchmark ladder.
+	Binary bool
 	// Client overrides the HTTP client (default: pooled transport sized
 	// to Workers).
 	Client *http.Client
@@ -181,13 +185,20 @@ func RunLoad(baseURL string, opts LoadOptions) (LoadReport, error) {
 		for off := 0; off < len(events); off += opts.BatchSize {
 			end := min(off+opts.BatchSize, len(events))
 			var body []byte
-			if end-off == 1 {
+			switch {
+			case opts.Binary:
+				body = beacon.AppendBinaryEvents(nil, events[off:end])
+			case end-off == 1:
 				body, _ = json.Marshal(events[off])
-			} else {
+			default:
 				body, _ = json.Marshal(events[off:end])
 			}
 			bodies[wkr] = append(bodies[wkr], body)
 		}
+	}
+	contentType := "application/json"
+	if opts.Binary {
+		contentType = beacon.BinaryContentType
 	}
 
 	start := time.Now()
@@ -201,7 +212,7 @@ func RunLoad(baseURL string, opts LoadOptions) (LoadReport, error) {
 			lats := make([]time.Duration, 0, len(bodies[wkr]))
 			for _, body := range bodies[wkr] {
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				resp, err := client.Post(url, contentType, bytes.NewReader(body))
 				lats = append(lats, time.Since(t0))
 				requests.Add(1)
 				if err != nil {
@@ -310,6 +321,9 @@ type IngestServerConfig struct {
 	ClusterSelf       string
 	ClusterPeers      map[string]string
 	ClusterHandoffDir string
+	// ClusterBinary forwards peer-owned beacons (and hint-drain replays)
+	// with the binary codec instead of JSON.
+	ClusterBinary bool
 	// TraceSample > 0 enables distributed tracing on the ingest path at
 	// that head sampling rate — the tracing rungs of the benchmark
 	// ladder price its overhead at 1% and 100%.
@@ -420,6 +434,7 @@ func StartIngestServer(cfg IngestServerConfig) (*IngestServer, error) {
 			Peers:      cfg.ClusterPeers,
 			Local:      sink,
 			HandoffDir: cfg.ClusterHandoffDir,
+			Binary:     cfg.ClusterBinary,
 			Tracer:     tracer,
 		})
 		if err != nil {

@@ -1,28 +1,40 @@
 // Command benchgate compares a fresh `make bench` run against the
-// committed benchmark baseline (BENCH_PR4.json) and fails when any
+// committed benchmark baseline (BENCH_PR10.json) and fails when any
 // ladder rung regressed beyond the tolerance — the CI tripwire that
-// keeps the PR 4 shard-scaling wins from eroding silently.
+// keeps the shard-scaling and binary-codec wins from eroding silently.
 //
 // Entries are matched by (shards, group_commit, forwarding,
-// trace_sample, overload). Only throughput is gated, and only on the
-// sampling-off non-overload rungs: latency percentiles, traced-rung
-// throughput and overload-rung goodput on shared CI runners are too
-// noisy to gate on, but all are printed for the log. A fresh entry
-// missing from the baseline is informational; a baseline entry missing
-// from the fresh run is a failure (the ladder shrank).
+// trace_sample, overload, binary). Only throughput is gated, and only
+// on the sampling-off non-overload rungs: latency percentiles,
+// traced-rung throughput and overload-rung goodput on shared CI
+// runners are too noisy to gate on, but all are printed for the log. A
+// fresh entry missing from the baseline is informational; a baseline
+// entry missing from the fresh run is a failure (the ladder shrank).
 //
 // Usage:
 //
-//	go run ./scripts/benchgate.go -baseline BENCH_PR4.json -fresh bench-fresh.json [-max-regress 0.20]
+//	go run ./scripts/benchgate.go -baseline BENCH_PR10.json -fresh bench-fresh.json [-max-regress 0.20]
+//
+// Allocation mode — with -allocs the two files are `go test -bench
+// -benchmem` text outputs instead of ladder JSON, and the gate is on
+// allocs/op, exactly: allocation counts are deterministic (unlike
+// nanoseconds), so any increase over the committed baseline fails.
+// This is the per-PR tripwire that keeps the zero-allocation decode
+// path honest.
+//
+//	go run ./scripts/benchgate.go -allocs -baseline ALLOC_BASELINE.txt -fresh alloc-fresh.txt
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 type entry struct {
@@ -31,6 +43,7 @@ type entry struct {
 	Forwarding  bool    `json:"forwarding"`
 	TraceSample float64 `json:"trace_sample"`
 	Overload    bool    `json:"overload"`
+	Binary      bool    `json:"binary"`
 	ShedRate    float64 `json:"shed_rate"`
 	Eps         float64 `json:"throughput_eps"`
 	P50Ms       float64 `json:"p50_ms"`
@@ -48,11 +61,12 @@ type rung struct {
 	Forwarding  bool
 	TraceSample float64
 	Overload    bool
+	Binary      bool
 }
 
 func (r rung) String() string {
-	return fmt.Sprintf("shards=%-3d group_commit=%-5v forwarding=%-5v trace=%-4v overload=%-5v",
-		r.Shards, r.GroupCommit, r.Forwarding, r.TraceSample, r.Overload)
+	return fmt.Sprintf("shards=%-3d group_commit=%-5v forwarding=%-5v trace=%-4v overload=%-5v binary=%-5v",
+		r.Shards, r.GroupCommit, r.Forwarding, r.TraceSample, r.Overload, r.Binary)
 }
 
 func load(path string) (map[rung]entry, error) {
@@ -69,7 +83,7 @@ func load(path string) (map[rung]entry, error) {
 	}
 	out := make(map[rung]entry, len(f.Entries))
 	for _, e := range f.Entries {
-		out[rung{e.Shards, e.GroupCommit, e.Forwarding, e.TraceSample, e.Overload}] = e
+		out[rung{e.Shards, e.GroupCommit, e.Forwarding, e.TraceSample, e.Overload, e.Binary}] = e
 	}
 	return out, nil
 }
@@ -95,7 +109,10 @@ func gate(w io.Writer, baseline, fresh map[rung]entry, maxRegress float64) bool 
 		if rungs[i].TraceSample != rungs[j].TraceSample {
 			return rungs[i].TraceSample < rungs[j].TraceSample
 		}
-		return !rungs[i].Overload
+		if rungs[i].Overload != rungs[j].Overload {
+			return !rungs[i].Overload
+		}
+		return !rungs[i].Binary
 	})
 	failed := false
 	for _, r := range rungs {
@@ -137,11 +154,131 @@ func gate(w io.Writer, baseline, fresh map[rung]entry, maxRegress float64) bool 
 	return failed
 }
 
+// allocRow is one `go test -bench -benchmem` result line: the
+// benchmark name with its trailing -GOMAXPROCS suffix stripped, plus
+// the reported allocs/op and B/op.
+type allocRow struct {
+	AllocsPerOp int64
+	BytesPerOp  int64
+}
+
+// parseAllocs reads `go test -bench -benchmem` text output and returns
+// the allocs/op per benchmark. Lines that are not benchmark results
+// (headers, PASS, ok) are ignored.
+func parseAllocs(r io.Reader) (map[string]allocRow, error) {
+	out := make(map[string]allocRow)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark<Name>-8  N  x ns/op  y B/op  z allocs/op
+		if len(fields) < 8 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if fields[len(fields)-1] != "allocs/op" || fields[len(fields)-3] != "B/op" {
+			continue
+		}
+		allocs, err := strconv.ParseInt(fields[len(fields)-2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+		}
+		bytesOp, err := strconv.ParseInt(fields[len(fields)-4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so the gate is stable across
+		// runner core counts.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = allocRow{AllocsPerOp: allocs, BytesPerOp: bytesOp}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return out, nil
+}
+
+func loadAllocs(path string) (map[string]allocRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := parseAllocs(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// gateAllocs compares allocs/op exactly: allocation counts are
+// deterministic per Go version, so any increase is a regression, not
+// noise. A baseline benchmark missing from the fresh run fails (the
+// suite shrank); a new fresh benchmark and an improvement are notes.
+func gateAllocs(w io.Writer, baseline, fresh map[string]allocRow) bool {
+	names := make([]string, 0, len(baseline))
+	for n := range baseline {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, n := range names {
+		base := baseline[n]
+		got, ok := fresh[n]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "FAIL  %-48s missing from fresh run\n", n)
+			failed = true
+		case got.AllocsPerOp > base.AllocsPerOp:
+			fmt.Fprintf(w, "FAIL  %-48s allocs/op %d -> %d (B/op %d -> %d)\n",
+				n, base.AllocsPerOp, got.AllocsPerOp, base.BytesPerOp, got.BytesPerOp)
+			failed = true
+		case got.AllocsPerOp < base.AllocsPerOp:
+			fmt.Fprintf(w, "note  %-48s allocs/op improved %d -> %d — re-baseline to lock it in\n",
+				n, base.AllocsPerOp, got.AllocsPerOp)
+		default:
+			fmt.Fprintf(w, "ok    %-48s allocs/op %d\n", n, got.AllocsPerOp)
+		}
+	}
+	for n := range fresh {
+		if _, ok := baseline[n]; !ok {
+			fmt.Fprintf(w, "note  %-48s new benchmark, no baseline\n", n)
+		}
+	}
+	return failed
+}
+
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_PR4.json", "committed baseline benchmark file")
+	baselinePath := flag.String("baseline", "BENCH_PR10.json", "committed baseline benchmark file")
 	freshPath := flag.String("fresh", "bench-fresh.json", "freshly produced benchmark file to gate")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated fractional throughput loss per rung")
+	allocs := flag.Bool("allocs", false, "gate `go test -benchmem` allocs/op text outputs instead of ladder JSON")
 	flag.Parse()
+
+	if *allocs {
+		baseline, err := loadAllocs(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fresh, err := loadAllocs(*freshPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if gateAllocs(os.Stdout, baseline, fresh) {
+			fmt.Fprintln(os.Stderr, "benchgate: allocs/op regressed — fix the allocation, or re-baseline deliberately with `make alloc-baseline`")
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: no allocation regressions")
+		return
+	}
 
 	baseline, err := load(*baselinePath)
 	if err != nil {
